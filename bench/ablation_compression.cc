@@ -1,0 +1,165 @@
+// Post-training compression comparison (extends the paper's related-work
+// discussion, §7): train the uncompressed DLRM, then swap its largest
+// trained table for (a) a TT-SVD decomposition across ranks, (b) a
+// truncated-SVD low-rank factorization, (c) an int8/int4 quantized copy,
+// and re-evaluate on identical held-out batches.
+//
+// The contrast this quantifies: quantization caps at < 8x compression;
+// low-rank / TT-SVD reach much further but their error depends on how well
+// a *trained* table matches the imposed structure. (TT-Rec itself trains
+// cores directly and avoids the decomposition-error question entirely —
+// Fig 6.)
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "baselines/lowrank_embedding.h"
+#include "baselines/quantized_embedding.h"
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "harness.h"
+#include "tensor/svd.h"
+#include "tt/tt_decompose.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("ablation_compression",
+              "Post-training table compression: TT-SVD vs truncated SVD vs "
+              "quantization (related work, paper §7)",
+              env);
+
+  const DatasetSpec spec = KaggleSpec().Scaled(env.scale_div);
+  const std::vector<int> targets = spec.LargestTables(7);
+
+  // 1. Train the dense baseline.
+  Rng rng(404);
+  SyntheticCriteo data(BenchDataConfig(spec, 404));
+  DlrmConfig dlrm = BenchDlrmConfig(env);
+  auto model = MakeBaselineDlrm(dlrm, spec, rng);
+  TrainConfig tc;
+  tc.iterations = env.train_iters;
+  tc.batch_size = env.batch_size;
+  tc.lr = 0.1f;
+  tc.eval_batches = 4;
+  tc.eval_batch_size = 512;
+  tc.log_every = 0;
+  (void)TrainDlrm(*model, data, tc);
+  const std::vector<MiniBatch> eval = MakeEvalSet(data, tc);
+  const EvalMetrics base = model->Evaluate(eval);
+
+  // 2. Snapshot the 7 largest trained tables (the paper's TT-Emb. of 7).
+  std::vector<Tensor> trained;
+  int64_t dense_bytes = 0;
+  for (int t : targets) {
+    auto* dense = dynamic_cast<DenseEmbeddingBag*>(&model->table(t));
+    TTREC_CHECK_INTERNAL(dense != nullptr, "baseline table is dense");
+    trained.push_back(dense->table());
+    dense_bytes += trained.back().numel() * 4;
+  }
+
+  std::printf("trained baseline: accuracy %.3f%%; compressing the 7 largest "
+              "tables (%s total)\n\n",
+              100.0 * base.accuracy, FormatBytes(dense_bytes).c_str());
+  std::printf("%-22s %14s %10s %12s %12s\n", "method", "7-table bytes",
+              "ratio", "accuracy%", "delta acc%");
+  std::printf("%-22s %14lld %9.1fx %12.3f %12s\n", "fp32 (original)",
+              static_cast<long long>(dense_bytes), 1.0,
+              100.0 * base.accuracy, "--");
+
+  // Builds a compressed op for trained table i; returns nullptr to skip.
+  using Builder = std::function<std::unique_ptr<EmbeddingOp>(const Tensor&)>;
+  auto report = [&](const char* name, const Builder& build) {
+    int64_t bytes = 0;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      std::unique_ptr<EmbeddingOp> op = build(trained[i]);
+      bytes += op->MemoryBytes();
+      model->ReplaceTable(targets[i], std::move(op));
+    }
+    const EvalMetrics m = model->Evaluate(eval);
+    std::printf("%-22s %14lld %9.1fx %12.3f %+12.3f\n", name,
+                static_cast<long long>(bytes),
+                static_cast<double>(dense_bytes) / static_cast<double>(bytes),
+                100.0 * m.accuracy, 100.0 * (m.accuracy - base.accuracy));
+    for (size_t i = 0; i < targets.size(); ++i) {
+      model->ReplaceTable(targets[i],
+                          std::make_unique<DenseEmbeddingBag>(
+                              Tensor(trained[i]), PoolingMode::kSum));
+    }
+  };
+
+  // Quantization (inference-only related work).
+  for (int bits : {8, 4}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "int%d quantized", bits);
+    report(name, [bits](const Tensor& t) {
+      return std::make_unique<QuantizedEmbeddingBag>(t, bits,
+                                                     PoolingMode::kSum);
+    });
+  }
+
+  // Truncated-SVD low rank.
+  for (int64_t r : {8, 4, 2}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "svd rank=%lld",
+                  static_cast<long long>(r));
+    report(name, [r](const Tensor& t) -> std::unique_ptr<EmbeddingOp> {
+      SvdResult svd = TruncatedSvd(t, r);
+      Tensor a = svd.u;
+      Tensor b = svd.vt;  // fold singular values into B
+      const int64_t rr = b.dim(0);
+      for (int64_t i = 0; i < rr; ++i) {
+        float* row = b.data() + i * b.dim(1);
+        for (int64_t j = 0; j < b.dim(1); ++j) {
+          row[j] *= svd.s[static_cast<size_t>(i)];
+        }
+      }
+      return std::make_unique<LowRankEmbeddingBag>(std::move(a), std::move(b),
+                                                   PoolingMode::kSum);
+    });
+  }
+
+  // TT-SVD across ranks.
+  const int64_t dim = dlrm.emb_dim;
+  for (int64_t r : {64, 32, 16, 8}) {
+    double mean_err = 0.0;
+    char name[48];
+    Builder build = [&mean_err, r, dim](const Tensor& t)
+        -> std::unique_ptr<EmbeddingOp> {
+      const TtShape shape = MakeTtShape(t.dim(0), dim, 3, r);
+      TtCores cores = TtDecompose(t, shape);
+      mean_err += TtReconstructionError(t, cores) / 7.0;
+      TtEmbeddingConfig cfg;
+      cfg.shape = cores.shape();
+      return std::make_unique<TtEmbeddingAdapter>(cfg, std::move(cores));
+    };
+    // Name is printed after building, so stage manually.
+    int64_t bytes = 0;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      std::unique_ptr<EmbeddingOp> op = build(trained[i]);
+      bytes += op->MemoryBytes();
+      model->ReplaceTable(targets[i], std::move(op));
+    }
+    const EvalMetrics m = model->Evaluate(eval);
+    std::snprintf(name, sizeof(name), "tt-svd rank=%lld (e=%.2f)",
+                  static_cast<long long>(r), mean_err);
+    std::printf("%-22s %14lld %9.1fx %12.3f %+12.3f\n", name,
+                static_cast<long long>(bytes),
+                static_cast<double>(dense_bytes) / static_cast<double>(bytes),
+                100.0 * m.accuracy, 100.0 * (m.accuracy - base.accuracy));
+    for (size_t i = 0; i < targets.size(); ++i) {
+      model->ReplaceTable(targets[i],
+                          std::make_unique<DenseEmbeddingBag>(
+                              Tensor(trained[i]), PoolingMode::kSum));
+    }
+  }
+
+  std::printf(
+      "\nExpected: quantization is accuracy-neutral but capped < 8x; "
+      "SVD/TT-SVD reach 10-1000x with accuracy tracking reconstruction "
+      "error. TT-Rec's from-scratch training (Fig 6) gets the high ratios "
+      "WITHOUT paying decomposition error.\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Ablations of TT-Rec's kernel-level design choices (DESIGN.md §3):
+//  1. Batched GEMM vs per-lookup execution (block_size sweep) — the
+//     paper's core kernel optimization (§4.1, batched cuBLAS).
+//  2. Recompute vs stash of forward intermediates in backward (§4.2's
+//     "can be eliminated by storing tensors from the forward pass").
+//  3. Per-core parameter memory vs extra workspace across block sizes.
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "tt/tt_embedding.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+namespace {
+
+CsrBatch ZipfBatch(int64_t rows, int64_t batch, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(rows, 1.15);
+  IndexShuffle shuffle(rows, seed + 1);
+  std::vector<int64_t> idx(static_cast<size_t>(batch));
+  for (int64_t& i : idx) i = shuffle.Map(zipf.Sample(rng));
+  return CsrBatch::FromIndices(std::move(idx));
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("ablation_kernels",
+              "Ablations: GEMM batching, intermediate stash vs recompute "
+              "(design choices of paper §4.1/§4.2)",
+              env);
+
+  const int64_t rows = env.full ? 1000000 : 200000;
+  const int64_t dim = 16;
+  const int64_t rank = 32;
+  const int64_t batch = 2048;
+  const int reps = 5;
+
+  CsrBatch lookups = ZipfBatch(rows, batch, 11);
+  std::vector<float> out(static_cast<size_t>(batch * dim));
+  std::vector<float> grad(out.size(), 1.0f);
+
+  // 1. Execution strategy: the naive per-row path (MaterializeRow with
+  // per-call temporaries — what a straightforward implementation or
+  // T3nsor-style gather does) vs the batched kernel across block sizes.
+  // Note the CPU nuance: block size barely matters here because a CPU has
+  // no kernel-launch cost to amortize; on the paper's GPU the batched
+  // launch (1 vs B cublas calls per stage) is the entire ballgame. What
+  // the CPU *does* show is the win over naive per-row execution and the
+  // workspace/block-size trade.
+  std::printf("1) execution strategy (forward, %lld lookups, rank %lld):\n",
+              static_cast<long long>(batch), static_cast<long long>(rank));
+  std::printf("%-18s %14s %16s %14s\n", "strategy", "fwd ms",
+              "vs naive/row", "workspace");
+  double naive_ms = 0.0;
+  {
+    TtEmbeddingConfig cfg;
+    cfg.shape = MakeTtShape(rows, dim, 3, rank);
+    Rng rng(3);
+    TtEmbeddingBag emb(cfg, TtInit::kSampledGaussian, rng);
+    std::vector<float> row(static_cast<size_t>(dim));
+    WallTimer t;
+    for (int r = 0; r < reps; ++r) {
+      for (int64_t idx : lookups.indices) {
+        emb.cores().MaterializeRow(idx, row.data());
+      }
+    }
+    naive_ms = t.Seconds() * 1000.0 / reps;
+    std::printf("%-18s %14.3f %15.2fx %14s\n", "naive per-row", naive_ms,
+                1.0, "per-call alloc");
+  }
+  for (int64_t bs : {1, 256, 4096}) {
+    TtEmbeddingConfig cfg;
+    cfg.shape = MakeTtShape(rows, dim, 3, rank);
+    cfg.block_size = bs;
+    Rng rng(3);
+    TtEmbeddingBag emb(cfg, TtInit::kSampledGaussian, rng);
+    emb.Forward(lookups, out.data());
+    WallTimer t;
+    for (int r = 0; r < reps; ++r) emb.Forward(lookups, out.data());
+    const double ms = t.Seconds() * 1000.0 / reps;
+    char name[32];
+    std::snprintf(name, sizeof(name), "batched bs=%lld",
+                  static_cast<long long>(bs));
+    std::printf("%-18s %14.3f %15.2fx %14s\n", name, ms, naive_ms / ms,
+                FormatBytes(emb.WorkspaceBytes()).c_str());
+  }
+
+  // 2. Stash vs recompute in backward.
+  std::printf("\n2) backward intermediates (%lld lookups, rank %lld):\n",
+              static_cast<long long>(batch), static_cast<long long>(rank));
+  std::printf("%-12s %14s %14s\n", "mode", "fwd+bwd ms", "note");
+  for (bool stash : {false, true}) {
+    TtEmbeddingConfig cfg;
+    cfg.shape = MakeTtShape(rows, dim, 3, rank);
+    cfg.stash_intermediates = stash;
+    Rng rng(3);
+    TtEmbeddingBag emb(cfg, TtInit::kSampledGaussian, rng);
+    emb.Forward(lookups, out.data());
+    emb.Backward(lookups, grad.data());
+    emb.ZeroGrad();
+    WallTimer t;
+    for (int r = 0; r < reps; ++r) {
+      emb.Forward(lookups, out.data());
+      emb.Backward(lookups, grad.data());
+      emb.ApplySgd(0.01f);
+    }
+    const double ms = t.Seconds() * 1000.0 / reps;
+    std::printf("%-12s %14.3f %14s\n", stash ? "stash" : "recompute", ms,
+                stash ? "(more memory)" : "(paper default)");
+  }
+
+  // 3. Rank sweep: flops per lookup and achieved throughput.
+  std::printf("\n3) rank sweep (forward, %lld lookups):\n",
+              static_cast<long long>(batch));
+  std::printf("%-8s %14s %16s %14s %14s\n", "rank", "fwd ms",
+              "kflop/lookup", "params", "reduction");
+  for (int64_t r : {2, 8, 16, 32, 64}) {
+    TtEmbeddingConfig cfg;
+    cfg.shape = MakeTtShape(rows, dim, 3, r);
+    Rng rng(3);
+    TtEmbeddingBag emb(cfg, TtInit::kSampledGaussian, rng);
+    emb.Forward(lookups, out.data());
+    WallTimer t;
+    for (int rep = 0; rep < reps; ++rep) emb.Forward(lookups, out.data());
+    const double ms = t.Seconds() * 1000.0 / reps;
+    const double kflop =
+        static_cast<double>(emb.stats().forward_flops) /
+        static_cast<double>(emb.stats().lookups) / 1000.0;
+    std::printf("%-8lld %14.3f %16.2f %14lld %13.0fx\n",
+                static_cast<long long>(r), ms, kflop,
+                static_cast<long long>(emb.shape().TotalParams()),
+                emb.shape().CompressionRatio());
+  }
+  // 4. Index deduplication: Zipf traffic repeats hot rows within a block;
+  // dedup runs the TT chain once per distinct row.
+  std::printf("\n4) block dedup on Zipf traffic (%lld lookups, rank %lld):\n",
+              static_cast<long long>(batch), static_cast<long long>(rank));
+  std::printf("%-18s %14s %14s\n", "zipf exponent", "plain f+b ms",
+              "dedup f+b ms");
+  for (double zipf_s : {0.0, 1.05, 1.4}) {
+    Rng trng(21);
+    ZipfSampler zipf(rows, zipf_s);
+    IndexShuffle shuffle(rows, 22);
+    std::vector<int64_t> idx(static_cast<size_t>(batch));
+    for (int64_t& i : idx) i = shuffle.Map(zipf.Sample(trng));
+    CsrBatch zb = CsrBatch::FromIndices(std::move(idx));
+    double times[2];
+    for (bool dedup : {false, true}) {
+      TtEmbeddingConfig cfg;
+      cfg.shape = MakeTtShape(rows, dim, 3, rank);
+      cfg.deduplicate = dedup;
+      Rng rng(3);
+      TtEmbeddingBag emb(cfg, TtInit::kSampledGaussian, rng);
+      emb.Forward(zb, out.data());
+      WallTimer t;
+      for (int r = 0; r < reps; ++r) {
+        emb.Forward(zb, out.data());
+        emb.Backward(zb, grad.data());
+        emb.ApplySgd(0.01f);
+      }
+      times[dedup ? 1 : 0] = t.Seconds() * 1000.0 / reps;
+    }
+    std::printf("%-18.2f %14.3f %14.3f  (%.2fx)\n", zipf_s, times[0],
+                times[1], times[0] / times[1]);
+  }
+
+  // 5. Number of TT cores d: the paper fixes d = 3 (Table 2); this sweep
+  // shows why — d = 2 compresses little, d >= 4 adds compute and more
+  // rank-bottlenecked stages for marginal size gains at dim 16.
+  std::printf("\n5) TT core count d (rank %lld, %lld lookups):\n",
+              static_cast<long long>(rank), static_cast<long long>(batch));
+  std::printf("%-6s %14s %14s %14s %16s\n", "d", "fwd ms", "params",
+              "reduction", "kflop/lookup");
+  for (int d : {2, 3, 4}) {
+    TtEmbeddingConfig cfg;
+    cfg.shape = MakeTtShape(rows, dim, d, rank);
+    Rng rng(3);
+    TtEmbeddingBag emb(cfg, TtInit::kSampledGaussian, rng);
+    emb.Forward(lookups, out.data());
+    WallTimer t;
+    for (int r = 0; r < reps; ++r) emb.Forward(lookups, out.data());
+    const double ms = t.Seconds() * 1000.0 / reps;
+    const double kflop = static_cast<double>(emb.stats().forward_flops) /
+                         static_cast<double>(emb.stats().lookups) / 1000.0;
+    std::printf("%-6d %14.3f %14lld %13.0fx %16.2f\n", d, ms,
+                static_cast<long long>(emb.shape().TotalParams()),
+                emb.shape().CompressionRatio(), kflop);
+  }
+
+  std::printf(
+      "\nExpected: on CPU all execution strategies tie (~FLOP-bound; no "
+      "kernel-launch cost) — an honest negative: the paper's batched-GEMM "
+      "win is a GPU launch-amortization effect; the CPU levers are dedup "
+      "(section 4) and rank. Stash is modestly faster than recompute "
+      "at higher memory; forward cost scales ~quadratically in rank while "
+      "params scale ~R^2; dedup wins grow with traffic skew. The d sweep "
+      "trades compute for compression: d = 2 is cheap but its factor "
+      "sizes scale as sqrt(rows) (poor at the paper's 10M-row tables), "
+      "d = 4 doubles compute for little size gain at dim 16 — d = 3 (the "
+      "paper's choice) is the sweet spot at production scale.\n");
+  return 0;
+}

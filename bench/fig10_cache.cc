@@ -1,0 +1,96 @@
+// Figure 10: the TT-Rec cache design space.
+//  (a) warm-up length (fraction of training iterations) vs training time
+//      and accuracy;
+//  (b) cache size (fraction of the embedding table) vs training time and
+//      accuracy. The paper's finding: 0.01% of the table is enough.
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+namespace {
+
+SweepRunResult RunCached(const BenchEnv& env, const DatasetSpec& spec,
+                         double warmup_frac, double cache_frac,
+                         const TrainConfig& tc) {
+  SweepModelConfig cfg;
+  cfg.spec = spec;
+  cfg.num_tt_tables = 7;
+  cfg.tt_rank = 32;
+  cfg.use_cache = true;
+  cfg.dlrm = BenchDlrmConfig(env);
+  cfg.warmup_iterations =
+      std::max<int64_t>(1, static_cast<int64_t>(warmup_frac *
+                                                static_cast<double>(
+                                                    tc.iterations)));
+  cfg.refresh_interval = std::max<int64_t>(
+      1, cfg.warmup_iterations / 4);
+  // cache_frac expressed as a fraction of each table.
+  cfg.cache_capacity = -1;  // sentinel replaced per-table below via capacity
+  // BuildSweepModel sizes cache from rows/10000 when capacity == 0; encode
+  // fractions by passing an explicit capacity relative to the largest
+  // table. For the sweep we instead scale via rows * cache_frac using the
+  // largest table as representative.
+  const int64_t largest =
+      spec.table_rows[static_cast<size_t>(spec.LargestTables(1)[0])];
+  cfg.cache_capacity = std::max<int64_t>(
+      1, static_cast<int64_t>(cache_frac * static_cast<double>(largest)));
+  return RunSweep(cfg, tc, 1001);
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("fig10_cache",
+              "Paper Figure 10 (cache warm-up length and cache size vs "
+              "training time + accuracy)",
+              env);
+
+  const DatasetSpec spec = KaggleSpec().Scaled(env.scale_div);
+  TrainConfig tc;
+  tc.iterations = env.train_iters;
+  tc.batch_size = env.batch_size;
+  tc.lr = 0.1f;
+  tc.eval_batches = 3;
+  tc.eval_batch_size = 512;
+  tc.log_every = 0;
+
+  // Reference: no cache.
+  SweepModelConfig plain;
+  plain.spec = spec;
+  plain.num_tt_tables = 7;
+  plain.tt_rank = 32;
+  plain.dlrm = BenchDlrmConfig(env);
+  const SweepRunResult r0 = RunSweep(plain, tc, 1001);
+  std::printf("no-cache TT-Rec: %.2f ms/iter, accuracy %.3f%%\n\n",
+              r0.ms_per_iter, 100.0 * r0.eval.accuracy);
+
+  std::printf("Fig 10a: warm-up sweep (cache = 0.1%% of table)\n");
+  std::printf("%-12s %12s %14s %12s\n", "warmup%", "ms/iter",
+              "time vs nocache", "accuracy%");
+  for (double w : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const SweepRunResult r = RunCached(env, spec, w, 0.001, tc);
+    std::printf("%-12.0f %12.2f %13.2fx %12.3f\n", 100.0 * w, r.ms_per_iter,
+                r.ms_per_iter / r0.ms_per_iter, 100.0 * r.eval.accuracy);
+  }
+
+  std::printf("\nFig 10b: cache-size sweep (warm-up = 10%%)\n");
+  std::printf("%-12s %12s %14s %12s\n", "cache%", "ms/iter",
+              "time vs nocache", "accuracy%");
+  for (double c : {0.0001, 0.001, 0.01, 0.1}) {
+    const SweepRunResult r = RunCached(env, spec, 0.1, c, tc);
+    std::printf("%-12.4f %12.2f %13.2fx %12.3f\n", 100.0 * c, r.ms_per_iter,
+                r.ms_per_iter / r0.ms_per_iter, 100.0 * r.eval.accuracy);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 10): accuracy is insensitive to both "
+      "knobs (cached rows train uncompressed, small accuracy gain); a tiny "
+      "cache (0.01%%) already captures the Zipf head, so larger caches do "
+      "not help; longer warm-up trades refresh overhead against hit "
+      "rate.\n");
+  return 0;
+}

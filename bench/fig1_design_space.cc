@@ -1,0 +1,148 @@
+// Figure 1: the TT-Rec design space — model accuracy vs embedding memory
+// across TT rank, embedding dimension, and number of compressed tables,
+// with the Pareto-optimal points marked. Also places the hashing-trick and
+// low-rank baselines (related work, §7) on the same plane.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/hashed_embedding.h"
+#include "baselines/lowrank_embedding.h"
+#include "dlrm/embedding_bag.h"
+#include "harness.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+namespace {
+
+struct Point {
+  std::string label;
+  int64_t bytes;
+  double accuracy;
+  double ms_per_iter;
+};
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("fig1_design_space",
+              "Paper Figure 1 (accuracy vs model size across rank / dim / "
+              "#compressed tables; Pareto frontier)",
+              env);
+
+  const DatasetSpec spec = KaggleSpec().Scaled(env.scale_div);
+  TrainConfig tc;
+  tc.iterations = env.train_iters;
+  tc.batch_size = env.batch_size;
+  tc.lr = 0.1f;
+  tc.eval_batches = 3;
+  tc.eval_batch_size = 512;
+  tc.log_every = 0;
+
+  std::vector<Point> points;
+
+  // Baseline (uncompressed).
+  {
+    SweepModelConfig cfg;
+    cfg.spec = spec;
+    cfg.num_tt_tables = 0;
+    cfg.dlrm = BenchDlrmConfig(env, 16);
+    cfg.emb_dim = 16;
+    const SweepRunResult r = RunSweep(cfg, tc, 42);
+    points.push_back({"baseline dim=16", r.embedding_bytes,
+                      r.eval.accuracy, r.ms_per_iter});
+  }
+
+  const std::vector<int64_t> ranks = env.full
+                                         ? std::vector<int64_t>{8, 16, 32, 64}
+                                         : std::vector<int64_t>{4, 16, 48};
+  const std::vector<int64_t> dims = env.full ? std::vector<int64_t>{8, 16, 32}
+                                             : std::vector<int64_t>{8, 16};
+  const std::vector<int> table_counts = {3, 7};
+
+  for (int64_t dim : dims) {
+    for (int64_t rank : ranks) {
+      for (int k : table_counts) {
+        SweepModelConfig cfg;
+        cfg.spec = spec;
+        cfg.emb_dim = dim;
+        cfg.num_tt_tables = k;
+        cfg.tt_rank = rank;
+        cfg.dlrm = BenchDlrmConfig(env, dim);
+        const SweepRunResult r = RunSweep(cfg, tc, 42);
+        char label[96];
+        std::snprintf(label, sizeof(label),
+                      "tt rank=%lld dim=%lld tables=%d",
+                      static_cast<long long>(rank),
+                      static_cast<long long>(dim), k);
+        points.push_back({label, r.embedding_bytes, r.eval.accuracy,
+                          r.ms_per_iter});
+      }
+    }
+  }
+
+  // Related-work baselines at comparable compression (hash buckets / low
+  // rank sized to roughly match TT rank 16, 7 tables).
+  {
+    Rng rng(42);
+    SyntheticCriteo data(BenchDataConfig(spec, 42));
+    const std::vector<int> top = spec.LargestTables(7);
+    std::vector<bool> is_comp(static_cast<size_t>(spec.num_tables()), false);
+    for (int t : top) is_comp[static_cast<size_t>(t)] = true;
+    for (const std::string kind : {"hashed", "lowrank"}) {
+      Rng mrng(42);
+      std::vector<std::unique_ptr<EmbeddingOp>> tables;
+      for (int t = 0; t < spec.num_tables(); ++t) {
+        const int64_t rows = spec.table_rows[static_cast<size_t>(t)];
+        if (!is_comp[static_cast<size_t>(t)]) {
+          tables.push_back(std::make_unique<DenseEmbeddingBag>(
+              rows, 16, PoolingMode::kSum,
+              DenseEmbeddingInit::UniformScaled(), mrng));
+        } else if (kind == "hashed") {
+          tables.push_back(std::make_unique<HashedEmbeddingBag>(
+              rows, std::max<int64_t>(1, rows / 64), 16, PoolingMode::kSum,
+              mrng));
+        } else {
+          tables.push_back(std::make_unique<LowRankEmbeddingBag>(
+              rows, 16, 4, PoolingMode::kSum, mrng));
+        }
+      }
+      DlrmModel model(BenchDlrmConfig(env, 16), std::move(tables), mrng);
+      SyntheticCriteo d2(BenchDataConfig(spec, 42));
+      const TrainResult r = TrainDlrm(model, d2, tc);
+      points.push_back({kind + " (7 tables)", model.EmbeddingMemoryBytes(),
+                        r.final_eval.accuracy, r.MsPerIteration()});
+    }
+  }
+
+  // Pareto frontier: maximal accuracy among points with <= bytes.
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return points[a].bytes < points[b].bytes;
+  });
+  std::vector<bool> pareto(points.size(), false);
+  double best = -1.0;
+  for (size_t i : order) {
+    if (points[i].accuracy > best) {
+      best = points[i].accuracy;
+      pareto[i] = true;
+    }
+  }
+
+  std::printf("%-30s %14s %10s %10s %7s\n", "config", "emb bytes",
+              "accuracy%", "ms/iter", "pareto");
+  for (size_t i : order) {
+    std::printf("%-30s %14lld %10.3f %10.2f %7s\n", points[i].label.c_str(),
+                static_cast<long long>(points[i].bytes),
+                100.0 * points[i].accuracy, points[i].ms_per_iter,
+                pareto[i] ? "*" : "");
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 1): TT points dominate the low-memory "
+      "region; accuracy rises with rank/dim and saturates; Pareto frontier "
+      "spans orders of magnitude in memory at near-baseline accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 3: probability density of the materialized-table entries under the
+// different TT-core initializations, vs the target N(0, 1/(3n)).
+//
+// Left panel (paper): products of iid Uniform / N(0,1) factors spike at
+// zero. Right panel: the sampled-Gaussian product tracks N(0, 1/(3n)).
+// We report empirical KL to the target plus ASCII density sketches.
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+#include "tensor/stats.h"
+#include "tt/tt_cores.h"
+#include "tt/tt_init.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("fig3_init_pdf",
+              "Paper Figure 3 (PDF of TT-core products vs sampled Gaussian)",
+              env);
+
+  // A mid-size table: n = 4096 rows, dim 16, 3 cores.
+  const int64_t n = 4096;
+  const TtShape shape =
+      MakeTtShapeExplicit(n, 16, {16, 16, 16}, {2, 2, 4}, env.full ? 32 : 8);
+  const double target_var = 1.0 / (3.0 * static_cast<double>(n));
+  const double span = 3.5 * std::sqrt(target_var);
+
+  std::printf("table: %s\n", shape.ToString().c_str());
+  std::printf("target: N(0, 1/(3n)) = N(0, %.3g)\n\n", target_var);
+
+  std::printf("%-18s %12s %12s %14s\n", "core init", "entry var",
+              "var/target", "KL(emp||target)");
+  for (TtInit init : {TtInit::kUniform, TtInit::kGaussian,
+                      TtInit::kSampledGaussian}) {
+    TtCores cores(shape);
+    Rng rng(2024);
+    InitializeTtCores(cores, init, rng);
+    const Tensor full = cores.MaterializeFull();
+    RunningMoments m;
+    m.AddAll(full.span());
+    Histogram h(-span, span, 81);
+    h.AddAll(full.span());
+    std::printf("%-18s %12.3e %12.3f %14.4f\n", TtInitName(init), m.variance(),
+                m.variance() / target_var,
+                KlHistogramVsGaussian(h, 0.0, target_var));
+  }
+
+  // Rank dependence of the sampled-Gaussian fit (the CLT smoothing effect:
+  // the product is bimodal at rank 1 and converges to the Gaussian target
+  // as the rank-summation averages it out).
+  std::printf("\nKL(emp || target) vs TT rank:\n%-8s %12s %12s\n", "rank",
+              "gaussian", "sampled");
+  for (int64_t rank : {1, 2, 4, 8, 16, 32}) {
+    const TtShape s = MakeTtShapeExplicit(n, 16, {16, 16, 16}, {2, 2, 4},
+                                          rank);
+    double kl_g = 0.0, kl_s = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+      for (bool sampled : {false, true}) {
+        TtCores cores(s);
+        Rng rng(100 + static_cast<uint64_t>(rank) * 10 + rep);
+        InitializeTtCores(cores,
+                          sampled ? TtInit::kSampledGaussian
+                                  : TtInit::kGaussian,
+                          rng);
+        const Tensor full = cores.MaterializeFull();
+        Histogram h(-span, span, 81);
+        h.AddAll(full.span());
+        (sampled ? kl_s : kl_g) +=
+            0.5 * KlHistogramVsGaussian(h, 0.0, target_var);
+      }
+    }
+    std::printf("%-8lld %12.4f %12.4f\n", static_cast<long long>(rank), kl_g,
+                kl_s);
+  }
+
+  // ASCII density sketch at the operating rank (8): gaussian product spikes,
+  // sampled product is flat-ish near the target.
+  for (TtInit init : {TtInit::kGaussian, TtInit::kSampledGaussian}) {
+    TtCores cores(shape);
+    Rng rng(7);
+    InitializeTtCores(cores, init, rng);
+    const Tensor full = cores.MaterializeFull();
+    Histogram h(-span, span, 21);
+    h.AddAll(full.span());
+    std::printf("\n%s product density:\n%s", TtInitName(init),
+                h.ToAscii(48).c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 3): gaussian/uniform products have a "
+      "sharp spike at 0; the sampled-Gaussian product approximates "
+      "N(0, 1/(3n)) closely at operating ranks (>= 4).\n");
+  return 0;
+}

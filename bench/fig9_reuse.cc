@@ -1,0 +1,64 @@
+// Figure 9: stability of the set of most-frequently-accessed embedding rows
+// over training for the three largest tables. Cumulative access counts are
+// snapshotted every 3% of the run; the y-value is the fraction of the
+// top-10k set that changed since the previous snapshot (log scale in the
+// paper; raw fractions here).
+#include <cstdio>
+#include <vector>
+
+#include "data/trace.h"
+#include "harness.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("fig9_reuse",
+              "Paper Figure 9 (churn of the top-k hot-row set over training, "
+              "EMB1-3)",
+              env);
+
+  // Real paper-scale cardinalities: the tracker only stores touched rows.
+  const DatasetSpec& spec = KaggleSpec();
+  const std::vector<int> top3 = spec.LargestTables(3);
+  const int64_t total_accesses = env.full ? 4000000 : 600000;
+  const int64_t top_k = env.full ? 10000 : 1000;
+  const int checkpoints = 33;  // every ~3% of the run
+  const int64_t step = total_accesses / checkpoints;
+
+  std::printf("top-k = %lld, accesses per table = %lld, snapshot every ~3%%\n\n",
+              static_cast<long long>(top_k),
+              static_cast<long long>(total_accesses));
+  std::printf("%-10s", "progress%");
+  for (size_t e = 0; e < top3.size(); ++e) std::printf(" %10s%zu", "EMB", e + 1);
+  std::printf("\n");
+
+  std::vector<TopKStabilityTracker> trackers;
+  std::vector<ZipfSampler> zipfs;
+  std::vector<IndexShuffle> shuffles;
+  std::vector<Rng> rngs;
+  for (size_t e = 0; e < top3.size(); ++e) {
+    const int64_t rows = spec.table_rows[static_cast<size_t>(top3[e])];
+    trackers.emplace_back(top_k);
+    zipfs.emplace_back(rows, 1.15);
+    shuffles.emplace_back(rows, 1000 + e);
+    rngs.emplace_back(500 + e);
+  }
+
+  for (int cp = 1; cp <= checkpoints; ++cp) {
+    std::printf("%-10d", cp * 100 / checkpoints);
+    for (size_t e = 0; e < top3.size(); ++e) {
+      for (int64_t i = 0; i < step; ++i) {
+        trackers[e].Record(shuffles[e].Map(zipfs[e].Sample(rngs[e])));
+      }
+      std::printf(" %11.4f", trackers[e].SnapshotChurn());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 9): churn starts near 1.0 and decays "
+      "rapidly; the hot set stabilizes within the first fraction of the "
+      "run, justifying the freeze-after-warm-up cache policy.\n");
+  return 0;
+}

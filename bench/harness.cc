@@ -1,0 +1,139 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cache/cached_tt_embedding.h"
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "tensor/check.h"
+
+namespace ttrec::bench {
+
+BenchEnv BenchEnv::FromEnvironment() {
+  BenchEnv env;
+  const char* full = std::getenv("TTREC_FULL");
+  env.full = (full != nullptr && full[0] == '1');
+  if (env.full) {
+    env.scale_div = 16;
+    env.train_iters = 1000;
+    env.batch_size = 128;
+  }
+  if (const char* div = std::getenv("TTREC_SCALE_DIV")) {
+    env.scale_div = std::max<int64_t>(1, std::atoll(div));
+  }
+  if (const char* iters = std::getenv("TTREC_TRAIN_ITERS")) {
+    env.train_iters = std::max<int64_t>(1, std::atoll(iters));
+  }
+  return env;
+}
+
+void PrintHeader(const std::string& bench_name, const std::string& artifact,
+                 const BenchEnv& env) {
+  std::printf("==============================================================\n");
+  std::printf("TT-Rec reproduction bench: %s\n", bench_name.c_str());
+  std::printf("Regenerates: %s\n", artifact.c_str());
+  std::printf("Scale: tables / %lld, %lld train iters, batch %lld%s\n",
+              static_cast<long long>(env.scale_div),
+              static_cast<long long>(env.train_iters),
+              static_cast<long long>(env.batch_size),
+              env.full ? " (TTREC_FULL)" : " (set TTREC_FULL=1 for larger)");
+  std::printf("==============================================================\n");
+}
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+int64_t DenseEmbeddingBytes(const DatasetSpec& spec, int64_t emb_dim) {
+  return spec.TotalEmbeddingParams(emb_dim) *
+         static_cast<int64_t>(sizeof(float));
+}
+
+std::unique_ptr<DlrmModel> BuildSweepModel(const SweepModelConfig& cfg,
+                                           Rng& rng) {
+  const std::vector<int> largest =
+      cfg.spec.LargestTables(cfg.num_tt_tables);
+  std::vector<bool> is_tt(static_cast<size_t>(cfg.spec.num_tables()), false);
+  for (int t : largest) is_tt[static_cast<size_t>(t)] = true;
+
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  tables.reserve(static_cast<size_t>(cfg.spec.num_tables()));
+  for (int t = 0; t < cfg.spec.num_tables(); ++t) {
+    const int64_t rows = cfg.spec.table_rows[static_cast<size_t>(t)];
+    if (!is_tt[static_cast<size_t>(t)]) {
+      tables.push_back(std::make_unique<DenseEmbeddingBag>(
+          rows, cfg.emb_dim, PoolingMode::kSum,
+          DenseEmbeddingInit::UniformScaled(), rng));
+      continue;
+    }
+    TtEmbeddingConfig tcfg;
+    tcfg.shape = MakeTtShape(rows, cfg.emb_dim, 3, cfg.tt_rank);
+    if (cfg.use_cache) {
+      CachedTtConfig ccfg;
+      ccfg.tt = tcfg;
+      ccfg.cache_capacity =
+          cfg.cache_capacity > 0
+              ? cfg.cache_capacity
+              : std::max<int64_t>(1, rows / 10000);  // paper: 0.01%
+      ccfg.warmup_iterations = cfg.warmup_iterations;
+      ccfg.refresh_interval = cfg.refresh_interval;
+      tables.push_back(std::make_unique<CachedTtEmbeddingAdapter>(
+          ccfg, cfg.tt_init, rng));
+    } else {
+      tables.push_back(
+          std::make_unique<TtEmbeddingAdapter>(tcfg, cfg.tt_init, rng));
+    }
+  }
+  return std::make_unique<DlrmModel>(cfg.dlrm, std::move(tables), rng);
+}
+
+SweepRunResult RunSweep(const SweepModelConfig& cfg, const TrainConfig& tc,
+                        uint64_t seed) {
+  Rng rng(seed);
+  SyntheticCriteo data(BenchDataConfig(cfg.spec, seed));
+  std::unique_ptr<DlrmModel> model = BuildSweepModel(cfg, rng);
+  const TrainResult r = TrainDlrm(*model, data, tc);
+  SweepRunResult out;
+  out.eval = r.final_eval;
+  out.ms_per_iter = r.MsPerIteration();
+  out.embedding_bytes = model->EmbeddingMemoryBytes();
+  return out;
+}
+
+DlrmConfig BenchDlrmConfig(const BenchEnv& env, int64_t emb_dim) {
+  DlrmConfig cfg;
+  cfg.emb_dim = emb_dim;
+  if (env.full) {
+    cfg.bottom_hidden = {512, 256, 64};
+    cfg.top_hidden = {512, 256};
+  } else {
+    cfg.bottom_hidden = {32};
+    cfg.top_hidden = {32};
+  }
+  return cfg;
+}
+
+SyntheticCriteoConfig BenchDataConfig(const DatasetSpec& spec, uint64_t seed,
+                                      int64_t pooling_factor) {
+  SyntheticCriteoConfig cfg;
+  cfg.spec = spec;
+  cfg.seed = seed;
+  cfg.pooling_factor = pooling_factor;
+  cfg.zipf_exponent = 1.15;
+  cfg.teacher_scale = 3.0;
+  return cfg;
+}
+
+}  // namespace ttrec::bench

@@ -1,0 +1,97 @@
+// Shared infrastructure for the per-table/per-figure bench binaries.
+//
+// Every bench prints a self-describing header, the paper artifact it
+// regenerates, and CSV-ish rows matching the paper's axes. Scale is
+// controlled by TTREC_FULL=1 (closer-to-paper sizes; slower) vs the default
+// laptop/single-core scale; TTREC_SCALE_DIV overrides the table-row divisor
+// directly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/criteo_synth.h"
+#include "data/table_specs.h"
+#include "dlrm/model.h"
+#include "dlrm/trainer.h"
+#include "tt/tt_init.h"
+
+namespace ttrec::bench {
+
+/// Scale knobs resolved from the environment.
+struct BenchEnv {
+  bool full = false;        // TTREC_FULL=1
+  int64_t scale_div = 512;  // divisor applied to real table cardinalities
+  int64_t train_iters = 200;
+  int64_t batch_size = 64;
+
+  static BenchEnv FromEnvironment();
+};
+
+/// Prints the standard bench banner.
+void PrintHeader(const std::string& bench_name, const std::string& artifact,
+                 const BenchEnv& env);
+
+/// Wall-clock helper.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Human-readable byte size ("18.4 MB").
+std::string FormatBytes(int64_t bytes);
+
+/// Which embedding implementation each DLRM table uses in a sweep.
+enum class TableKind : uint8_t { kDense, kTt, kCachedTt };
+
+struct SweepModelConfig {
+  DatasetSpec spec;              // already scaled
+  int64_t emb_dim = 16;
+  int num_tt_tables = 0;         // the paper's "TT-Emb. of 3/5/7"
+  int64_t tt_rank = 32;
+  TtInit tt_init = TtInit::kSampledGaussian;
+  bool use_cache = false;
+  int64_t cache_capacity = 0;    // rows per cached table; 0 = 0.01% of table
+  int64_t warmup_iterations = 20;
+  int64_t refresh_interval = 10;
+  DlrmConfig dlrm;               // MLP dims etc.
+};
+
+/// Builds a DLRM whose `num_tt_tables` largest tables are TT-compressed
+/// (optionally cached) and the rest dense — the paper's experimental knob.
+std::unique_ptr<DlrmModel> BuildSweepModel(const SweepModelConfig& cfg,
+                                           Rng& rng);
+
+/// Total embedding bytes if every table were dense (the baseline bar).
+int64_t DenseEmbeddingBytes(const DatasetSpec& spec, int64_t emb_dim);
+
+/// One train-and-evaluate run; shared by the accuracy/time sweeps.
+struct SweepRunResult {
+  EvalMetrics eval;
+  double ms_per_iter = 0.0;
+  int64_t embedding_bytes = 0;
+};
+SweepRunResult RunSweep(const SweepModelConfig& cfg, const TrainConfig& tc,
+                        uint64_t seed);
+
+/// Small DLRM tower config used across benches (kept modest so single-core
+/// sweeps finish; TTREC_FULL widens it).
+DlrmConfig BenchDlrmConfig(const BenchEnv& env, int64_t emb_dim = 16);
+
+/// Synthetic data stream over `spec` with bench-standard knobs.
+SyntheticCriteoConfig BenchDataConfig(const DatasetSpec& spec, uint64_t seed,
+                                      int64_t pooling_factor = 1);
+
+}  // namespace ttrec::bench

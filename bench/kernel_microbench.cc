@@ -1,0 +1,177 @@
+// google-benchmark microbenchmarks for the hot kernels: GEMM, batched GEMM,
+// TT-EmbeddingBag forward/backward, row materialization, cache probes, and
+// Zipf sampling. These are the building blocks behind Figures 7/8/11/12.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/freq_tracker.h"
+#include "cache/lfu_cache.h"
+#include "data/csr_batch.h"
+#include "tensor/batched_gemm.h"
+#include "tensor/gemm.h"
+#include "tensor/random.h"
+#include "tt/tt_embedding.h"
+
+namespace ttrec {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t n = state.range(1);
+  const int64_t k = state.range(2);
+  Rng rng(1);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  std::vector<float> c(static_cast<size_t>(m * n));
+  FillUniform(rng, a, -1, 1);
+  FillUniform(rng, b, -1, 1);
+  for (auto _ : state) {
+    Gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+         c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_Gemm)
+    ->Args({4, 64, 32})    // TT stage shape (prod-n x n*R, rank 32)
+    ->Args({16, 128, 64})
+    ->Args({64, 64, 64})
+    ->Args({256, 256, 256});
+
+void BM_BatchedGemmTtStage(benchmark::State& state) {
+  // The stage-2 launch of a rank-R TT lookup batch.
+  const int64_t batch = state.range(0);
+  const int64_t rank = state.range(1);
+  const int64_t m = 2, n = 2 * rank, k = rank;
+  Rng rng(2);
+  std::vector<float> a(static_cast<size_t>(batch * m * k));
+  std::vector<float> b(static_cast<size_t>(batch * k * n));
+  std::vector<float> c(static_cast<size_t>(batch * m * n));
+  FillUniform(rng, a, -1, 1);
+  FillUniform(rng, b, -1, 1);
+  std::vector<const float*> ap, bp;
+  std::vector<float*> cp;
+  for (int64_t i = 0; i < batch; ++i) {
+    ap.push_back(a.data() + i * m * k);
+    bp.push_back(b.data() + i * k * n);
+    cp.push_back(c.data() + i * m * n);
+  }
+  BatchedGemmShape shape;
+  shape.m = m;
+  shape.n = n;
+  shape.k = k;
+  for (auto _ : state) {
+    BatchedGemm(shape, ap, bp, cp);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchedGemmTtStage)
+    ->Args({512, 8})
+    ->Args({512, 32})
+    ->Args({512, 64})
+    ->Args({4096, 32});
+
+TtEmbeddingBag MakeBenchEmbedding(int64_t rows, int64_t rank) {
+  TtEmbeddingConfig cfg;
+  cfg.shape = MakeTtShape(rows, 16, 3, rank);
+  Rng rng(3);
+  return TtEmbeddingBag(cfg, TtInit::kSampledGaussian, rng);
+}
+
+CsrBatch MakeLookupBatch(int64_t rows, int64_t batch) {
+  Rng rng(4);
+  std::vector<int64_t> idx(static_cast<size_t>(batch));
+  for (int64_t& i : idx) i = rng.RandInt(rows);
+  return CsrBatch::FromIndices(std::move(idx));
+}
+
+void BM_TtEmbeddingForward(benchmark::State& state) {
+  const int64_t rows = 1000000;
+  const int64_t rank = state.range(0);
+  const int64_t batch = state.range(1);
+  TtEmbeddingBag emb = MakeBenchEmbedding(rows, rank);
+  CsrBatch lookup = MakeLookupBatch(rows, batch);
+  std::vector<float> out(static_cast<size_t>(batch * 16));
+  for (auto _ : state) {
+    emb.Forward(lookup, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TtEmbeddingForward)
+    ->Args({8, 512})
+    ->Args({32, 512})
+    ->Args({64, 512})
+    ->Args({32, 4096});
+
+void BM_TtEmbeddingBackwardSgd(benchmark::State& state) {
+  const int64_t rows = 1000000;
+  const int64_t rank = state.range(0);
+  const int64_t batch = 512;
+  TtEmbeddingBag emb = MakeBenchEmbedding(rows, rank);
+  CsrBatch lookup = MakeLookupBatch(rows, batch);
+  std::vector<float> out(static_cast<size_t>(batch * 16));
+  std::vector<float> grad(out.size(), 1.0f);
+  emb.Forward(lookup, out.data());
+  for (auto _ : state) {
+    emb.Backward(lookup, grad.data());
+    emb.ApplySgd(0.01f);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TtEmbeddingBackwardSgd)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_MaterializeRow(benchmark::State& state) {
+  TtEmbeddingBag emb = MakeBenchEmbedding(1000000, state.range(0));
+  std::vector<float> row(16);
+  int64_t i = 0;
+  for (auto _ : state) {
+    emb.cores().MaterializeRow(i % 1000000, row.data());
+    i += 7919;
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_MaterializeRow)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_FreqTrackerIncrement(benchmark::State& state) {
+  FreqTracker tracker;
+  Rng rng(5);
+  ZipfSampler zipf(1000000, 1.15);
+  for (auto _ : state) {
+    tracker.Increment(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreqTrackerIncrement);
+
+void BM_LfuCacheFind(benchmark::State& state) {
+  const int64_t cap = 1024;
+  LfuRowCache cache(cap, 16);
+  std::vector<int64_t> rows(static_cast<size_t>(cap));
+  for (int64_t i = 0; i < cap; ++i) rows[static_cast<size_t>(i)] = i * 3;
+  std::vector<float> vals(static_cast<size_t>(cap * 16), 1.0f);
+  cache.Populate(rows, vals.data());
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Find(rng.RandInt(4096)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LfuCacheFind);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(state.range(0), 1.15);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(10000)->Arg(10000000);
+
+}  // namespace
+}  // namespace ttrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// The full production workflow: train a TT-Rec DLRM, checkpoint it, resume
+// training from the checkpoint, then export one table's TT cores as a
+// standalone artifact a serving replica can load.
+//
+//   $ ./checkpoint_workflow [workdir]
+#include <cstdio>
+#include <string>
+
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "dlrm/model.h"
+#include "dlrm/trainer.h"
+#include "tt/tt_io.h"
+
+using namespace ttrec;
+
+namespace {
+
+std::unique_ptr<DlrmModel> BuildModel(const DatasetSpec& spec,
+                                      const DlrmConfig& dlrm, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<int> top3 = spec.LargestTables(3);
+  std::vector<bool> is_tt(static_cast<size_t>(spec.num_tables()), false);
+  for (int t : top3) is_tt[static_cast<size_t>(t)] = true;
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  for (int t = 0; t < spec.num_tables(); ++t) {
+    const int64_t rows = spec.table_rows[static_cast<size_t>(t)];
+    if (is_tt[static_cast<size_t>(t)]) {
+      TtEmbeddingConfig cfg;
+      cfg.shape = MakeTtShape(rows, dlrm.emb_dim, 3, 16);
+      tables.push_back(std::make_unique<TtEmbeddingAdapter>(
+          cfg, TtInit::kSampledGaussian, rng));
+    } else {
+      tables.push_back(std::make_unique<DenseEmbeddingBag>(
+          rows, dlrm.emb_dim, PoolingMode::kSum,
+          DenseEmbeddingInit::UniformScaled(), rng));
+    }
+  }
+  return std::make_unique<DlrmModel>(dlrm, std::move(tables), rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workdir = argc > 1 ? argv[1] : "/tmp";
+  const std::string ckpt_path = workdir + "/ttrec_dlrm.ckpt";
+  const std::string cores_path = workdir + "/ttrec_table.ttrc";
+
+  const DatasetSpec spec = KaggleSpec().Scaled(1024);
+  DlrmConfig dlrm;
+  dlrm.emb_dim = 16;
+  dlrm.bottom_hidden = {32};
+  dlrm.top_hidden = {32};
+
+  SyntheticCriteoConfig dc;
+  dc.spec = spec;
+  dc.seed = 2026;
+  SyntheticCriteo data(dc);
+
+  // Phase 1: train and checkpoint.
+  auto model = BuildModel(spec, dlrm, 1);
+  TrainConfig tc;
+  tc.iterations = 150;
+  tc.batch_size = 64;
+  tc.lr = 0.1f;
+  tc.eval_batches = 2;
+  tc.eval_batch_size = 512;
+  tc.log_every = 0;
+  TrainResult phase1 = TrainDlrm(*model, data, tc);
+  model->SaveCheckpointToFile(ckpt_path);
+  std::printf("phase 1: %lld iters, accuracy %.3f%% -> checkpoint %s\n",
+              static_cast<long long>(tc.iterations),
+              100.0 * phase1.final_eval.accuracy, ckpt_path.c_str());
+
+  // Phase 2: resume in a "new process" (fresh model object, same arch).
+  auto resumed = BuildModel(spec, dlrm, 999);  // different init, overwritten
+  resumed->LoadCheckpointFromFile(ckpt_path);
+  TrainResult phase2 = TrainDlrm(*resumed, data, tc);
+  std::printf("phase 2 (resumed): +%lld iters, accuracy %.3f%%\n",
+              static_cast<long long>(tc.iterations),
+              100.0 * phase2.final_eval.accuracy);
+
+  // Phase 3: export one TT table's cores for a serving replica.
+  const int tt_table = spec.LargestTables(1)[0];
+  auto* adapter =
+      dynamic_cast<TtEmbeddingAdapter*>(&resumed->table(tt_table));
+  if (adapter != nullptr) {
+    SaveTtCoresToFile(cores_path, adapter->tt().cores());
+    TtCores serving = LoadTtCoresFromFile(cores_path);
+    std::printf("exported table %d: %lld params -> %s; serving replica "
+                "materializes row 0 = [%.4f, ...]\n",
+                tt_table, static_cast<long long>(serving.TotalParams()),
+                cores_path.c_str(), [&] {
+                  std::vector<float> row(16);
+                  serving.MaterializeRow(0, row.data());
+                  return row[0];
+                }());
+  }
+  std::remove(ckpt_path.c_str());
+  std::remove(cores_path.c_str());
+  return 0;
+}

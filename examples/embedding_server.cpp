@@ -1,0 +1,85 @@
+// Inference-style embedding serving: a TT-compressed table with the LFU
+// cache answering Zipf-distributed lookup batches, reporting latency
+// percentiles and the memory a serving replica would need — the "unlocks
+// small-memory accelerators" story of the paper's introduction.
+//
+//   $ ./embedding_server [num_rows] [qps_batches]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cache/cached_tt_embedding.h"
+#include "dlrm/embedding_bag.h"
+#include "tensor/random.h"
+
+using namespace ttrec;
+
+int main(int argc, char** argv) {
+  const int64_t rows = argc > 1 ? std::atoll(argv[1]) : 2000000;
+  const int64_t num_batches = argc > 2 ? std::atoll(argv[2]) : 200;
+  const int64_t dim = 16;
+  const int64_t batch = 256;
+
+  std::printf("serving a %lld x %lld embedding table, %lld batches of %lld "
+              "lookups\n\n",
+              static_cast<long long>(rows), static_cast<long long>(dim),
+              static_cast<long long>(num_batches),
+              static_cast<long long>(batch));
+
+  CachedTtConfig cfg;
+  cfg.tt.shape = MakeTtShape(rows, dim, 3, 32);
+  cfg.cache_capacity = std::max<int64_t>(1, rows / 10000);  // 0.01%
+  cfg.warmup_iterations = 20;
+  cfg.refresh_interval = 5;
+  Rng rng(7);
+  CachedTtEmbeddingBag server(cfg, TtInit::kSampledGaussian, rng);
+
+  // Production-like request stream: Zipf-skewed row popularity.
+  ZipfSampler zipf(rows, 1.15);
+  IndexShuffle shuffle(rows, 99);
+  Rng req_rng(1);
+  auto next_batch = [&] {
+    std::vector<int64_t> idx(static_cast<size_t>(batch));
+    for (int64_t& i : idx) i = shuffle.Map(zipf.Sample(req_rng));
+    return CsrBatch::FromIndices(std::move(idx));
+  };
+
+  std::vector<float> out(static_cast<size_t>(batch * dim));
+  // Warm-up phase: populate the cache from live traffic (paper Fig 4).
+  for (int64_t i = 0; i <= cfg.warmup_iterations; ++i) {
+    server.Forward(next_batch(), out.data());
+  }
+  server.ResetStats();
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<size_t>(num_batches));
+  for (int64_t i = 0; i < num_batches; ++i) {
+    CsrBatch req = next_batch();
+    const auto t0 = std::chrono::steady_clock::now();
+    server.Forward(req, out.data());
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto pct = [&](double p) {
+    return latencies_us[static_cast<size_t>(
+        p * static_cast<double>(latencies_us.size() - 1))];
+  };
+
+  std::printf("cache: %lld rows (%.3f%% of table), hit rate %.1f%%\n",
+              static_cast<long long>(server.cache().size()),
+              100.0 * static_cast<double>(server.cache().size()) /
+                  static_cast<double>(rows),
+              100.0 * server.HitRate());
+  std::printf("latency per %lld-lookup batch: p50 %.1f us, p95 %.1f us, "
+              "p99 %.1f us\n",
+              static_cast<long long>(batch), pct(0.50), pct(0.95), pct(0.99));
+  std::printf("replica memory: %.2f MB (TT cores %.2f MB + cache %.2f MB); "
+              "dense table would need %.2f MB\n",
+              server.MemoryBytes() / 1e6, server.tt().MemoryBytes() / 1e6,
+              server.cache().MemoryBytes() / 1e6, rows * dim * 4 / 1e6);
+  return 0;
+}

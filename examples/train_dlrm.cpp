@@ -1,0 +1,102 @@
+// Train a full DLRM on the synthetic Criteo stream, comparing the dense
+// baseline against TT-Rec and cached TT-Rec — the end-to-end workflow of
+// the paper's evaluation.
+//
+//   $ ./train_dlrm [iterations] [scale_div]
+//     iterations  SGD steps (default 300)
+//     scale_div   divisor applied to the real Kaggle cardinalities
+//                 (default 256; 1 = paper scale, slow on CPU)
+#include <cstdio>
+#include <cstdlib>
+
+#include "cache/cached_tt_embedding.h"
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "dlrm/model.h"
+#include "dlrm/trainer.h"
+
+using namespace ttrec;
+
+namespace {
+
+enum class Mode { kBaseline, kTt, kCachedTt };
+
+std::unique_ptr<DlrmModel> BuildModel(Mode mode, const DatasetSpec& spec,
+                                      const DlrmConfig& dlrm, Rng& rng) {
+  // TT-compress the 7 largest tables (rank 32), keep the rest dense —
+  // the paper's headline configuration.
+  const std::vector<int> top7 = spec.LargestTables(7);
+  std::vector<bool> is_tt(static_cast<size_t>(spec.num_tables()), false);
+  if (mode != Mode::kBaseline) {
+    for (int t : top7) is_tt[static_cast<size_t>(t)] = true;
+  }
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  for (int t = 0; t < spec.num_tables(); ++t) {
+    const int64_t rows = spec.table_rows[static_cast<size_t>(t)];
+    if (!is_tt[static_cast<size_t>(t)]) {
+      tables.push_back(std::make_unique<DenseEmbeddingBag>(
+          rows, dlrm.emb_dim, PoolingMode::kSum,
+          DenseEmbeddingInit::UniformScaled(), rng));
+    } else if (mode == Mode::kTt) {
+      TtEmbeddingConfig cfg;
+      cfg.shape = MakeTtShape(rows, dlrm.emb_dim, 3, 32);
+      tables.push_back(std::make_unique<TtEmbeddingAdapter>(
+          cfg, TtInit::kSampledGaussian, rng));
+    } else {
+      CachedTtConfig cfg;
+      cfg.tt.shape = MakeTtShape(rows, dlrm.emb_dim, 3, 32);
+      cfg.cache_capacity = std::max<int64_t>(1, rows / 10000);
+      cfg.warmup_iterations = 30;
+      cfg.refresh_interval = 10;
+      tables.push_back(std::make_unique<CachedTtEmbeddingAdapter>(
+          cfg, TtInit::kSampledGaussian, rng));
+    }
+  }
+  return std::make_unique<DlrmModel>(dlrm, std::move(tables), rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t iterations = argc > 1 ? std::atoll(argv[1]) : 300;
+  const int64_t scale_div = argc > 2 ? std::atoll(argv[2]) : 256;
+
+  const DatasetSpec spec = KaggleSpec().Scaled(scale_div);
+  DlrmConfig dlrm;
+  dlrm.emb_dim = 16;
+  dlrm.bottom_hidden = {64, 32};
+  dlrm.top_hidden = {64, 32};
+
+  TrainConfig tc;
+  tc.iterations = iterations;
+  tc.batch_size = 128;
+  tc.lr = 0.1f;
+  tc.eval_batches = 4;
+  tc.eval_batch_size = 1024;
+  tc.log_every = std::max<int64_t>(1, iterations / 10);
+
+  std::printf("DLRM on synthetic Criteo-Kaggle (tables / %lld), %lld iters\n\n",
+              static_cast<long long>(scale_div),
+              static_cast<long long>(iterations));
+  std::printf("%-12s %12s %10s %10s %10s %12s\n", "model", "emb memory",
+              "accuracy%", "bce", "auc", "ms/iter");
+  for (Mode mode : {Mode::kBaseline, Mode::kTt, Mode::kCachedTt}) {
+    Rng rng(2026);
+    SyntheticCriteoConfig dc;
+    dc.spec = spec;
+    dc.seed = 2026;
+    SyntheticCriteo data(dc);
+    auto model = BuildModel(mode, spec, dlrm, rng);
+    const TrainResult r = TrainDlrm(*model, data, tc);
+    const char* name = mode == Mode::kBaseline ? "baseline"
+                       : mode == Mode::kTt     ? "tt-rec"
+                                               : "tt-rec+cache";
+    std::printf("%-12s %12.2f %10.3f %10.4f %10.4f %12.2f\n", name,
+                model->EmbeddingMemoryBytes() / 1e6,
+                100.0 * r.final_eval.accuracy, r.final_eval.loss,
+                r.final_eval.auc, r.MsPerIteration());
+  }
+  std::printf("\n(emb memory in MB; all models share data seed and MLP "
+              "init)\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "cache/cached_tt_embedding.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+#include "tt/tt_io.h"
+
+namespace ttrec {
+
+namespace {
+
+TtEmbeddingConfig InnerTtConfig(const CachedTtConfig& config) {
+  // The hybrid operator owns pooling semantics (mean pooling must divide by
+  // the *original* bag size even when some lookups are served by the
+  // cache), so the inner TT op always runs kSum with explicit weights.
+  TtEmbeddingConfig tt = config.tt;
+  tt.pooling = PoolingMode::kSum;
+  return tt;
+}
+
+}  // namespace
+
+CachedTtEmbeddingBag::CachedTtEmbeddingBag(CachedTtConfig config, TtInit init,
+                                           Rng& rng)
+    : config_(std::move(config)),
+      tt_(InnerTtConfig(config_), init, rng),
+      cache_(std::max<int64_t>(1, config_.cache_capacity), tt_.emb_dim()),
+      tracker_(std::max<int64_t>(64, 4 * config_.cache_capacity)) {
+  TTREC_CHECK_CONFIG(config_.cache_capacity >= 1,
+                     "CachedTtEmbeddingBag: cache_capacity must be >= 1 "
+                     "(use TtEmbeddingBag directly for no cache)");
+  TTREC_CHECK_CONFIG(config_.warmup_iterations >= 0,
+                     "warmup_iterations must be >= 0");
+  TTREC_CHECK_CONFIG(config_.refresh_interval >= 1,
+                     "refresh_interval must be >= 1");
+  TTREC_CHECK_CONFIG(config_.rewarm_period >= 0,
+                     "rewarm_period must be >= 0");
+}
+
+template <typename OnHit>
+CsrBatch CachedTtEmbeddingBag::Partition(const CsrBatch& batch,
+                                         OnHit&& on_hit) {
+  const int64_t n_bags = batch.num_bags();
+  CsrBatch tt_batch;
+  tt_batch.offsets.reserve(static_cast<size_t>(n_bags) + 1);
+  tt_batch.offsets.push_back(0);
+  tt_batch.indices.reserve(batch.indices.size());
+  tt_batch.weights.reserve(batch.indices.size());
+
+  for (int64_t b = 0; b < n_bags; ++b) {
+    const int64_t begin = batch.offsets[static_cast<size_t>(b)];
+    const int64_t end = batch.offsets[static_cast<size_t>(b) + 1];
+    const int64_t bag_size = end - begin;
+    for (int64_t l = begin; l < end; ++l) {
+      const int64_t row = batch.indices[static_cast<size_t>(l)];
+      float w = batch.weights.empty() ? 1.0f
+                                      : batch.weights[static_cast<size_t>(l)];
+      if (config_.tt.pooling == PoolingMode::kMean && bag_size > 0) {
+        w /= static_cast<float>(bag_size);
+      }
+      if (const float* cached = cache_.Find(row)) {
+        on_hit(b, row, w, cached);
+      } else {
+        tt_batch.indices.push_back(row);
+        tt_batch.weights.push_back(w);
+      }
+    }
+    tt_batch.offsets.push_back(static_cast<int64_t>(tt_batch.indices.size()));
+  }
+  return tt_batch;
+}
+
+void CachedTtEmbeddingBag::RefreshCache() {
+  const std::vector<int64_t> top = tracker_.TopK(cache_.capacity());
+  if (top.empty()) return;
+  const Tensor values = tt_.cores().MaterializeRows(top);
+  cache_.Populate(top, values.data());
+}
+
+void CachedTtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
+  batch.Validate(num_rows());
+  const int64_t N = emb_dim();
+
+  const bool in_warmup = iteration_ < config_.warmup_iterations;
+  // Optional periodic re-warm: decay the counts (age out the previous
+  // phase) and open a re-tracking window.
+  if (!in_warmup && config_.rewarm_period > 0 &&
+      iteration_ > config_.warmup_iterations &&
+      (iteration_ - config_.warmup_iterations) % config_.rewarm_period == 0) {
+    tracker_.Decay(0.5);
+    rewarm_until_ =
+        iteration_ + std::max<int64_t>(1, config_.warmup_iterations);
+  }
+  const bool tracking =
+      in_warmup || config_.track_after_warmup || iteration_ < rewarm_until_;
+  if (tracking) {
+    for (int64_t row : batch.indices) tracker_.Increment(row);
+  }
+  if (in_warmup && iteration_ > 0 &&
+      iteration_ % config_.refresh_interval == 0) {
+    RefreshCache();
+  }
+  if (config_.warmup_iterations > 0 &&
+      iteration_ == config_.warmup_iterations) {
+    RefreshCache();  // final warm-up refresh; the set freezes here (Fig. 4)
+  }
+  if (rewarm_until_ > 0 && iteration_ == rewarm_until_) {
+    RefreshCache();  // end of a re-warm window
+  }
+  ++iteration_;
+
+  // Collect hits first, run the TT forward straight into `output` (it
+  // zero-fills), then fold the cached contributions on top — no extra
+  // bag-sized scratch buffer or second pass.
+  hit_scratch_.clear();
+  CsrBatch tt_batch = Partition(
+      batch, [&](int64_t bag, int64_t /*row*/, float w, const float* vec) {
+        hit_scratch_.push_back(CacheHit{bag, w, vec});
+      });
+  tt_.Forward(tt_batch, output);
+  for (const CacheHit& hit : hit_scratch_) {
+    float* dst = output + hit.bag * N;
+    for (int64_t j = 0; j < N; ++j) dst[j] += hit.weight * hit.vec[j];
+  }
+}
+
+void CachedTtEmbeddingBag::Backward(const CsrBatch& batch,
+                                    const float* grad_output) {
+  batch.Validate(num_rows());
+  const int64_t N = emb_dim();
+
+  CsrBatch tt_batch = Partition(
+      batch, [&](int64_t bag, int64_t row, float w, const float* /*vec*/) {
+        float* g = cache_.GradFor(row);
+        TTREC_CHECK_INTERNAL(g != nullptr,
+                             "cache partition changed between fwd/bwd");
+        const float* src = grad_output + bag * N;
+        for (int64_t j = 0; j < N; ++j) g[j] += w * src[j];
+      });
+
+  if (tt_batch.num_lookups() > 0) {
+    tt_.Backward(tt_batch, grad_output);
+  }
+}
+
+void CachedTtEmbeddingBag::SaveState(BinaryWriter& w) const {
+  WriteTtCores(w, tt_.cores());
+  const std::vector<int64_t> rows = cache_.CachedRows();
+  w.WriteI64Vec(rows);
+  const int64_t N = emb_dim();
+  for (int64_t row : rows) {
+    const float* vec = cache_.Find(row);
+    TTREC_CHECK_INTERNAL(vec != nullptr, "cached row disappeared");
+    w.WriteFloats(vec, static_cast<size_t>(N));
+  }
+  w.WriteI64(iteration_);
+}
+
+void CachedTtEmbeddingBag::LoadState(BinaryReader& r) {
+  TtCores loaded = ReadTtCores(r);
+  for (int k = 0; k < tt_.cores().num_cores(); ++k) {
+    TTREC_CHECK_SHAPE(loaded.core(k).shape() == tt_.cores().core(k).shape(),
+                      "CachedTtEmbeddingBag::LoadState: core shape mismatch");
+    tt_.cores().core(k) = std::move(loaded.core(k));
+  }
+  const std::vector<int64_t> rows = r.ReadI64Vec();
+  const int64_t N = emb_dim();
+  std::vector<float> values(rows.size() * static_cast<size_t>(N));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    r.ReadFloats(values.data() + i * static_cast<size_t>(N),
+                 static_cast<size_t>(N));
+  }
+  cache_.Populate(rows, values.data());
+  iteration_ = r.ReadI64();
+  rewarm_until_ = -1;
+  tracker_.Clear();
+}
+
+void CachedTtEmbeddingBag::ApplySgd(float lr) {
+  tt_.ApplySgd(lr);
+  cache_.ApplySgd(lr);
+}
+
+void CachedTtEmbeddingBag::ApplyAdagrad(float lr, float eps) {
+  tt_.ApplyAdagrad(lr, eps);
+  cache_.ApplyAdagrad(lr, eps);
+}
+
+}  // namespace ttrec

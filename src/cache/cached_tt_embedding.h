@@ -1,0 +1,125 @@
+// Hybrid embedding operator: TT-compressed table + LFU cache of hot rows
+// (paper §4.2 and the multi-stage training process of Figure 4).
+//
+// Training starts with the TT cores only. During a warm-up window the
+// open-addressing frequency tracker counts every index; every
+// `refresh_interval` iterations the cache is repopulated with the top-K
+// most-frequent rows, *materialized from the TT cores*. When the warm-up
+// ends the cached set freezes (the paper observes the hot set is stable,
+// Figure 9). From then on:
+//   - cache hits read/update the uncompressed cached vector directly
+//     (W' = W - lr * dL/dW), learning those rows *uncompressed*;
+//   - misses go through the TT-EmbeddingBag forward/backward.
+// Evicted rows discard their learned weights — folding them back into the
+// TT cores would be streaming TT decomposition, which the paper explicitly
+// leaves open.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/freq_tracker.h"
+#include "cache/lfu_cache.h"
+#include "data/csr_batch.h"
+#include "tensor/serialize.h"
+#include "tt/tt_embedding.h"
+
+namespace ttrec {
+
+struct CachedTtConfig {
+  TtEmbeddingConfig tt;
+  /// Cache capacity in rows. The paper finds 0.01% of the table sufficient
+  /// (§6.5, Figure 10b).
+  int64_t cache_capacity = 0;
+  /// Forward iterations that constitute the warm-up window (e.g. 10% of
+  /// training iterations, §6.5 / Figure 10a).
+  int64_t warmup_iterations = 100;
+  /// Cache repopulation cadence within the warm-up window, in iterations
+  /// ("only every 100s to 1000s of iterations", §4.2).
+  int64_t refresh_interval = 50;
+  /// Keep counting frequencies after warm-up (costs a hash update per
+  /// lookup; off by default since the frozen set no longer changes).
+  bool track_after_warmup = false;
+  /// Optional periodic re-warm-up (paper Fig 4: "one might consider
+  /// updating the cache and repeat the warm up process periodically").
+  /// Every `rewarm_period` iterations after the initial warm-up, the
+  /// frequency counts are decayed (halved, favouring the current phase), a
+  /// re-tracking window of warmup_iterations opens, and the cache is
+  /// refreshed at its end. 0 disables (the paper's default: the hot set is
+  /// stable, Fig 9).
+  int64_t rewarm_period = 0;
+};
+
+class CachedTtEmbeddingBag {
+ public:
+  CachedTtEmbeddingBag(CachedTtConfig config, TtInit init, Rng& rng);
+
+  int64_t num_rows() const { return tt_.num_rows(); }
+  int64_t emb_dim() const { return tt_.emb_dim(); }
+  const CachedTtConfig& config() const { return config_; }
+  TtEmbeddingBag& tt() { return tt_; }
+  const TtEmbeddingBag& tt() const { return tt_; }
+  const LfuRowCache& cache() const { return cache_; }
+  const FreqTracker& tracker() const { return tracker_; }
+  int64_t iteration() const { return iteration_; }
+  bool warmed_up() const { return iteration_ >= config_.warmup_iterations; }
+
+  /// Pools the batch into output (num_bags x emb_dim). Advances the
+  /// iteration counter and performs warm-up cache refreshes.
+  void Forward(const CsrBatch& batch, float* output);
+
+  /// Accumulates gradients: cached rows into the cache's gradient slots,
+  /// missed rows into the TT core gradients. Must be called with the same
+  /// batch as the preceding Forward (standard autograd pairing) — the
+  /// cache partition is recomputed and matches because refreshes only
+  /// happen inside Forward.
+  void Backward(const CsrBatch& batch, const float* grad_output);
+
+  /// SGD on both the TT cores and the cached uncompressed rows.
+  void ApplySgd(float lr);
+
+  /// Adagrad on both the TT cores and the cached uncompressed rows.
+  void ApplyAdagrad(float lr, float eps = 1e-8f);
+
+  /// Forces a cache refresh from the current frequency counts (top-K rows
+  /// materialized from the TT cores). Normally driven by Forward.
+  void RefreshCache();
+
+  /// Serializes TT cores + cached rows/values + the iteration counter.
+  /// Frequency counts are NOT persisted: after a load inside the warm-up
+  /// window the tracker rebuilds; after warm-up the restored cache set is
+  /// already frozen, matching Fig 4 semantics.
+  void SaveState(BinaryWriter& w) const;
+  void LoadState(BinaryReader& r);
+
+  /// Fraction of lookups served from the cache since the last ResetStats.
+  double HitRate() const { return cache_.HitRate(); }
+  void ResetStats() { cache_.ResetStats(); }
+
+  /// Parameter memory: TT cores + cache storage.
+  int64_t MemoryBytes() const {
+    return tt_.MemoryBytes() + cache_.MemoryBytes();
+  }
+
+ private:
+  /// Splits `batch` into cache hits (applied immediately via `on_hit`) and
+  /// a TT sub-batch carrying explicit per-lookup weights.
+  template <typename OnHit>
+  CsrBatch Partition(const CsrBatch& batch, OnHit&& on_hit);
+
+  struct CacheHit {
+    int64_t bag;
+    float weight;
+    const float* vec;
+  };
+
+  CachedTtConfig config_;
+  TtEmbeddingBag tt_;
+  LfuRowCache cache_;
+  FreqTracker tracker_;
+  int64_t iteration_ = 0;
+  int64_t rewarm_until_ = -1;  // end of the current re-warm window
+  std::vector<CacheHit> hit_scratch_;
+};
+
+}  // namespace ttrec

@@ -1,0 +1,112 @@
+#include "cache/freq_tracker.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+
+uint64_t HashKey(int64_t key) {
+  uint64_t z = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FreqTracker::FreqTracker(int64_t initial_capacity) {
+  TTREC_CHECK_CONFIG(initial_capacity >= 1,
+                     "FreqTracker: capacity must be positive");
+  const uint64_t cap = std::bit_ceil(
+      static_cast<uint64_t>(std::max<int64_t>(16, initial_capacity)));
+  slots_.assign(static_cast<size_t>(cap), Slot{});
+}
+
+size_t FreqTracker::ProbeFor(int64_t key) const {
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(HashKey(key)) & mask;
+  while (slots_[i].key != kEmpty && slots_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void FreqTracker::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  for (const Slot& s : old) {
+    if (s.key == kEmpty) continue;
+    slots_[ProbeFor(s.key)] = s;
+  }
+}
+
+void FreqTracker::Increment(int64_t key, int64_t delta) {
+  TTREC_CHECK_INDEX(key >= 0, "FreqTracker: keys must be non-negative, got ",
+                    key);
+  TTREC_CHECK_CONFIG(delta >= 0, "FreqTracker: delta must be non-negative");
+  const size_t i = ProbeFor(key);
+  if (slots_[i].key == kEmpty) {
+    slots_[i].key = key;
+    ++size_;
+    if (10 * size_ >= 7 * static_cast<int64_t>(slots_.size())) Grow();
+    // Grow moved the slot; re-probe for the count update below.
+    slots_[ProbeFor(key)].count += delta;
+  } else {
+    slots_[i].count += delta;
+  }
+  total_ += delta;
+}
+
+int64_t FreqTracker::Count(int64_t key) const {
+  if (key < 0) return 0;
+  const size_t i = ProbeFor(key);
+  return slots_[i].key == key ? slots_[i].count : 0;
+}
+
+std::vector<int64_t> FreqTracker::TopK(int64_t k) const {
+  std::vector<std::pair<int64_t, int64_t>> items = Items();
+  const size_t kk = std::min(static_cast<size_t>(std::max<int64_t>(0, k)),
+                             items.size());
+  std::partial_sort(items.begin(), items.begin() + static_cast<ptrdiff_t>(kk),
+                    items.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  std::vector<int64_t> top;
+  top.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) top.push_back(items[i].first);
+  return top;
+}
+
+std::vector<std::pair<int64_t, int64_t>> FreqTracker::Items() const {
+  std::vector<std::pair<int64_t, int64_t>> items;
+  items.reserve(static_cast<size_t>(size_));
+  for (const Slot& s : slots_) {
+    if (s.key != kEmpty) items.emplace_back(s.key, s.count);
+  }
+  return items;
+}
+
+void FreqTracker::Clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  size_ = 0;
+  total_ = 0;
+}
+
+void FreqTracker::Decay(double factor) {
+  TTREC_CHECK_CONFIG(factor >= 0.0 && factor < 1.0,
+                     "FreqTracker: decay factor must be in [0, 1)");
+  total_ = 0;
+  for (Slot& s : slots_) {
+    if (s.key == kEmpty) continue;
+    s.count = static_cast<int64_t>(std::floor(s.count * factor));
+    total_ += s.count;
+  }
+}
+
+}  // namespace ttrec

@@ -1,0 +1,63 @@
+// Open-addressing frequency hash table (paper §4.2: "In order to track the
+// frequencies of all the existing indices, an open addressing hash table is
+// used").
+//
+// Linear probing over a power-of-two table of (key, count) slots; grows at
+// 70% load. Keys are embedding row ids (non-negative int64).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ttrec {
+
+class FreqTracker {
+ public:
+  /// `initial_capacity` is rounded up to a power of two (min 16).
+  explicit FreqTracker(int64_t initial_capacity = 1024);
+
+  /// Adds `delta` to the count of `key` (key must be >= 0).
+  void Increment(int64_t key, int64_t delta = 1);
+
+  /// Current count of `key` (0 if never seen).
+  int64_t Count(int64_t key) const;
+
+  /// Number of distinct keys.
+  int64_t size() const { return size_; }
+
+  /// Total increments across all keys.
+  int64_t total() const { return total_; }
+
+  /// The k most frequent keys, descending by count (ties: smaller key
+  /// first). k is clamped to size().
+  std::vector<int64_t> TopK(int64_t k) const;
+
+  /// All (key, count) pairs in unspecified order.
+  std::vector<std::pair<int64_t, int64_t>> Items() const;
+
+  /// Drops all counts.
+  void Clear();
+
+  /// Multiplies every count by `factor` in [0, 1) — exponential decay for
+  /// phase-adaptive tracking; counts rounding to zero are kept (slot reuse
+  /// is not attempted).
+  void Decay(double factor);
+
+ private:
+  struct Slot {
+    int64_t key = kEmpty;
+    int64_t count = 0;
+  };
+  static constexpr int64_t kEmpty = -1;
+
+  size_t ProbeFor(int64_t key) const;
+  void Grow();
+
+  std::vector<Slot> slots_;
+  int64_t size_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace ttrec

@@ -1,0 +1,139 @@
+#include "cache/lfu_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+
+uint64_t HashKey(int64_t key) {
+  uint64_t z = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull;
+  z ^= z >> 29;
+  z *= 0xbf58476d1ce4e5b9ull;
+  return z ^ (z >> 32);
+}
+
+}  // namespace
+
+LfuRowCache::LfuRowCache(int64_t capacity, int64_t emb_dim)
+    : capacity_(capacity), emb_dim_(emb_dim) {
+  TTREC_CHECK_CONFIG(capacity >= 1, "LfuRowCache: capacity must be >= 1");
+  TTREC_CHECK_CONFIG(emb_dim >= 1, "LfuRowCache: emb_dim must be >= 1");
+  values_.resize(static_cast<size_t>(capacity * emb_dim), 0.0f);
+  grads_.resize(static_cast<size_t>(capacity * emb_dim), 0.0f);
+  const uint64_t map_cap =
+      std::bit_ceil(static_cast<uint64_t>(std::max<int64_t>(16, 2 * capacity)));
+  map_keys_.assign(static_cast<size_t>(map_cap), -1);
+  map_slots_.assign(static_cast<size_t>(map_cap), -1);
+}
+
+int64_t LfuRowCache::SlotOf(int64_t row) const {
+  const size_t mask = map_keys_.size() - 1;
+  size_t i = static_cast<size_t>(HashKey(row)) & mask;
+  while (map_keys_[i] != -1) {
+    if (map_keys_[i] == row) return map_slots_[i];
+    i = (i + 1) & mask;
+  }
+  return -1;
+}
+
+float* LfuRowCache::Find(int64_t row) {
+  const int64_t slot = SlotOf(row);
+  if (slot < 0) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return values_.data() + slot * emb_dim_;
+}
+
+const float* LfuRowCache::Find(int64_t row) const {
+  const int64_t slot = SlotOf(row);
+  if (slot < 0) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return values_.data() + slot * emb_dim_;
+}
+
+float* LfuRowCache::GradFor(int64_t row) {
+  const int64_t slot = SlotOf(row);
+  return slot < 0 ? nullptr : grads_.data() + slot * emb_dim_;
+}
+
+void LfuRowCache::Rebuild() {
+  std::fill(map_keys_.begin(), map_keys_.end(), -1);
+  const size_t mask = map_keys_.size() - 1;
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    const int64_t row = rows_[slot];
+    TTREC_CHECK_INDEX(row >= 0, "LfuRowCache: negative row id ", row);
+    size_t i = static_cast<size_t>(HashKey(row)) & mask;
+    while (map_keys_[i] != -1) {
+      // Duplicate row ids would silently shadow each other in the map.
+      TTREC_CHECK_CONFIG(map_keys_[i] != row,
+                         "LfuRowCache::Populate: duplicate row id ", row);
+      i = (i + 1) & mask;
+    }
+    map_keys_[i] = row;
+    map_slots_[i] = static_cast<int64_t>(slot);
+  }
+}
+
+void LfuRowCache::Populate(std::span<const int64_t> rows,
+                           const float* values) {
+  const size_t n = std::min(rows.size(), static_cast<size_t>(capacity_));
+  rows_.assign(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(n));
+  std::memcpy(values_.data(), values, n * static_cast<size_t>(emb_dim_) *
+                                           sizeof(float));
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+  std::fill(adagrad_.begin(), adagrad_.end(), 0.0f);
+  Rebuild();
+}
+
+void LfuRowCache::ApplyAdagrad(float lr, float eps) {
+  TTREC_CHECK_CONFIG(eps > 0.0f, "ApplyAdagrad: eps must be positive");
+  if (adagrad_.empty()) {
+    adagrad_.assign(values_.size(), 0.0f);
+  }
+  const size_t used = rows_.size() * static_cast<size_t>(emb_dim_);
+  for (size_t i = 0; i < used; ++i) {
+    adagrad_[i] += grads_[i] * grads_[i];
+    values_[i] -= lr * grads_[i] / (std::sqrt(adagrad_[i]) + eps);
+    grads_[i] = 0.0f;
+  }
+}
+
+void LfuRowCache::ApplySgd(float lr) {
+  const size_t used = rows_.size() * static_cast<size_t>(emb_dim_);
+  for (size_t i = 0; i < used; ++i) {
+    values_[i] -= lr * grads_[i];
+    grads_[i] = 0.0f;
+  }
+}
+
+int64_t LfuRowCache::MemoryBytes() const {
+  return static_cast<int64_t>(values_.size() * sizeof(float) +
+                              grads_.size() * sizeof(float) +
+                              map_keys_.size() * sizeof(int64_t) +
+                              map_slots_.size() * sizeof(int64_t) +
+                              rows_.size() * sizeof(int64_t));
+}
+
+double LfuRowCache::HitRate() const {
+  const int64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void LfuRowCache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ttrec

@@ -1,0 +1,75 @@
+// Fixed-capacity row cache storing uncompressed embedding vectors.
+//
+// This is the storage half of the paper's §4.2 cache: a slot array of
+// `capacity` rows of `emb_dim` floats plus an open-addressing row-id -> slot
+// map. Population is bulk ("semi-dynamic": the owner decides when to refresh
+// from the frequency tracker); reads and in-place SGD updates are O(1).
+// Eviction discards learned weights (paper: re-decomposing evicted rows into
+// the TT cores would be streaming TT decomposition, an open problem).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttrec {
+
+class LfuRowCache {
+ public:
+  LfuRowCache(int64_t capacity, int64_t emb_dim);
+
+  int64_t capacity() const { return capacity_; }
+  int64_t emb_dim() const { return emb_dim_; }
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Pointer to the cached vector for `row`, or nullptr on miss.
+  float* Find(int64_t row);
+  const float* Find(int64_t row) const;
+
+  /// Gradient accumulator slot paired with a cached row; nullptr on miss.
+  float* GradFor(int64_t row);
+
+  /// Replaces the cache contents with `rows` (at most `capacity`; excess is
+  /// ignored) and their vectors from `values` (rows.size() x emb_dim).
+  /// Gradients are zeroed. Previously cached rows keep nothing — eviction
+  /// discards learned weights by design.
+  void Populate(std::span<const int64_t> rows, const float* values);
+
+  /// Applies w -= lr * grad to every cached row and clears gradients.
+  void ApplySgd(float lr);
+
+  /// Elementwise Adagrad on the cached rows (state persists until the next
+  /// Populate, which resets it along with the row set).
+  void ApplyAdagrad(float lr, float eps = 1e-8f);
+
+  /// All currently cached row ids (unordered).
+  std::vector<int64_t> CachedRows() const { return rows_; }
+
+  /// Bytes for vectors + gradients + the id map.
+  int64_t MemoryBytes() const;
+
+  // Hit statistics (updated by Find).
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const;
+  void ResetStats();
+
+ private:
+  int64_t SlotOf(int64_t row) const;  // -1 if absent
+  void Rebuild();
+
+  int64_t capacity_;
+  int64_t emb_dim_;
+  std::vector<int64_t> rows_;      // slot -> row id
+  std::vector<float> values_;      // capacity x emb_dim
+  std::vector<float> grads_;       // capacity x emb_dim
+  std::vector<float> adagrad_;     // lazily sized capacity x emb_dim
+  std::vector<int64_t> map_keys_;  // open addressing: row id or -1
+  std::vector<int64_t> map_slots_;
+  mutable int64_t hits_ = 0;
+  mutable int64_t misses_ = 0;
+};
+
+}  // namespace ttrec

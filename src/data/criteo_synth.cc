@@ -1,0 +1,130 @@
+#include "data/criteo_synth.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SyntheticCriteo::SyntheticCriteo(SyntheticCriteoConfig config)
+    : config_(std::move(config)), train_rng_(config_.seed) {
+  TTREC_CHECK_CONFIG(config_.spec.num_tables() > 0,
+                     "SyntheticCriteo: dataset has no tables");
+  TTREC_CHECK_CONFIG(config_.pooling_factor >= 1,
+                     "SyntheticCriteo: pooling factor must be >= 1");
+  TTREC_CHECK_CONFIG(config_.zipf_exponent >= 0.0,
+                     "SyntheticCriteo: zipf exponent must be >= 0");
+  TTREC_CHECK_CONFIG(
+      config_.label_flip_prob >= 0.0 && config_.label_flip_prob <= 0.5,
+      "SyntheticCriteo: label flip probability must be in [0, 0.5]");
+
+  Rng setup(Mix64(config_.seed ^ 0xABCDEFull));
+  zipf_.reserve(static_cast<size_t>(num_tables()));
+  shuffle_.reserve(static_cast<size_t>(num_tables()));
+  for (int t = 0; t < num_tables(); ++t) {
+    const int64_t rows = config_.spec.table_rows[static_cast<size_t>(t)];
+    zipf_.emplace_back(rows, config_.zipf_exponent);
+    shuffle_.emplace_back(rows, setup.NextUInt64());
+    table_weight_.push_back(setup.Normal(0.0, 1.0));
+  }
+  for (int64_t j = 0; j < config_.spec.num_dense; ++j) {
+    dense_weight_.push_back(setup.Normal(0.0, 1.0));
+  }
+}
+
+double SyntheticCriteo::TeacherValue(int table, int64_t row) const {
+  TTREC_CHECK_INDEX(table >= 0 && table < num_tables(),
+                    "TeacherValue: table out of range");
+  TTREC_CHECK_INDEX(
+      row >= 0 && row < config_.spec.table_rows[static_cast<size_t>(table)],
+      "TeacherValue: row out of range");
+  const uint64_t h = Mix64(
+      config_.seed ^ Mix64((static_cast<uint64_t>(table) * 0x9E3779B9ull) ^
+                           (static_cast<uint64_t>(row) + 0x7F4A7C15ull)));
+  // Map to [-1, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double SyntheticCriteo::TeacherLogit(
+    const std::vector<int64_t>& rows_per_table, const float* dense) const {
+  TTREC_CHECK_SHAPE(static_cast<int>(rows_per_table.size()) == num_tables(),
+                    "TeacherLogit: need one row per table");
+  double acc = 0.0;
+  for (int t = 0; t < num_tables(); ++t) {
+    acc += table_weight_[static_cast<size_t>(t)] *
+           TeacherValue(t, rows_per_table[static_cast<size_t>(t)]);
+  }
+  for (int64_t j = 0; j < config_.spec.num_dense; ++j) {
+    acc += dense_weight_[static_cast<size_t>(j)] * dense[j];
+  }
+  const double norm = std::sqrt(
+      static_cast<double>(num_tables() + config_.spec.num_dense));
+  return config_.teacher_scale * acc / norm;
+}
+
+MiniBatch SyntheticCriteo::Generate(int64_t batch_size, Rng& rng) const {
+  TTREC_CHECK_CONFIG(batch_size >= 1, "batch size must be >= 1");
+  const int T = num_tables();
+  const int64_t nd = config_.spec.num_dense;
+  const int64_t P = config_.pooling_factor;
+
+  MiniBatch batch;
+  batch.dense = Tensor({batch_size, nd});
+  batch.labels.resize(static_cast<size_t>(batch_size));
+  batch.sparse.resize(static_cast<size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    CsrBatch& cb = batch.sparse[static_cast<size_t>(t)];
+    cb.indices.reserve(static_cast<size_t>(batch_size * P));
+    cb.offsets.reserve(static_cast<size_t>(batch_size) + 1);
+    cb.offsets.push_back(0);
+  }
+
+  std::vector<int64_t> first_rows(static_cast<size_t>(T));
+  for (int64_t b = 0; b < batch_size; ++b) {
+    float* dense_row = batch.dense.data() + b * nd;
+    for (int64_t j = 0; j < nd; ++j) {
+      dense_row[j] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    for (int t = 0; t < T; ++t) {
+      CsrBatch& cb = batch.sparse[static_cast<size_t>(t)];
+      for (int64_t p = 0; p < P; ++p) {
+        const int64_t rank = zipf_[static_cast<size_t>(t)].Sample(rng);
+        const int64_t row = shuffle_[static_cast<size_t>(t)].Map(rank);
+        if (p == 0) first_rows[static_cast<size_t>(t)] = row;
+        cb.indices.push_back(row);
+      }
+      cb.offsets.push_back(static_cast<int64_t>(cb.indices.size()));
+    }
+    // Label from the first lookup of each bag (the teacher models the
+    // dominant feature; additional pooled lookups act as structured noise).
+    const double logit = TeacherLogit(first_rows, dense_row);
+    const double p_click = 1.0 / (1.0 + std::exp(-logit));
+    bool y = rng.Bernoulli(p_click);
+    if (rng.Bernoulli(config_.label_flip_prob)) y = !y;
+    batch.labels[static_cast<size_t>(b)] = y ? 1.0f : 0.0f;
+  }
+  return batch;
+}
+
+MiniBatch SyntheticCriteo::NextBatch(int64_t batch_size) {
+  return Generate(batch_size, train_rng_);
+}
+
+MiniBatch SyntheticCriteo::EvalBatch(int64_t batch_size,
+                                     uint64_t eval_seed) const {
+  Rng rng(Mix64(config_.seed ^ (eval_seed * 0x5851F42D4C957F2Dull)) |
+          1ull);
+  return Generate(batch_size, rng);
+}
+
+}  // namespace ttrec

@@ -1,0 +1,62 @@
+// The lookup-batch format shared by every embedding operator in this repo.
+//
+// Matches the PyTorch EmbeddingBag / paper §4.1 convention: a batch of
+// `num_bags` bags is described by `indices` (all row ids, concatenated) and
+// `offsets` (size num_bags + 1; bag b covers indices[offsets[b] ..
+// offsets[b+1])). `weights`, when non-empty, carries the per-sample weight
+// alpha of Eq. (6); empty means all-ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+enum class PoolingMode : uint8_t { kSum, kMean };
+
+struct CsrBatch {
+  std::vector<int64_t> indices;
+  std::vector<int64_t> offsets;  // size num_bags + 1, offsets[0] == 0
+  std::vector<float> weights;    // empty, or same size as indices
+
+  int64_t num_bags() const {
+    return offsets.empty() ? 0 : static_cast<int64_t>(offsets.size()) - 1;
+  }
+  int64_t num_lookups() const { return static_cast<int64_t>(indices.size()); }
+
+  /// Validates internal consistency and that all indices are in
+  /// [0, num_rows). Throws IndexError/ShapeError on violation.
+  void Validate(int64_t num_rows) const {
+    TTREC_CHECK_SHAPE(!offsets.empty() && offsets.front() == 0,
+                      "CsrBatch: offsets must start with 0");
+    for (size_t i = 1; i < offsets.size(); ++i) {
+      TTREC_CHECK_SHAPE(offsets[i] >= offsets[i - 1],
+                        "CsrBatch: offsets must be non-decreasing");
+    }
+    TTREC_CHECK_SHAPE(offsets.back() == num_lookups(),
+                      "CsrBatch: offsets must end at indices.size(), got ",
+                      offsets.back(), " vs ", num_lookups());
+    TTREC_CHECK_SHAPE(weights.empty() || weights.size() == indices.size(),
+                      "CsrBatch: weights must be empty or match indices");
+    for (int64_t idx : indices) {
+      TTREC_CHECK_INDEX(idx >= 0 && idx < num_rows, "CsrBatch: row index ",
+                        idx, " out of range [0, ", num_rows, ")");
+    }
+  }
+
+  /// Builds a single-lookup-per-bag batch (pooling factor 1, the Criteo
+  /// case) from a plain index list.
+  static CsrBatch FromIndices(std::vector<int64_t> idx) {
+    CsrBatch b;
+    b.offsets.resize(idx.size() + 1);
+    for (size_t i = 0; i <= idx.size(); ++i) {
+      b.offsets[i] = static_cast<int64_t>(i);
+    }
+    b.indices = std::move(idx);
+    return b;
+  }
+};
+
+}  // namespace ttrec

@@ -1,0 +1,82 @@
+#include "data/table_specs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+int64_t DatasetSpec::TotalEmbeddingParams(int64_t emb_dim) const {
+  int64_t total = 0;
+  for (int64_t rows : table_rows) total += rows * emb_dim;
+  return total;
+}
+
+std::vector<int> DatasetSpec::LargestTables(int k) const {
+  TTREC_CHECK_CONFIG(k >= 0 && k <= num_tables(),
+                     "LargestTables: k out of range");
+  std::vector<int> order(table_rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return table_rows[static_cast<size_t>(a)] >
+           table_rows[static_cast<size_t>(b)];
+  });
+  order.resize(static_cast<size_t>(k));
+  return order;
+}
+
+DatasetSpec DatasetSpec::Scaled(int64_t factor) const {
+  TTREC_CHECK_CONFIG(factor >= 1, "scale factor must be >= 1");
+  DatasetSpec out = *this;
+  for (int64_t& rows : out.table_rows) {
+    rows = std::max<int64_t>(4, rows / factor);
+  }
+  return out;
+}
+
+const DatasetSpec& KaggleSpec() {
+  static const DatasetSpec spec = {
+      "kaggle",
+      13,
+      {1460,    583,      10131227, 2202608, 305,  24,      12517,
+       633,     3,        93145,    5683,    8351593, 3194, 27,
+       14992,   5461306,  10,       5652,    2173, 4,       7046547,
+       18,      15,       286181,   105,     142572}};
+  return spec;
+}
+
+const DatasetSpec& TerabyteSpec() {
+  // MLPerf-DLRM Terabyte preprocessing (max_ind_range = 40M).
+  static const DatasetSpec spec = {
+      "terabyte",
+      13,
+      {39884406, 39043,   17289,    7420,     20263,   3,        7120,
+       1543,     63,      38532951, 2953546,  403346,  10,       2208,
+       11938,    155,     4,        976,      14,      39979771, 25641295,
+       39664984, 585935,  12972,    108,      36}};
+  return spec;
+}
+
+std::vector<int64_t> PaperRowFactors(int64_t num_rows) {
+  switch (num_rows) {
+    case 10131227:
+      return {200, 220, 250};
+    case 8351593:
+      return {200, 200, 209};
+    case 7046547:
+      return {200, 200, 200};
+    case 5461306:
+      return {166, 175, 188};
+    case 2202608:
+      return {125, 130, 136};
+    case 286181:
+      return {53, 72, 75};
+    case 142572:
+      return {50, 52, 55};
+    default:
+      return {};
+  }
+}
+
+}  // namespace ttrec

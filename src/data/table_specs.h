@@ -1,0 +1,45 @@
+// Embedding-table cardinalities of the paper's two datasets.
+//
+// The 26 categorical features of Criteo Kaggle / Terabyte map to 26
+// embedding tables (paper §5). The row counts below are the real dataset
+// cardinalities (Kaggle: exact; Terabyte: the MLPerf-DLRM preprocessed
+// cardinalities), which is what makes the compression-ratio experiments
+// (Table 2, Figure 5) exact arithmetic rather than simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ttrec {
+
+struct DatasetSpec {
+  std::string name;
+  int64_t num_dense = 13;
+  std::vector<int64_t> table_rows;  // 26 entries
+
+  int num_tables() const { return static_cast<int>(table_rows.size()); }
+
+  /// Total embedding parameters at `emb_dim` (sum rows * dim).
+  int64_t TotalEmbeddingParams(int64_t emb_dim) const;
+
+  /// Indices of the `k` largest tables, descending by row count.
+  std::vector<int> LargestTables(int k) const;
+
+  /// Returns a copy with every table's rows divided by `factor`
+  /// (minimum 4 rows) — the scale-down knob for single-core benchmarks.
+  DatasetSpec Scaled(int64_t factor) const;
+};
+
+/// Criteo Kaggle Display Advertising Challenge (7 days, ~45M samples).
+const DatasetSpec& KaggleSpec();
+
+/// Criteo Terabyte Click Logs (24 days), MLPerf-DLRM preprocessing.
+const DatasetSpec& TerabyteSpec();
+
+/// The paper's Table 2 row factorizations for Kaggle's 7 largest tables
+/// (row count -> hand-picked (m1, m2, m3)); used to regenerate Table 2
+/// exactly. Tables not listed fall back to FactorizeRows.
+std::vector<int64_t> PaperRowFactors(int64_t num_rows);
+
+}  // namespace ttrec

@@ -1,0 +1,82 @@
+#include "data/trace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+TopKStabilityTracker::TopKStabilityTracker(int64_t k) : k_(k) {
+  TTREC_CHECK_CONFIG(k >= 1, "TopKStabilityTracker: k must be >= 1");
+}
+
+void TopKStabilityTracker::Record(int64_t row) {
+  ++counts_[row];
+  ++total_;
+}
+
+std::vector<int64_t> TopKStabilityTracker::TopK() const {
+  std::vector<std::pair<int64_t, int64_t>> items(counts_.begin(),
+                                                 counts_.end());
+  const size_t k = std::min(static_cast<size_t>(k_), items.size());
+  std::partial_sort(items.begin(), items.begin() + static_cast<ptrdiff_t>(k),
+                    items.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  std::vector<int64_t> top;
+  top.reserve(k);
+  for (size_t i = 0; i < k; ++i) top.push_back(items[i].first);
+  return top;
+}
+
+double TopKStabilityTracker::SnapshotChurn() {
+  std::vector<int64_t> cur = TopK();
+  double churn = 1.0;
+  if (!prev_top_.empty()) {
+    std::unordered_set<int64_t> prev_set(prev_top_.begin(), prev_top_.end());
+    int64_t changed = 0;
+    for (int64_t row : cur) {
+      if (!prev_set.contains(row)) ++changed;
+    }
+    churn = cur.empty() ? 0.0
+                        : static_cast<double>(changed) /
+                              static_cast<double>(cur.size());
+  }
+  prev_top_ = std::move(cur);
+  return churn;
+}
+
+std::vector<int64_t> ControlledHitRateTrace(
+    int64_t num_rows, const std::vector<int64_t>& cached_rows,
+    double hit_rate, int64_t length, Rng& rng) {
+  TTREC_CHECK_CONFIG(hit_rate >= 0.0 && hit_rate <= 1.0,
+                     "hit_rate must be in [0, 1]");
+  TTREC_CHECK_CONFIG(num_rows >= 1, "num_rows must be >= 1");
+  TTREC_CHECK_CONFIG(!cached_rows.empty() || hit_rate == 0.0,
+                     "non-zero hit rate requires cached rows");
+  TTREC_CHECK_CONFIG(static_cast<int64_t>(cached_rows.size()) < num_rows ||
+                         hit_rate == 1.0,
+                     "need non-cached rows to draw misses from");
+  std::unordered_set<int64_t> cached_set(cached_rows.begin(),
+                                         cached_rows.end());
+  std::vector<int64_t> trace;
+  trace.reserve(static_cast<size_t>(length));
+  for (int64_t i = 0; i < length; ++i) {
+    if (rng.Bernoulli(hit_rate)) {
+      trace.push_back(
+          cached_rows[static_cast<size_t>(rng.RandInt(
+              static_cast<int64_t>(cached_rows.size())))]);
+    } else {
+      int64_t row;
+      do {
+        row = rng.RandInt(num_rows);
+      } while (cached_set.contains(row));
+      trace.push_back(row);
+    }
+  }
+  return trace;
+}
+
+}  // namespace ttrec

@@ -1,0 +1,53 @@
+// Access-trace analysis utilities for the cache experiments.
+//
+// Figure 9 measures how stable the set of the most-frequently-accessed
+// embedding rows is over training: cumulative access counts are snapshotted
+// every few percent of progress and consecutive top-k sets are diffed.
+// Figure 12 needs traces with a *controlled* cache hit rate. Both helpers
+// live here.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace ttrec {
+
+/// Tracks cumulative access frequencies and reports the churn of the top-k
+/// set between snapshots (the y-axis of paper Figure 9).
+class TopKStabilityTracker {
+ public:
+  explicit TopKStabilityTracker(int64_t k);
+
+  /// Records one access.
+  void Record(int64_t row);
+
+  /// Takes a snapshot of the current top-k set and returns the fraction of
+  /// entries that differ from the previous snapshot's set (1.0 on the first
+  /// snapshot; 0.0 when perfectly stable).
+  double SnapshotChurn();
+
+  /// Current top-k rows by cumulative count (ties broken by row id).
+  std::vector<int64_t> TopK() const;
+
+  int64_t total_accesses() const { return total_; }
+
+ private:
+  int64_t k_;
+  int64_t total_ = 0;
+  std::unordered_map<int64_t, int64_t> counts_;
+  std::vector<int64_t> prev_top_;
+};
+
+/// Generates a lookup trace with an exact expected cache hit rate: each
+/// index is drawn from `cached_rows` with probability `hit_rate`, otherwise
+/// uniformly from the non-cached remainder of [0, num_rows). Used by the
+/// Figure 12 crossover benchmark.
+std::vector<int64_t> ControlledHitRateTrace(int64_t num_rows,
+                                            const std::vector<int64_t>& cached_rows,
+                                            double hit_rate, int64_t length,
+                                            Rng& rng);
+
+}  // namespace ttrec

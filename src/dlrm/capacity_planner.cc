@@ -1,0 +1,113 @@
+#include "dlrm/capacity_planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+int64_t TtTableBytes(int64_t rows, int64_t emb_dim, int num_cores,
+                     int64_t rank) {
+  return MakeTtShape(rows, emb_dim, num_cores, rank).TotalParams() *
+         static_cast<int64_t>(sizeof(float));
+}
+
+std::string CapacityPlan::ToString() const {
+  std::ostringstream os;
+  os << "plan: " << total_bytes << " / dense " << dense_bytes << " bytes ("
+     << CompressionRatio() << "x), fits=" << (fits ? "yes" : "no") << "\n";
+  for (const TablePlan& t : tables) {
+    os << "  table " << t.table << " (" << t.rows << " rows): ";
+    if (t.compress) {
+      os << "tt rank " << t.rank;
+    } else {
+      os << "dense";
+    }
+    os << ", " << t.bytes << " bytes\n";
+  }
+  return os.str();
+}
+
+CapacityPlan PlanCapacity(const DatasetSpec& spec, int64_t emb_dim,
+                          int64_t budget_bytes,
+                          const PlannerOptions& options) {
+  TTREC_CHECK_CONFIG(budget_bytes > 0, "budget must be positive");
+  TTREC_CHECK_CONFIG(!options.allowed_ranks.empty(),
+                     "need at least one allowed rank");
+  TTREC_CHECK_CONFIG(
+      std::is_sorted(options.allowed_ranks.begin(),
+                     options.allowed_ranks.end()),
+      "allowed_ranks must be ascending");
+  TTREC_CHECK_CONFIG(options.num_cores >= 2, "need >= 2 TT cores");
+
+  CapacityPlan plan;
+  plan.tables.resize(static_cast<size_t>(spec.num_tables()));
+  for (int t = 0; t < spec.num_tables(); ++t) {
+    TablePlan& tp = plan.tables[static_cast<size_t>(t)];
+    tp.table = t;
+    tp.rows = spec.table_rows[static_cast<size_t>(t)];
+    tp.compress = false;
+    tp.bytes = tp.rows * emb_dim * static_cast<int64_t>(sizeof(float));
+    plan.dense_bytes += tp.bytes;
+  }
+  plan.total_bytes = plan.dense_bytes;
+
+  // Tables by descending size — the compression order (Fig 5 logic).
+  const std::vector<int> by_size = spec.LargestTables(spec.num_tables());
+
+  // Pass 1: compress the largest tables until the budget is met, each at
+  // the highest allowed rank that actually shrinks it (at small row counts
+  // high-rank TT can exceed the dense table). Tables TT cannot shrink at
+  // any allowed rank stay dense.
+  for (int t : by_size) {
+    if (plan.total_bytes <= budget_bytes) break;
+    TablePlan& tp = plan.tables[static_cast<size_t>(t)];
+    for (auto it = options.allowed_ranks.rbegin();
+         it != options.allowed_ranks.rend(); ++it) {
+      const int64_t tt_bytes =
+          TtTableBytes(tp.rows, emb_dim, options.num_cores, *it);
+      if (tt_bytes < tp.bytes) {
+        plan.total_bytes += tt_bytes - tp.bytes;
+        tp.compress = true;
+        tp.rank = *it;
+        tp.bytes = tt_bytes;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: still over budget — lower ranks, always shrinking the table
+  // whose current TT form is biggest (greedy largest-gain step).
+  while (plan.total_bytes > budget_bytes) {
+    int best = -1;
+    int64_t best_bytes = -1;
+    for (int t = 0; t < spec.num_tables(); ++t) {
+      const TablePlan& tp = plan.tables[static_cast<size_t>(t)];
+      if (!tp.compress) continue;
+      if (tp.rank == options.allowed_ranks.front()) continue;
+      if (tp.bytes > best_bytes) {
+        best_bytes = tp.bytes;
+        best = t;
+      }
+    }
+    if (best < 0) break;  // nothing left to shrink
+    TablePlan& tp = plan.tables[static_cast<size_t>(best)];
+    const auto it = std::find(options.allowed_ranks.begin(),
+                              options.allowed_ranks.end(), tp.rank);
+    TTREC_CHECK_INTERNAL(it != options.allowed_ranks.begin() &&
+                             it != options.allowed_ranks.end(),
+                         "rank bookkeeping broken");
+    const int64_t next_rank = *(it - 1);
+    const int64_t new_bytes =
+        TtTableBytes(tp.rows, emb_dim, options.num_cores, next_rank);
+    plan.total_bytes += new_bytes - tp.bytes;
+    tp.rank = next_rank;
+    tp.bytes = new_bytes;
+  }
+
+  plan.fits = plan.total_bytes <= budget_bytes;
+  return plan;
+}
+
+}  // namespace ttrec

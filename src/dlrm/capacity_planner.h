@@ -1,0 +1,65 @@
+// Memory-budget capacity planner: navigates TT-Rec's design space (paper
+// Figure 1 / conclusion: "TT-Rec offers a flexible design space between
+// memory capacity, training time and model accuracy ... navigated according
+// to the desired optimization goal").
+//
+// Given a dataset's table cardinalities and an embedding-memory budget, the
+// planner picks which tables to TT-compress and at what rank, using the
+// paper's empirical structure:
+//   - compressing the LARGEST tables buys the most memory per unit of
+//     accuracy risk (Table 2 / Fig 5: the 7 largest are 99% of capacity);
+//   - accuracy saturates in rank (Fig 6), so prefer the highest allowed
+//     rank that fits before compressing additional tables;
+//   - tables where TT would not actually shrink memory stay dense.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table_specs.h"
+#include "tt/tt_shapes.h"
+
+namespace ttrec {
+
+struct TablePlan {
+  int table = 0;        // index into the DatasetSpec
+  int64_t rows = 0;
+  bool compress = false;
+  int64_t rank = 0;     // valid when compress
+  int64_t bytes = 0;    // resulting memory for this table
+};
+
+struct CapacityPlan {
+  std::vector<TablePlan> tables;  // one entry per spec table, spec order
+  int64_t total_bytes = 0;
+  int64_t dense_bytes = 0;  // all-dense reference
+  bool fits = false;        // total_bytes <= budget
+  double CompressionRatio() const {
+    return total_bytes > 0 ? static_cast<double>(dense_bytes) /
+                                 static_cast<double>(total_bytes)
+                           : 0.0;
+  }
+  std::string ToString() const;
+};
+
+struct PlannerOptions {
+  /// Candidate TT ranks, ascending. The planner prefers the largest that
+  /// fits (rank-saturating accuracy, Fig 6).
+  std::vector<int64_t> allowed_ranks = {8, 16, 32, 64};
+  int num_cores = 3;
+};
+
+/// Plans per-table compression so total embedding memory fits
+/// `budget_bytes`. If even the most aggressive plan (every shrinkable table
+/// at the minimum rank) exceeds the budget, returns that plan with
+/// fits == false.
+CapacityPlan PlanCapacity(const DatasetSpec& spec, int64_t emb_dim,
+                          int64_t budget_bytes,
+                          const PlannerOptions& options = {});
+
+/// TT parameter bytes for one table at the given rank (auto factorization).
+int64_t TtTableBytes(int64_t rows, int64_t emb_dim, int num_cores,
+                     int64_t rank);
+
+}  // namespace ttrec

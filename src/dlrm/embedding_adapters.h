@@ -1,0 +1,100 @@
+// EmbeddingOp adapters wrapping the TT operators into the DLRM.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cache/cached_tt_embedding.h"
+#include "dlrm/embedding_op.h"
+#include "tt/tt_embedding.h"
+#include "tt/tt_io.h"
+
+namespace ttrec {
+
+/// TT-Rec without cache.
+class TtEmbeddingAdapter : public EmbeddingOp {
+ public:
+  TtEmbeddingAdapter(TtEmbeddingConfig config, TtInit init, Rng& rng)
+      : tt_(std::move(config), init, rng) {}
+
+  /// Adopts pre-built cores (e.g. from TtDecompose of a trained table).
+  TtEmbeddingAdapter(TtEmbeddingConfig config, TtCores cores)
+      : tt_(std::move(config), std::move(cores)) {}
+
+  void Forward(const CsrBatch& batch, float* output) override {
+    tt_.Forward(batch, output);
+  }
+  void Backward(const CsrBatch& batch, const float* grad_output) override {
+    tt_.Backward(batch, grad_output);
+  }
+  void ApplySgd(float lr) override { tt_.ApplySgd(lr); }
+  void ApplyUpdate(const OptimizerConfig& opt) override {
+    if (opt.kind == OptimizerConfig::Kind::kAdagrad) {
+      tt_.ApplyAdagrad(opt.lr, opt.eps);
+    } else {
+      tt_.ApplySgd(opt.lr);
+    }
+  }
+  void SaveState(BinaryWriter& w) const override {
+    WriteTtCores(w, tt_.cores());
+  }
+  void LoadState(BinaryReader& r) override {
+    TtCores loaded = ReadTtCores(r);
+    TTREC_CHECK_CONFIG(loaded.shape().TotalParams() ==
+                           tt_.cores().shape().TotalParams(),
+                       "TtEmbeddingAdapter::LoadState: TT shape mismatch");
+    for (int k = 0; k < tt_.cores().num_cores(); ++k) {
+      TTREC_CHECK_SHAPE(loaded.core(k).shape() == tt_.cores().core(k).shape(),
+                        "TtEmbeddingAdapter::LoadState: core shape mismatch");
+      tt_.cores().core(k) = std::move(loaded.core(k));
+    }
+  }
+
+  int64_t num_rows() const override { return tt_.num_rows(); }
+  int64_t emb_dim() const override { return tt_.emb_dim(); }
+  int64_t MemoryBytes() const override { return tt_.MemoryBytes(); }
+  std::string Name() const override { return "tt_embedding"; }
+
+  TtEmbeddingBag& tt() { return tt_; }
+  const TtEmbeddingBag& tt() const { return tt_; }
+
+ private:
+  TtEmbeddingBag tt_;
+};
+
+/// TT-Rec with the LFU cache of §4.2.
+class CachedTtEmbeddingAdapter : public EmbeddingOp {
+ public:
+  CachedTtEmbeddingAdapter(CachedTtConfig config, TtInit init, Rng& rng)
+      : op_(std::move(config), init, rng) {}
+
+  void Forward(const CsrBatch& batch, float* output) override {
+    op_.Forward(batch, output);
+  }
+  void Backward(const CsrBatch& batch, const float* grad_output) override {
+    op_.Backward(batch, grad_output);
+  }
+  void ApplySgd(float lr) override { op_.ApplySgd(lr); }
+  void ApplyUpdate(const OptimizerConfig& opt) override {
+    if (opt.kind == OptimizerConfig::Kind::kAdagrad) {
+      op_.ApplyAdagrad(opt.lr, opt.eps);
+    } else {
+      op_.ApplySgd(opt.lr);
+    }
+  }
+  void SaveState(BinaryWriter& w) const override { op_.SaveState(w); }
+  void LoadState(BinaryReader& r) override { op_.LoadState(r); }
+
+  int64_t num_rows() const override { return op_.num_rows(); }
+  int64_t emb_dim() const override { return op_.emb_dim(); }
+  int64_t MemoryBytes() const override { return op_.MemoryBytes(); }
+  std::string Name() const override { return "cached_tt_embedding"; }
+
+  CachedTtEmbeddingBag& op() { return op_; }
+  const CachedTtEmbeddingBag& op() const { return op_; }
+
+ private:
+  CachedTtEmbeddingBag op_;
+};
+
+}  // namespace ttrec

@@ -1,0 +1,65 @@
+// The embedding-operator interface every table implementation plugs into
+// the DLRM (paper Figure 2: the baseline EmbeddingBag and the TT-Rec block
+// are interchangeable drop-ins).
+//
+// Implementations in this repo: DenseEmbeddingBag (the PyTorch-EmbeddingBag
+// baseline), TtEmbeddingAdapter, CachedTtEmbeddingAdapter, and the related-
+// work baselines (T3nsor-style TT, hashing trick, low-rank).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/csr_batch.h"
+#include "dlrm/optimizer.h"
+#include "tensor/serialize.h"
+
+namespace ttrec {
+
+class EmbeddingOp {
+ public:
+  virtual ~EmbeddingOp() = default;
+
+  /// Pools `batch` into `output` (num_bags x emb_dim, overwritten).
+  virtual void Forward(const CsrBatch& batch, float* output) = 0;
+
+  /// Accumulates parameter gradients given dL/d(output).
+  virtual void Backward(const CsrBatch& batch, const float* grad_output) = 0;
+
+  /// params -= lr * grad; clears gradients.
+  virtual void ApplySgd(float lr) = 0;
+
+  /// Applies `opt` (SGD or Adagrad). The default handles SGD and rejects
+  /// optimizers the operator does not implement; operators with Adagrad
+  /// support override.
+  virtual void ApplyUpdate(const OptimizerConfig& opt) {
+    switch (opt.kind) {
+      case OptimizerConfig::Kind::kSgd:
+        ApplySgd(opt.lr);
+        return;
+      case OptimizerConfig::Kind::kAdagrad:
+        throw ConfigError(Name() + " does not implement adagrad");
+    }
+  }
+
+  /// Serializes / restores the operator's learned parameters (not the
+  /// optimizer state). Defaults reject; operators that participate in DLRM
+  /// checkpoints (dense, TT, cached TT) override. LoadState must be called
+  /// on an operator constructed with the same configuration.
+  virtual void SaveState(BinaryWriter& /*w*/) const {
+    throw ConfigError(Name() + " does not support checkpointing");
+  }
+  virtual void LoadState(BinaryReader& /*r*/) {
+    throw ConfigError(Name() + " does not support checkpointing");
+  }
+
+  virtual int64_t num_rows() const = 0;
+  virtual int64_t emb_dim() const = 0;
+
+  /// Parameter memory in bytes (the x-axis of Figures 1/5/8).
+  virtual int64_t MemoryBytes() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace ttrec

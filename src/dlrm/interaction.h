@@ -1,0 +1,45 @@
+// DLRM dot-product feature interaction.
+//
+// Given the bottom-MLP output z_0 and the table outputs z_1..z_m (all
+// batch x d), the interaction emits, per sample, the concatenation of z_0
+// and the (m+1 choose 2) pairwise dot products <z_i, z_j> for i < j — the
+// standard MLPerf-DLRM "dot" interaction feeding the top MLP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ttrec {
+
+class DotInteraction {
+ public:
+  /// `num_features` = 1 + number of embedding tables; `dim` = embedding /
+  /// bottom-MLP output dimension.
+  DotInteraction(int num_features, int64_t dim);
+
+  int num_features() const { return num_features_; }
+  int64_t dim() const { return dim_; }
+  int64_t num_pairs() const {
+    return static_cast<int64_t>(num_features_) * (num_features_ - 1) / 2;
+  }
+  /// Per-sample output width: d + (F choose 2).
+  int64_t out_dim() const { return dim_ + num_pairs(); }
+
+  /// features[f] points at a (batch x dim) block; features[0] is the bottom
+  /// MLP output. Writes out (batch x out_dim) and caches the inputs.
+  void Forward(const std::vector<const float*>& features, int64_t batch,
+               float* out);
+
+  /// grads[f] receives dL/d(features[f]) (batch x dim, overwritten). Must
+  /// follow Forward with the same batch.
+  void Backward(const float* grad_out, int64_t batch,
+                const std::vector<float*>& grads);
+
+ private:
+  int num_features_;
+  int64_t dim_;
+  std::vector<float> cached_;  // batch x F x dim
+  int64_t cached_batch_ = 0;
+};
+
+}  // namespace ttrec

@@ -1,0 +1,80 @@
+#include "dlrm/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+double BceWithLogits(std::span<const float> logits,
+                     std::span<const float> labels, float* grad_logits) {
+  TTREC_CHECK_SHAPE(logits.size() == labels.size(),
+                    "BceWithLogits: size mismatch");
+  TTREC_CHECK_SHAPE(!logits.empty(), "BceWithLogits: empty batch");
+  const double inv_n = 1.0 / static_cast<double>(logits.size());
+  double loss = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const double x = logits[i];
+    const double y = labels[i];
+    TTREC_CHECK(y == 0.0 || y == 1.0, "labels must be 0 or 1");
+    // loss = max(x, 0) - x*y + log(1 + exp(-|x|)).
+    loss += std::max(x, 0.0) - x * y + std::log1p(std::exp(-std::abs(x)));
+    if (grad_logits != nullptr) {
+      const double sig = 1.0 / (1.0 + std::exp(-x));
+      grad_logits[i] = static_cast<float>((sig - y) * inv_n);
+    }
+  }
+  return loss * inv_n;
+}
+
+double BinaryAccuracy(std::span<const float> logits,
+                      std::span<const float> labels) {
+  TTREC_CHECK_SHAPE(logits.size() == labels.size(),
+                    "BinaryAccuracy: size mismatch");
+  if (logits.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const bool pred = logits[i] >= 0.0f;  // sigmoid(x) >= 0.5  <=>  x >= 0
+    const bool truth = labels[i] >= 0.5f;
+    if (pred == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.size());
+}
+
+double AucRoc(std::span<const float> scores, std::span<const float> labels) {
+  TTREC_CHECK_SHAPE(scores.size() == labels.size(), "AucRoc: size mismatch");
+  const size_t n = scores.size();
+  if (n == 0) return 0.5;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks over tie groups, accumulate rank-sum of positives.
+  double pos_rank_sum = 0.0;
+  int64_t num_pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) +
+                                   static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] >= 0.5f) {
+        pos_rank_sum += avg_rank;
+        ++num_pos;
+      }
+    }
+    i = j + 1;
+  }
+  const int64_t num_neg = static_cast<int64_t>(n) - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  return (pos_rank_sum -
+          static_cast<double>(num_pos) * (num_pos + 1) / 2.0) /
+         (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace ttrec

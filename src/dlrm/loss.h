@@ -1,0 +1,24 @@
+// Binary cross-entropy with logits (the DLRM click objective) and the
+// evaluation metrics the paper reports: test accuracy, BCE loss, and AUC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ttrec {
+
+/// Mean BCE over the batch given raw logits; writes dL/dlogit into
+/// `grad_logits` (same length) unless null. Numerically stable
+/// (log-sum-exp form). Labels must be 0 or 1.
+double BceWithLogits(std::span<const float> logits,
+                     std::span<const float> labels, float* grad_logits);
+
+/// Fraction of samples where sigmoid(logit) >= 0.5 matches the label.
+double BinaryAccuracy(std::span<const float> logits,
+                      std::span<const float> labels);
+
+/// Area under the ROC curve via the rank statistic; ties share ranks.
+/// Returns 0.5 when only one class is present.
+double AucRoc(std::span<const float> scores, std::span<const float> labels);
+
+}  // namespace ttrec

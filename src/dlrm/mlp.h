@@ -1,0 +1,97 @@
+// Multi-layer perceptron for the DLRM's bottom (dense-feature) and top
+// (post-interaction) towers, with manual backprop and SGD.
+//
+// Layers are Linear (+ optional ReLU). Weights use the DLRM reference
+// initialization: W ~ N(0, sqrt(2/(fan_in + fan_out))), b ~ N(0, sqrt(1/out)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace ttrec {
+
+/// One fully-connected layer; caches activations for backward.
+class LinearLayer {
+ public:
+  LinearLayer(int64_t in_dim, int64_t out_dim, bool relu, Rng& rng);
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+  bool relu() const { return relu_; }
+
+  /// y (batch x out) = act(x (batch x in) * W^T + b). Caches x and y.
+  void Forward(const float* x, int64_t batch, float* y);
+
+  /// Accumulates dW/db from dy (batch x out); writes dx (batch x in) unless
+  /// null. Must follow a Forward with the same batch size.
+  void Backward(const float* dy, int64_t batch, float* dx);
+
+  void ApplySgd(float lr);
+  /// Elementwise Adagrad; the accumulator is allocated on first use.
+  void ApplyAdagrad(float lr, float eps = 1e-8f);
+  void ZeroGrad();
+
+  int64_t NumParams() const { return weight_.numel() + bias_.numel(); }
+
+  /// Serializes / restores weights and biases (not optimizer state).
+  void SaveState(BinaryWriter& w) const;
+  void LoadState(BinaryReader& r);
+
+  Tensor& weight() { return weight_; }  // out x in
+  Tensor& bias() { return bias_; }      // out
+  const Tensor& weight_grad() const { return dweight_; }
+  const Tensor& bias_grad() const { return dbias_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  bool relu_;
+  Tensor weight_;   // out x in
+  Tensor bias_;     // out
+  Tensor dweight_;
+  Tensor dbias_;
+  Tensor adagrad_weight_;  // lazily allocated by ApplyAdagrad
+  Tensor adagrad_bias_;
+  std::vector<float> cached_x_;  // batch x in
+  std::vector<float> cached_y_;  // batch x out (post-activation)
+  int64_t cached_batch_ = 0;
+};
+
+/// A stack of LinearLayers. `dims` = {in, h1, ..., out}; ReLU after every
+/// layer except optionally the last.
+class Mlp {
+ public:
+  Mlp(std::vector<int64_t> dims, bool final_relu, Rng& rng);
+
+  int64_t in_dim() const { return layers_.front().in_dim(); }
+  int64_t out_dim() const { return layers_.back().out_dim(); }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  LinearLayer& layer(int i) { return layers_[static_cast<size_t>(i)]; }
+
+  /// y (batch x out_dim); caches per-layer activations.
+  void Forward(const float* x, int64_t batch, float* y);
+
+  /// Propagates dy back; writes dx (batch x in_dim) unless null.
+  void Backward(const float* dy, int64_t batch, float* dx);
+
+  void ApplySgd(float lr);
+  void ApplyAdagrad(float lr, float eps = 1e-8f);
+  void ZeroGrad();
+
+  int64_t NumParams() const;
+  void SaveState(BinaryWriter& w) const;
+  void LoadState(BinaryReader& r);
+  int64_t MemoryBytes() const {
+    return NumParams() * static_cast<int64_t>(sizeof(float));
+  }
+
+ private:
+  std::vector<LinearLayer> layers_;
+  std::vector<std::vector<float>> act_;  // inter-layer activation buffers
+};
+
+}  // namespace ttrec

@@ -1,0 +1,258 @@
+#include "dlrm/model.h"
+
+#include <fstream>
+
+#include "dlrm/embedding_bag.h"
+#include "dlrm/loss.h"
+#include "tensor/check.h"
+#include "tensor/serialize.h"
+
+namespace ttrec {
+
+namespace {
+
+std::vector<int64_t> BottomDims(const DlrmConfig& c) {
+  std::vector<int64_t> dims;
+  dims.push_back(c.num_dense);
+  dims.insert(dims.end(), c.bottom_hidden.begin(), c.bottom_hidden.end());
+  dims.push_back(c.emb_dim);
+  return dims;
+}
+
+std::vector<int64_t> TopDims(const DlrmConfig& c, int64_t inter_dim) {
+  std::vector<int64_t> dims;
+  dims.push_back(inter_dim);
+  dims.insert(dims.end(), c.top_hidden.begin(), c.top_hidden.end());
+  dims.push_back(1);
+  return dims;
+}
+
+}  // namespace
+
+DlrmModel::DlrmModel(const DlrmConfig& config,
+                     std::vector<std::unique_ptr<EmbeddingOp>> tables,
+                     Rng& rng)
+    : config_(config),
+      tables_(std::move(tables)),
+      bottom_(BottomDims(config), /*final_relu=*/true, rng),
+      top_(TopDims(config,
+                   DotInteraction(static_cast<int>(tables_.size()) + 1,
+                                  config.emb_dim)
+                       .out_dim()),
+           /*final_relu=*/false, rng),
+      interaction_(static_cast<int>(tables_.size()) + 1, config.emb_dim) {
+  TTREC_CHECK_CONFIG(!tables_.empty(), "DlrmModel: need at least one table");
+  for (const auto& t : tables_) {
+    TTREC_CHECK_CONFIG(t != nullptr, "DlrmModel: null table");
+    TTREC_CHECK_CONFIG(t->emb_dim() == config_.emb_dim,
+                       "DlrmModel: table ", t->Name(), " has emb_dim ",
+                       t->emb_dim(), ", model expects ", config_.emb_dim);
+  }
+  emb_out_.resize(tables_.size());
+}
+
+void DlrmModel::ForwardInternal(const MiniBatch& batch, float* logits) {
+  TTREC_CHECK_SHAPE(static_cast<int>(batch.sparse.size()) == num_tables(),
+                    "MiniBatch has ", batch.sparse.size(),
+                    " sparse features, model has ", num_tables(), " tables");
+  const int64_t B = batch.batch_size();
+  const int64_t d = config_.emb_dim;
+  TTREC_CHECK_SHAPE(batch.dense.ndim() == 2 && batch.dense.dim(0) == B &&
+                        batch.dense.dim(1) == config_.num_dense,
+                    "MiniBatch dense feature shape mismatch");
+
+  bottom_out_.assign(static_cast<size_t>(B * d), 0.0f);
+  bottom_.Forward(batch.dense.data(), B, bottom_out_.data());
+
+  std::vector<const float*> features;
+  features.reserve(tables_.size() + 1);
+  features.push_back(bottom_out_.data());
+  for (int t = 0; t < num_tables(); ++t) {
+    const CsrBatch& cb = batch.sparse[static_cast<size_t>(t)];
+    TTREC_CHECK_SHAPE(cb.num_bags() == B, "table ", t, " has ", cb.num_bags(),
+                      " bags for batch size ", B);
+    auto& out = emb_out_[static_cast<size_t>(t)];
+    out.assign(static_cast<size_t>(B * d), 0.0f);
+    tables_[static_cast<size_t>(t)]->Forward(cb, out.data());
+    features.push_back(out.data());
+  }
+
+  inter_out_.assign(static_cast<size_t>(B * interaction_.out_dim()), 0.0f);
+  interaction_.Forward(features, B, inter_out_.data());
+  top_.Forward(inter_out_.data(), B, logits);
+}
+
+void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits) {
+  ForwardInternal(batch, logits);
+}
+
+double DlrmModel::TrainStep(const MiniBatch& batch, float lr) {
+  return TrainStep(batch, OptimizerConfig::Sgd(lr));
+}
+
+double DlrmModel::TrainStep(const MiniBatch& batch,
+                            const OptimizerConfig& opt) {
+  const int64_t B = batch.batch_size();
+  const int64_t d = config_.emb_dim;
+  std::vector<float> logits(static_cast<size_t>(B));
+  ForwardInternal(batch, logits.data());
+
+  std::vector<float> dlogits(static_cast<size_t>(B));
+  const double loss =
+      BceWithLogits(logits, batch.labels, dlogits.data());
+
+  // Top MLP.
+  std::vector<float> dinter(
+      static_cast<size_t>(B * interaction_.out_dim()));
+  top_.Backward(dlogits.data(), B, dinter.data());
+
+  // Interaction.
+  std::vector<float> dbottom(static_cast<size_t>(B * d));
+  std::vector<std::vector<float>> demb(tables_.size());
+  std::vector<float*> grads;
+  grads.reserve(tables_.size() + 1);
+  grads.push_back(dbottom.data());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    demb[t].assign(static_cast<size_t>(B * d), 0.0f);
+    grads.push_back(demb[t].data());
+  }
+  interaction_.Backward(dinter.data(), B, grads);
+
+  // Embeddings and bottom MLP.
+  for (int t = 0; t < num_tables(); ++t) {
+    tables_[static_cast<size_t>(t)]->Backward(
+        batch.sparse[static_cast<size_t>(t)],
+        demb[static_cast<size_t>(t)].data());
+  }
+  bottom_.Backward(dbottom.data(), B, nullptr);
+
+  // Optimizer step.
+  if (opt.kind == OptimizerConfig::Kind::kAdagrad) {
+    bottom_.ApplyAdagrad(opt.lr, opt.eps);
+    top_.ApplyAdagrad(opt.lr, opt.eps);
+  } else {
+    bottom_.ApplySgd(opt.lr);
+    top_.ApplySgd(opt.lr);
+  }
+  for (auto& t : tables_) t->ApplyUpdate(opt);
+  return loss;
+}
+
+EvalMetrics DlrmModel::Evaluate(const MiniBatch& batch) {
+  std::vector<float> logits(static_cast<size_t>(batch.batch_size()));
+  ForwardInternal(batch, logits.data());
+  EvalMetrics m;
+  m.loss = BceWithLogits(logits, batch.labels, nullptr);
+  m.accuracy = BinaryAccuracy(logits, batch.labels);
+  m.auc = AucRoc(logits, batch.labels);
+  return m;
+}
+
+EvalMetrics DlrmModel::Evaluate(const std::vector<MiniBatch>& batches) {
+  TTREC_CHECK_CONFIG(!batches.empty(), "Evaluate: no batches");
+  EvalMetrics acc;
+  acc.auc = 0.0;
+  for (const MiniBatch& b : batches) {
+    const EvalMetrics m = Evaluate(b);
+    acc.loss += m.loss;
+    acc.accuracy += m.accuracy;
+    acc.auc += m.auc;
+  }
+  const double n = static_cast<double>(batches.size());
+  acc.loss /= n;
+  acc.accuracy /= n;
+  acc.auc /= n;
+  return acc;
+}
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x4D524C44;  // "DLRM"
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+void DlrmModel::SaveCheckpoint(std::ostream& os) const {
+  BinaryWriter w(os);
+  w.WriteU32(kCheckpointMagic);
+  w.WriteU32(kCheckpointVersion);
+  w.WriteI64(config_.num_dense);
+  w.WriteI64(config_.emb_dim);
+  w.WriteI64(num_tables());
+  bottom_.SaveState(w);
+  top_.SaveState(w);
+  for (const auto& t : tables_) {
+    w.WriteString(t->Name());
+    t->SaveState(w);
+  }
+  w.Finish();
+}
+
+void DlrmModel::LoadCheckpoint(std::istream& is) {
+  BinaryReader r(is);
+  TTREC_CHECK(r.ReadU32() == kCheckpointMagic,
+              "LoadCheckpoint: bad magic (not a DLRM checkpoint)");
+  const uint32_t version = r.ReadU32();
+  TTREC_CHECK(version == kCheckpointVersion,
+              "LoadCheckpoint: unsupported version ", version);
+  TTREC_CHECK_CONFIG(r.ReadI64() == config_.num_dense,
+                     "LoadCheckpoint: num_dense mismatch");
+  TTREC_CHECK_CONFIG(r.ReadI64() == config_.emb_dim,
+                     "LoadCheckpoint: emb_dim mismatch");
+  TTREC_CHECK_CONFIG(r.ReadI64() == num_tables(),
+                     "LoadCheckpoint: table count mismatch");
+  bottom_.LoadState(r);
+  top_.LoadState(r);
+  for (auto& t : tables_) {
+    const std::string name = r.ReadString();
+    TTREC_CHECK_CONFIG(name == t->Name(), "LoadCheckpoint: table type '",
+                       name, "' does not match model's '", t->Name(), "'");
+    t->LoadState(r);
+  }
+  r.Finish();
+}
+
+void DlrmModel::SaveCheckpointToFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  TTREC_CHECK(os.is_open(), "SaveCheckpointToFile: cannot open ", path);
+  SaveCheckpoint(os);
+  TTREC_CHECK(os.good(), "SaveCheckpointToFile: write failed");
+}
+
+void DlrmModel::LoadCheckpointFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TTREC_CHECK(is.is_open(), "LoadCheckpointFromFile: cannot open ", path);
+  LoadCheckpoint(is);
+}
+
+void DlrmModel::ReplaceTable(int t, std::unique_ptr<EmbeddingOp> op) {
+  TTREC_CHECK_INDEX(t >= 0 && t < num_tables(), "ReplaceTable: index ", t,
+                    " out of range");
+  TTREC_CHECK_CONFIG(op != nullptr, "ReplaceTable: null operator");
+  TTREC_CHECK_CONFIG(op->emb_dim() == config_.emb_dim,
+                     "ReplaceTable: emb_dim mismatch");
+  TTREC_CHECK_CONFIG(
+      op->num_rows() == tables_[static_cast<size_t>(t)]->num_rows(),
+      "ReplaceTable: num_rows mismatch (", op->num_rows(), " vs ",
+      tables_[static_cast<size_t>(t)]->num_rows(), ")");
+  tables_[static_cast<size_t>(t)] = std::move(op);
+}
+
+int64_t DlrmModel::EmbeddingMemoryBytes() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->MemoryBytes();
+  return total;
+}
+
+std::unique_ptr<DlrmModel> MakeBaselineDlrm(const DlrmConfig& config,
+                                            const DatasetSpec& spec,
+                                            Rng& rng) {
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  tables.reserve(spec.table_rows.size());
+  for (int64_t rows : spec.table_rows) {
+    tables.push_back(std::make_unique<DenseEmbeddingBag>(
+        rows, config.emb_dim, PoolingMode::kSum,
+        DenseEmbeddingInit::UniformScaled(), rng));
+  }
+  return std::make_unique<DlrmModel>(config, std::move(tables), rng);
+}
+
+}  // namespace ttrec

@@ -1,0 +1,114 @@
+// The full DLRM (paper Figure 2): bottom MLP over dense features, one
+// embedding operator per categorical table (baseline EmbeddingBag, TT-Rec,
+// or cached TT-Rec — freely mixed per table), dot interaction, top MLP,
+// BCE-with-logits. Manual backprop end to end, plain SGD (the MLPerf-DLRM
+// optimizer).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/criteo_synth.h"
+#include "dlrm/embedding_op.h"
+#include "dlrm/interaction.h"
+#include "dlrm/mlp.h"
+#include "dlrm/optimizer.h"
+#include "tensor/random.h"
+
+namespace ttrec {
+
+struct DlrmConfig {
+  int64_t num_dense = 13;
+  int64_t emb_dim = 16;
+  /// Hidden sizes of the bottom tower; the final layer always maps to
+  /// emb_dim (MLPerf Kaggle reference: 512-256-64-16).
+  std::vector<int64_t> bottom_hidden = {64, 32};
+  /// Hidden sizes of the top tower; a final linear-to-1 layer is appended
+  /// (MLPerf Kaggle reference: 512-256-1).
+  std::vector<int64_t> top_hidden = {64, 32};
+};
+
+struct EvalMetrics {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  double auc = 0.5;
+};
+
+class DlrmModel {
+ public:
+  /// `tables` supplies one EmbeddingOp per categorical feature; all must
+  /// share config.emb_dim.
+  DlrmModel(const DlrmConfig& config,
+            std::vector<std::unique_ptr<EmbeddingOp>> tables, Rng& rng);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const DlrmConfig& config() const { return config_; }
+  EmbeddingOp& table(int t) { return *tables_[static_cast<size_t>(t)]; }
+
+  /// Replaces table `t` in place — the post-training compression workflow
+  /// (e.g. swap a trained dense table for its TT-SVD or quantized form and
+  /// re-evaluate). The replacement must match emb_dim and num_rows.
+  void ReplaceTable(int t, std::unique_ptr<EmbeddingOp> op);
+
+  /// Forward only; writes one logit per sample into `logits`.
+  void PredictLogits(const MiniBatch& batch, float* logits);
+
+  /// Forward + backward + SGD step; returns the batch BCE loss.
+  double TrainStep(const MiniBatch& batch, float lr);
+
+  /// Forward + backward + optimizer step (SGD or Adagrad applied to MLPs
+  /// and every embedding table); returns the batch BCE loss.
+  double TrainStep(const MiniBatch& batch, const OptimizerConfig& opt);
+
+  /// Forward + metrics on a held-out batch (no parameter updates).
+  EvalMetrics Evaluate(const MiniBatch& batch);
+
+  /// Averaged metrics over several evaluation batches.
+  EvalMetrics Evaluate(const std::vector<MiniBatch>& batches);
+
+  /// Serializes MLP towers and every table's learned parameters into a
+  /// versioned, checksummed checkpoint. Optimizer state is not persisted
+  /// (exact resume under SGD; Adagrad restarts its accumulators).
+  void SaveCheckpoint(std::ostream& os) const;
+
+  /// Restores a checkpoint into this model; the architecture (table count,
+  /// per-table operator type and shape, MLP dims) must match the one that
+  /// saved it.
+  void LoadCheckpoint(std::istream& is);
+
+  void SaveCheckpointToFile(const std::string& path) const;
+  void LoadCheckpointFromFile(const std::string& path);
+
+  int64_t EmbeddingMemoryBytes() const;
+  int64_t MlpMemoryBytes() const {
+    return bottom_.MemoryBytes() + top_.MemoryBytes();
+  }
+  int64_t TotalMemoryBytes() const {
+    return EmbeddingMemoryBytes() + MlpMemoryBytes();
+  }
+
+ private:
+  /// Runs the forward pass and leaves activations cached for backward.
+  void ForwardInternal(const MiniBatch& batch, float* logits);
+
+  DlrmConfig config_;
+  std::vector<std::unique_ptr<EmbeddingOp>> tables_;
+  Mlp bottom_;
+  Mlp top_;
+  DotInteraction interaction_;
+
+  // Forward activations reused by backward.
+  std::vector<float> bottom_out_;            // B x d
+  std::vector<std::vector<float>> emb_out_;  // per table, B x d
+  std::vector<float> inter_out_;             // B x inter_dim
+};
+
+/// Convenience factory: builds a DLRM over `spec` where every table is an
+/// uncompressed DenseEmbeddingBag (the paper's baseline).
+std::unique_ptr<DlrmModel> MakeBaselineDlrm(const DlrmConfig& config,
+                                            const DatasetSpec& spec, Rng& rng);
+
+}  // namespace ttrec

@@ -1,0 +1,44 @@
+// Optimizer selection for DLRM training.
+//
+// The paper (and MLPerf-DLRM) trains with plain SGD; production DLRMs use
+// Adagrad variants for the sparse tables. Both are supported end to end:
+// SGD everywhere, or Adagrad (elementwise on MLPs/TT cores/cached rows,
+// row-wise on dense embedding tables, matching FBGEMM's rowwise_adagrad).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+struct OptimizerConfig {
+  enum class Kind : uint8_t { kSgd, kAdagrad };
+  Kind kind = Kind::kSgd;
+  float lr = 0.1f;
+  float eps = 1e-8f;  // Adagrad denominator floor
+
+  static OptimizerConfig Sgd(float lr) { return {Kind::kSgd, lr, 1e-8f}; }
+  static OptimizerConfig Adagrad(float lr, float eps = 1e-8f) {
+    return {Kind::kAdagrad, lr, eps};
+  }
+};
+
+inline const char* OptimizerName(OptimizerConfig::Kind kind) {
+  switch (kind) {
+    case OptimizerConfig::Kind::kSgd:
+      return "sgd";
+    case OptimizerConfig::Kind::kAdagrad:
+      return "adagrad";
+  }
+  return "unknown";
+}
+
+inline OptimizerConfig::Kind OptimizerKindFromName(const std::string& name) {
+  if (name == "sgd") return OptimizerConfig::Kind::kSgd;
+  if (name == "adagrad") return OptimizerConfig::Kind::kAdagrad;
+  throw ConfigError("unknown optimizer: " + name);
+}
+
+}  // namespace ttrec

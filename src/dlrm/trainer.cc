@@ -1,0 +1,57 @@
+#include "dlrm/trainer.h"
+
+#include <chrono>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+std::vector<MiniBatch> MakeEvalSet(const SyntheticCriteo& data,
+                                   const TrainConfig& config) {
+  std::vector<MiniBatch> eval;
+  eval.reserve(static_cast<size_t>(config.eval_batches));
+  for (int64_t i = 0; i < config.eval_batches; ++i) {
+    eval.push_back(data.EvalBatch(config.eval_batch_size,
+                                  static_cast<uint64_t>(i + 1)));
+  }
+  return eval;
+}
+
+TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
+                      const TrainConfig& config) {
+  TTREC_CHECK_CONFIG(config.iterations >= 1, "need >= 1 training iteration");
+  TTREC_CHECK_CONFIG(config.batch_size >= 1, "batch size must be positive");
+
+  OptimizerConfig opt;
+  opt.kind = config.optimizer;
+  opt.lr = config.lr;
+  opt.eps = config.adagrad_eps;
+
+  TrainResult result;
+  result.iterations = config.iterations;
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    const auto t0 = Clock::now();
+    MiniBatch batch = data.NextBatch(config.batch_size);
+    const auto t1 = Clock::now();
+    const double loss = model.TrainStep(batch, opt);
+    const auto t2 = Clock::now();
+    result.data_seconds += Seconds(t0, t1);
+    result.train_seconds += Seconds(t1, t2);
+    if (config.log_every > 0 && it % config.log_every == 0) {
+      result.loss_history.push_back(loss);
+    }
+  }
+  if (config.eval_batches > 0) {
+    result.final_eval = model.Evaluate(MakeEvalSet(data, config));
+  }
+  return result;
+}
+
+}  // namespace ttrec

@@ -1,0 +1,52 @@
+// Training-loop driver: runs SGD over the synthetic Criteo stream, tracks
+// loss history and wall-clock time, and evaluates on held-out batches —
+// producing exactly the (accuracy, loss, time, memory) tuples the paper's
+// evaluation section plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/criteo_synth.h"
+#include "dlrm/model.h"
+#include "dlrm/optimizer.h"
+
+namespace ttrec {
+
+struct TrainConfig {
+  int64_t iterations = 200;
+  int64_t batch_size = 128;
+  float lr = 0.1f;
+  /// SGD (the paper / MLPerf default) or Adagrad (production extension).
+  OptimizerConfig::Kind optimizer = OptimizerConfig::Kind::kSgd;
+  float adagrad_eps = 1e-8f;
+  /// Held-out evaluation batches generated once up front.
+  int64_t eval_batches = 4;
+  int64_t eval_batch_size = 512;
+  /// Record a loss sample every `log_every` iterations (0 = never).
+  int64_t log_every = 10;
+};
+
+struct TrainResult {
+  std::vector<double> loss_history;  // sampled every log_every iterations
+  EvalMetrics final_eval;
+  double train_seconds = 0.0;        // excluding data generation and eval
+  double data_seconds = 0.0;
+  int64_t iterations = 0;
+  double MsPerIteration() const {
+    return iterations > 0 ? 1000.0 * train_seconds /
+                                static_cast<double>(iterations)
+                          : 0.0;
+  }
+};
+
+/// Trains `model` on batches from `data` and returns the result summary.
+TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
+                      const TrainConfig& config);
+
+/// Builds the standard held-out evaluation set used by TrainDlrm (exposed
+/// so sweeps can evaluate multiple models on identical data).
+std::vector<MiniBatch> MakeEvalSet(const SyntheticCriteo& data,
+                                   const TrainConfig& config);
+
+}  // namespace ttrec

@@ -1,0 +1,72 @@
+#include "tensor/batched_gemm.h"
+
+#include "tensor/check.h"
+#include "tensor/parallel.h"
+
+namespace ttrec {
+
+namespace {
+
+void CheckShape(const BatchedGemmShape& s) {
+  TTREC_CHECK_SHAPE(s.m >= 0 && s.n >= 0 && s.k >= 0,
+                    "BatchedGemm dims must be non-negative");
+}
+
+}  // namespace
+
+void BatchedGemm(const BatchedGemmShape& shape, std::span<const float* const> a,
+                 std::span<const float* const> b, std::span<float* const> c,
+                 bool deterministic) {
+  CheckShape(shape);
+  TTREC_CHECK_SHAPE(a.size() == b.size() && b.size() == c.size(),
+                    "BatchedGemm: pointer array sizes differ: ", a.size(), "/",
+                    b.size(), "/", c.size());
+  const int64_t count = static_cast<int64_t>(a.size());
+  if (count == 0) return;
+
+  auto run_one = [&](int64_t i) {
+    TTREC_CHECK_INDEX(a[i] != nullptr && b[i] != nullptr && c[i] != nullptr,
+                      "BatchedGemm: null pointer in problem ", i);
+    Gemm(shape.ta, shape.tb, shape.m, shape.n, shape.k, shape.alpha, a[i],
+         (shape.ta == Trans::kNo) ? shape.k : shape.m, b[i],
+         (shape.tb == Trans::kNo) ? shape.n : shape.k, shape.beta, c[i],
+         shape.n);
+  };
+
+  if (deterministic) {
+    for (int64_t i = 0; i < count; ++i) run_one(i);
+    return;
+  }
+  // Grain sized so each worker gets a few thousand FLOPs minimum; tiny TT
+  // problems otherwise drown in scheduling overhead.
+  const int64_t flops = std::max<int64_t>(1, shape.m * shape.n * shape.k);
+  const int64_t grain = std::max<int64_t>(1, 16384 / flops);
+  ParallelFor(
+      count,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) run_one(i);
+      },
+      grain);
+}
+
+void StridedBatchedGemm(const BatchedGemmShape& shape, const float* a,
+                        int64_t stride_a, const float* b, int64_t stride_b,
+                        float* c, int64_t stride_c, int64_t count) {
+  CheckShape(shape);
+  TTREC_CHECK_SHAPE(count >= 0, "StridedBatchedGemm: negative count");
+  const int64_t flops = std::max<int64_t>(1, shape.m * shape.n * shape.k);
+  const int64_t grain = std::max<int64_t>(1, 16384 / flops);
+  ParallelFor(
+      count,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          Gemm(shape.ta, shape.tb, shape.m, shape.n, shape.k, shape.alpha,
+               a + i * stride_a, (shape.ta == Trans::kNo) ? shape.k : shape.m,
+               b + i * stride_b, (shape.tb == Trans::kNo) ? shape.n : shape.k,
+               shape.beta, c + i * stride_c, shape.n);
+        }
+      },
+      grain);
+}
+
+}  // namespace ttrec

@@ -1,0 +1,88 @@
+// Error types and check macros used across the TT-Rec library.
+//
+// All precondition violations throw typed exceptions derived from
+// ttrec::TtRecError so callers can distinguish configuration mistakes
+// (ShapeError/ConfigError), bad runtime inputs (IndexError), and internal
+// invariant failures (InternalError).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ttrec {
+
+/// Base class for all errors thrown by the TT-Rec library.
+class TtRecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Incompatible tensor/matrix shapes (e.g. GEMM inner-dimension mismatch).
+class ShapeError : public TtRecError {
+ public:
+  using TtRecError::TtRecError;
+};
+
+/// An index is outside the valid range (e.g. embedding row id >= num rows).
+class IndexError : public TtRecError {
+ public:
+  using TtRecError::TtRecError;
+};
+
+/// A configuration value is invalid (e.g. rank 0, empty factorization).
+class ConfigError : public TtRecError {
+ public:
+  using TtRecError::TtRecError;
+};
+
+/// An internal invariant was violated; indicates a library bug.
+class InternalError : public TtRecError {
+ public:
+  using TtRecError::TtRecError;
+};
+
+namespace detail {
+
+template <typename Error, typename... Parts>
+[[noreturn]] void ThrowChecked(const char* cond, const char* file, int line,
+                               const Parts&... parts) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed (" << cond << ")";
+  if constexpr (sizeof...(parts) > 0) {
+    os << ": ";
+    (os << ... << parts);
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ttrec
+
+#define TTREC_CHECK_IMPL(cond, error_type, ...)                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ttrec::detail::ThrowChecked<error_type>(#cond, __FILE__, __LINE__,  \
+                                                ##__VA_ARGS__);             \
+    }                                                                       \
+  } while (0)
+
+/// Generic precondition; throws ttrec::TtRecError.
+#define TTREC_CHECK(cond, ...) \
+  TTREC_CHECK_IMPL(cond, ::ttrec::TtRecError, ##__VA_ARGS__)
+
+/// Shape precondition; throws ttrec::ShapeError.
+#define TTREC_CHECK_SHAPE(cond, ...) \
+  TTREC_CHECK_IMPL(cond, ::ttrec::ShapeError, ##__VA_ARGS__)
+
+/// Index precondition; throws ttrec::IndexError.
+#define TTREC_CHECK_INDEX(cond, ...) \
+  TTREC_CHECK_IMPL(cond, ::ttrec::IndexError, ##__VA_ARGS__)
+
+/// Configuration precondition; throws ttrec::ConfigError.
+#define TTREC_CHECK_CONFIG(cond, ...) \
+  TTREC_CHECK_IMPL(cond, ::ttrec::ConfigError, ##__VA_ARGS__)
+
+/// Internal invariant; throws ttrec::InternalError.
+#define TTREC_CHECK_INTERNAL(cond, ...) \
+  TTREC_CHECK_IMPL(cond, ::ttrec::InternalError, ##__VA_ARGS__)

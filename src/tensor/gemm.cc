@@ -1,0 +1,172 @@
+#include "tensor/gemm.h"
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+
+// C (m x n) = alpha * A (m x k) * B (k x n) + beta * C. The i-k-j loop order
+// streams B and C rows, which GCC vectorizes; fine for the small blocky
+// matrices TT contraction produces.
+void GemmNN(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    if (beta == 0.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const float* ai = a + i * lda;
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = alpha * ai[p];
+      const float* bp = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C = alpha * A^T (m x k, stored k x m) * B (k x n) + beta * C.
+void GemmTN(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    if (beta == 0.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = alpha * a[p * lda + i];
+      const float* bp = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C = alpha * A (m x k) * B^T (k x n, stored n x k) + beta * C.
+// Dot-product formulation: both A row and B row are streamed contiguously.
+void GemmNT(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+
+// C = alpha * A^T * B^T + beta * C.
+void GemmTT(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
+      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+
+void CheckGemmArgs(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
+                   int64_t lda, int64_t ldb, int64_t ldc) {
+  TTREC_CHECK_SHAPE(m >= 0 && n >= 0 && k >= 0,
+                    "GEMM dims must be non-negative: m=", m, " n=", n,
+                    " k=", k);
+  const int64_t a_cols = (ta == Trans::kNo) ? k : m;
+  const int64_t b_cols = (tb == Trans::kNo) ? n : k;
+  TTREC_CHECK_SHAPE(lda >= a_cols, "GEMM lda (", lda, ") < A columns (",
+                    a_cols, ")");
+  TTREC_CHECK_SHAPE(ldb >= b_cols, "GEMM ldb (", ldb, ") < B columns (",
+                    b_cols, ")");
+  TTREC_CHECK_SHAPE(ldc >= n, "GEMM ldc (", ldc, ") < n (", n, ")");
+}
+
+}  // namespace
+
+void Gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,
+          const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+          float* c, int64_t ldc) {
+  CheckGemmArgs(ta, tb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // Degenerate product: C = beta * C.
+    for (int64_t i = 0; i < m; ++i) {
+      float* ci = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) ci[j] = beta == 0.0f ? 0.0f : beta * ci[j];
+    }
+    return;
+  }
+  if (ta == Trans::kNo && tb == Trans::kNo) {
+    GemmNN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else if (ta == Trans::kYes && tb == Trans::kNo) {
+    GemmTN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else if (ta == Trans::kNo && tb == Trans::kYes) {
+    GemmNT(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  } else {
+    GemmTT(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  }
+}
+
+void Gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  const int64_t lda = (ta == Trans::kNo) ? k : m;
+  const int64_t ldb = (tb == Trans::kNo) ? n : k;
+  Gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+void GemmRef(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,
+             const float* a, int64_t lda, const float* b, int64_t ldb,
+             float beta, float* c, int64_t ldc) {
+  CheckGemmArgs(ta, tb, m, n, k, lda, ldb, ldc);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = (ta == Trans::kNo) ? a[i * lda + p] : a[p * lda + i];
+        const float bv = (tb == Trans::kNo) ? b[p * ldb + j] : b[j * ldb + p];
+        acc += static_cast<double>(av) * bv;
+      }
+      const double prev = (beta == 0.0f) ? 0.0 : beta * c[i * ldc + j];
+      c[i * ldc + j] = static_cast<float>(alpha * acc + prev);
+    }
+  }
+}
+
+void Gemv(Trans ta, int64_t m, int64_t n, float alpha, const float* a,
+          int64_t lda, const float* x, float beta, float* y) {
+  // Treat as GEMM with a 1-column B / C.
+  if (ta == Trans::kNo) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * lda;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += ai[j] * x[j];
+      y[i] = alpha * acc + (beta == 0.0f ? 0.0f : beta * y[i]);
+    }
+  } else {
+    for (int64_t j = 0; j < n; ++j) {
+      y[j] = beta == 0.0f ? 0.0f : beta * y[j];
+    }
+    for (int64_t i = 0; i < m; ++i) {
+      const float xi = alpha * x[i];
+      const float* ai = a + i * lda;
+      for (int64_t j = 0; j < n; ++j) y[j] += xi * ai[j];
+    }
+  }
+}
+
+}  // namespace ttrec

@@ -1,0 +1,115 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    try {
+      (*task.fn)(task.begin, task.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t total, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t max_chunks = (total + grain - 1) / grain;
+  const int64_t num_chunks =
+      std::min<int64_t>(max_chunks, static_cast<int64_t>(num_threads_));
+  if (num_chunks <= 1 || workers_.empty()) {
+    fn(0, total);
+    return;
+  }
+  const int64_t chunk = (total + num_chunks - 1) / num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One chunk stays on the calling thread; the rest go to the queue.
+    for (int64_t c = 1; c < num_chunks; ++c) {
+      queue_.push_back(
+          Task{&fn, c * chunk, std::min(total, (c + 1) * chunk)});
+    }
+    pending_ += static_cast<int>(num_chunks - 1);
+  }
+  cv_.notify_all();
+  // Run the caller's chunk, but never unwind before the workers finish —
+  // their tasks reference `fn` on this stack frame.
+  std::exception_ptr caller_error;
+  try {
+    fn(0, std::min(total, chunk));
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  std::exception_ptr err = caller_error ? caller_error : first_error_;
+  first_error_ = nullptr;
+  if (err) std::rethrow_exception(err);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  return *GlobalPoolSlot();
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  TTREC_CHECK_CONFIG(num_threads >= 1, "thread count must be >= 1, got ",
+                     num_threads);
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  GlobalPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+void ParallelFor(int64_t total, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t grain) {
+  ThreadPool::Global().ParallelFor(total, grain, fn);
+}
+
+}  // namespace ttrec

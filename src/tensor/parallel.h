@@ -1,0 +1,70 @@
+// A small work-stealing-free thread pool and a blocking parallel_for.
+//
+// TT-EmbeddingBag batches thousands of tiny GEMMs; on multi-core hosts the
+// batch dimension is split across pool workers (the CPU analogue of the
+// paper's batched cuBLAS launch). The pool is created lazily and sized from
+// std::thread::hardware_concurrency() unless overridden. On a single-core
+// host parallel_for degrades to an inline loop with zero overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ttrec {
+
+/// Fixed-size thread pool executing `void(int64_t begin, int64_t end)` range
+/// tasks. Thread-safe; tasks must not throw (exceptions are rethrown on the
+/// calling thread from ParallelFor).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1). `num_threads == 1`
+  /// creates no worker threads; everything runs inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(begin, end)` over [0, total) split into roughly equal chunks,
+  /// one per worker; blocks until all chunks finish. `grain` is the minimum
+  /// chunk size (small ranges run inline).
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Process-wide pool, sized from hardware_concurrency (min 1).
+  static ThreadPool& Global();
+
+  /// Resizes the global pool; for tests and benchmark sweeps.
+  static void SetGlobalThreads(int num_threads);
+
+ private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> queue_;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Shorthand for ThreadPool::Global().ParallelFor with a default grain.
+void ParallelFor(int64_t total, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t grain = 64);
+
+}  // namespace ttrec

@@ -1,0 +1,134 @@
+#include "tensor/serialize.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t FnvUpdate(uint64_t h, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+BinaryWriter::BinaryWriter(std::ostream& os) : os_(os), checksum_(kFnvOffset) {}
+
+void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  TTREC_CHECK(!finished_, "BinaryWriter: write after Finish");
+  os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  TTREC_CHECK(os_.good(), "BinaryWriter: stream write failed");
+  checksum_ = FnvUpdate(checksum_, data, bytes);
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteI64Vec(const std::vector<int64_t>& v) {
+  WriteI64(static_cast<int64_t>(v.size()));
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(int64_t));
+}
+
+void BinaryWriter::WriteFloats(const float* data, size_t count) {
+  WriteI64(static_cast<int64_t>(count));
+  if (count > 0) WriteRaw(data, count * sizeof(float));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteI64(static_cast<int64_t>(s.size()));
+  if (!s.empty()) WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::Finish() {
+  TTREC_CHECK(!finished_, "BinaryWriter: Finish called twice");
+  const uint64_t sum = checksum_;
+  os_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  TTREC_CHECK(os_.good(), "BinaryWriter: trailer write failed");
+  finished_ = true;
+}
+
+BinaryReader::BinaryReader(std::istream& is) : is_(is), checksum_(kFnvOffset) {}
+
+void BinaryReader::ReadRaw(void* data, size_t bytes) {
+  is_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  TTREC_CHECK(is_.gcount() == static_cast<std::streamsize>(bytes),
+              "BinaryReader: truncated stream (wanted ", bytes, " bytes, got ",
+              is_.gcount(), ")");
+  checksum_ = FnvUpdate(checksum_, data, bytes);
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t v;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::vector<int64_t> BinaryReader::ReadI64Vec() {
+  const int64_t n = ReadI64();
+  TTREC_CHECK(n >= 0 && n < (int64_t{1} << 32),
+              "BinaryReader: implausible vector length ", n);
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  if (n > 0) ReadRaw(v.data(), static_cast<size_t>(n) * sizeof(int64_t));
+  return v;
+}
+
+void BinaryReader::ReadFloats(float* data, size_t count) {
+  const int64_t n = ReadI64();
+  TTREC_CHECK(n == static_cast<int64_t>(count),
+              "BinaryReader: float section length mismatch: expected ", count,
+              ", stored ", n);
+  if (count > 0) ReadRaw(data, count * sizeof(float));
+}
+
+std::string BinaryReader::ReadString() {
+  const int64_t n = ReadI64();
+  TTREC_CHECK(n >= 0 && n < (int64_t{1} << 24),
+              "BinaryReader: implausible string length ", n);
+  std::string s(static_cast<size_t>(n), '\0');
+  if (n > 0) ReadRaw(s.data(), static_cast<size_t>(n));
+  return s;
+}
+
+void BinaryReader::Finish() {
+  const uint64_t computed = checksum_;
+  uint64_t stored;
+  is_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  TTREC_CHECK(is_.gcount() == sizeof(stored),
+              "BinaryReader: missing checksum trailer");
+  TTREC_CHECK(stored == computed, "BinaryReader: checksum mismatch (file "
+              "corrupted or format drift)");
+}
+
+void SaveTensor(BinaryWriter& w, const Tensor& t) {
+  w.WriteI64Vec(t.shape());
+  w.WriteFloats(t.data(), static_cast<size_t>(t.numel()));
+}
+
+Tensor LoadTensor(BinaryReader& r) {
+  std::vector<int64_t> shape = r.ReadI64Vec();
+  Tensor t(shape.empty() ? Tensor() : Tensor(shape));
+  if (!shape.empty()) {
+    r.ReadFloats(t.data(), static_cast<size_t>(t.numel()));
+  } else {
+    r.ReadFloats(nullptr, 0);
+  }
+  return t;
+}
+
+}  // namespace ttrec

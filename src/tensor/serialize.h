@@ -1,0 +1,67 @@
+// Minimal versioned binary serialization for tensors and POD vectors.
+//
+// Little-endian, length-prefixed sections, FNV-1a checksum trailer. Used to
+// persist TT cores (tt/tt_io.h) and embedding tables so compressed models
+// can be exported from training and loaded by serving replicas.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttrec {
+
+/// Streaming writer with a running FNV-1a checksum.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os);
+
+  void WriteU32(uint32_t v);
+  void WriteI64(int64_t v);
+  void WriteI64Vec(const std::vector<int64_t>& v);
+  void WriteFloats(const float* data, size_t count);
+  void WriteString(const std::string& s);
+
+  /// Writes the checksum trailer; call exactly once, last.
+  void Finish();
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  void WriteRaw(const void* data, size_t bytes);
+
+  std::ostream& os_;
+  uint64_t checksum_;
+  bool finished_ = false;
+};
+
+/// Streaming reader that mirrors BinaryWriter and validates the trailer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is);
+
+  uint32_t ReadU32();
+  int64_t ReadI64();
+  std::vector<int64_t> ReadI64Vec();
+  void ReadFloats(float* data, size_t count);
+  std::string ReadString();
+
+  /// Reads and validates the checksum trailer; throws TtRecError on
+  /// mismatch or short stream.
+  void Finish();
+
+ private:
+  void ReadRaw(void* data, size_t bytes);
+
+  std::istream& is_;
+  uint64_t checksum_;
+};
+
+/// Tensor <-> stream (shape + raw float data).
+void SaveTensor(BinaryWriter& w, const Tensor& t);
+Tensor LoadTensor(BinaryReader& r);
+
+}  // namespace ttrec

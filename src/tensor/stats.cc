@@ -1,0 +1,117 @@
+#include "tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+void RunningMoments::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningMoments::AddAll(std::span<const float> xs) {
+  for (float x : xs) Add(x);
+}
+
+double RunningMoments::variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / num_bins) {
+  TTREC_CHECK_CONFIG(hi > lo, "Histogram: hi must exceed lo");
+  TTREC_CHECK_CONFIG(num_bins >= 1, "Histogram: need at least one bin");
+  counts_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+void Histogram::Add(double x) {
+  int bin = static_cast<int>((x - lo_) / width_);
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(std::span<const float> xs) {
+  for (float x : xs) Add(x);
+}
+
+double Histogram::bin_center(int i) const {
+  TTREC_CHECK_INDEX(i >= 0 && i < num_bins(), "Histogram bin out of range");
+  return lo_ + (i + 0.5) * width_;
+}
+
+int64_t Histogram::count(int i) const {
+  TTREC_CHECK_INDEX(i >= 0 && i < num_bins(), "Histogram bin out of range");
+  return counts_[static_cast<size_t>(i)];
+}
+
+double Histogram::Density(int i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(i)) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::string Histogram::ToAscii(int max_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (int i = 0; i < num_bins(); ++i) {
+    const int w = static_cast<int>(
+        static_cast<double>(count(i)) / static_cast<double>(peak) * max_width);
+    os.width(9);
+    os.precision(3);
+    os << std::fixed << bin_center(i) << " |" << std::string(w, '#') << "\n";
+  }
+  return os.str();
+}
+
+double GaussianPdf(double x, double mu, double sigma2) {
+  TTREC_CHECK_CONFIG(sigma2 > 0.0, "GaussianPdf: sigma2 must be positive");
+  const double d = x - mu;
+  return std::exp(-0.5 * d * d / sigma2) /
+         std::sqrt(2.0 * std::numbers::pi * sigma2);
+}
+
+double KlUniformVsGaussian(double a, double b, double mu, double sigma2) {
+  TTREC_CHECK_CONFIG(b > a, "KlUniformVsGaussian: b must exceed a");
+  TTREC_CHECK_CONFIG(sigma2 > 0.0, "KlUniformVsGaussian: sigma2 > 0 required");
+  // D = -ln(b-a) + 0.5 ln(2 pi sigma2) + E_U[(x-mu)^2] / (2 sigma2), with
+  // E_U[(x-mu)^2] = ((b-mu)^3 - (a-mu)^3) / (3 (b-a)).
+  const double second_moment =
+      (std::pow(b - mu, 3) - std::pow(a - mu, 3)) / (3.0 * (b - a));
+  return -std::log(b - a) +
+         0.5 * std::log(2.0 * std::numbers::pi * sigma2) +
+         second_moment / (2.0 * sigma2);
+}
+
+double KlHistogramVsGaussian(const Histogram& hist, double mu, double sigma2) {
+  double kl = 0.0;
+  for (int i = 0; i < hist.num_bins(); ++i) {
+    const double p = hist.Density(i);
+    if (p <= 0.0) continue;
+    const double q =
+        std::max(GaussianPdf(hist.bin_center(i), mu, sigma2),
+                 std::numeric_limits<double>::min());
+    kl += p * std::log(p / q) * hist.bin_width();
+  }
+  return kl;
+}
+
+}  // namespace ttrec

@@ -1,0 +1,78 @@
+// Statistics utilities for the weight-initialization study (paper §3.2,
+// Table 1, Figure 3): streaming moments, histograms, and the closed-form
+// KL divergence between a uniform distribution and a Gaussian that drives
+// the paper's choice of N(0, 1/(3n)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ttrec {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningMoments {
+ public:
+  void Add(double x);
+  void AddAll(std::span<const float> xs);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range histogram with uniform bins; out-of-range samples are
+/// clamped into the edge bins and counted.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double x);
+  void AddAll(std::span<const float> xs);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  double bin_center(int i) const;
+  double bin_width() const { return width_; }
+  int64_t count(int i) const;
+
+  /// Empirical density of bin i (count normalized by total * bin width).
+  double Density(int i) const;
+
+  /// Renders an ASCII sketch, one line per bin; for bench output.
+  std::string ToAscii(int max_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Closed-form KL divergence D(U(a,b) || N(mu, sigma2)).
+/// The minimizer over (mu, sigma2) is mu=(a+b)/2, sigma2=(b-a)^2/12 — the
+/// identity the paper uses to pick N(0, 1/(3n)) as the initializer that
+/// best mimics Uniform(-1/sqrt(n), 1/sqrt(n)).
+double KlUniformVsGaussian(double a, double b, double mu, double sigma2);
+
+/// Empirical KL divergence D(hist || N(mu, sigma2)) over the histogram's
+/// support; bins with zero mass contribute nothing.
+double KlHistogramVsGaussian(const Histogram& hist, double mu, double sigma2);
+
+/// Standard normal density.
+double GaussianPdf(double x, double mu, double sigma2);
+
+}  // namespace ttrec

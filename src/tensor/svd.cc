@@ -1,0 +1,176 @@
+#include "tensor/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+
+// One-sided Jacobi on the columns of `a` (m x n, column-major accumulation
+// done in-place on a row-major buffer). Accumulates right rotations into v
+// (n x n, starts as identity). After convergence the columns of `a` are
+// U * diag(s).
+void JacobiSweeps(std::vector<double>& a, int64_t m, int64_t n,
+                  std::vector<double>& v, int max_sweeps, double tol) {
+  auto col_dot = [&](int64_t p, int64_t q) {
+    double s = 0.0;
+    for (int64_t i = 0; i < m; ++i) s += a[i * n + p] * a[i * n + q];
+    return s;
+  };
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double app = col_dot(p, p);
+        const double aqq = col_dot(q, q);
+        const double apq = col_dot(p, q);
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        // Classic Jacobi rotation annihilating the (p, q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(tau) + std::sqrt(1.0 + tau * tau)), tau);
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (int64_t i = 0; i < m; ++i) {
+          const double ap = a[i * n + p];
+          const double aq = a[i * n + q];
+          a[i * n + p] = cs * ap - sn * aq;
+          a[i * n + q] = sn * ap + cs * aq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vp = v[i * n + p];
+          const double vq = v[i * n + q];
+          v[i * n + p] = cs * vp - sn * vq;
+          v[i * n + q] = sn * vp + cs * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+}
+
+SvdResult SvdTall(const Tensor& input) {
+  // Requires m >= n.
+  const int64_t m = input.dim(0);
+  const int64_t n = input.dim(1);
+  std::vector<double> a(input.data(), input.data() + input.numel());
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+  JacobiSweeps(a, m, n, v, /*max_sweeps=*/60, /*tol=*/1e-10);
+
+  // Column norms are the singular values; sort descending.
+  std::vector<double> sigma(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (int64_t i = 0; i < m; ++i) s += a[i * n + j] * a[i * n + j];
+    sigma[static_cast<size_t>(j)] = std::sqrt(s);
+  }
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.u = Tensor({m, n});
+  out.vt = Tensor({n, n});
+  out.s.resize(static_cast<size_t>(n));
+  for (int64_t jj = 0; jj < n; ++jj) {
+    const int64_t j = order[static_cast<size_t>(jj)];
+    const double s = sigma[static_cast<size_t>(j)];
+    out.s[static_cast<size_t>(jj)] = static_cast<float>(s);
+    // Left vectors: normalized columns. Zero singular value -> zero column
+    // (rank deficiency); the reconstruction is unaffected.
+    const double inv = (s > 0.0) ? 1.0 / s : 0.0;
+    for (int64_t i = 0; i < m; ++i) {
+      out.u.data()[i * n + jj] = static_cast<float>(a[i * n + j] * inv);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      out.vt.data()[jj * n + i] = static_cast<float>(v[i * n + j]);
+    }
+  }
+  return out;
+}
+
+Tensor TransposeTensor(const Tensor& a) {
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor t({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) t.data()[j * m + i] = a.data()[i * n + j];
+  }
+  return t;
+}
+
+}  // namespace
+
+SvdResult Svd(const Tensor& a, int max_sweeps, double tol) {
+  TTREC_CHECK_SHAPE(a.ndim() == 2, "Svd expects a matrix, got ", a.ndim(),
+                    "-d tensor");
+  (void)max_sweeps;
+  (void)tol;
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  if (m >= n) return SvdTall(a);
+  // A = U S V^T  <=>  A^T = V S U^T: decompose the transpose and swap roles.
+  SvdResult t = SvdTall(TransposeTensor(a));
+  SvdResult out;
+  out.s = std::move(t.s);
+  out.u = TransposeTensor(t.vt);  // m x r
+  out.vt = TransposeTensor(t.u);  // r x n
+  return out;
+}
+
+SvdResult TruncatedSvd(const Tensor& a, int64_t rank, int max_sweeps,
+                       double tol) {
+  TTREC_CHECK_CONFIG(rank >= 1, "TruncatedSvd: rank must be >= 1, got ", rank);
+  SvdResult full = Svd(a, max_sweeps, tol);
+  const int64_t r_full = static_cast<int64_t>(full.s.size());
+  const int64_t r = std::min(rank, r_full);
+  if (r == r_full) return full;
+
+  const int64_t m = full.u.dim(0);
+  const int64_t n = full.vt.dim(1);
+  SvdResult out;
+  out.s.assign(full.s.begin(), full.s.begin() + r);
+  out.u = Tensor({m, r});
+  out.vt = Tensor({r, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < r; ++j) {
+      out.u.data()[i * r + j] = full.u.data()[i * r_full + j];
+    }
+  }
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out.vt.data()[i * n + j] = full.vt.data()[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor SvdReconstruct(const SvdResult& svd) {
+  const int64_t m = svd.u.dim(0);
+  const int64_t r = svd.u.dim(1);
+  const int64_t n = svd.vt.dim(1);
+  TTREC_CHECK_SHAPE(static_cast<int64_t>(svd.s.size()) == r &&
+                        svd.vt.dim(0) == r,
+                    "SvdReconstruct: inconsistent ranks");
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t k = 0; k < r; ++k) {
+      const float us = svd.u.data()[i * r + k] * svd.s[static_cast<size_t>(k)];
+      const float* v = svd.vt.data() + k * n;
+      float* o = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) o[j] += us * v[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace ttrec

@@ -1,0 +1,39 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// Used by the TT-SVD decomposition path (compressing a pre-trained embedding
+// table into TT cores, `tt/tt_decompose.h`) and by the low-rank baseline.
+// One-sided Jacobi is simple, numerically robust, and accurate for the
+// moderate matrix sizes that appear in TT unfoldings; it is O(m n^2) per
+// sweep, so callers should orient the input so n <= m (TruncatedSvd does
+// this automatically).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttrec {
+
+/// Thin SVD result: A (m x n) = U (m x r) * diag(s) (r) * V^T (r x n),
+/// with r = min(m, n) and singular values in non-increasing order.
+struct SvdResult {
+  Tensor u;               // m x r
+  std::vector<float> s;   // r, descending
+  Tensor vt;              // r x n
+};
+
+/// Computes the thin SVD of a row-major m x n matrix.
+/// `max_sweeps` bounds Jacobi sweeps; convergence is declared when all
+/// off-diagonal column dot products are below `tol` relative to column norms.
+SvdResult Svd(const Tensor& a, int max_sweeps = 60, double tol = 1e-10);
+
+/// Thin SVD truncated to the leading `rank` singular triplets
+/// (rank is clamped to min(m, n)).
+SvdResult TruncatedSvd(const Tensor& a, int64_t rank, int max_sweeps = 60,
+                       double tol = 1e-10);
+
+/// Reconstructs U * diag(s) * V^T. For tests and error reporting.
+Tensor SvdReconstruct(const SvdResult& svd);
+
+}  // namespace ttrec

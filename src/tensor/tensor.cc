@@ -1,0 +1,104 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace ttrec {
+
+int64_t Tensor::NumelOf(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TTREC_CHECK_SHAPE(d > 0, "tensor dimensions must be positive, got ", d);
+    TTREC_CHECK_SHAPE(n <= (int64_t{1} << 40) / d,
+                      "tensor too large: numel overflow");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(NumelOf(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  TTREC_CHECK_SHAPE(NumelOf(shape_) == static_cast<int64_t>(data_.size()),
+                    "shape/data size mismatch: shape numel ", NumelOf(shape_),
+                    " vs data size ", data_.size());
+}
+
+int64_t Tensor::dim(int i) const {
+  TTREC_CHECK_INDEX(i >= 0 && i < ndim(), "dim index ", i, " out of range for ",
+                    ndim(), "-d tensor");
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  TTREC_CHECK_INDEX(static_cast<int>(idx.size()) == ndim(), "expected ",
+                    ndim(), " indices, got ", idx.size());
+  int64_t flat = 0;
+  int i = 0;
+  for (int64_t v : idx) {
+    const int64_t d = shape_[static_cast<size_t>(i)];
+    TTREC_CHECK_INDEX(v >= 0 && v < d, "index ", v, " out of range [0, ", d,
+                      ") in dim ", i);
+    flat = flat * d + v;
+    ++i;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return data_[static_cast<size_t>(FlatIndex(idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data_[static_cast<size_t>(FlatIndex(idx))];
+}
+
+float& Tensor::operator[](int64_t i) {
+  TTREC_CHECK_INDEX(i >= 0 && i < numel(), "flat index ", i,
+                    " out of range [0, ", numel(), ")");
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::operator[](int64_t i) const {
+  TTREC_CHECK_INDEX(i >= 0 && i < numel(), "flat index ", i,
+                    " out of range [0, ", numel(), ")");
+  return data_[static_cast<size_t>(i)];
+}
+
+void Tensor::Reshape(std::vector<int64_t> new_shape) {
+  TTREC_CHECK_SHAPE(NumelOf(new_shape) == numel(),
+                    "reshape numel mismatch: ", NumelOf(new_shape), " vs ",
+                    numel());
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  TTREC_CHECK_SHAPE(shape_ == other.shape_, "Axpy shape mismatch");
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o[i];
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  TTREC_CHECK_SHAPE(a.shape() == b.shape(), "MaxAbsDiff shape mismatch");
+  double m = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(pa[i]) - pb[i]));
+  }
+  return m;
+}
+
+}  // namespace ttrec

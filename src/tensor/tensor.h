@@ -1,0 +1,79 @@
+// A minimal dense float tensor: contiguous row-major storage plus a shape.
+//
+// The heavy kernels in this library (GEMM, TT contraction) operate on raw
+// float pointers with explicit dimensions for speed; Tensor exists to own
+// storage, carry shape metadata through module boundaries, and provide
+// bounds-checked element access for tests and glue code.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+/// Dense row-major float tensor with owned storage.
+class Tensor {
+ public:
+  /// An empty 0-d tensor with no elements.
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor with the given shape.
+  /// Every dimension must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Convenience: Tensor({2, 3}).
+  Tensor(std::initializer_list<int64_t> shape)
+      : Tensor(std::vector<int64_t>(shape)) {}
+
+  /// Wraps existing data (copied) with a shape; sizes must agree.
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const;
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  /// Bounds-checked element access; `idx` must have ndim() entries.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Linear (flat) element access, bounds-checked.
+  float& operator[](int64_t i);
+  float operator[](int64_t i) const;
+
+  /// Reinterprets the tensor with a new shape of identical numel.
+  void Reshape(std::vector<int64_t> new_shape);
+
+  /// Sets all elements to `value`.
+  void Fill(float value);
+
+  /// Elementwise this += alpha * other. Shapes must match exactly.
+  void Axpy(float alpha, const Tensor& other);
+
+  /// Frobenius norm of the tensor.
+  double Norm() const;
+
+  /// Returns the product of `shape`, validating positivity.
+  static int64_t NumelOf(const std::vector<int64_t>& shape);
+
+ private:
+  int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
+
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Max absolute elementwise difference between two same-shaped tensors.
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace ttrec

@@ -1,0 +1,169 @@
+#include "tt/tt_decompose.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/svd.h"
+
+namespace ttrec {
+
+namespace {
+
+// Rearranges W (M x N, zero-padded to prod(m_k) rows) into the d-mode tensor
+// T with mode sizes D_k = m_k * n_k and grouped indices a_k = i_k * n_k + j_k
+// (Eq. 2's (i_k, j_k) pairing), returned flat in row-major mode order.
+std::vector<float> GroupedTensor(const Tensor& table, const TtShape& shape) {
+  const int d = shape.num_cores();
+  const int64_t n = shape.emb_dim;
+  int64_t padded_rows = 1;
+  for (int64_t f : shape.row_factors) padded_rows *= f;
+  const int64_t total = padded_rows * n;
+
+  std::vector<float> t(static_cast<size_t>(total), 0.0f);
+  // Mode strides of T (row-major over modes 0..d-1 with sizes D_k).
+  std::vector<int64_t> mode_stride(static_cast<size_t>(d), 1);
+  for (int k = d - 2; k >= 0; --k) {
+    mode_stride[static_cast<size_t>(k)] =
+        mode_stride[static_cast<size_t>(k) + 1] *
+        shape.row_factors[static_cast<size_t>(k) + 1] *
+        shape.col_factors[static_cast<size_t>(k) + 1];
+  }
+
+  std::vector<int64_t> row_digits(static_cast<size_t>(d), 0);
+  for (int64_t i = 0; i < shape.num_rows; ++i) {
+    // Mixed-radix row digits (most significant first).
+    int64_t rem = i;
+    for (int k = d - 1; k >= 0; --k) {
+      const int64_t f = shape.row_factors[static_cast<size_t>(k)];
+      row_digits[static_cast<size_t>(k)] = rem % f;
+      rem /= f;
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      // Column digits over col_factors.
+      int64_t flat = 0;
+      int64_t jrem = j;
+      // Walk modes most-significant-first; need column digits in the same
+      // order, so peel from the most significant side.
+      int64_t denom = n;
+      for (int k = 0; k < d; ++k) {
+        const int64_t nk = shape.col_factors[static_cast<size_t>(k)];
+        denom /= nk;
+        const int64_t jk = jrem / denom;
+        jrem %= denom;
+        const int64_t ak = row_digits[static_cast<size_t>(k)] * nk + jk;
+        flat += ak * mode_stride[static_cast<size_t>(k)];
+      }
+      t[static_cast<size_t>(flat)] = table.data()[i * n + j];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+TtCores TtDecompose(const Tensor& table, const TtShape& shape) {
+  shape.Validate();
+  TTREC_CHECK_SHAPE(table.ndim() == 2 && table.dim(0) == shape.num_rows &&
+                        table.dim(1) == shape.emb_dim,
+                    "TtDecompose: table shape does not match TT shape (",
+                    table.dim(0), "x", table.dim(1), " vs ", shape.num_rows,
+                    "x", shape.emb_dim, ")");
+  const int d = shape.num_cores();
+
+  std::vector<int64_t> mode_sizes(static_cast<size_t>(d));
+  int64_t total = 1;
+  for (int k = 0; k < d; ++k) {
+    mode_sizes[static_cast<size_t>(k)] =
+        shape.row_factors[static_cast<size_t>(k)] *
+        shape.col_factors[static_cast<size_t>(k)];
+    total *= mode_sizes[static_cast<size_t>(k)];
+  }
+
+  std::vector<float> flat = GroupedTensor(table, shape);
+  TTREC_CHECK_INTERNAL(static_cast<int64_t>(flat.size()) == total,
+                       "grouped tensor size mismatch");
+
+  // Actual ranks achieved (clamped per unfolding).
+  std::vector<int64_t> ranks(static_cast<size_t>(d) + 1, 1);
+
+  // Raw core data in (R_{k-1}, D_k, R_k) index order; permuted to the
+  // slice-major storage at the end.
+  std::vector<Tensor> raw_cores;
+  raw_cores.reserve(static_cast<size_t>(d));
+
+  // Current unfolding C of shape (r_prev * D_k) x rest.
+  Tensor cur({1, total}, std::move(flat));
+  int64_t rest = total;
+  for (int k = 0; k < d - 1; ++k) {
+    const int64_t dk = mode_sizes[static_cast<size_t>(k)];
+    const int64_t rows = ranks[static_cast<size_t>(k)] * dk;
+    rest /= dk;
+    cur.Reshape({rows, rest});
+    const int64_t want = shape.ranks[static_cast<size_t>(k) + 1];
+    SvdResult svd = TruncatedSvd(cur, std::min({want, rows, rest}));
+    const int64_t r = static_cast<int64_t>(svd.s.size());
+    ranks[static_cast<size_t>(k) + 1] = r;
+    raw_cores.push_back(std::move(svd.u));  // rows x r
+    // cur <- diag(s) * Vt : r x rest.
+    Tensor next({r, rest});
+    for (int64_t i = 0; i < r; ++i) {
+      const float s = svd.s[static_cast<size_t>(i)];
+      const float* src = svd.vt.data() + i * rest;
+      float* dst = next.data() + i * rest;
+      for (int64_t j = 0; j < rest; ++j) dst[j] = s * src[j];
+    }
+    cur = std::move(next);
+  }
+  // Last core: cur is (R_{d-1} x D_d).
+  raw_cores.push_back(std::move(cur));
+
+  TtShape actual = shape;
+  actual.ranks = ranks;
+  actual.Validate();
+  TtCores cores(actual);
+
+  // Permute raw (R_{k-1}, i_k, j_k, R_k) into slice-major
+  // [i_k][r_prev][j_k][r_next].
+  for (int k = 0; k < d; ++k) {
+    const int64_t r_prev = ranks[static_cast<size_t>(k)];
+    const int64_t r_next = ranks[static_cast<size_t>(k) + 1];
+    const int64_t mk = shape.row_factors[static_cast<size_t>(k)];
+    const int64_t nk = shape.col_factors[static_cast<size_t>(k)];
+    const Tensor& raw = raw_cores[static_cast<size_t>(k)];
+    // raw is ((r_prev * m_k * n_k) x r_next), row index = (rp * m_k + i) *
+    // n_k + j.
+    for (int64_t rp = 0; rp < r_prev; ++rp) {
+      for (int64_t i = 0; i < mk; ++i) {
+        for (int64_t j = 0; j < nk; ++j) {
+          const float* src =
+              raw.data() + (((rp * mk + i) * nk + j) * r_next);
+          float* dst = cores.Slice(k, i) + rp * (nk * r_next) + j * r_next;
+          std::copy(src, src + r_next, dst);
+        }
+      }
+    }
+  }
+  return cores;
+}
+
+double TtReconstructionError(const Tensor& table, const TtCores& cores) {
+  TTREC_CHECK_SHAPE(table.ndim() == 2 && table.dim(0) == cores.num_rows() &&
+                        table.dim(1) == cores.emb_dim(),
+                    "TtReconstructionError: shape mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  std::vector<float> row(static_cast<size_t>(cores.emb_dim()));
+  for (int64_t i = 0; i < cores.num_rows(); ++i) {
+    cores.MaterializeRow(i, row.data());
+    const float* w = table.data() + i * cores.emb_dim();
+    for (int64_t j = 0; j < cores.emb_dim(); ++j) {
+      const double diff = static_cast<double>(w[j]) - row[static_cast<size_t>(j)];
+      num += diff * diff;
+      den += static_cast<double>(w[j]) * w[j];
+    }
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace ttrec

@@ -1,0 +1,28 @@
+// TT-SVD: decompose an existing (e.g. pre-trained) embedding table into TT
+// cores (Oseledets 2011, adapted to the paper's matrix-TT layout of Eq. 2).
+//
+// TT-Rec trains cores directly, so this path is not on the training fast
+// path; it exists to (a) import pre-trained uncompressed tables, (b) build
+// the low-rank approximation error sweeps in `examples/compress_table`, and
+// (c) anchor correctness: with unclamped ranks TT-SVD reconstructs the
+// input exactly, which the property tests exploit.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "tt/tt_cores.h"
+#include "tt/tt_shapes.h"
+
+namespace ttrec {
+
+/// Decomposes `table` (num_rows x emb_dim, matching shape.num_rows /
+/// shape.emb_dim) into TT cores. Requested ranks are clamped to the maximum
+/// achievable at each unfolding; the returned cores carry the (possibly
+/// reduced) actual ranks. Rows beyond num_rows implied by the row-factor
+/// product are treated as zero padding.
+TtCores TtDecompose(const Tensor& table, const TtShape& shape);
+
+/// Relative Frobenius reconstruction error ||W - TT(W)||_F / ||W||_F over
+/// the logical num_rows x emb_dim region.
+double TtReconstructionError(const Tensor& table, const TtCores& cores);
+
+}  // namespace ttrec

@@ -1,0 +1,546 @@
+#include "tt/tt_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "tensor/batched_gemm.h"
+#include "tensor/check.h"
+#include "tensor/parallel.h"
+
+namespace ttrec {
+
+namespace {
+
+/// Bag id for every lookup, from the CSR offsets.
+std::vector<int64_t> LookupBags(const CsrBatch& batch) {
+  std::vector<int64_t> bags(static_cast<size_t>(batch.num_lookups()));
+  for (int64_t b = 0; b < batch.num_bags(); ++b) {
+    for (int64_t l = batch.offsets[static_cast<size_t>(b)];
+         l < batch.offsets[static_cast<size_t>(b) + 1]; ++l) {
+      bags[static_cast<size_t>(l)] = b;
+    }
+  }
+  return bags;
+}
+
+/// Effective per-lookup weight: alpha (Eq. 6) combined with mean pooling.
+std::vector<float> EffectiveWeights(const CsrBatch& batch,
+                                    PoolingMode pooling,
+                                    std::span<const int64_t> bags) {
+  std::vector<float> w(static_cast<size_t>(batch.num_lookups()), 1.0f);
+  if (!batch.weights.empty()) {
+    std::copy(batch.weights.begin(), batch.weights.end(), w.begin());
+  }
+  if (pooling == PoolingMode::kMean) {
+    for (int64_t l = 0; l < batch.num_lookups(); ++l) {
+      const int64_t b = bags[static_cast<size_t>(l)];
+      const int64_t size = batch.offsets[static_cast<size_t>(b) + 1] -
+                           batch.offsets[static_cast<size_t>(b)];
+      if (size > 0) w[static_cast<size_t>(l)] /= static_cast<float>(size);
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+struct TtEmbeddingBag::BlockBuffers {
+  // inter[c] holds the stage-c outputs for the block, c = 1..d-2 (the final
+  // stage writes to the caller's row buffer). Strides in floats.
+  std::vector<std::vector<float>> inter;
+  std::vector<int64_t> digits;  // [l * d + c]
+  std::vector<const float*> a_ptrs;
+  std::vector<const float*> b_ptrs;
+  std::vector<float*> c_ptrs;
+  // Backward-only scratch.
+  std::vector<float> d_cur;
+  std::vector<float> d_next;
+  std::vector<float> slice_grads;
+  // Dedup scratch (config.deduplicate).
+  std::vector<int64_t> unique;
+  std::vector<int32_t> lookup_to_unique;
+  std::vector<float> unique_rows;
+  std::unordered_map<int64_t, int32_t> dedup_map;
+};
+
+TtEmbeddingBag::TtEmbeddingBag(TtEmbeddingConfig config, TtCores cores)
+    : config_(std::move(config)), cores_(std::move(cores)) {
+  TTREC_CHECK_CONFIG(config_.block_size >= 1,
+                     "block_size must be >= 1, got ", config_.block_size);
+  TTREC_CHECK_CONFIG(!(config_.deduplicate && config_.stash_intermediates),
+                     "deduplicate and stash_intermediates are mutually "
+                     "exclusive (the stash layout is per-lookup)");
+  const TtShape& s = cores_.shape();
+  const int d = s.num_cores();
+  prodn_.resize(static_cast<size_t>(d));
+  int64_t prod = 1;
+  for (int k = 0; k < d; ++k) {
+    prod *= s.col_factors[static_cast<size_t>(k)];
+    prodn_[static_cast<size_t>(k)] = prod;
+  }
+  // FLOP accounting (multiply+add = 2 flops) for Figures 8/11.
+  for (int c = 1; c < d; ++c) {
+    const int64_t m = prodn_[static_cast<size_t>(c - 1)];
+    const int64_t kk = s.ranks[static_cast<size_t>(c)];
+    const int64_t nn = cores_.SliceCols(c);
+    fwd_flops_per_lookup_ += 2 * m * kk * nn;
+    // Backward: slice-grad GEMM + propagation GEMM, same volumes.
+    bwd_flops_per_lookup_ += 4 * m * kk * nn;
+  }
+  if (!config_.stash_intermediates) {
+    bwd_flops_per_lookup_ += fwd_flops_per_lookup_;  // recompute cost
+  }
+}
+
+TtEmbeddingBag::TtEmbeddingBag(TtEmbeddingConfig config, TtInit init, Rng& rng)
+    : TtEmbeddingBag(config, TtCores(config.shape)) {
+  InitializeTtCores(cores_, init, rng);
+}
+
+void TtEmbeddingBag::EnsureGrads() {
+  if (!grads_.empty()) return;
+  const int d = cores_.num_cores();
+  grads_.reserve(static_cast<size_t>(d));
+  touched_flags_.resize(static_cast<size_t>(d));
+  touched_slices_.resize(static_cast<size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    grads_.emplace_back(cores_.core(k).shape());
+    touched_flags_[static_cast<size_t>(k)].assign(
+        static_cast<size_t>(cores_.core(k).dim(0)), 0);
+  }
+}
+
+void TtEmbeddingBag::MarkTouched(int k, int64_t ik) {
+  auto& flags = touched_flags_[static_cast<size_t>(k)];
+  if (!flags[static_cast<size_t>(ik)]) {
+    flags[static_cast<size_t>(ik)] = 1;
+    touched_slices_[static_cast<size_t>(k)].push_back(ik);
+  }
+}
+
+const Tensor& TtEmbeddingBag::core_grad(int k) const {
+  TTREC_CHECK_INDEX(k >= 0 && k < static_cast<int>(grads_.size()),
+                    "core_grad: no gradient for core ", k,
+                    " (call Backward first)");
+  return grads_[static_cast<size_t>(k)];
+}
+
+void TtEmbeddingBag::ZeroGrad() {
+  for (int k = 0; k < static_cast<int>(grads_.size()); ++k) {
+    const int64_t slice_size = cores_.SliceSize(k);
+    Tensor& grad = grads_[static_cast<size_t>(k)];
+    auto& flags = touched_flags_[static_cast<size_t>(k)];
+    for (int64_t ik : touched_slices_[static_cast<size_t>(k)]) {
+      float* g = grad.data() + ik * slice_size;
+      std::fill(g, g + slice_size, 0.0f);
+      flags[static_cast<size_t>(ik)] = 0;
+    }
+    touched_slices_[static_cast<size_t>(k)].clear();
+  }
+}
+
+int64_t TtEmbeddingBag::WorkspaceBytes() const {
+  const int d = cores_.num_cores();
+  int64_t floats = 0;
+  for (int c = 1; c <= d - 2; ++c) {
+    floats += config_.block_size * prodn_[static_cast<size_t>(c)] *
+              cores_.shape().ranks[static_cast<size_t>(c) + 1];
+  }
+  floats += config_.block_size * emb_dim();  // row buffer
+  return floats * static_cast<int64_t>(sizeof(float)) +
+         3 * config_.block_size * static_cast<int64_t>(sizeof(void*));
+}
+
+void TtEmbeddingBag::BuildBlockDedup(std::span<const int64_t> indices,
+                                     int64_t begin, int64_t end,
+                                     BlockBuffers& buf) {
+  buf.unique.clear();
+  buf.dedup_map.clear();
+  buf.lookup_to_unique.resize(static_cast<size_t>(end - begin));
+  for (int64_t l = begin; l < end; ++l) {
+    const int64_t row = indices[l];
+    auto [it, inserted] = buf.dedup_map.try_emplace(
+        row, static_cast<int32_t>(buf.unique.size()));
+    if (inserted) buf.unique.push_back(row);
+    buf.lookup_to_unique[static_cast<size_t>(l - begin)] = it->second;
+  }
+}
+
+void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
+                                  int64_t begin, int64_t end, float* rows_out,
+                                  BlockBuffers& buf, bool stashing) {
+  const TtShape& s = cores_.shape();
+  const int d = s.num_cores();
+  const int64_t L = end - begin;
+  const int64_t N = emb_dim();
+
+  buf.digits.resize(static_cast<size_t>(L * d));
+  for (int64_t l = 0; l < L; ++l) {
+    const std::vector<int64_t> dg = s.RowDigits(indices[begin + l]);
+    std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+  }
+
+  buf.inter.resize(static_cast<size_t>(std::max(0, d - 2)) + 1);
+  buf.a_ptrs.resize(static_cast<size_t>(L));
+  buf.b_ptrs.resize(static_cast<size_t>(L));
+  buf.c_ptrs.resize(static_cast<size_t>(L));
+
+  for (int c = 1; c < d; ++c) {
+    const int64_t m = prodn_[static_cast<size_t>(c - 1)];
+    const int64_t kk = s.ranks[static_cast<size_t>(c)];
+    const int64_t nn = cores_.SliceCols(c);
+    const int64_t out_stride = m * nn;
+    const bool last_stage = (c == d - 1);
+    const int64_t prev_stride =
+        (c >= 2) ? prodn_[static_cast<size_t>(c - 1)] *
+                       s.ranks[static_cast<size_t>(c)]
+                 : 0;
+
+    float* out_base = nullptr;
+    if (last_stage) {
+      TTREC_CHECK_INTERNAL(out_stride == N, "final stage must produce rows");
+      out_base = rows_out;
+    } else {
+      auto& ib = buf.inter[static_cast<size_t>(c)];
+      ib.resize(static_cast<size_t>(L * out_stride));
+      out_base = ib.data();
+    }
+
+    for (int64_t l = 0; l < L; ++l) {
+      const int64_t* dg = buf.digits.data() + l * d;
+      buf.a_ptrs[static_cast<size_t>(l)] =
+          (c == 1) ? cores_.Slice(0, dg[0])
+                   : buf.inter[static_cast<size_t>(c - 1)].data() +
+                         l * prev_stride;
+      buf.b_ptrs[static_cast<size_t>(l)] = cores_.Slice(c, dg[c]);
+      buf.c_ptrs[static_cast<size_t>(l)] = out_base + l * out_stride;
+    }
+    BatchedGemmShape shape;
+    shape.m = m;
+    shape.n = nn;
+    shape.k = kk;
+    BatchedGemm(shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
+
+    if (stashing && !last_stage) {
+      auto& st = stash_.stage[static_cast<size_t>(c)];
+      std::memcpy(st.data() + begin * out_stride,
+                  buf.inter[static_cast<size_t>(c)].data(),
+                  static_cast<size_t>(L * out_stride) * sizeof(float));
+    }
+  }
+}
+
+void TtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
+  batch.Validate(num_rows());
+  const int d = cores_.num_cores();
+  const int64_t N = emb_dim();
+  const int64_t n_lookups = batch.num_lookups();
+  const int64_t n_bags = batch.num_bags();
+
+  std::fill(output, output + n_bags * N, 0.0f);
+
+  const std::vector<int64_t> bags = LookupBags(batch);
+  const std::vector<float> w = EffectiveWeights(batch, config_.pooling, bags);
+
+  stash_.valid = false;
+  if (config_.stash_intermediates) {
+    stash_.stage.assign(static_cast<size_t>(std::max(0, d - 2)) + 1, {});
+    for (int c = 1; c <= d - 2; ++c) {
+      const int64_t stride = prodn_[static_cast<size_t>(c)] *
+                             cores_.shape().ranks[static_cast<size_t>(c) + 1];
+      stash_.stage[static_cast<size_t>(c)].resize(
+          static_cast<size_t>(n_lookups * stride));
+    }
+  }
+
+  BlockBuffers buf;
+  std::vector<float> rows(
+      static_cast<size_t>(std::min(config_.block_size, std::max<int64_t>(
+                                                           n_lookups, 1)) *
+                          N));
+  for (int64_t begin = 0; begin < n_lookups; begin += config_.block_size) {
+    const int64_t end = std::min(n_lookups, begin + config_.block_size);
+    if (config_.deduplicate) {
+      // Run the TT chain once per distinct row in the block; pooling reads
+      // through the lookup -> unique mapping.
+      BuildBlockDedup(batch.indices, begin, end, buf);
+      const int64_t num_unique = static_cast<int64_t>(buf.unique.size());
+      buf.unique_rows.resize(static_cast<size_t>(num_unique * N));
+      ForwardBlock(buf.unique, 0, num_unique, buf.unique_rows.data(), buf,
+                   /*stashing=*/false);
+      for (int64_t l = begin; l < end; ++l) {
+        const float wl = w[static_cast<size_t>(l)];
+        const float* src =
+            buf.unique_rows.data() +
+            static_cast<int64_t>(
+                buf.lookup_to_unique[static_cast<size_t>(l - begin)]) *
+                N;
+        float* dst = output + bags[static_cast<size_t>(l)] * N;
+        for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
+      }
+      continue;
+    }
+    ForwardBlock(batch.indices, begin, end, rows.data(), buf,
+                 config_.stash_intermediates);
+    for (int64_t l = begin; l < end; ++l) {
+      const float wl = w[static_cast<size_t>(l)];
+      const float* src = rows.data() + (l - begin) * N;
+      float* dst = output + bags[static_cast<size_t>(l)] * N;
+      for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
+    }
+  }
+
+  if (config_.stash_intermediates) {
+    stash_.valid = true;
+    stash_.num_lookups = n_lookups;
+  }
+  ++stats_.forward_calls;
+  stats_.lookups += n_lookups;
+  stats_.forward_flops += n_lookups * fwd_flops_per_lookup_;
+}
+
+void TtEmbeddingBag::LookupRows(std::span<const int64_t> indices, float* out) {
+  for (int64_t idx : indices) {
+    TTREC_CHECK_INDEX(idx >= 0 && idx < num_rows(), "LookupRows: index ", idx,
+                      " out of range [0, ", num_rows(), ")");
+  }
+  const int64_t n = static_cast<int64_t>(indices.size());
+  BlockBuffers buf;
+  for (int64_t begin = 0; begin < n; begin += config_.block_size) {
+    const int64_t end = std::min(n, begin + config_.block_size);
+    ForwardBlock(indices, begin, end, out + begin * emb_dim(), buf,
+                 /*stashing=*/false);
+  }
+  stats_.lookups += n;
+  stats_.forward_flops += n * fwd_flops_per_lookup_;
+}
+
+void TtEmbeddingBag::Backward(const CsrBatch& batch,
+                              const float* grad_output) {
+  batch.Validate(num_rows());
+  EnsureGrads();
+  const TtShape& s = cores_.shape();
+  const int d = cores_.num_cores();
+  const int64_t N = emb_dim();
+  const int64_t n_lookups = batch.num_lookups();
+
+  const std::vector<int64_t> bags = LookupBags(batch);
+  const std::vector<float> w = EffectiveWeights(batch, config_.pooling, bags);
+
+  const bool use_stash = config_.stash_intermediates && stash_.valid &&
+                         stash_.num_lookups == n_lookups;
+
+  // Maximum per-lookup size of the propagated gradient D_c and of a slice
+  // gradient, across stages.
+  // D_c has prodn_[c] * R_{c+1} elements per lookup, for every c in
+  // [0, d-1] — c = 0 is the final propagated gradient (the core-0 slice
+  // gradient), which can be the largest when d == 2.
+  int64_t max_d_stride = N;
+  int64_t max_slice = cores_.SliceSize(0);
+  for (int c = 0; c < d; ++c) {
+    max_d_stride = std::max(
+        max_d_stride,
+        prodn_[static_cast<size_t>(c)] * s.ranks[static_cast<size_t>(c) + 1]);
+    if (c > 0) max_slice = std::max(max_slice, cores_.SliceSize(c));
+  }
+
+  BlockBuffers buf;
+  for (int64_t begin = 0; begin < n_lookups; begin += config_.block_size) {
+    const int64_t end = std::min(n_lookups, begin + config_.block_size);
+    const int64_t L = end - begin;
+
+    // `work` = gradient-carrying units in this block: one per lookup, or
+    // one per distinct row when deduplicating (gradients are linear in the
+    // row, so per-row aggregation is exact).
+    int64_t work = L;
+    if (config_.deduplicate) {
+      BuildBlockDedup(batch.indices, begin, end, buf);
+      work = static_cast<int64_t>(buf.unique.size());
+      std::vector<float> scratch_rows(static_cast<size_t>(work * N));
+      ForwardBlock(buf.unique, 0, work, scratch_rows.data(), buf,
+                   /*stashing=*/false);
+    } else if (use_stash) {
+      // Digits are still needed for slice addressing.
+      buf.digits.resize(static_cast<size_t>(L * d));
+      for (int64_t l = 0; l < L; ++l) {
+        const std::vector<int64_t> dg = s.RowDigits(batch.indices[begin + l]);
+        std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+      }
+    } else {
+      // Recompute intermediates (Algorithm 2 line 3). We only need stages
+      // 1..d-2; run the forward including the last stage into a scratch row
+      // buffer — its cost is small relative to the rest and keeps one code
+      // path.
+      std::vector<float> scratch_rows(static_cast<size_t>(L * N));
+      ForwardBlock(batch.indices, begin, end, scratch_rows.data(), buf,
+                   /*stashing=*/false);
+    }
+
+    // D_{d-1} = w_l * dL/d(bag row), reshaped per unit.
+    buf.d_cur.resize(static_cast<size_t>(work * max_d_stride));
+    buf.d_next.resize(static_cast<size_t>(work * max_d_stride));
+    buf.slice_grads.resize(static_cast<size_t>(work * max_slice));
+    if (config_.deduplicate) {
+      std::fill(buf.d_cur.begin(),
+                buf.d_cur.begin() +
+                    static_cast<ptrdiff_t>(work * max_d_stride),
+                0.0f);
+      for (int64_t l = begin; l < end; ++l) {
+        const float wl = w[static_cast<size_t>(l)];
+        const float* g = grad_output + bags[static_cast<size_t>(l)] * N;
+        float* dcur =
+            buf.d_cur.data() +
+            static_cast<int64_t>(
+                buf.lookup_to_unique[static_cast<size_t>(l - begin)]) *
+                max_d_stride;
+        for (int64_t j = 0; j < N; ++j) dcur[j] += wl * g[j];
+      }
+    } else {
+      for (int64_t l = begin; l < end; ++l) {
+        const float wl = w[static_cast<size_t>(l)];
+        const float* g = grad_output + bags[static_cast<size_t>(l)] * N;
+        float* dcur = buf.d_cur.data() + (l - begin) * max_d_stride;
+        for (int64_t j = 0; j < N; ++j) dcur[j] = wl * g[j];
+      }
+    }
+
+    buf.a_ptrs.resize(static_cast<size_t>(work));
+    buf.b_ptrs.resize(static_cast<size_t>(work));
+    buf.c_ptrs.resize(static_cast<size_t>(work));
+
+    for (int c = d - 1; c >= 1; --c) {
+      const int64_t m_prev = prodn_[static_cast<size_t>(c - 1)];
+      const int64_t rank_c = s.ranks[static_cast<size_t>(c)];
+      const int64_t cols_c = cores_.SliceCols(c);
+      const int64_t slice_size = rank_c * cols_c;
+      const int64_t prev_stride = (c >= 2) ? m_prev * rank_c : 0;
+
+      auto p_prev = [&](int64_t l) -> const float* {
+        const int64_t* dg = buf.digits.data() + l * d;
+        if (c == 1) return cores_.Slice(0, dg[0]);
+        if (use_stash) {
+          return stash_.stage[static_cast<size_t>(c - 1)].data() +
+                 (begin + l) * prev_stride;
+        }
+        return buf.inter[static_cast<size_t>(c - 1)].data() + l * prev_stride;
+      };
+
+      // Slice gradients: sg = P_{c-1}^T * D_c  (Eq. 4).
+      for (int64_t l = 0; l < work; ++l) {
+        buf.a_ptrs[static_cast<size_t>(l)] = p_prev(l);
+        buf.b_ptrs[static_cast<size_t>(l)] =
+            buf.d_cur.data() + l * max_d_stride;
+        buf.c_ptrs[static_cast<size_t>(l)] =
+            buf.slice_grads.data() + l * max_slice;
+      }
+      BatchedGemmShape sg_shape;
+      sg_shape.ta = Trans::kYes;
+      sg_shape.m = rank_c;
+      sg_shape.n = cols_c;
+      sg_shape.k = m_prev;
+      BatchedGemm(sg_shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
+
+      // Sequential scatter-add into the dense core gradient: deterministic
+      // and correct under duplicate indices within the block.
+      Tensor& grad_core = grads_[static_cast<size_t>(c)];
+      for (int64_t l = 0; l < work; ++l) {
+        const int64_t ik = buf.digits[static_cast<size_t>(l * d + c)];
+        MarkTouched(c, ik);
+        float* dst = grad_core.data() + ik * slice_size;
+        const float* src = buf.slice_grads.data() + l * max_slice;
+        for (int64_t j = 0; j < slice_size; ++j) dst[j] += src[j];
+      }
+
+      // Propagate: D_{c-1} = D_c * slice_c^T  (Eq. 5).
+      for (int64_t l = 0; l < work; ++l) {
+        const int64_t* dg = buf.digits.data() + l * d;
+        buf.a_ptrs[static_cast<size_t>(l)] =
+            buf.d_cur.data() + l * max_d_stride;
+        buf.b_ptrs[static_cast<size_t>(l)] = cores_.Slice(c, dg[c]);
+        buf.c_ptrs[static_cast<size_t>(l)] =
+            buf.d_next.data() + l * max_d_stride;
+      }
+      BatchedGemmShape prop_shape;
+      prop_shape.tb = Trans::kYes;
+      prop_shape.m = m_prev;
+      prop_shape.n = rank_c;
+      prop_shape.k = cols_c;
+      BatchedGemm(prop_shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
+      buf.d_cur.swap(buf.d_next);
+    }
+
+    // After the c == 1 iteration, D_0 is exactly the gradient of the core-0
+    // slice of each lookup.
+    Tensor& grad_core0 = grads_[0];
+    const int64_t slice0 = cores_.SliceSize(0);
+    for (int64_t l = 0; l < work; ++l) {
+      const int64_t i0 = buf.digits[static_cast<size_t>(l * d)];
+      MarkTouched(0, i0);
+      float* dst = grad_core0.data() + i0 * slice0;
+      const float* src = buf.d_cur.data() + l * max_d_stride;
+      for (int64_t j = 0; j < slice0; ++j) dst[j] += src[j];
+    }
+  }
+
+  ++stats_.backward_calls;
+  stats_.backward_flops += n_lookups * bwd_flops_per_lookup_;
+}
+
+void TtEmbeddingBag::ApplySgd(float lr) {
+  if (grads_.empty()) return;
+  // Only slices touched since the last ApplySgd/ZeroGrad carry gradient;
+  // update and re-zero exactly those — O(touched) not O(params), which is
+  // what keeps the cached hybrid's miss path cheap at high hit rates.
+  for (int k = 0; k < cores_.num_cores(); ++k) {
+    const int64_t slice_size = cores_.SliceSize(k);
+    Tensor& core = cores_.core(k);
+    Tensor& grad = grads_[static_cast<size_t>(k)];
+    auto& flags = touched_flags_[static_cast<size_t>(k)];
+    for (int64_t ik : touched_slices_[static_cast<size_t>(k)]) {
+      float* w = core.data() + ik * slice_size;
+      float* g = grad.data() + ik * slice_size;
+      for (int64_t j = 0; j < slice_size; ++j) {
+        w[j] -= lr * g[j];
+        g[j] = 0.0f;
+      }
+      flags[static_cast<size_t>(ik)] = 0;
+    }
+    touched_slices_[static_cast<size_t>(k)].clear();
+  }
+  stash_.valid = false;  // cores changed; stashed intermediates are stale
+}
+
+void TtEmbeddingBag::ApplyAdagrad(float lr, float eps) {
+  if (grads_.empty()) return;
+  TTREC_CHECK_CONFIG(eps > 0.0f, "ApplyAdagrad: eps must be positive");
+  if (adagrad_state_.empty()) {
+    adagrad_state_.reserve(static_cast<size_t>(cores_.num_cores()));
+    for (int k = 0; k < cores_.num_cores(); ++k) {
+      adagrad_state_.emplace_back(cores_.core(k).shape());
+    }
+  }
+  for (int k = 0; k < cores_.num_cores(); ++k) {
+    const int64_t slice_size = cores_.SliceSize(k);
+    Tensor& core = cores_.core(k);
+    Tensor& grad = grads_[static_cast<size_t>(k)];
+    Tensor& state = adagrad_state_[static_cast<size_t>(k)];
+    auto& flags = touched_flags_[static_cast<size_t>(k)];
+    for (int64_t ik : touched_slices_[static_cast<size_t>(k)]) {
+      float* w = core.data() + ik * slice_size;
+      float* g = grad.data() + ik * slice_size;
+      float* st = state.data() + ik * slice_size;
+      for (int64_t j = 0; j < slice_size; ++j) {
+        st[j] += g[j] * g[j];
+        w[j] -= lr * g[j] / (std::sqrt(st[j]) + eps);
+        g[j] = 0.0f;
+      }
+      flags[static_cast<size_t>(ik)] = 0;
+    }
+    touched_slices_[static_cast<size_t>(k)].clear();
+  }
+  stash_.valid = false;
+}
+
+}  // namespace ttrec

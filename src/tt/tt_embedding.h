@@ -1,0 +1,157 @@
+// TT-EmbeddingBag: the paper's core operator (§4.1, Algorithms 1 & 2).
+//
+// Forward: a batch of embedding lookups is processed in blocks of up to
+// `block_size` lookups. Each TT stage runs as ONE batched GEMM whose
+// per-problem operands are pointers to core slices and intermediate
+// buffers — the CPU analogue of the cuBLAS GemmBatchedEx launches in
+// Algorithm 1. Reconstructed rows are then pooled into bags with optional
+// per-sample weights (Eq. 6/7).
+//
+// Backward (Algorithm 2, Eq. 4/5): intermediates are either recomputed
+// (default; lowest memory, the paper's choice) or stashed from the forward
+// pass (faster, more memory — the trade-off §4.2 discusses). Per-lookup
+// slice gradients come from batched GEMMs; a sequential scatter-add then
+// accumulates them into dense per-core gradient buffers, which makes
+// duplicate indices within a batch well-defined and runs deterministic.
+//
+// ApplySgd folds the accumulated gradients into the cores (plain SGD, the
+// optimizer MLPerf-DLRM uses) and clears them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/csr_batch.h"
+#include "tensor/tensor.h"
+#include "tt/tt_cores.h"
+#include "tt/tt_init.h"
+
+namespace ttrec {
+
+struct TtEmbeddingConfig {
+  TtShape shape;
+  PoolingMode pooling = PoolingMode::kSum;
+  /// Max lookups per batched-GEMM block (B in Algorithm 1). Bounds
+  /// intermediate memory at block_size * emb_dim * max_rank floats.
+  int64_t block_size = 4096;
+  /// Keep forward intermediates for the next Backward call instead of
+  /// recomputing them (paper §4.2: "can be eliminated by storing tensors
+  /// from the forward pass ... slightly increased memory footprint").
+  bool stash_intermediates = false;
+  /// Deduplicate repeated row indices within each block: the TT chain runs
+  /// once per distinct row, lookups copy/aggregate. Wins when pooling
+  /// factors are large (the embedding-dominated DLRMs of paper §6.6) or
+  /// traffic is Zipf-hot. Mutually exclusive with stash_intermediates
+  /// (the stash layout is per-lookup).
+  bool deduplicate = false;
+};
+
+/// Counters for the memory/compute accounting of Figures 8 and 11.
+struct TtEmbeddingStats {
+  int64_t forward_calls = 0;
+  int64_t backward_calls = 0;
+  int64_t lookups = 0;
+  int64_t forward_flops = 0;
+  int64_t backward_flops = 0;
+};
+
+class TtEmbeddingBag {
+ public:
+  /// Creates the operator and initializes cores with `init`.
+  TtEmbeddingBag(TtEmbeddingConfig config, TtInit init, Rng& rng);
+
+  /// Adopts pre-built cores (e.g. from TtDecompose of a trained table).
+  TtEmbeddingBag(TtEmbeddingConfig config, TtCores cores);
+
+  int64_t num_rows() const { return cores_.num_rows(); }
+  int64_t emb_dim() const { return cores_.emb_dim(); }
+  const TtShape& shape() const { return cores_.shape(); }
+  const TtEmbeddingConfig& config() const { return config_; }
+  TtCores& cores() { return cores_; }
+  const TtCores& cores() const { return cores_; }
+  const TtEmbeddingStats& stats() const { return stats_; }
+
+  /// Pools the batch into `output` (num_bags x emb_dim, row-major,
+  /// overwritten). Validates the batch against num_rows().
+  void Forward(const CsrBatch& batch, float* output);
+
+  /// Reconstructs individual rows without pooling into `out`
+  /// (indices.size() x emb_dim). Uses the same batched kernel.
+  void LookupRows(std::span<const int64_t> indices, float* out);
+
+  /// Accumulates core gradients for `batch` given `grad_output`
+  /// (num_bags x emb_dim). Must match the batch geometry of the preceding
+  /// Forward when stashing is enabled.
+  void Backward(const CsrBatch& batch, const float* grad_output);
+
+  /// cores -= lr * grads; gradients are cleared. Stashed intermediates are
+  /// invalidated (the cores changed).
+  void ApplySgd(float lr);
+
+  /// Elementwise Adagrad on the TT cores: state += g^2,
+  /// core -= lr * g / (sqrt(state) + eps). Only touched slices are visited;
+  /// the accumulator persists across steps (allocated lazily, one float per
+  /// core parameter). The paper trains with SGD (MLPerf); this is the
+  /// production-DLRM optimizer offered as an extension.
+  void ApplyAdagrad(float lr, float eps = 1e-8f);
+
+  /// Accumulated gradient of core k (same geometry as the core).
+  const Tensor& core_grad(int k) const;
+
+  /// Clears accumulated gradients without applying them.
+  void ZeroGrad();
+
+  /// Parameter memory (cores only).
+  int64_t MemoryBytes() const { return cores_.MemoryBytes(); }
+  /// Peak transient memory of a Forward block (intermediates + pointers).
+  int64_t WorkspaceBytes() const;
+
+ private:
+  struct BlockBuffers;
+
+  /// Computes reconstructed rows for lookups [begin, end) of `indices` into
+  /// `rows_out` (contiguous, emb_dim stride). If `stash` is non-null, stage
+  /// intermediates for these lookups are copied into the stash.
+  void ForwardBlock(std::span<const int64_t> indices, int64_t begin,
+                    int64_t end, float* rows_out, BlockBuffers& buf,
+                    bool stashing);
+
+  void EnsureGrads();
+
+  /// Marks slice `ik` of core `k` as carrying gradient (so ApplySgd and
+  /// ZeroGrad touch only dirty slices — O(batch) instead of O(params)).
+  void MarkTouched(int k, int64_t ik);
+
+  /// Fills buf.unique / buf.lookup_to_unique for lookups [begin, end).
+  void BuildBlockDedup(std::span<const int64_t> indices, int64_t begin,
+                       int64_t end, BlockBuffers& buf);
+
+  TtEmbeddingConfig config_;
+  TtCores cores_;
+  std::vector<Tensor> grads_;          // lazily allocated, one per core
+  std::vector<Tensor> adagrad_state_;  // lazily allocated by ApplyAdagrad
+  // Dirty-slice tracking: flags (per core, per slice) + compact lists.
+  std::vector<std::vector<uint8_t>> touched_flags_;
+  std::vector<std::vector<int64_t>> touched_slices_;
+  TtEmbeddingStats stats_;
+
+  // prodn_[k] = n_0 * ... * n_k (column-factor prefix products).
+  std::vector<int64_t> prodn_;
+
+  // Stash: per-lookup intermediates of stages 0..d-2 for the whole last
+  // forward batch (stage 0 entries are slice copies only implicitly — the
+  // slices themselves serve; we stash stages 1..d-2).
+  struct Stash {
+    bool valid = false;
+    int64_t num_lookups = 0;
+    std::vector<std::vector<float>> stage;  // stage[c]: intermediates c=1..d-2
+  };
+  Stash stash_;
+
+  int64_t fwd_flops_per_lookup_ = 0;
+  int64_t bwd_flops_per_lookup_ = 0;
+};
+
+}  // namespace ttrec

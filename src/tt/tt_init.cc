@@ -1,0 +1,77 @@
+#include "tt/tt_init.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+const char* TtInitName(TtInit init) {
+  switch (init) {
+    case TtInit::kUniform:
+      return "uniform";
+    case TtInit::kGaussian:
+      return "gaussian";
+    case TtInit::kSampledGaussian:
+      return "sampled_gaussian";
+  }
+  return "unknown";
+}
+
+TtInit TtInitFromName(const std::string& name) {
+  if (name == "uniform") return TtInit::kUniform;
+  if (name == "gaussian") return TtInit::kGaussian;
+  if (name == "sampled_gaussian") return TtInit::kSampledGaussian;
+  throw ConfigError("unknown TT init strategy: " + name);
+}
+
+double PerCoreStddev(const TtShape& shape, double target_sigma2) {
+  TTREC_CHECK_CONFIG(target_sigma2 > 0.0, "target variance must be positive");
+  double rank_product = 1.0;
+  for (size_t k = 1; k + 1 < shape.ranks.size(); ++k) {
+    rank_product *= static_cast<double>(shape.ranks[k]);
+  }
+  const int d = shape.num_cores();
+  return std::pow(target_sigma2 / rank_product, 1.0 / (2.0 * d));
+}
+
+void InitializeTtCoresWithTarget(TtCores& cores, TtInit init, Rng& rng,
+                                 double target_sigma2, double tail_threshold) {
+  const double s = PerCoreStddev(cores.shape(), target_sigma2);
+  for (int k = 0; k < cores.num_cores(); ++k) {
+    auto data = cores.core(k).span();
+    switch (init) {
+      case TtInit::kUniform: {
+        // Uniform(-a, a) has variance a^2/3.
+        const double a = s * std::sqrt(3.0);
+        for (float& x : data) x = static_cast<float>(rng.Uniform(-a, a));
+        break;
+      }
+      case TtInit::kGaussian: {
+        for (float& x : data) x = static_cast<float>(rng.Normal(0.0, s));
+        break;
+      }
+      case TtInit::kSampledGaussian: {
+        // Algorithm 3: resample N(0,1) while |x| <= t, then rescale so the
+        // core-entry variance is exactly s^2.
+        const double scale = s / TailNormalStddev(tail_threshold);
+        for (float& x : data) {
+          x = static_cast<float>(rng.TruncatedTailNormal(tail_threshold) *
+                                 scale);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void InitializeTtCores(TtCores& cores, TtInit init, Rng& rng,
+                       double tail_threshold) {
+  // DLRM-compatible target: approximate Uniform(-1/sqrt(M), 1/sqrt(M)),
+  // whose KL-optimal Gaussian is N(0, 1/(3M)).
+  const double target_sigma2 =
+      1.0 / (3.0 * static_cast<double>(cores.num_rows()));
+  InitializeTtCoresWithTarget(cores, init, rng, target_sigma2, tail_threshold);
+}
+
+}  // namespace ttrec

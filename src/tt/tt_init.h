@@ -1,0 +1,55 @@
+// TT-core weight initialization (paper §3.2, Algorithm 3).
+//
+// DLRM embedding tables are initialized Uniform(-1/sqrt(M), 1/sqrt(M)); the
+// Gaussian that best approximates that (minimum KL divergence) is
+// N(0, 1/(3M)) — the paper's Table 1 derivation. For TT, the *product* of
+// the cores must approximate that target distribution. A full-matrix entry
+// is a sum of prod(inner ranks) terms, each a product of d core entries, so
+// with iid core entries of variance s^2 the entry variance is
+// prod(R) * s^(2d); every strategy below solves for s accordingly. The
+// strategies differ in the *shape* of the resulting product density:
+//
+//  - kUniform / kGaussian: straightforward, but the product of d centered
+//    variables is sharply spiked at zero (paper Fig. 3 left), a poor match
+//    for the near-flat target.
+//  - kSampledGaussian (Algorithm 3): core entries are N(0,1) *resampled
+//    while |x| <= 2*, removing near-zero mass so the product density
+//    approaches N(0, 1/(3M)) (paper Fig. 3 right). We scale by the exact
+//    truncated-tail standard deviation; the paper's printed line 6 has a
+//    typo (divides where it must multiply and omits the rank factor) — see
+//    DESIGN.md §4.3.
+#pragma once
+
+#include <string>
+
+#include "tensor/random.h"
+#include "tt/tt_cores.h"
+
+namespace ttrec {
+
+enum class TtInit : uint8_t {
+  kUniform,          // iid uniform core entries
+  kGaussian,         // iid normal core entries
+  kSampledGaussian,  // Algorithm 3: tail-sampled normal core entries
+};
+
+const char* TtInitName(TtInit init);
+
+/// Parses "uniform" / "gaussian" / "sampled_gaussian".
+TtInit TtInitFromName(const std::string& name);
+
+/// Initializes all cores so the materialized table entries have variance
+/// target_sigma2 (default: the DLRM-matching 1/(3 * num_rows)).
+/// `tail_threshold` only affects kSampledGaussian.
+void InitializeTtCores(TtCores& cores, TtInit init, Rng& rng,
+                       double tail_threshold = 2.0);
+
+/// Same, with an explicit target variance for the materialized entries.
+void InitializeTtCoresWithTarget(TtCores& cores, TtInit init, Rng& rng,
+                                 double target_sigma2,
+                                 double tail_threshold = 2.0);
+
+/// The per-core entry stddev `s` solving prod(R) * s^(2d) == target_sigma2.
+double PerCoreStddev(const TtShape& shape, double target_sigma2);
+
+}  // namespace ttrec

@@ -1,0 +1,78 @@
+#include "tt/tt_io.h"
+
+#include <fstream>
+
+#include "tensor/serialize.h"
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+constexpr uint32_t kMagic = 0x43525454;  // "TTRC" little-endian
+}
+
+void WriteTtCores(BinaryWriter& w, const TtCores& cores) {
+  const TtShape& s = cores.shape();
+  w.WriteI64(s.num_rows);
+  w.WriteI64(s.emb_dim);
+  w.WriteI64Vec(s.row_factors);
+  w.WriteI64Vec(s.col_factors);
+  w.WriteI64Vec(s.ranks);
+  for (int k = 0; k < cores.num_cores(); ++k) {
+    SaveTensor(w, cores.core(k));
+  }
+}
+
+TtCores ReadTtCores(BinaryReader& r) {
+  TtShape shape;
+  shape.num_rows = r.ReadI64();
+  shape.emb_dim = r.ReadI64();
+  shape.row_factors = r.ReadI64Vec();
+  shape.col_factors = r.ReadI64Vec();
+  shape.ranks = r.ReadI64Vec();
+  shape.Validate();
+  TtCores cores(shape);
+  for (int k = 0; k < cores.num_cores(); ++k) {
+    Tensor t = LoadTensor(r);
+    TTREC_CHECK_SHAPE(t.shape() == cores.core(k).shape(),
+                      "LoadTtCores: core ", k, " shape mismatch");
+    cores.core(k) = std::move(t);
+  }
+  return cores;
+}
+
+void SaveTtCores(std::ostream& os, const TtCores& cores) {
+  BinaryWriter w(os);
+  w.WriteU32(kMagic);
+  w.WriteU32(kTtCoresFormatVersion);
+  WriteTtCores(w, cores);
+  w.Finish();
+}
+
+TtCores LoadTtCores(std::istream& is) {
+  BinaryReader r(is);
+  TTREC_CHECK(r.ReadU32() == kMagic,
+              "LoadTtCores: bad magic (not a TT-cores file)");
+  const uint32_t version = r.ReadU32();
+  TTREC_CHECK(version == kTtCoresFormatVersion,
+              "LoadTtCores: unsupported format version ", version);
+  TtCores cores = ReadTtCores(r);
+  r.Finish();
+  return cores;
+}
+
+void SaveTtCoresToFile(const std::string& path, const TtCores& cores) {
+  std::ofstream os(path, std::ios::binary);
+  TTREC_CHECK(os.is_open(), "SaveTtCoresToFile: cannot open ", path);
+  SaveTtCores(os, cores);
+  TTREC_CHECK(os.good(), "SaveTtCoresToFile: write to ", path, " failed");
+}
+
+TtCores LoadTtCoresFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TTREC_CHECK(is.is_open(), "LoadTtCoresFromFile: cannot open ", path);
+  return LoadTtCores(is);
+}
+
+}  // namespace ttrec

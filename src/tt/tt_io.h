@@ -1,0 +1,31 @@
+// Persistence for TT-compressed embedding tables.
+//
+// Format: magic "TTRC", version, TtShape, one tensor per core, FNV-1a
+// checksum trailer. A 10M x 16 table at rank 32 serializes to ~2 MB — the
+// artifact a trainer exports and serving replicas load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/serialize.h"
+#include "tt/tt_cores.h"
+
+namespace ttrec {
+
+/// Current on-disk format version.
+inline constexpr uint32_t kTtCoresFormatVersion = 1;
+
+void SaveTtCores(std::ostream& os, const TtCores& cores);
+TtCores LoadTtCores(std::istream& is);
+
+/// Writer-level flavors (no magic/trailer) for embedding TT cores inside a
+/// larger artifact, e.g. a DLRM checkpoint.
+void WriteTtCores(BinaryWriter& w, const TtCores& cores);
+TtCores ReadTtCores(BinaryReader& r);
+
+/// File convenience wrappers; throw TtRecError on I/O failure.
+void SaveTtCoresToFile(const std::string& path, const TtCores& cores);
+TtCores LoadTtCoresFromFile(const std::string& path);
+
+}  // namespace ttrec

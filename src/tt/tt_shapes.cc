@@ -1,0 +1,173 @@
+#include "tt/tt_shapes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+int64_t TtShape::CoreParams(int k) const {
+  TTREC_CHECK_INDEX(k >= 0 && k < num_cores(), "core index out of range");
+  return ranks[static_cast<size_t>(k)] * row_factors[static_cast<size_t>(k)] *
+         col_factors[static_cast<size_t>(k)] *
+         ranks[static_cast<size_t>(k) + 1];
+}
+
+int64_t TtShape::TotalParams() const {
+  int64_t total = 0;
+  for (int k = 0; k < num_cores(); ++k) total += CoreParams(k);
+  return total;
+}
+
+double TtShape::CompressionRatio() const {
+  return static_cast<double>(DenseParams()) /
+         static_cast<double>(TotalParams());
+}
+
+std::vector<int64_t> TtShape::RowDigits(int64_t row) const {
+  TTREC_CHECK_INDEX(row >= 0 && row < num_rows, "row ", row,
+                    " out of range [0, ", num_rows, ")");
+  const int d = num_cores();
+  std::vector<int64_t> digits(static_cast<size_t>(d));
+  for (int k = d - 1; k >= 0; --k) {
+    const int64_t f = row_factors[static_cast<size_t>(k)];
+    digits[static_cast<size_t>(k)] = row % f;
+    row /= f;
+  }
+  return digits;
+}
+
+int64_t TtShape::RowFromDigits(const std::vector<int64_t>& digits) const {
+  TTREC_CHECK_SHAPE(static_cast<int>(digits.size()) == num_cores(),
+                    "digit count mismatch");
+  int64_t row = 0;
+  for (int k = 0; k < num_cores(); ++k) {
+    const int64_t f = row_factors[static_cast<size_t>(k)];
+    const int64_t dk = digits[static_cast<size_t>(k)];
+    TTREC_CHECK_INDEX(dk >= 0 && dk < f, "digit out of range");
+    row = row * f + dk;
+  }
+  return row;
+}
+
+void TtShape::Validate() const {
+  const int d = num_cores();
+  TTREC_CHECK_CONFIG(d >= 2, "TT shape needs at least 2 cores, got ", d);
+  TTREC_CHECK_CONFIG(col_factors.size() == row_factors.size(),
+                     "row/col factor counts differ");
+  TTREC_CHECK_CONFIG(ranks.size() == row_factors.size() + 1,
+                     "ranks must have num_cores + 1 entries");
+  TTREC_CHECK_CONFIG(ranks.front() == 1 && ranks.back() == 1,
+                     "boundary ranks must be 1");
+  TTREC_CHECK_CONFIG(num_rows >= 1, "num_rows must be positive");
+  TTREC_CHECK_CONFIG(emb_dim >= 1, "emb_dim must be positive");
+  int64_t row_prod = 1;
+  int64_t col_prod = 1;
+  for (int k = 0; k < d; ++k) {
+    TTREC_CHECK_CONFIG(row_factors[static_cast<size_t>(k)] >= 1 &&
+                           col_factors[static_cast<size_t>(k)] >= 1,
+                       "factors must be positive");
+    TTREC_CHECK_CONFIG(ranks[static_cast<size_t>(k)] >= 1, "ranks must be >= 1");
+    row_prod *= row_factors[static_cast<size_t>(k)];
+    col_prod *= col_factors[static_cast<size_t>(k)];
+  }
+  TTREC_CHECK_CONFIG(row_prod >= num_rows,
+                     "product of row factors (", row_prod,
+                     ") must cover num_rows (", num_rows, ")");
+  TTREC_CHECK_CONFIG(col_prod == emb_dim, "product of col factors (", col_prod,
+                     ") must equal emb_dim (", emb_dim, ")");
+}
+
+std::string TtShape::ToString() const {
+  std::ostringstream os;
+  os << num_rows << "x" << emb_dim << " -> ";
+  for (int k = 0; k < num_cores(); ++k) {
+    if (k > 0) os << " * ";
+    os << "(" << ranks[static_cast<size_t>(k)] << ","
+       << row_factors[static_cast<size_t>(k)] << ","
+       << col_factors[static_cast<size_t>(k)] << ","
+       << ranks[static_cast<size_t>(k) + 1] << ")";
+  }
+  os << " [" << TotalParams() << " params, " << CompressionRatio()
+     << "x reduction]";
+  return os.str();
+}
+
+std::vector<int64_t> FactorizeRows(int64_t n, int num_factors) {
+  TTREC_CHECK_CONFIG(n >= 1, "FactorizeRows: n must be positive");
+  TTREC_CHECK_CONFIG(num_factors >= 1, "FactorizeRows: need >= 1 factor");
+  std::vector<int64_t> factors;
+  factors.reserve(static_cast<size_t>(num_factors));
+  int64_t remaining = n;
+  for (int k = num_factors; k >= 1; --k) {
+    // Smallest f with f^k >= remaining.
+    int64_t f = static_cast<int64_t>(
+        std::ceil(std::pow(static_cast<double>(remaining), 1.0 / k)));
+    while (f > 1) {  // fix any floating-point overshoot
+      double p = 1.0;
+      for (int i = 0; i < k; ++i) p *= static_cast<double>(f - 1);
+      if (p >= static_cast<double>(remaining)) {
+        --f;
+      } else {
+        break;
+      }
+    }
+    factors.push_back(std::max<int64_t>(1, f));
+    remaining = (remaining + f - 1) / f;  // ceil div
+  }
+  std::sort(factors.begin(), factors.end());
+  return factors;
+}
+
+std::vector<int64_t> FactorizeCols(int64_t n, int num_factors) {
+  TTREC_CHECK_CONFIG(n >= 1, "FactorizeCols: n must be positive");
+  TTREC_CHECK_CONFIG(num_factors >= 1, "FactorizeCols: need >= 1 factor");
+  // Prime factorization, then greedy assembly into `num_factors` balanced
+  // buckets: repeatedly multiply the largest remaining prime into the
+  // currently-smallest bucket.
+  std::vector<int64_t> primes;
+  int64_t m = n;
+  for (int64_t p = 2; p * p <= m; ++p) {
+    while (m % p == 0) {
+      primes.push_back(p);
+      m /= p;
+    }
+  }
+  if (m > 1) primes.push_back(m);
+  std::sort(primes.rbegin(), primes.rend());
+
+  std::vector<int64_t> buckets(static_cast<size_t>(num_factors), 1);
+  for (int64_t p : primes) {
+    auto it = std::min_element(buckets.begin(), buckets.end());
+    *it *= p;
+  }
+  std::sort(buckets.begin(), buckets.end());
+  return buckets;
+}
+
+TtShape MakeTtShape(int64_t num_rows, int64_t emb_dim, int num_cores,
+                    int64_t rank) {
+  return MakeTtShapeExplicit(num_rows, emb_dim,
+                             FactorizeRows(num_rows, num_cores),
+                             FactorizeCols(emb_dim, num_cores), rank);
+}
+
+TtShape MakeTtShapeExplicit(int64_t num_rows, int64_t emb_dim,
+                            std::vector<int64_t> row_factors,
+                            std::vector<int64_t> col_factors, int64_t rank) {
+  TTREC_CHECK_CONFIG(rank >= 1, "TT rank must be >= 1, got ", rank);
+  TtShape shape;
+  shape.num_rows = num_rows;
+  shape.emb_dim = emb_dim;
+  shape.row_factors = std::move(row_factors);
+  shape.col_factors = std::move(col_factors);
+  shape.ranks.assign(shape.row_factors.size() + 1, rank);
+  shape.ranks.front() = 1;
+  shape.ranks.back() = 1;
+  shape.Validate();
+  return shape;
+}
+
+}  // namespace ttrec

@@ -1,0 +1,76 @@
+// TT shapes for embedding-table compression (paper §2, Table 2).
+//
+// An M x N embedding table is reshaped into a 2d-dimensional tensor using
+// row factors (m_1..m_d) with prod(m_k) >= M and column factors (n_1..n_d)
+// with prod(n_k) == N, then decomposed into d TT cores
+// G_k in R^{R_{k-1} x m_k x n_k x R_k}, R_0 = R_d = 1. This header holds the
+// shape algebra: factorization, parameter counting, compression ratios, and
+// mixed-radix row-index digit decomposition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ttrec {
+
+/// Complete shape description of one TT-compressed embedding table.
+struct TtShape {
+  int64_t num_rows = 0;  // M (logical; prod(row_factors) may exceed it)
+  int64_t emb_dim = 0;   // N == prod(col_factors)
+  std::vector<int64_t> row_factors;  // m_1..m_d
+  std::vector<int64_t> col_factors;  // n_1..n_d
+  std::vector<int64_t> ranks;        // R_0..R_d with R_0 == R_d == 1
+
+  int num_cores() const { return static_cast<int>(row_factors.size()); }
+
+  /// Number of parameters in core k: R_{k-1} * m_k * n_k * R_k.
+  int64_t CoreParams(int k) const;
+
+  /// Total TT parameters across all cores.
+  int64_t TotalParams() const;
+
+  /// Uncompressed parameter count M * N.
+  int64_t DenseParams() const { return num_rows * emb_dim; }
+
+  /// Memory reduction factor: dense / TT parameters.
+  double CompressionRatio() const;
+
+  /// Decomposes a row index into mixed-radix digits (i_1..i_d) over the row
+  /// factors, most-significant digit first — the index mapping of Eq. (3).
+  std::vector<int64_t> RowDigits(int64_t row) const;
+
+  /// Inverse of RowDigits.
+  int64_t RowFromDigits(const std::vector<int64_t>& digits) const;
+
+  /// Throws ConfigError/ShapeError if the shape is internally inconsistent.
+  void Validate() const;
+
+  std::string ToString() const;
+};
+
+/// Builds a TT shape for an M x N table with `num_cores` cores and uniform
+/// internal rank `rank` (R_0 = R_d = 1, all others = rank):
+///   - row factors: near-balanced integers with product >= M (Table 2 style),
+///   - column factors: a factorization of N into num_cores parts
+///     (N must admit one; powers of two always do).
+TtShape MakeTtShape(int64_t num_rows, int64_t emb_dim, int num_cores,
+                    int64_t rank);
+
+/// Same, with explicit factors (e.g. to reproduce the paper's Table 2 rows
+/// exactly).
+TtShape MakeTtShapeExplicit(int64_t num_rows, int64_t emb_dim,
+                            std::vector<int64_t> row_factors,
+                            std::vector<int64_t> col_factors, int64_t rank);
+
+/// Near-balanced factors m_1 <= ... <= m_d with product >= n, each minimal
+/// subject to covering the remainder. FactorizeRows(10131227, 3) gives
+/// factors around 217 (the paper hand-picked (200, 220, 250); both cover M).
+std::vector<int64_t> FactorizeRows(int64_t n, int num_factors);
+
+/// Exact factorization of n into `num_factors` integer parts > 1 where
+/// possible (trailing 1s allowed when n has too few prime factors), as
+/// balanced as possible. Throws ConfigError if n < 1.
+std::vector<int64_t> FactorizeCols(int64_t n, int num_factors);
+
+}  // namespace ttrec

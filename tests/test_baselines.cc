@@ -1,0 +1,258 @@
+// Baseline embedding operators: T3nsor-style full-materialization TT,
+// hashing trick, low-rank factorization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/hashed_embedding.h"
+#include "baselines/quantized_embedding.h"
+#include "baselines/lowrank_embedding.h"
+#include "baselines/t3nsor_embedding.h"
+#include "tensor/check.h"
+#include "tt/tt_embedding.h"
+
+namespace ttrec {
+namespace {
+
+TEST(T3nsorEmbeddingBag, ForwardMatchesTtRecExactly) {
+  // Same cores, different decompression strategy -> identical outputs.
+  Rng r1(5), r2(5);
+  TtEmbeddingConfig cfg;
+  cfg.shape = MakeTtShape(60, 8, 3, 4);
+  T3nsorEmbeddingBag t3(cfg, TtInit::kGaussian, r1);
+  TtEmbeddingBag tt(cfg, TtInit::kGaussian, r2);
+
+  CsrBatch batch;
+  batch.indices = {3, 17, 42, 3};
+  batch.offsets = {0, 2, 4};
+  std::vector<float> a(static_cast<size_t>(2 * 8)), b(a.size());
+  t3.Forward(batch, a.data());
+  tt.Forward(batch, b.data());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-4f);
+}
+
+TEST(T3nsorEmbeddingBag, WorkingSetEqualsFullTable) {
+  Rng rng(6);
+  TtEmbeddingConfig cfg;
+  cfg.shape = MakeTtShape(1000, 16, 3, 8);
+  T3nsorEmbeddingBag t3(cfg, TtInit::kGaussian, rng);
+  // The Figure 8 contrast: persistent params are tiny, working set is the
+  // uncompressed table.
+  EXPECT_EQ(t3.WorkingSetBytes(), 1000 * 16 * 4);
+  EXPECT_LT(t3.MemoryBytes(), t3.WorkingSetBytes());
+}
+
+TEST(T3nsorEmbeddingBag, TrainsLikeTt) {
+  Rng rng(7);
+  TtEmbeddingConfig cfg;
+  cfg.shape = MakeTtShape(40, 8, 3, 4);
+  T3nsorEmbeddingBag t3(cfg, TtInit::kGaussian, rng);
+  CsrBatch batch = CsrBatch::FromIndices({7});
+  std::vector<float> target(8, 0.3f), out(8), grad(8);
+  double first = -1, last = -1;
+  for (int step = 0; step < 150; ++step) {
+    t3.Forward(batch, out.data());
+    double loss = 0;
+    for (int j = 0; j < 8; ++j) {
+      const float d = out[static_cast<size_t>(j)] - target[static_cast<size_t>(j)];
+      loss += 0.5 * d * d;
+      grad[static_cast<size_t>(j)] = d;
+    }
+    if (step == 0) first = loss;
+    last = loss;
+    t3.Backward(batch, grad.data());
+    t3.ApplySgd(0.5f);
+  }
+  EXPECT_LT(last, 1e-2 * first);
+}
+
+TEST(HashedEmbeddingBag, BucketsAreStableAndInRange) {
+  Rng rng(8);
+  HashedEmbeddingBag emb(10000, 100, 4, PoolingMode::kSum, rng);
+  std::set<int64_t> buckets;
+  for (int64_t row = 0; row < 1000; ++row) {
+    const int64_t b = emb.Bucket(row);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 100);
+    EXPECT_EQ(b, emb.Bucket(row));
+    buckets.insert(b);
+  }
+  // Hash spreads across most buckets.
+  EXPECT_GT(buckets.size(), 90u);
+}
+
+TEST(HashedEmbeddingBag, CollidingRowsShareVectors) {
+  Rng rng(9);
+  HashedEmbeddingBag emb(10000, 10, 4, PoolingMode::kSum, rng);
+  // Find two rows in the same bucket.
+  int64_t a = 0, b = -1;
+  for (int64_t row = 1; row < 10000; ++row) {
+    if (emb.Bucket(row) == emb.Bucket(a)) {
+      b = row;
+      break;
+    }
+  }
+  ASSERT_GE(b, 0);
+  std::vector<float> oa(4), ob(4);
+  CsrBatch ba = CsrBatch::FromIndices({a});
+  CsrBatch bb = CsrBatch::FromIndices({b});
+  emb.Forward(ba, oa.data());
+  emb.Forward(bb, ob.data());
+  EXPECT_EQ(oa, ob);  // the collision IS the accuracy problem
+  // And training one updates the other.
+  std::vector<float> g(4, 1.0f);
+  emb.Backward(ba, g.data());
+  emb.ApplySgd(0.5f);
+  std::vector<float> oa2(4), ob2(4);
+  emb.Forward(ba, oa2.data());
+  emb.Forward(bb, ob2.data());
+  EXPECT_EQ(oa2, ob2);
+  EXPECT_NE(oa, oa2);
+}
+
+TEST(HashedEmbeddingBag, MemoryIsBucketTable) {
+  Rng rng(10);
+  HashedEmbeddingBag emb(1000000, 1000, 16, PoolingMode::kSum, rng);
+  EXPECT_EQ(emb.MemoryBytes(), 1000 * 16 * 4);
+  EXPECT_EQ(emb.num_rows(), 1000000);
+  EXPECT_THROW(HashedEmbeddingBag(10, 20, 4, PoolingMode::kSum, rng),
+               ConfigError);
+}
+
+TEST(LowRankEmbeddingBag, ForwardIsFactorProduct) {
+  Rng rng(11);
+  LowRankEmbeddingBag emb(20, 4, 3, PoolingMode::kSum, rng);
+  CsrBatch batch = CsrBatch::FromIndices({5});
+  std::vector<float> out(4);
+  emb.Forward(batch, out.data());
+  for (float x : out) EXPECT_TRUE(std::isfinite(x));
+  EXPECT_EQ(emb.MemoryBytes(), (20 * 3 + 3 * 4) * 4);
+}
+
+TEST(LowRankEmbeddingBag, GradientCheck) {
+  Rng rng(12);
+  LowRankEmbeddingBag emb(16, 4, 2, PoolingMode::kSum, rng);
+  CsrBatch batch;
+  batch.indices = {3, 7, 3};
+  batch.offsets = {0, 2, 3};
+  std::vector<float> g = {0.5f, -1.0f, 2.0f, 0.25f, 1.0f, 1.0f, -0.5f, 0.75f};
+
+  auto loss = [&]() {
+    std::vector<float> out(static_cast<size_t>(2 * 4));
+    emb.Forward(batch, out.data());
+    double s = 0;
+    for (size_t i = 0; i < out.size(); ++i) s += static_cast<double>(g[i]) * out[i];
+    return s;
+  };
+  const double base = loss();
+  (void)base;
+  emb.Backward(batch, g.data());
+  // Finite-difference via SGD trick: apply a tiny step and confirm the loss
+  // drops by ~lr * ||grad||^2 (first-order).
+  const double l0 = loss();
+  emb.ApplySgd(1e-3f);
+  const double l1 = loss();
+  EXPECT_LT(l1, l0);
+}
+
+TEST(LowRankEmbeddingBag, TrainsToTarget) {
+  Rng rng(13);
+  LowRankEmbeddingBag emb(16, 4, 4, PoolingMode::kSum, rng);
+  CsrBatch batch = CsrBatch::FromIndices({2});
+  std::vector<float> target = {0.5f, -0.5f, 0.25f, 0.0f};
+  std::vector<float> out(4), grad(4);
+  double first = -1, last = -1;
+  for (int step = 0; step < 400; ++step) {
+    emb.Forward(batch, out.data());
+    double loss = 0;
+    for (int j = 0; j < 4; ++j) {
+      const float d = out[static_cast<size_t>(j)] - target[static_cast<size_t>(j)];
+      loss += 0.5 * d * d;
+      grad[static_cast<size_t>(j)] = d;
+    }
+    if (step == 0) first = loss;
+    last = loss;
+    emb.Backward(batch, grad.data());
+    emb.ApplySgd(0.5f);
+  }
+  EXPECT_LT(last, 1e-3 * first + 1e-10);
+  EXPECT_THROW(LowRankEmbeddingBag(16, 4, 0, PoolingMode::kSum, rng),
+               ConfigError);
+}
+
+class QuantBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantBitsSweep, QuantizationErrorBoundedByHalfStep) {
+  const int bits = GetParam();
+  Rng rng(14);
+  Tensor table({50, 16});
+  for (int64_t i = 0; i < table.numel(); ++i) {
+    table.data()[i] = static_cast<float>(rng.Uniform(-0.5, 0.5));
+  }
+  QuantizedEmbeddingBag q(table, bits, PoolingMode::kSum);
+  // Per row, max error <= scale/2 + rounding slack; the worst-case scale is
+  // range / (2^bits - 1) with range <= 1.
+  const double max_step = 1.0 / ((1 << bits) - 1);
+  EXPECT_LE(q.MaxQuantizationError(table), 0.51 * max_step + 1e-6);
+}
+
+TEST_P(QuantBitsSweep, ForwardPoolsDequantizedRows) {
+  const int bits = GetParam();
+  Rng rng(15);
+  Tensor table({20, 4});
+  for (int64_t i = 0; i < table.numel(); ++i) {
+    table.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  QuantizedEmbeddingBag q(table, bits, PoolingMode::kSum);
+  CsrBatch batch;
+  batch.indices = {3, 7};
+  batch.offsets = {0, 2};
+  std::vector<float> out(4);
+  q.Forward(batch, out.data());
+  std::vector<float> r3(4), r7(4);
+  q.DequantizeRow(3, r3.data());
+  q.DequantizeRow(7, r7.data());
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out[static_cast<size_t>(j)],
+                r3[static_cast<size_t>(j)] + r7[static_cast<size_t>(j)],
+                1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantBitsSweep, ::testing::Values(4, 8));
+
+TEST(QuantizedEmbeddingBag, MemoryMatchesBitWidth) {
+  Tensor table({1000, 16});
+  QuantizedEmbeddingBag q8(table, 8, PoolingMode::kSum);
+  QuantizedEmbeddingBag q4(table, 4, PoolingMode::kSum);
+  // 8-bit: 16 bytes/row payload + 8 bytes scale/offset.
+  EXPECT_EQ(q8.MemoryBytes(), 1000 * (16 + 8));
+  EXPECT_EQ(q4.MemoryBytes(), 1000 * (8 + 8));
+  // Compression vs fp32 caps well below TT's ratios.
+  const double ratio8 = 1000.0 * 16 * 4 / static_cast<double>(q8.MemoryBytes());
+  EXPECT_LT(ratio8, 4.0);
+}
+
+TEST(QuantizedEmbeddingBag, InferenceOnly) {
+  Tensor table({10, 4});
+  QuantizedEmbeddingBag q(table, 8, PoolingMode::kSum);
+  CsrBatch batch = CsrBatch::FromIndices({1});
+  std::vector<float> g(4, 1.0f);
+  EXPECT_THROW(q.Backward(batch, g.data()), ConfigError);
+  EXPECT_THROW(q.ApplySgd(0.1f), ConfigError);
+  EXPECT_THROW(QuantizedEmbeddingBag(table, 3, PoolingMode::kSum),
+               ConfigError);
+}
+
+TEST(QuantizedEmbeddingBag, ConstantRowHandled) {
+  Tensor table({2, 4});
+  table.Fill(0.75f);
+  QuantizedEmbeddingBag q(table, 8, PoolingMode::kSum);
+  std::vector<float> row(4);
+  q.DequantizeRow(0, row.data());
+  for (float x : row) EXPECT_FLOAT_EQ(x, 0.75f);
+}
+
+}  // namespace
+}  // namespace ttrec

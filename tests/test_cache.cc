@@ -1,0 +1,384 @@
+// Cache module: frequency tracker properties, LFU row cache, and the hybrid
+// cached TT embedding (partition correctness, warm-up semantics, gradient
+// routing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cache/cached_tt_embedding.h"
+#include "cache/freq_tracker.h"
+#include "cache/lfu_cache.h"
+#include "tensor/check.h"
+
+namespace ttrec {
+namespace {
+
+TEST(FreqTracker, CountsAndTotals) {
+  FreqTracker t(16);
+  t.Increment(5);
+  t.Increment(5);
+  t.Increment(9, 3);
+  EXPECT_EQ(t.Count(5), 2);
+  EXPECT_EQ(t.Count(9), 3);
+  EXPECT_EQ(t.Count(42), 0);
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.total(), 5);
+}
+
+TEST(FreqTracker, GrowsPastInitialCapacity) {
+  FreqTracker t(16);
+  for (int64_t k = 0; k < 10000; ++k) t.Increment(k * 131071);
+  EXPECT_EQ(t.size(), 10000);
+  for (int64_t k = 0; k < 10000; k += 997) {
+    EXPECT_EQ(t.Count(k * 131071), 1);
+  }
+}
+
+TEST(FreqTracker, TopKOrderingWithTies) {
+  FreqTracker t;
+  t.Increment(1, 10);
+  t.Increment(2, 30);
+  t.Increment(3, 10);
+  t.Increment(4, 20);
+  const auto top = t.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 2);
+  EXPECT_EQ(top[1], 4);
+  EXPECT_EQ(top[2], 1);  // tie with 3 broken by smaller key
+  EXPECT_EQ(t.TopK(100).size(), 4u);  // clamped to size
+  EXPECT_TRUE(t.TopK(0).empty());
+}
+
+TEST(FreqTracker, TopKMatchesExactCountsUnderSkewedStream) {
+  FreqTracker t;
+  Rng rng(3);
+  ZipfSampler zipf(5000, 1.3);
+  std::unordered_map<int64_t, int64_t> oracle;
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t k = zipf.Sample(rng);
+    t.Increment(k);
+    ++oracle[k];
+  }
+  for (const auto& [k, v] : oracle) EXPECT_EQ(t.Count(k), v);
+  // Top-20 counts are exactly the oracle's top-20 counts.
+  auto top = t.TopK(20);
+  std::vector<int64_t> oracle_counts;
+  for (const auto& [k, v] : oracle) oracle_counts.push_back(v);
+  std::sort(oracle_counts.rbegin(), oracle_counts.rend());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(t.Count(top[i]), oracle_counts[i]);
+  }
+}
+
+TEST(FreqTracker, ClearAndDecay) {
+  FreqTracker t;
+  t.Increment(1, 10);
+  t.Increment(2, 3);
+  t.Decay(0.5);
+  EXPECT_EQ(t.Count(1), 5);
+  EXPECT_EQ(t.Count(2), 1);
+  EXPECT_EQ(t.total(), 6);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.Count(1), 0);
+  EXPECT_THROW(t.Decay(1.0), ConfigError);
+  EXPECT_THROW(t.Increment(-1), IndexError);
+}
+
+TEST(LfuRowCache, PopulateFindUpdate) {
+  LfuRowCache cache(4, 3);
+  std::vector<int64_t> rows = {10, 20, 30};
+  std::vector<float> vals = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  cache.Populate(rows, vals.data());
+  EXPECT_EQ(cache.size(), 3);
+  ASSERT_NE(cache.Find(20), nullptr);
+  EXPECT_FLOAT_EQ(cache.Find(20)[0], 4.0f);
+  EXPECT_EQ(cache.Find(99), nullptr);
+
+  // Gradient + SGD on a cached row.
+  float* g = cache.GradFor(20);
+  ASSERT_NE(g, nullptr);
+  g[0] = 1.0f;
+  cache.ApplySgd(0.5f);
+  EXPECT_FLOAT_EQ(cache.Find(20)[0], 3.5f);
+  // Gradient cleared after SGD.
+  EXPECT_FLOAT_EQ(cache.GradFor(20)[0], 0.0f);
+}
+
+TEST(LfuRowCache, RepopulateDiscardsOldContents) {
+  LfuRowCache cache(2, 2);
+  std::vector<float> v1 = {1, 1, 2, 2};
+  cache.Populate(std::vector<int64_t>{5, 6}, v1.data());
+  std::vector<float> v2 = {9, 9};
+  cache.Populate(std::vector<int64_t>{7}, v2.data());
+  EXPECT_EQ(cache.Find(5), nullptr);  // evicted, learned weights discarded
+  EXPECT_EQ(cache.Find(6), nullptr);
+  ASSERT_NE(cache.Find(7), nullptr);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(LfuRowCache, CapacityClampsPopulation) {
+  LfuRowCache cache(2, 1);
+  std::vector<float> vals = {1, 2, 3};
+  cache.Populate(std::vector<int64_t>{1, 2, 3}, vals.data());
+  EXPECT_EQ(cache.size(), 2);  // only first `capacity` rows kept
+}
+
+TEST(LfuRowCache, RejectsDuplicatesAndBadConfig) {
+  LfuRowCache cache(4, 2);
+  std::vector<float> vals = {1, 2, 3, 4};
+  EXPECT_THROW(cache.Populate(std::vector<int64_t>{3, 3}, vals.data()),
+               ConfigError);
+  EXPECT_THROW(LfuRowCache(0, 2), ConfigError);
+  EXPECT_THROW(LfuRowCache(2, 0), ConfigError);
+}
+
+TEST(LfuRowCache, HitRateAccounting) {
+  LfuRowCache cache(2, 1);
+  std::vector<float> vals = {1, 2};
+  cache.Populate(std::vector<int64_t>{1, 2}, vals.data());
+  cache.ResetStats();
+  (void)cache.Find(1);
+  (void)cache.Find(2);
+  (void)cache.Find(3);
+  (void)cache.Find(4);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  cache.ResetStats();
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CachedTtEmbeddingBag
+// ---------------------------------------------------------------------------
+
+CachedTtConfig SmallCachedConfig(int64_t capacity = 8,
+                                 int64_t warmup = 4,
+                                 int64_t refresh = 2) {
+  CachedTtConfig cfg;
+  cfg.tt.shape = MakeTtShape(64, 8, 3, 4);
+  cfg.tt.block_size = 16;
+  cfg.cache_capacity = capacity;
+  cfg.warmup_iterations = warmup;
+  cfg.refresh_interval = refresh;
+  return cfg;
+}
+
+CsrBatch SkewedBatch(Rng& rng, int64_t bags, int64_t hot_rows = 4,
+                     double hot_prob = 0.8) {
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < bags; ++i) {
+    idx.push_back(rng.Bernoulli(hot_prob) ? rng.RandInt(hot_rows)
+                                          : hot_rows + rng.RandInt(60 - hot_rows));
+  }
+  return CsrBatch::FromIndices(std::move(idx));
+}
+
+TEST(CachedTtEmbeddingBag, MatchesPureTtWhileCacheCold) {
+  // Before the first refresh (iteration 0), everything goes through TT, so
+  // output must equal a plain TtEmbeddingBag with identical init.
+  Rng r1(42), r2(42);
+  CachedTtConfig cfg = SmallCachedConfig();
+  CachedTtEmbeddingBag cached(cfg, TtInit::kGaussian, r1);
+  TtEmbeddingConfig plain_cfg = cfg.tt;
+  TtEmbeddingBag plain(plain_cfg, TtInit::kGaussian, r2);
+
+  CsrBatch batch = CsrBatch::FromIndices({1, 5, 1, 33});
+  std::vector<float> a(static_cast<size_t>(4 * 8)), b(a.size());
+  cached.Forward(batch, a.data());
+  plain.Forward(batch, b.data());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-5f);
+}
+
+TEST(CachedTtEmbeddingBag, CacheServesHotRowsAfterWarmup) {
+  Rng rng(7);
+  CachedTtEmbeddingBag emb(SmallCachedConfig(/*capacity=*/4, /*warmup=*/6,
+                                             /*refresh=*/2),
+                           TtInit::kGaussian, rng);
+  Rng data_rng(99);
+  std::vector<float> out(static_cast<size_t>(32 * 8));
+  for (int iter = 0; iter < 10; ++iter) {
+    CsrBatch batch = SkewedBatch(data_rng, 32);
+    emb.Forward(batch, out.data());
+  }
+  EXPECT_TRUE(emb.warmed_up());
+  // The 4 hot rows dominate accesses, so the cache should hold them.
+  const auto cached_rows = emb.cache().CachedRows();
+  std::set<int64_t> cached_set(cached_rows.begin(), cached_rows.end());
+  for (int64_t hot = 0; hot < 4; ++hot) {
+    EXPECT_TRUE(cached_set.contains(hot)) << "hot row " << hot;
+  }
+  emb.ResetStats();
+  CsrBatch batch = SkewedBatch(data_rng, 64);
+  emb.Forward(batch, std::vector<float>(static_cast<size_t>(64 * 8)).data());
+  EXPECT_GT(emb.HitRate(), 0.5);
+}
+
+TEST(CachedTtEmbeddingBag, ForwardValueUnchangedAtRefreshBoundary) {
+  // Refresh populates the cache FROM the TT cores, so the hybrid output is
+  // identical to the pure-TT output immediately after a refresh.
+  Rng r1(5), r2(5);
+  CachedTtConfig cfg = SmallCachedConfig(/*capacity=*/8, /*warmup=*/2,
+                                         /*refresh=*/1);
+  CachedTtEmbeddingBag cached(cfg, TtInit::kGaussian, r1);
+  TtEmbeddingBag plain(cfg.tt, TtInit::kGaussian, r2);
+
+  CsrBatch warm = CsrBatch::FromIndices({3, 3, 9, 9, 3});
+  std::vector<float> out(static_cast<size_t>(5 * 8)), ref(out.size());
+  for (int i = 0; i < 3; ++i) cached.Forward(warm, out.data());
+  // No SGD applied: TT cores unchanged, cache mirrors them.
+  plain.Forward(warm, ref.data());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], ref[i], 1e-5f);
+}
+
+TEST(CachedTtEmbeddingBag, GradientsRouteToCacheForHits) {
+  Rng rng(11);
+  CachedTtConfig cfg = SmallCachedConfig(/*capacity=*/2, /*warmup=*/1,
+                                         /*refresh=*/1);
+  CachedTtEmbeddingBag emb(cfg, TtInit::kGaussian, rng);
+
+  // Warm up on rows {0, 1} so they get cached.
+  CsrBatch warm = CsrBatch::FromIndices({0, 1, 0, 1});
+  std::vector<float> out(static_cast<size_t>(4 * 8));
+  emb.Forward(warm, out.data());
+  emb.Forward(warm, out.data());
+  ASSERT_NE(emb.cache().Find(0), nullptr);
+
+  // Record cached value, train one step on row 0 only.
+  std::vector<float> before(emb.cache().Find(0), emb.cache().Find(0) + 8);
+  std::vector<Tensor> cores_before;
+  for (int k = 0; k < 3; ++k) cores_before.push_back(emb.tt().cores().core(k));
+
+  CsrBatch hit_only = CsrBatch::FromIndices({0});
+  std::vector<float> o1(8), g1(8, 1.0f);
+  emb.Forward(hit_only, o1.data());
+  emb.Backward(hit_only, g1.data());
+  emb.ApplySgd(0.25f);
+
+  // Cached row moved by -lr * grad; TT cores untouched.
+  const float* after = emb.cache().Find(0);
+  ASSERT_NE(after, nullptr);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_NEAR(after[j], before[static_cast<size_t>(j)] - 0.25f, 1e-5f);
+  }
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_LT(MaxAbsDiff(emb.tt().cores().core(k),
+                         cores_before[static_cast<size_t>(k)]),
+              1e-7);
+  }
+}
+
+TEST(CachedTtEmbeddingBag, MissesTrainTtCores) {
+  Rng rng(13);
+  CachedTtConfig cfg = SmallCachedConfig(/*capacity=*/2, /*warmup=*/1,
+                                         /*refresh=*/1);
+  CachedTtEmbeddingBag emb(cfg, TtInit::kGaussian, rng);
+  CsrBatch warm = CsrBatch::FromIndices({0, 1});
+  std::vector<float> out(static_cast<size_t>(2 * 8));
+  emb.Forward(warm, out.data());
+  emb.Forward(warm, out.data());
+
+  std::vector<Tensor> cores_before;
+  for (int k = 0; k < 3; ++k) cores_before.push_back(emb.tt().cores().core(k));
+
+  CsrBatch miss_only = CsrBatch::FromIndices({50});
+  std::vector<float> o(8), g(8, 1.0f);
+  emb.Forward(miss_only, o.data());
+  emb.Backward(miss_only, g.data());
+  emb.ApplySgd(0.1f);
+  double moved = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    moved += MaxAbsDiff(emb.tt().cores().core(k),
+                        cores_before[static_cast<size_t>(k)]);
+  }
+  EXPECT_GT(moved, 1e-6);
+}
+
+TEST(CachedTtEmbeddingBag, MeanPoolingUsesOriginalBagSize) {
+  Rng rng(17);
+  CachedTtConfig cfg = SmallCachedConfig(/*capacity=*/1, /*warmup=*/1,
+                                         /*refresh=*/1);
+  cfg.tt.pooling = PoolingMode::kMean;
+  CachedTtEmbeddingBag emb(cfg, TtInit::kGaussian, rng);
+  // Cache row 0, then pool a bag of {0 (hit), 40 (miss)}: mean must divide
+  // both contributions by 2.
+  CsrBatch warm = CsrBatch::FromIndices({0, 0});
+  std::vector<float> out2(static_cast<size_t>(2 * 8));
+  emb.Forward(warm, out2.data());
+  emb.Forward(warm, out2.data());
+  ASSERT_NE(emb.cache().Find(0), nullptr);
+
+  CsrBatch mixed;
+  mixed.indices = {0, 40};
+  mixed.offsets = {0, 2};
+  std::vector<float> out(8);
+  emb.Forward(mixed, out.data());
+
+  std::vector<float> r0(8), r40(8);
+  emb.tt().cores().MaterializeRow(0, r0.data());
+  emb.tt().cores().MaterializeRow(40, r40.data());
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_NEAR(out[static_cast<size_t>(j)],
+                0.5f * (r0[static_cast<size_t>(j)] +
+                        r40[static_cast<size_t>(j)]),
+                1e-5f);
+  }
+}
+
+TEST(CachedTtEmbeddingBag, PeriodicRewarmAdaptsToPhaseShift) {
+  // Phase 1 hits rows {0..3}; after the phase shifts to rows {50..53}, a
+  // re-warming cache adapts while a frozen one keeps the stale set (the
+  // paper's optional periodic warm-up, Fig 4).
+  auto run = [&](int64_t rewarm_period) {
+    Rng rng(21);
+    CachedTtConfig cfg = SmallCachedConfig(/*capacity=*/4, /*warmup=*/4,
+                                           /*refresh=*/2);
+    cfg.rewarm_period = rewarm_period;
+    CachedTtEmbeddingBag emb(cfg, TtInit::kGaussian, rng);
+    std::vector<float> out(static_cast<size_t>(8 * 8));
+    auto phase_batch = [](int64_t base) {
+      std::vector<int64_t> idx;
+      for (int64_t i = 0; i < 8; ++i) idx.push_back(base + i % 4);
+      return CsrBatch::FromIndices(std::move(idx));
+    };
+    for (int iter = 0; iter < 10; ++iter) {
+      emb.Forward(phase_batch(0), out.data());  // phase 1
+    }
+    for (int iter = 0; iter < 40; ++iter) {
+      emb.Forward(phase_batch(50), out.data());  // phase 2
+    }
+    return emb.cache().CachedRows();
+  };
+
+  const auto frozen = run(0);
+  std::set<int64_t> frozen_set(frozen.begin(), frozen.end());
+  for (int64_t r = 0; r < 4; ++r) EXPECT_TRUE(frozen_set.contains(r));
+
+  const auto rewarmed = run(/*rewarm_period=*/8);
+  std::set<int64_t> rewarmed_set(rewarmed.begin(), rewarmed.end());
+  int hot_phase2 = 0;
+  for (int64_t r = 50; r < 54; ++r) {
+    if (rewarmed_set.contains(r)) ++hot_phase2;
+  }
+  EXPECT_GE(hot_phase2, 3) << "re-warm should adopt the new hot set";
+}
+
+TEST(CachedTtEmbeddingBag, RejectsBadConfig) {
+  Rng rng(1);
+  CachedTtConfig cfg = SmallCachedConfig();
+  cfg.cache_capacity = 0;
+  EXPECT_THROW(CachedTtEmbeddingBag(cfg, TtInit::kGaussian, rng), ConfigError);
+  cfg = SmallCachedConfig();
+  cfg.refresh_interval = 0;
+  EXPECT_THROW(CachedTtEmbeddingBag(cfg, TtInit::kGaussian, rng), ConfigError);
+}
+
+TEST(CachedTtEmbeddingBag, MemoryIncludesCacheAndCores) {
+  Rng rng(2);
+  CachedTtEmbeddingBag emb(SmallCachedConfig(), TtInit::kGaussian, rng);
+  EXPECT_GT(emb.MemoryBytes(), emb.tt().MemoryBytes());
+}
+
+}  // namespace
+}  // namespace ttrec

@@ -1,0 +1,179 @@
+// DLRM checkpointing: roundtrip prediction equality, exact training resume
+// under SGD, architecture validation, cached-TT state restoration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/cached_tt_embedding.h"
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "dlrm/model.h"
+#include "dlrm/trainer.h"
+#include "tensor/check.h"
+
+namespace ttrec {
+namespace {
+
+DlrmConfig TinyConfig() {
+  DlrmConfig cfg;
+  cfg.emb_dim = 8;
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  return cfg;
+}
+
+SyntheticCriteoConfig TinyData() {
+  SyntheticCriteoConfig cfg;
+  cfg.spec.name = "tiny";
+  cfg.spec.table_rows = {200, 150, 120};
+  cfg.teacher_scale = 4.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+/// Mixed-architecture model: dense + TT + cached TT.
+std::unique_ptr<DlrmModel> MakeMixedModel(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  tables.push_back(std::make_unique<DenseEmbeddingBag>(
+      200, 8, PoolingMode::kSum, DenseEmbeddingInit::UniformScaled(), rng));
+  TtEmbeddingConfig tcfg;
+  tcfg.shape = MakeTtShape(150, 8, 3, 4);
+  tables.push_back(
+      std::make_unique<TtEmbeddingAdapter>(tcfg, TtInit::kGaussian, rng));
+  CachedTtConfig ccfg;
+  ccfg.tt.shape = MakeTtShape(120, 8, 3, 4);
+  ccfg.cache_capacity = 8;
+  ccfg.warmup_iterations = 3;
+  ccfg.refresh_interval = 1;
+  tables.push_back(std::make_unique<CachedTtEmbeddingAdapter>(
+      ccfg, TtInit::kGaussian, rng));
+  return std::make_unique<DlrmModel>(TinyConfig(), std::move(tables), rng);
+}
+
+TEST(Checkpoint, RoundTripPreservesPredictions) {
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(1);
+  // Train a bit so state is non-trivial (warms the cache too).
+  for (int i = 0; i < 10; ++i) {
+    (void)model->TrainStep(data.NextBatch(32), 0.1f);
+  }
+
+  std::stringstream ss;
+  model->SaveCheckpoint(ss);
+
+  // Different seed -> different init; load must overwrite everything.
+  auto restored = MakeMixedModel(999);
+  restored->LoadCheckpoint(ss);
+
+  MiniBatch eval = data.EvalBatch(64);
+  std::vector<float> a(64), b(64);
+  model->PredictLogits(eval, a.data());
+  restored->PredictLogits(eval, b.data());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "logit " << i;
+  }
+}
+
+TEST(Checkpoint, SgdResumeIsExact) {
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(2);
+  for (int i = 0; i < 8; ++i) {
+    (void)model->TrainStep(data.NextBatch(32), 0.1f);
+  }
+  std::stringstream ss;
+  model->SaveCheckpoint(ss);
+  auto resumed = MakeMixedModel(777);
+  resumed->LoadCheckpoint(ss);
+
+  // Continue training BOTH models on identical batches; SGD is stateless,
+  // so they must stay bitwise in lockstep.
+  for (int i = 0; i < 6; ++i) {
+    MiniBatch batch = data.NextBatch(32);
+    const double la = model->TrainStep(batch, 0.1f);
+    const double lb = resumed->TrainStep(batch, 0.1f);
+    EXPECT_EQ(la, lb) << "step " << i;
+  }
+  MiniBatch eval = data.EvalBatch(64);
+  std::vector<float> a(64), b(64);
+  model->PredictLogits(eval, a.data());
+  resumed->PredictLogits(eval, b.data());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  auto model = MakeMixedModel(3);
+  std::stringstream ss;
+  model->SaveCheckpoint(ss);
+
+  // Model with a different table type in slot 1.
+  Rng rng(4);
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  for (int64_t rows : {200, 150, 120}) {
+    tables.push_back(std::make_unique<DenseEmbeddingBag>(
+        rows, 8, PoolingMode::kSum, DenseEmbeddingInit::UniformScaled(),
+        rng));
+  }
+  DlrmModel wrong(TinyConfig(), std::move(tables), rng);
+  EXPECT_THROW(wrong.LoadCheckpoint(ss), ConfigError);
+}
+
+TEST(Checkpoint, RejectsCorruptedStream) {
+  auto model = MakeMixedModel(5);
+  std::stringstream ss;
+  model->SaveCheckpoint(ss);
+  std::string payload = ss.str();
+  payload[payload.size() / 2] ^= 0x40;
+  std::stringstream bad(payload);
+  auto victim = MakeMixedModel(5);
+  EXPECT_THROW(victim->LoadCheckpoint(bad), TtRecError);
+
+  std::stringstream not_a_checkpoint(std::string("garbage data here"));
+  EXPECT_THROW(victim->LoadCheckpoint(not_a_checkpoint), TtRecError);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  auto model = MakeMixedModel(6);
+  const std::string path = "/tmp/ttrec_test_ckpt.bin";
+  model->SaveCheckpointToFile(path);
+  auto restored = MakeMixedModel(7);
+  restored->LoadCheckpointFromFile(path);
+  std::remove(path.c_str());
+
+  SyntheticCriteo data(TinyData());
+  MiniBatch eval = data.EvalBatch(32);
+  std::vector<float> a(32), b(32);
+  model->PredictLogits(eval, a.data());
+  restored->PredictLogits(eval, b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_THROW(restored->LoadCheckpointFromFile("/nonexistent/x.bin"),
+               TtRecError);
+}
+
+TEST(Checkpoint, CachedStateRestoresHitRate) {
+  // The cached table's row set survives the checkpoint: the restored model
+  // serves the same rows from cache immediately (no re-warm-up needed).
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(8);
+  for (int i = 0; i < 10; ++i) {
+    (void)model->TrainStep(data.NextBatch(32), 0.1f);
+  }
+  std::stringstream ss;
+  model->SaveCheckpoint(ss);
+  auto restored = MakeMixedModel(9);
+  restored->LoadCheckpoint(ss);
+
+  auto* original =
+      dynamic_cast<CachedTtEmbeddingAdapter*>(&model->table(2));
+  auto* loaded =
+      dynamic_cast<CachedTtEmbeddingAdapter*>(&restored->table(2));
+  ASSERT_NE(original, nullptr);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(original->op().cache().CachedRows(),
+            loaded->op().cache().CachedRows());
+  EXPECT_EQ(original->op().iteration(), loaded->op().iteration());
+  EXPECT_TRUE(loaded->op().warmed_up());
+}
+
+}  // namespace
+}  // namespace ttrec

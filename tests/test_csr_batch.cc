@@ -1,0 +1,85 @@
+// CsrBatch invariants and validation — the lookup format every operator
+// shares.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "data/csr_batch.h"
+#include "tensor/check.h"
+#include "tensor/stats.h"
+
+namespace ttrec {
+namespace {
+
+TEST(CsrBatch, FromIndicesBuildsSingletonBags) {
+  CsrBatch b = CsrBatch::FromIndices({4, 9, 0});
+  EXPECT_EQ(b.num_bags(), 3);
+  EXPECT_EQ(b.num_lookups(), 3);
+  EXPECT_EQ(b.offsets, (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_NO_THROW(b.Validate(10));
+}
+
+TEST(CsrBatch, EmptyBatch) {
+  CsrBatch b;
+  EXPECT_EQ(b.num_bags(), 0);
+  EXPECT_EQ(b.num_lookups(), 0);
+  // Validation requires offsets to start with 0; an all-empty offsets
+  // vector is malformed.
+  EXPECT_THROW(b.Validate(10), ShapeError);
+  b.offsets = {0};
+  EXPECT_NO_THROW(b.Validate(10));
+}
+
+TEST(CsrBatch, ValidateCatchesEveryMalformation) {
+  CsrBatch b;
+  b.indices = {1, 2};
+  b.offsets = {0, 1, 2};
+  EXPECT_NO_THROW(b.Validate(5));
+
+  CsrBatch bad = b;
+  bad.offsets = {1, 2};  // does not start at 0
+  EXPECT_THROW(bad.Validate(5), ShapeError);
+
+  bad = b;
+  bad.offsets = {0, 2, 1};  // decreasing
+  EXPECT_THROW(bad.Validate(5), ShapeError);
+
+  bad = b;
+  bad.offsets = {0, 1, 3};  // end beyond indices
+  EXPECT_THROW(bad.Validate(5), ShapeError);
+
+  bad = b;
+  bad.weights = {1.0f};  // wrong weight count
+  EXPECT_THROW(bad.Validate(5), ShapeError);
+
+  bad = b;
+  bad.indices = {1, 5};  // out of range
+  EXPECT_THROW(bad.Validate(5), IndexError);
+
+  bad = b;
+  bad.indices = {-1, 2};
+  EXPECT_THROW(bad.Validate(5), IndexError);
+}
+
+TEST(CsrBatch, WeightsAcceptedWhenComplete) {
+  CsrBatch b;
+  b.indices = {0, 1, 2};
+  b.offsets = {0, 3};
+  b.weights = {0.5f, -1.0f, 2.0f};
+  EXPECT_NO_THROW(b.Validate(3));
+}
+
+TEST(Histogram, AsciiSketchRendersAllBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.1);
+  h.Add(0.6);
+  const std::string art = h.ToAscii(10);
+  // One line per bin, peak bin gets the widest bar.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find("##########"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ttrec

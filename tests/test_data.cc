@@ -1,0 +1,253 @@
+// Dataset specs, synthetic Criteo generator, trace utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "data/criteo_synth.h"
+#include "data/table_specs.h"
+#include "data/trace.h"
+#include "tensor/check.h"
+#include "tensor/stats.h"
+
+namespace ttrec {
+namespace {
+
+TEST(TableSpecs, KaggleMatchesPaper) {
+  const DatasetSpec& spec = KaggleSpec();
+  EXPECT_EQ(spec.num_tables(), 26);
+  EXPECT_EQ(spec.num_dense, 13);
+  // Total model size at dim 16 is ~2.16 GB (paper §6): 26 tables, ~33.76M
+  // rows, 4-byte floats.
+  const double gb = static_cast<double>(spec.TotalEmbeddingParams(16)) * 4.0 /
+                    (1e9);
+  EXPECT_NEAR(gb, 2.16, 0.1);
+  // The 7 largest tables are the paper's Table 2 set and hold ~99% of it.
+  const auto top7 = spec.LargestTables(7);
+  int64_t top_params = 0;
+  for (int t : top7) top_params += spec.table_rows[static_cast<size_t>(t)];
+  EXPECT_GT(static_cast<double>(top_params) /
+                static_cast<double>(spec.TotalEmbeddingParams(1)),
+            0.99);
+  EXPECT_EQ(spec.table_rows[static_cast<size_t>(top7[0])], 10131227);
+  EXPECT_EQ(spec.table_rows[static_cast<size_t>(top7[6])], 142572);
+}
+
+TEST(TableSpecs, TerabyteMatchesPaperScale) {
+  const DatasetSpec& spec = TerabyteSpec();
+  EXPECT_EQ(spec.num_tables(), 26);
+  // ~12.57 GB at dim 16 (paper §6).
+  const double gb = static_cast<double>(spec.TotalEmbeddingParams(16)) * 4.0 /
+                    (1e9);
+  EXPECT_NEAR(gb, 12.57, 0.7);
+}
+
+TEST(TableSpecs, LargestTablesSortedDescending) {
+  const auto top = KaggleSpec().LargestTables(26);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(KaggleSpec().table_rows[static_cast<size_t>(top[i - 1])],
+              KaggleSpec().table_rows[static_cast<size_t>(top[i])]);
+  }
+  EXPECT_THROW(KaggleSpec().LargestTables(27), ConfigError);
+}
+
+TEST(TableSpecs, ScaledDividesWithFloor) {
+  const DatasetSpec scaled = KaggleSpec().Scaled(1000);
+  EXPECT_EQ(scaled.table_rows[2], 10131227 / 1000);
+  EXPECT_EQ(scaled.table_rows[8], 4);  // tiny table clamped to 4
+  EXPECT_THROW(KaggleSpec().Scaled(0), ConfigError);
+}
+
+TEST(TableSpecs, PaperRowFactorsCoverTable2) {
+  for (int64_t rows : {10131227, 8351593, 7046547, 5461306, 2202608, 286181,
+                       142572}) {
+    const auto f = PaperRowFactors(rows);
+    ASSERT_EQ(f.size(), 3u) << rows;
+    EXPECT_GE(f[0] * f[1] * f[2], rows);
+  }
+  EXPECT_TRUE(PaperRowFactors(999).empty());
+}
+
+SyntheticCriteoConfig SmallSynthConfig() {
+  SyntheticCriteoConfig cfg;
+  cfg.spec = KaggleSpec().Scaled(10000);
+  cfg.seed = 321;
+  return cfg;
+}
+
+TEST(SyntheticCriteo, BatchGeometry) {
+  SyntheticCriteo data(SmallSynthConfig());
+  MiniBatch b = data.NextBatch(32);
+  EXPECT_EQ(b.batch_size(), 32);
+  EXPECT_EQ(b.dense.dim(0), 32);
+  EXPECT_EQ(b.dense.dim(1), 13);
+  ASSERT_EQ(static_cast<int>(b.sparse.size()), 26);
+  for (int t = 0; t < 26; ++t) {
+    EXPECT_EQ(b.sparse[static_cast<size_t>(t)].num_bags(), 32);
+    EXPECT_EQ(b.sparse[static_cast<size_t>(t)].num_lookups(), 32);  // P = 1
+    EXPECT_NO_THROW(b.sparse[static_cast<size_t>(t)].Validate(
+        data.config().spec.table_rows[static_cast<size_t>(t)]));
+  }
+  for (float y : b.labels) EXPECT_TRUE(y == 0.0f || y == 1.0f);
+}
+
+TEST(SyntheticCriteo, PoolingFactorControlsLookups) {
+  SyntheticCriteoConfig cfg = SmallSynthConfig();
+  cfg.pooling_factor = 10;
+  SyntheticCriteo data(cfg);
+  MiniBatch b = data.NextBatch(8);
+  for (const CsrBatch& cb : b.sparse) {
+    EXPECT_EQ(cb.num_bags(), 8);
+    EXPECT_EQ(cb.num_lookups(), 80);
+  }
+}
+
+TEST(SyntheticCriteo, EvalBatchesDeterministicAndDisjointFromTrain) {
+  SyntheticCriteo a(SmallSynthConfig());
+  SyntheticCriteo b(SmallSynthConfig());
+  (void)a.NextBatch(16);  // advance a's training stream only
+  MiniBatch ea = a.EvalBatch(16, 7);
+  MiniBatch eb = b.EvalBatch(16, 7);
+  EXPECT_EQ(ea.labels, eb.labels);
+  EXPECT_EQ(ea.sparse[0].indices, eb.sparse[0].indices);
+  EXPECT_LT(MaxAbsDiff(ea.dense, eb.dense), 1e-9);
+  // Different eval seed -> different batch.
+  MiniBatch ec = b.EvalBatch(16, 8);
+  EXPECT_NE(ea.sparse[0].indices, ec.sparse[0].indices);
+}
+
+TEST(SyntheticCriteo, IndicesAreZipfSkewed) {
+  SyntheticCriteoConfig cfg = SmallSynthConfig();
+  cfg.zipf_exponent = 1.2;
+  SyntheticCriteo data(cfg);
+  // Table 2 (largest): collect index frequencies over many samples.
+  std::unordered_map<int64_t, int64_t> counts;
+  for (int i = 0; i < 40; ++i) {
+    MiniBatch b = data.NextBatch(256);
+    for (int64_t idx : b.sparse[2].indices) ++counts[idx];
+  }
+  // Skew: the most frequent index should hold far more than the uniform
+  // share of 10240 / ~1013 rows ~ 10.
+  int64_t max_count = 0;
+  for (const auto& [k, v] : counts) max_count = std::max(max_count, v);
+  EXPECT_GT(max_count, 500);
+  // And the support should be much narrower than the table.
+  EXPECT_LT(static_cast<int64_t>(counts.size()),
+            data.config().spec.table_rows[2]);
+}
+
+TEST(SyntheticCriteo, TeacherValuesDeterministicBounded) {
+  SyntheticCriteo data(SmallSynthConfig());
+  for (int64_t row : {int64_t{0}, int64_t{1}, int64_t{3}}) {
+    const double v = data.TeacherValue(0, row);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_EQ(v, data.TeacherValue(0, row));
+  }
+  EXPECT_THROW(data.TeacherValue(-1, 0), IndexError);
+  EXPECT_THROW(data.TeacherValue(0, int64_t{1} << 40), IndexError);
+}
+
+TEST(SyntheticCriteo, LabelsCorrelateWithTeacherLogit) {
+  // The generator must produce learnable labels: empirical click rate
+  // conditioned on a positive teacher logit must exceed that on a negative
+  // one.
+  SyntheticCriteoConfig cfg = SmallSynthConfig();
+  cfg.teacher_scale = 3.0;
+  cfg.label_flip_prob = 0.0;
+  SyntheticCriteo data(cfg);
+  int64_t pos_clicks = 0, pos_total = 0, neg_clicks = 0, neg_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    MiniBatch b = data.NextBatch(256);
+    for (int64_t s = 0; s < b.batch_size(); ++s) {
+      std::vector<int64_t> rows;
+      for (int t = 0; t < data.num_tables(); ++t) {
+        rows.push_back(
+            b.sparse[static_cast<size_t>(t)]
+                .indices[static_cast<size_t>(s)]);
+      }
+      const double logit = data.TeacherLogit(rows, b.dense.data() + s * 13);
+      const bool y = b.labels[static_cast<size_t>(s)] > 0.5f;
+      if (logit > 0) {
+        ++pos_total;
+        if (y) ++pos_clicks;
+      } else {
+        ++neg_total;
+        if (y) ++neg_clicks;
+      }
+    }
+  }
+  ASSERT_GT(pos_total, 100);
+  ASSERT_GT(neg_total, 100);
+  const double p_pos = static_cast<double>(pos_clicks) / pos_total;
+  const double p_neg = static_cast<double>(neg_clicks) / neg_total;
+  EXPECT_GT(p_pos, p_neg + 0.2);
+}
+
+TEST(SyntheticCriteo, RejectsBadConfig) {
+  SyntheticCriteoConfig cfg = SmallSynthConfig();
+  cfg.pooling_factor = 0;
+  EXPECT_THROW(SyntheticCriteo{cfg}, ConfigError);
+  cfg = SmallSynthConfig();
+  cfg.label_flip_prob = 0.9;
+  EXPECT_THROW(SyntheticCriteo{cfg}, ConfigError);
+  cfg = SmallSynthConfig();
+  cfg.zipf_exponent = -1.0;
+  EXPECT_THROW(SyntheticCriteo{cfg}, ConfigError);
+}
+
+TEST(TopKStabilityTracker, ChurnDropsAsCountsAccumulate) {
+  // A stationary Zipf stream: early snapshots churn, late ones stabilize
+  // (the Figure 9 phenomenon).
+  TopKStabilityTracker tracker(50);
+  ZipfSampler zipf(10000, 1.2);
+  Rng rng(5);
+  const double first = [&] {
+    for (int i = 0; i < 500; ++i) tracker.Record(zipf.Sample(rng));
+    return tracker.SnapshotChurn();
+  }();
+  EXPECT_EQ(first, 1.0);  // first snapshot: everything is new
+  double late = 1.0;
+  for (int s = 0; s < 20; ++s) {
+    for (int i = 0; i < 20000; ++i) tracker.Record(zipf.Sample(rng));
+    late = tracker.SnapshotChurn();
+  }
+  EXPECT_LT(late, 0.10);
+}
+
+TEST(TopKStabilityTracker, TopKIsByFrequency) {
+  TopKStabilityTracker tracker(2);
+  for (int i = 0; i < 5; ++i) tracker.Record(7);
+  for (int i = 0; i < 3; ++i) tracker.Record(8);
+  tracker.Record(9);
+  const auto top = tracker.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 7);
+  EXPECT_EQ(top[1], 8);
+  EXPECT_EQ(tracker.total_accesses(), 9);
+}
+
+TEST(ControlledHitRateTrace, AchievesRequestedRate) {
+  Rng rng(77);
+  std::vector<int64_t> cached = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (double rate : {0.0, 0.5, 0.9, 1.0}) {
+    const auto trace = ControlledHitRateTrace(1000, cached, rate, 20000, rng);
+    int64_t hits = 0;
+    for (int64_t row : trace) {
+      if (row < 10) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / 20000.0, rate, 0.02) << rate;
+  }
+}
+
+TEST(ControlledHitRateTrace, Validation) {
+  Rng rng(1);
+  std::vector<int64_t> cached = {0};
+  EXPECT_THROW(ControlledHitRateTrace(10, cached, 1.5, 10, rng), ConfigError);
+  EXPECT_THROW(ControlledHitRateTrace(10, {}, 0.5, 10, rng), ConfigError);
+  EXPECT_NO_THROW(ControlledHitRateTrace(10, {}, 0.0, 10, rng));
+}
+
+}  // namespace
+}  // namespace ttrec

@@ -1,0 +1,165 @@
+// GEMM / batched-GEMM correctness against the reference oracle, across a
+// parameterized sweep of shapes and transpose combinations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "tensor/batched_gemm.h"
+#include "tensor/check.h"
+#include "tensor/gemm.h"
+#include "tensor/random.h"
+
+namespace ttrec {
+namespace {
+
+std::vector<float> RandomVec(Rng& rng, int64_t n) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+using GemmCase = std::tuple<int, int, int, int, int, float, float>;
+// (m, n, k, ta, tb, alpha, beta)
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, MatchesReference) {
+  const auto [m, n, k, tai, tbi, alpha, beta] = GetParam();
+  const Trans ta = tai ? Trans::kYes : Trans::kNo;
+  const Trans tb = tbi ? Trans::kYes : Trans::kNo;
+  Rng rng(1234 + m * 7 + n * 11 + k * 13 + tai + 2 * tbi);
+  const int64_t a_elems = static_cast<int64_t>(m) * k;
+  const int64_t b_elems = static_cast<int64_t>(k) * n;
+  std::vector<float> a = RandomVec(rng, a_elems);
+  std::vector<float> b = RandomVec(rng, b_elems);
+  std::vector<float> c = RandomVec(rng, static_cast<int64_t>(m) * n);
+  std::vector<float> c_ref = c;
+
+  const int64_t lda = (ta == Trans::kNo) ? k : m;
+  const int64_t ldb = (tb == Trans::kNo) ? n : k;
+  Gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c.data(),
+       n);
+  GemmRef(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+          c_ref.data(), n);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-4f * (std::abs(c_ref[i]) + 1.0f))
+        << "mismatch at " << i << " for m=" << m << " n=" << n << " k=" << k
+        << " ta=" << tai << " tb=" << tbi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 33),   // m
+                       ::testing::Values(1, 3, 8, 32),       // n
+                       ::testing::Values(1, 4, 17, 64),      // k
+                       ::testing::Values(0, 1),              // ta
+                       ::testing::Values(0, 1),              // tb
+                       ::testing::Values(1.0f, 0.5f),        // alpha
+                       ::testing::Values(0.0f, 1.0f)));      // beta
+
+TEST(Gemm, DegenerateKActsAsScale) {
+  std::vector<float> c = {1.0f, 2.0f, 3.0f, 4.0f};
+  Gemm(Trans::kNo, Trans::kNo, 2, 2, 0, 1.0f, nullptr, 1, nullptr, 2, 0.5f,
+       c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 0.5f);
+  EXPECT_FLOAT_EQ(c[3], 2.0f);
+}
+
+TEST(Gemm, RejectsBadLeadingDims) {
+  std::vector<float> a(6), b(6), c(4);
+  EXPECT_THROW(Gemm(Trans::kNo, Trans::kNo, 2, 2, 3, 1.0f, a.data(), 2,
+                    b.data(), 2, 0.0f, c.data(), 2),
+               ShapeError);
+}
+
+TEST(Gemv, MatchesGemm) {
+  Rng rng(99);
+  const int64_t m = 5, n = 7;
+  std::vector<float> a = RandomVec(rng, m * n);
+  std::vector<float> x = RandomVec(rng, n);
+  std::vector<float> y(static_cast<size_t>(m), 0.0f);
+  std::vector<float> y_ref(static_cast<size_t>(m), 0.0f);
+  Gemv(Trans::kNo, m, n, 1.0f, a.data(), n, x.data(), 0.0f, y.data());
+  GemmRef(Trans::kNo, Trans::kNo, m, 1, n, 1.0f, a.data(), n, x.data(), 1,
+          0.0f, y_ref.data(), 1);
+  for (int64_t i = 0; i < m; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-5f);
+
+  std::vector<float> yt(static_cast<size_t>(n), 0.0f);
+  std::vector<float> yt_ref(static_cast<size_t>(n), 0.0f);
+  std::vector<float> xm = RandomVec(rng, m);
+  Gemv(Trans::kYes, m, n, 1.0f, a.data(), n, xm.data(), 0.0f, yt.data());
+  GemmRef(Trans::kYes, Trans::kNo, n, 1, m, 1.0f, a.data(), n, xm.data(), 1,
+          0.0f, yt_ref.data(), 1);
+  for (int64_t i = 0; i < n; ++i) EXPECT_NEAR(yt[i], yt_ref[i], 1e-5f);
+}
+
+TEST(BatchedGemm, MatchesIndividualGemms) {
+  Rng rng(7);
+  const int64_t count = 37, m = 4, n = 6, k = 5;
+  std::vector<std::vector<float>> as, bs, cs, cs_ref;
+  std::vector<const float*> ap, bp;
+  std::vector<float*> cp;
+  for (int64_t i = 0; i < count; ++i) {
+    as.push_back(RandomVec(rng, m * k));
+    bs.push_back(RandomVec(rng, k * n));
+    cs.emplace_back(static_cast<size_t>(m * n), 0.0f);
+    cs_ref.emplace_back(static_cast<size_t>(m * n), 0.0f);
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    ap.push_back(as[static_cast<size_t>(i)].data());
+    bp.push_back(bs[static_cast<size_t>(i)].data());
+    cp.push_back(cs[static_cast<size_t>(i)].data());
+  }
+  BatchedGemmShape shape;
+  shape.m = m;
+  shape.n = n;
+  shape.k = k;
+  BatchedGemm(shape, ap, bp, cp);
+  for (int64_t i = 0; i < count; ++i) {
+    GemmRef(Trans::kNo, Trans::kNo, m, n, k, 1.0f,
+            as[static_cast<size_t>(i)].data(), k,
+            bs[static_cast<size_t>(i)].data(), n, 0.0f,
+            cs_ref[static_cast<size_t>(i)].data(), n);
+    for (size_t j = 0; j < cs[static_cast<size_t>(i)].size(); ++j) {
+      EXPECT_NEAR(cs[static_cast<size_t>(i)][j],
+                  cs_ref[static_cast<size_t>(i)][j], 1e-5f);
+    }
+  }
+}
+
+TEST(BatchedGemm, RejectsMismatchedArraysAndNulls) {
+  std::vector<float> buf(4, 0.0f);
+  std::vector<const float*> two = {buf.data(), buf.data()};
+  std::vector<const float*> one = {buf.data()};
+  std::vector<float*> mut_two = {buf.data(), buf.data()};
+  BatchedGemmShape shape;
+  shape.m = shape.n = shape.k = 2;
+  EXPECT_THROW(BatchedGemm(shape, two, one, mut_two), ShapeError);
+  std::vector<const float*> with_null = {buf.data(), nullptr};
+  EXPECT_THROW(BatchedGemm(shape, two, with_null, mut_two), IndexError);
+}
+
+TEST(StridedBatchedGemm, MatchesPointerVersion) {
+  Rng rng(21);
+  const int64_t count = 9, m = 3, n = 4, k = 2;
+  std::vector<float> a = RandomVec(rng, count * m * k);
+  std::vector<float> b = RandomVec(rng, count * k * n);
+  std::vector<float> c(static_cast<size_t>(count * m * n), 0.0f);
+  std::vector<float> c_ref(static_cast<size_t>(count * m * n), 0.0f);
+  BatchedGemmShape shape;
+  shape.m = m;
+  shape.n = n;
+  shape.k = k;
+  StridedBatchedGemm(shape, a.data(), m * k, b.data(), k * n, c.data(), m * n,
+                     count);
+  for (int64_t i = 0; i < count; ++i) {
+    GemmRef(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data() + i * m * k, k,
+            b.data() + i * k * n, n, 0.0f, c_ref.data() + i * m * n, n);
+  }
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], c_ref[i], 1e-5f);
+}
+
+}  // namespace
+}  // namespace ttrec

@@ -1,0 +1,130 @@
+// ThreadPool / ParallelFor: full coverage of the range, no overlap, chunk
+// granularity, exception propagation, and multi-thread determinism of the
+// batched GEMM results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "tensor/batched_gemm.h"
+#include "tensor/check.h"
+#include "tensor/parallel.h"
+#include "tensor/random.h"
+
+namespace ttrec {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+class ThreadPoolSweep : public ::testing::TestWithParam<
+                            std::tuple<int, int64_t, int64_t>> {};
+
+TEST_P(ThreadPoolSweep, CoversRangeExactlyOnce) {
+  const auto [threads, total, grain] = GetParam();
+  ThreadPool pool(threads);
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(total));
+  pool.ParallelFor(total, grain, [&](int64_t b, int64_t e) {
+    ASSERT_LE(0, b);
+    ASSERT_LE(b, e);
+    ASSERT_LE(e, total);
+    for (int64_t i = b; i < e; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ThreadPoolSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),       // threads
+                       ::testing::Values(1, 7, 100, 4096),  // total
+                       ::testing::Values(1, 16, 1000)));    // grain
+
+TEST(ThreadPool, ZeroAndNegativeTotalAreNoops) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, 1, [&](int64_t, int64_t) { ran = true; });
+  pool.ParallelFor(-5, 1, [&](int64_t, int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SmallRangeStaysInlineUnderGrain) {
+  ThreadPool pool(8);
+  // total <= grain: must be exactly one chunk [0, total).
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelFor(10, 64, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<int64_t, int64_t>{0, 10}));
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000, 1,
+                       [&](int64_t b, int64_t) {
+                         if (b > 0) throw IndexError("boom");
+                       }),
+      TtRecError);
+  // Pool still usable afterwards.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, 1, [&](int64_t b, int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ThreadPool, GlobalPoolResize) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  EXPECT_THROW(ThreadPool::SetGlobalThreads(0), ConfigError);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+TEST(BatchedGemm, SameResultAcrossThreadCounts) {
+  // The batch dimension is split across workers; results must be invariant.
+  Rng rng(9);
+  const int64_t count = 64, m = 3, n = 5, k = 4;
+  std::vector<float> a(static_cast<size_t>(count * m * k));
+  std::vector<float> b(static_cast<size_t>(count * k * n));
+  FillUniform(rng, a, -1, 1);
+  FillUniform(rng, b, -1, 1);
+
+  auto run = [&](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    std::vector<float> c(static_cast<size_t>(count * m * n), 0.0f);
+    std::vector<const float*> ap, bp;
+    std::vector<float*> cp;
+    for (int64_t i = 0; i < count; ++i) {
+      ap.push_back(a.data() + i * m * k);
+      bp.push_back(b.data() + i * k * n);
+      cp.push_back(c.data() + i * m * n);
+    }
+    BatchedGemmShape shape;
+    shape.m = m;
+    shape.n = n;
+    shape.k = k;
+    BatchedGemm(shape, ap, bp, cp);
+    return c;
+  };
+
+  const auto c1 = run(1);
+  const auto c4 = run(4);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(c1, c4);  // bitwise identical: same per-problem arithmetic
+}
+
+}  // namespace
+}  // namespace ttrec

@@ -1,0 +1,137 @@
+// Capacity planner: budget satisfaction, compression ordering, rank
+// degradation, infeasible budgets, tiny-table protection, and end-to-end
+// model construction from a plan.
+#include <gtest/gtest.h>
+
+#include "dlrm/capacity_planner.h"
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "dlrm/model.h"
+#include "tensor/check.h"
+
+namespace ttrec {
+namespace {
+
+TEST(CapacityPlanner, GenerousBudgetKeepsEverythingDense) {
+  const DatasetSpec spec = KaggleSpec().Scaled(1000);
+  const int64_t dense = spec.TotalEmbeddingParams(16) * 4;
+  const CapacityPlan plan = PlanCapacity(spec, 16, dense * 2);
+  EXPECT_TRUE(plan.fits);
+  EXPECT_EQ(plan.total_bytes, plan.dense_bytes);
+  for (const TablePlan& t : plan.tables) EXPECT_FALSE(t.compress);
+}
+
+TEST(CapacityPlanner, CompressesLargestTablesFirst) {
+  const DatasetSpec spec = KaggleSpec().Scaled(1000);
+  const int64_t dense = spec.TotalEmbeddingParams(16) * 4;
+  // Budget forcing roughly the top tables into TT.
+  const CapacityPlan plan = PlanCapacity(spec, 16, dense / 3);
+  ASSERT_TRUE(plan.fits);
+  EXPECT_LE(plan.total_bytes, dense / 3);
+
+  // Every compressed table must be at least as large (in rows) as every
+  // uncompressed table that TT could have shrunk.
+  int64_t smallest_compressed = INT64_MAX;
+  for (const TablePlan& t : plan.tables) {
+    if (t.compress) smallest_compressed = std::min(smallest_compressed, t.rows);
+  }
+  ASSERT_LT(smallest_compressed, INT64_MAX);
+  for (const TablePlan& t : plan.tables) {
+    if (!t.compress &&
+        TtTableBytes(t.rows, 16, 3, 8) < t.rows * 16 * 4) {
+      EXPECT_LE(t.rows, smallest_compressed)
+          << "larger shrinkable table left dense";
+    }
+  }
+}
+
+TEST(CapacityPlanner, TighterBudgetsLowerRanksMonotonically) {
+  const DatasetSpec spec = KaggleSpec().Scaled(200);
+  const int64_t dense = spec.TotalEmbeddingParams(16) * 4;
+  int64_t prev_total = INT64_MAX;
+  for (double frac : {0.5, 0.2, 0.1, 0.05, 0.02}) {
+    const CapacityPlan plan = PlanCapacity(
+        spec, 16, static_cast<int64_t>(frac * static_cast<double>(dense)));
+    EXPECT_LE(plan.total_bytes, prev_total) << "frac " << frac;
+    prev_total = plan.total_bytes;
+    if (plan.fits) {
+      EXPECT_LE(plan.total_bytes,
+                static_cast<int64_t>(frac * static_cast<double>(dense)));
+    }
+  }
+}
+
+TEST(CapacityPlanner, InfeasibleBudgetReportsNoFit) {
+  const DatasetSpec spec = KaggleSpec().Scaled(1000);
+  const CapacityPlan plan = PlanCapacity(spec, 16, /*budget_bytes=*/64);
+  EXPECT_FALSE(plan.fits);
+  // Still the most aggressive valid plan: all shrinkable tables at min rank.
+  for (const TablePlan& t : plan.tables) {
+    if (t.compress) {
+      EXPECT_EQ(t.rank, 8);
+    }
+  }
+  EXPECT_GT(plan.CompressionRatio(), 1.0);
+}
+
+TEST(CapacityPlanner, TinyTablesStayDense) {
+  // A table so small that TT at min rank is bigger than dense must never be
+  // compressed, however tight the budget.
+  DatasetSpec spec;
+  spec.name = "mixed";
+  spec.table_rows = {40, 2000000};
+  const CapacityPlan plan = PlanCapacity(spec, 16, /*budget_bytes=*/4096);
+  EXPECT_FALSE(plan.tables[0].compress);
+  EXPECT_TRUE(plan.tables[1].compress);
+}
+
+TEST(CapacityPlanner, Validation) {
+  const DatasetSpec spec = KaggleSpec().Scaled(1000);
+  EXPECT_THROW(PlanCapacity(spec, 16, 0), ConfigError);
+  PlannerOptions bad;
+  bad.allowed_ranks = {};
+  EXPECT_THROW(PlanCapacity(spec, 16, 1 << 20, bad), ConfigError);
+  bad.allowed_ranks = {32, 8};
+  EXPECT_THROW(PlanCapacity(spec, 16, 1 << 20, bad), ConfigError);
+}
+
+TEST(CapacityPlanner, ToStringMentionsFitAndRatio) {
+  const DatasetSpec spec = KaggleSpec().Scaled(2000);
+  const CapacityPlan plan = PlanCapacity(spec, 16, 1 << 20);
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("fits="), std::string::npos);
+  EXPECT_NE(s.find("dense"), std::string::npos);
+}
+
+TEST(CapacityPlanner, PlanBuildsWorkingModel) {
+  // End to end: realize a plan as a DlrmModel and check the memory matches
+  // the plan's accounting.
+  const DatasetSpec spec = KaggleSpec().Scaled(2000);
+  const int64_t dense = spec.TotalEmbeddingParams(16) * 4;
+  const CapacityPlan plan = PlanCapacity(spec, 16, dense / 5);
+  ASSERT_TRUE(plan.fits);
+
+  Rng rng(5);
+  DlrmConfig dlrm;
+  dlrm.emb_dim = 16;
+  dlrm.bottom_hidden = {16};
+  dlrm.top_hidden = {16};
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  for (const TablePlan& t : plan.tables) {
+    if (t.compress) {
+      TtEmbeddingConfig cfg;
+      cfg.shape = MakeTtShape(t.rows, 16, 3, t.rank);
+      tables.push_back(std::make_unique<TtEmbeddingAdapter>(
+          cfg, TtInit::kSampledGaussian, rng));
+    } else {
+      tables.push_back(std::make_unique<DenseEmbeddingBag>(
+          t.rows, 16, PoolingMode::kSum,
+          DenseEmbeddingInit::UniformScaled(), rng));
+    }
+  }
+  DlrmModel model(dlrm, std::move(tables), rng);
+  EXPECT_EQ(model.EmbeddingMemoryBytes(), plan.total_bytes);
+}
+
+}  // namespace
+}  // namespace ttrec

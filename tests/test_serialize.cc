@@ -1,0 +1,137 @@
+// Serialization: tensor/TT-core roundtrips, checksum protection, format
+// validation, file I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tensor/check.h"
+#include "tensor/serialize.h"
+#include "tt/tt_embedding.h"
+#include "tt/tt_io.h"
+
+namespace ttrec {
+namespace {
+
+TEST(Serialize, TensorRoundTrip) {
+  Tensor t({3, 4});
+  Rng rng(1);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  SaveTensor(w, t);
+  w.Finish();
+
+  BinaryReader r(ss);
+  Tensor back = LoadTensor(r);
+  r.Finish();
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(MaxAbsDiff(back, t), 0.0);
+}
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteI64(-42);
+  w.WriteI64Vec({1, 2, 3});
+  w.WriteString("tt-rec");
+  w.Finish();
+
+  BinaryReader r(ss);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEF);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadI64Vec(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(r.ReadString(), "tt-rec");
+  EXPECT_NO_THROW(r.Finish());
+}
+
+TEST(Serialize, ChecksumCatchesCorruption) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.WriteI64Vec({10, 20, 30, 40});
+  w.Finish();
+  std::string payload = ss.str();
+  payload[12] ^= 0x01;  // flip one bit inside the data
+
+  std::stringstream corrupted(payload);
+  BinaryReader r(corrupted);
+  (void)r.ReadI64Vec();
+  EXPECT_THROW(r.Finish(), TtRecError);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.WriteI64(7);
+  w.Finish();
+  std::stringstream truncated(ss.str().substr(0, 4));
+  BinaryReader r(truncated);
+  EXPECT_THROW(r.ReadI64(), TtRecError);
+}
+
+TEST(TtIo, CoresRoundTripPreservesLookups) {
+  Rng rng(7);
+  TtEmbeddingConfig cfg;
+  cfg.shape = MakeTtShape(1000, 16, 3, 8);
+  TtEmbeddingBag emb(cfg, TtInit::kSampledGaussian, rng);
+
+  std::stringstream ss;
+  SaveTtCores(ss, emb.cores());
+  TtCores loaded = LoadTtCores(ss);
+
+  EXPECT_EQ(loaded.shape().num_rows, 1000);
+  EXPECT_EQ(loaded.shape().emb_dim, 16);
+  std::vector<float> a(16), b(16);
+  for (int64_t row : {int64_t{0}, int64_t{517}, int64_t{999}}) {
+    emb.cores().MaterializeRow(row, a.data());
+    loaded.MaterializeRow(row, b.data());
+    for (int j = 0; j < 16; ++j) EXPECT_EQ(a[static_cast<size_t>(j)], b[static_cast<size_t>(j)]);
+  }
+}
+
+TEST(TtIo, RejectsBadMagicAndVersion) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.WriteU32(0x12345678);
+  w.Finish();
+  EXPECT_THROW(LoadTtCores(ss), TtRecError);
+
+  std::stringstream ss2;
+  BinaryWriter w2(ss2);
+  w2.WriteU32(0x43525454);
+  w2.WriteU32(999);  // future version
+  w2.Finish();
+  EXPECT_THROW(LoadTtCores(ss2), TtRecError);
+}
+
+TEST(TtIo, FileRoundTripAndSize) {
+  Rng rng(9);
+  TtShape shape = MakeTtShape(100000, 16, 3, 16);
+  TtCores cores(shape);
+  InitializeTtCores(cores, TtInit::kGaussian, rng);
+
+  const std::string path = "/tmp/ttrec_test_cores.bin";
+  SaveTtCoresToFile(path, cores);
+  TtCores loaded = LoadTtCoresFromFile(path);
+  EXPECT_EQ(loaded.TotalParams(), cores.TotalParams());
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(MaxAbsDiff(loaded.core(k), cores.core(k)), 0.0);
+  }
+  // The file is dominated by the core parameters, not overhead.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_LT(size, cores.TotalParams() * 4 + 1024);
+  EXPECT_GT(size, cores.TotalParams() * 4);
+
+  EXPECT_THROW(LoadTtCoresFromFile("/nonexistent/path.bin"), TtRecError);
+}
+
+}  // namespace
+}  // namespace ttrec

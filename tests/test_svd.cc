@@ -1,0 +1,137 @@
+// Jacobi SVD: reconstruction, orthogonality, ordering, truncation — across a
+// parameterized shape sweep including rank-deficient inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/random.h"
+#include "tensor/svd.h"
+
+namespace ttrec {
+namespace {
+
+Tensor RandomMatrix(Rng& rng, int64_t m, int64_t n) {
+  Tensor t({m, n});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+class SvdShapes
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(SvdShapes, ReconstructsInput) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + n));
+  Tensor a = RandomMatrix(rng, m, n);
+  SvdResult svd = Svd(a);
+  Tensor rec = SvdReconstruct(svd);
+  EXPECT_LT(MaxAbsDiff(a, rec), 1e-4) << m << "x" << n;
+}
+
+TEST_P(SvdShapes, SingularValuesSortedNonNegative) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 999 + n));
+  SvdResult svd = Svd(RandomMatrix(rng, m, n));
+  EXPECT_EQ(static_cast<int64_t>(svd.s.size()), std::min(m, n));
+  for (size_t i = 0; i < svd.s.size(); ++i) {
+    EXPECT_GE(svd.s[i], 0.0f);
+    if (i > 0) { EXPECT_LE(svd.s[i], svd.s[i - 1]); }
+  }
+}
+
+TEST_P(SvdShapes, FactorsAreOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 77 + n));
+  SvdResult svd = Svd(RandomMatrix(rng, m, n));
+  const int64_t r = static_cast<int64_t>(svd.s.size());
+  // U^T U == I (columns of U orthonormal) where sigma > 0.
+  for (int64_t i = 0; i < r; ++i) {
+    if (svd.s[static_cast<size_t>(i)] < 1e-5f) continue;
+    for (int64_t j = i; j < r; ++j) {
+      if (svd.s[static_cast<size_t>(j)] < 1e-5f) continue;
+      double dot = 0.0;
+      for (int64_t k = 0; k < m; ++k) {
+        dot += static_cast<double>(svd.u.data()[k * r + i]) *
+               svd.u.data()[k * r + j];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapes,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 1),
+                      std::make_pair<int64_t, int64_t>(4, 4),
+                      std::make_pair<int64_t, int64_t>(8, 3),
+                      std::make_pair<int64_t, int64_t>(3, 8),
+                      std::make_pair<int64_t, int64_t>(20, 20),
+                      std::make_pair<int64_t, int64_t>(64, 5),
+                      std::make_pair<int64_t, int64_t>(5, 64),
+                      std::make_pair<int64_t, int64_t>(50, 17)));
+
+TEST(Svd, RankDeficientInput) {
+  // Outer product: rank 1.
+  const int64_t m = 12, n = 9;
+  Tensor a({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      a.data()[i * n + j] =
+          static_cast<float>((i + 1) * 0.5 * (j - 4) * 0.25);
+    }
+  }
+  SvdResult svd = Svd(a);
+  EXPECT_GT(svd.s[0], 0.0f);
+  for (size_t i = 1; i < svd.s.size(); ++i) EXPECT_NEAR(svd.s[i], 0.0f, 1e-4f);
+  EXPECT_LT(MaxAbsDiff(a, SvdReconstruct(svd)), 1e-4);
+}
+
+TEST(Svd, DiagonalMatrixRecoverySorted) {
+  Tensor a({3, 3});
+  a.at({0, 0}) = 1.0f;
+  a.at({1, 1}) = 5.0f;
+  a.at({2, 2}) = 3.0f;
+  SvdResult svd = Svd(a);
+  EXPECT_NEAR(svd.s[0], 5.0f, 1e-5f);
+  EXPECT_NEAR(svd.s[1], 3.0f, 1e-5f);
+  EXPECT_NEAR(svd.s[2], 1.0f, 1e-5f);
+}
+
+TEST(Svd, RejectsNonMatrix) {
+  EXPECT_THROW(Svd(Tensor({2, 2, 2})), ShapeError);
+}
+
+TEST(TruncatedSvd, GivesBestLowRankApproximation) {
+  // Build a matrix with known spectrum; truncating to rank r must leave a
+  // residual equal to the dropped singular values (Eckart-Young).
+  Rng rng(31337);
+  const int64_t m = 20, n = 10;
+  Tensor a = RandomMatrix(rng, m, n);
+  SvdResult full = Svd(a);
+  SvdResult trunc = TruncatedSvd(a, 3);
+  ASSERT_EQ(trunc.s.size(), 3u);
+  Tensor rec = SvdReconstruct(trunc);
+  double err2 = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - rec.data()[i];
+    err2 += d * d;
+  }
+  double expected2 = 0.0;
+  for (size_t i = 3; i < full.s.size(); ++i) {
+    expected2 += static_cast<double>(full.s[i]) * full.s[i];
+  }
+  EXPECT_NEAR(std::sqrt(err2), std::sqrt(expected2), 1e-3);
+}
+
+TEST(TruncatedSvd, RankClampedToMinDim) {
+  Rng rng(8);
+  SvdResult svd = TruncatedSvd(RandomMatrix(rng, 6, 4), 100);
+  EXPECT_EQ(svd.s.size(), 4u);
+  EXPECT_THROW(TruncatedSvd(RandomMatrix(rng, 4, 4), 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace ttrec

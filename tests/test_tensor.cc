@@ -1,0 +1,172 @@
+// Unit tests for the dense tensor substrate: Tensor, checks, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/stats.h"
+#include "tensor/tensor.h"
+
+namespace ttrec {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(Tensor, ShapeConstructorZeroInitializes) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, DataConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), ShapeError);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({0, 3}), ShapeError);
+  EXPECT_THROW(Tensor({2, -1}), ShapeError);
+}
+
+TEST(Tensor, AtIndexingRowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+  t.at({1, 1}) = 42.0f;
+  EXPECT_EQ(t[4], 42.0f);
+}
+
+TEST(Tensor, AtRejectsBadIndices) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), IndexError);
+  EXPECT_THROW(t.at({0, 3}), IndexError);
+  EXPECT_THROW(t.at({0, -1}), IndexError);
+  EXPECT_THROW(t.at({0}), IndexError);
+  EXPECT_THROW((void)t[-1], IndexError);
+  EXPECT_THROW((void)t[6], IndexError);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.at({2, 1}), 5.0f);
+  EXPECT_THROW(t.Reshape({4, 2}), ShapeError);
+}
+
+TEST(Tensor, FillAndAxpy) {
+  Tensor a({2, 2});
+  a.Fill(1.0f);
+  Tensor b({2, 2});
+  b.Fill(2.0f);
+  a.Axpy(0.5f, b);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 2.0f);
+  Tensor c({4});
+  EXPECT_THROW(a.Axpy(1.0f, c), ShapeError);
+}
+
+TEST(Tensor, Norm) {
+  Tensor t({2}, {3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(t.Norm(), 5.0);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {1, 2.5, 2});
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+}
+
+TEST(RunningMoments, MatchesClosedForm) {
+  RunningMoments m;
+  for (int i = 1; i <= 5; ++i) m.Add(i);
+  EXPECT_EQ(m.count(), 5);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 2.0);  // population variance of 1..5
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 5.0);
+}
+
+TEST(Histogram, BinningAndDensity) {
+  Histogram h(0.0, 1.0, 10);
+  h.Add(0.05);
+  h.Add(0.15);
+  h.Add(0.15);
+  h.Add(2.0);   // clamped into last bin
+  h.Add(-1.0);  // clamped into first bin
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 2);
+  EXPECT_EQ(h.count(9), 1);
+  // Density integrates to 1.
+  double mass = 0.0;
+  for (int i = 0; i < h.num_bins(); ++i) mass += h.Density(i) * h.bin_width();
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 10), ConfigError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+// The paper's §3.2 claim: over (mu, sigma2), KL(U(a,b) || N) is minimized at
+// mu = (a+b)/2 and sigma2 = (b-a)^2 / 12.
+TEST(KlDivergence, MinimizedAtMatchedGaussian) {
+  const double a = -0.1;
+  const double b = 0.1;
+  const double best_mu = 0.0;
+  const double best_sigma2 = (b - a) * (b - a) / 12.0;
+  const double best = KlUniformVsGaussian(a, b, best_mu, best_sigma2);
+  for (double mu : {-0.05, -0.01, 0.01, 0.05}) {
+    EXPECT_GT(KlUniformVsGaussian(a, b, mu, best_sigma2), best);
+  }
+  for (double scale : {0.25, 0.5, 2.0, 4.0}) {
+    EXPECT_GT(KlUniformVsGaussian(a, b, best_mu, best_sigma2 * scale), best);
+  }
+}
+
+// Table 1's ordering: for the DLRM uniform target U(-1/sqrt(n), 1/sqrt(n)),
+// KL to N(0, 1/(3n)) is far smaller than to N(0,1), N(0,1/2), N(0,1/8).
+TEST(KlDivergence, PaperTable1Ordering) {
+  const double n = 1e6;
+  const double a = -1.0 / std::sqrt(n);
+  const double b = 1.0 / std::sqrt(n);
+  const double kl_matched = KlUniformVsGaussian(a, b, 0.0, 1.0 / (3.0 * n));
+  const double kl_eighth = KlUniformVsGaussian(a, b, 0.0, 1.0 / 8.0);
+  const double kl_half = KlUniformVsGaussian(a, b, 0.0, 0.5);
+  const double kl_unit = KlUniformVsGaussian(a, b, 0.0, 1.0);
+  EXPECT_LT(kl_matched, kl_eighth);
+  EXPECT_LT(kl_eighth, kl_half);
+  EXPECT_LT(kl_half, kl_unit);
+}
+
+TEST(KlDivergence, EmpiricalMatchesClosedForm) {
+  // Histogram of an exact uniform density vs its KL-optimal Gaussian.
+  const double a = -1.0;
+  const double b = 1.0;
+  Histogram h(a, b, 200);
+  for (int i = 0; i < 200000; ++i) {
+    h.Add(a + (b - a) * (i + 0.5) / 200000.0);
+  }
+  const double sigma2 = (b - a) * (b - a) / 12.0;
+  const double kl_emp = KlHistogramVsGaussian(h, 0.0, sigma2);
+  const double kl_exact = KlUniformVsGaussian(a, b, 0.0, sigma2);
+  EXPECT_NEAR(kl_emp, kl_exact, 1e-3);
+}
+
+TEST(GaussianPdf, NormalizesAndPeaks) {
+  EXPECT_NEAR(GaussianPdf(0.0, 0.0, 1.0), 0.3989422804014327, 1e-12);
+  EXPECT_GT(GaussianPdf(0.0, 0.0, 1.0), GaussianPdf(1.0, 0.0, 1.0));
+  EXPECT_THROW(GaussianPdf(0.0, 0.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace ttrec

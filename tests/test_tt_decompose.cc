@@ -1,0 +1,110 @@
+// TT-SVD properties: exact reconstruction at full rank, monotone error in
+// rank, agreement between decomposed cores and the batched lookup kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/csr_batch.h"
+#include "tensor/check.h"
+#include "tensor/random.h"
+#include "tt/tt_decompose.h"
+#include "tt/tt_embedding.h"
+
+namespace ttrec {
+namespace {
+
+Tensor RandomTable(Rng& rng, int64_t rows, int64_t dim) {
+  Tensor t({rows, dim});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+class TtSvdExactness
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, int64_t>> {};
+
+// With generous requested ranks TT-SVD must reconstruct the table exactly
+// (ranks clamp to the achievable maxima).
+TEST_P(TtSvdExactness, FullRankReconstructsExactly) {
+  const auto [d, rows, dim] = GetParam();
+  Rng rng(static_cast<uint64_t>(d * 10000 + rows + dim));
+  Tensor table = RandomTable(rng, rows, dim);
+  TtShape shape = MakeTtShape(rows, dim, d, /*rank=*/512);
+  TtCores cores = TtDecompose(table, shape);
+  EXPECT_LT(TtReconstructionError(table, cores), 1e-4)
+      << "d=" << d << " rows=" << rows << " dim=" << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TtSvdExactness,
+                         ::testing::Combine(::testing::Values(2, 3),
+                                            ::testing::Values(24, 60),
+                                            ::testing::Values(4, 8)));
+
+TEST(TtDecompose, ErrorDecreasesWithRank) {
+  Rng rng(123);
+  Tensor table = RandomTable(rng, 64, 16);
+  double prev = 1e9;
+  for (int64_t rank : {1, 2, 4, 8, 16}) {
+    TtShape shape = MakeTtShape(64, 16, 3, rank);
+    const double err = TtReconstructionError(table, TtDecompose(table, shape));
+    EXPECT_LE(err, prev + 1e-5) << "rank " << rank;
+    prev = err;
+  }
+}
+
+TEST(TtDecompose, LowRankTableRecoveredAtLowRank) {
+  // Table assembled from a true TT model of rank 2 must be recovered
+  // (near) exactly by TT-SVD at rank 2.
+  TtShape gen_shape = MakeTtShapeExplicit(60, 8, {4, 15}, {2, 4}, 2);
+  TtCores gen(gen_shape);
+  Rng rng(9);
+  InitializeTtCoresWithTarget(gen, TtInit::kGaussian, rng, 1.0);
+  Tensor table = gen.MaterializeFull();
+
+  TtShape dec_shape = MakeTtShapeExplicit(60, 8, {4, 15}, {2, 4}, 2);
+  TtCores dec = TtDecompose(table, dec_shape);
+  EXPECT_LT(TtReconstructionError(table, dec), 1e-4);
+}
+
+TEST(TtDecompose, PaddedRowsAreIgnored)
+{
+  // prod(row_factors) > num_rows: padding must not disturb the logical rows.
+  Rng rng(5);
+  Tensor table = RandomTable(rng, 50, 8);  // factors (4, 15) cover 60 rows
+  TtShape shape = MakeTtShapeExplicit(50, 8, {4, 15}, {2, 4}, 64);
+  TtCores cores = TtDecompose(table, shape);
+  EXPECT_LT(TtReconstructionError(table, cores), 1e-4);
+}
+
+TEST(TtDecompose, DecomposedCoresDriveBatchedKernel) {
+  // Adopting TT-SVD cores in TtEmbeddingBag must reproduce table rows
+  // through the batched lookup path.
+  Rng rng(17);
+  Tensor table = RandomTable(rng, 60, 8);
+  TtShape shape = MakeTtShape(60, 8, 3, 256);
+  TtCores cores = TtDecompose(table, shape);
+
+  TtEmbeddingConfig cfg;
+  cfg.shape = cores.shape();
+  TtEmbeddingBag emb(cfg, std::move(cores));
+  std::vector<int64_t> idx = {0, 7, 59, 33};
+  std::vector<float> out(idx.size() * 8);
+  emb.LookupRows(idx, out.data());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(out[i * 8 + static_cast<size_t>(j)],
+                  table.data()[idx[i] * 8 + j], 1e-3f);
+    }
+  }
+}
+
+TEST(TtDecompose, RejectsMismatchedTable) {
+  Rng rng(3);
+  Tensor table = RandomTable(rng, 60, 8);
+  TtShape shape = MakeTtShape(50, 8, 3, 4);
+  EXPECT_THROW(TtDecompose(table, shape), ShapeError);
+}
+
+}  // namespace
+}  // namespace ttrec

@@ -1,0 +1,35 @@
+// CLI utility: inspect a saved TT-cores artifact (tt/tt_io.h format).
+//
+//   $ ttrec_info table.ttrc
+//   10131227x16 -> (1,216,2,32) * (32,217,2,32) * (32,217,4,1) ...
+#include <cstdio>
+
+#include "tensor/check.h"
+#include "tt/tt_io.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <cores-file.ttrc>\n", argv[0]);
+    return 2;
+  }
+  try {
+    const ttrec::TtCores cores = ttrec::LoadTtCoresFromFile(argv[1]);
+    const ttrec::TtShape& s = cores.shape();
+    std::printf("%s\n", s.ToString().c_str());
+    std::printf("cores: %d\n", cores.num_cores());
+    for (int k = 0; k < cores.num_cores(); ++k) {
+      std::printf("  G%d: %lld slices of %lld x %lld (%lld params)\n", k,
+                  static_cast<long long>(s.row_factors[static_cast<size_t>(k)]),
+                  static_cast<long long>(cores.SliceRows(k)),
+                  static_cast<long long>(cores.SliceCols(k)),
+                  static_cast<long long>(s.CoreParams(k)));
+    }
+    std::printf("dense equivalent: %lld floats; reduction %.1fx\n",
+                static_cast<long long>(s.DenseParams()),
+                s.CompressionRatio());
+    return 0;
+  } catch (const ttrec::TtRecError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
