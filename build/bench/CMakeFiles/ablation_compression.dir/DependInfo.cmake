@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_compression.cc" "bench/CMakeFiles/ablation_compression.dir/ablation_compression.cc.o" "gcc" "bench/CMakeFiles/ablation_compression.dir/ablation_compression.cc.o.d"
+  "/root/repo/bench/harness.cc" "bench/CMakeFiles/ablation_compression.dir/harness.cc.o" "gcc" "bench/CMakeFiles/ablation_compression.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/ttrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlrm/CMakeFiles/ttrec_dlrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ttrec_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ttrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/ttrec_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cache.dir/fig10_cache.cc.o"
+  "CMakeFiles/fig10_cache.dir/fig10_cache.cc.o.d"
+  "CMakeFiles/fig10_cache.dir/harness.cc.o"
+  "CMakeFiles/fig10_cache.dir/harness.cc.o.d"
+  "fig10_cache"
+  "fig10_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pooling.dir/fig11_pooling.cc.o"
+  "CMakeFiles/fig11_pooling.dir/fig11_pooling.cc.o.d"
+  "CMakeFiles/fig11_pooling.dir/harness.cc.o"
+  "CMakeFiles/fig11_pooling.dir/harness.cc.o.d"
+  "fig11_pooling"
+  "fig11_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hitrate.dir/fig12_hitrate.cc.o"
+  "CMakeFiles/fig12_hitrate.dir/fig12_hitrate.cc.o.d"
+  "CMakeFiles/fig12_hitrate.dir/harness.cc.o"
+  "CMakeFiles/fig12_hitrate.dir/harness.cc.o.d"
+  "fig12_hitrate"
+  "fig12_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_design_space.dir/fig1_design_space.cc.o"
+  "CMakeFiles/fig1_design_space.dir/fig1_design_space.cc.o.d"
+  "CMakeFiles/fig1_design_space.dir/harness.cc.o"
+  "CMakeFiles/fig1_design_space.dir/harness.cc.o.d"
+  "fig1_design_space"
+  "fig1_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

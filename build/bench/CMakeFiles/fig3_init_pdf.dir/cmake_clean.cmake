@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_init_pdf.dir/fig3_init_pdf.cc.o"
+  "CMakeFiles/fig3_init_pdf.dir/fig3_init_pdf.cc.o.d"
+  "CMakeFiles/fig3_init_pdf.dir/harness.cc.o"
+  "CMakeFiles/fig3_init_pdf.dir/harness.cc.o.d"
+  "fig3_init_pdf"
+  "fig3_init_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_init_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

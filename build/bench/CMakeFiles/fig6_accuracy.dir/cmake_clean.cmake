@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_accuracy.dir/fig6_accuracy.cc.o"
+  "CMakeFiles/fig6_accuracy.dir/fig6_accuracy.cc.o.d"
+  "CMakeFiles/fig6_accuracy.dir/harness.cc.o"
+  "CMakeFiles/fig6_accuracy.dir/harness.cc.o.d"
+  "fig6_accuracy"
+  "fig6_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

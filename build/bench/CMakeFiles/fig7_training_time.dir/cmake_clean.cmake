@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_training_time.dir/fig7_training_time.cc.o"
+  "CMakeFiles/fig7_training_time.dir/fig7_training_time.cc.o.d"
+  "CMakeFiles/fig7_training_time.dir/harness.cc.o"
+  "CMakeFiles/fig7_training_time.dir/harness.cc.o.d"
+  "fig7_training_time"
+  "fig7_training_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_t3nsor.dir/fig8_t3nsor.cc.o"
+  "CMakeFiles/fig8_t3nsor.dir/fig8_t3nsor.cc.o.d"
+  "CMakeFiles/fig8_t3nsor.dir/harness.cc.o"
+  "CMakeFiles/fig8_t3nsor.dir/harness.cc.o.d"
+  "fig8_t3nsor"
+  "fig8_t3nsor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_t3nsor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

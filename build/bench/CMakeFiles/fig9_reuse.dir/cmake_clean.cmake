@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_reuse.dir/fig9_reuse.cc.o"
+  "CMakeFiles/fig9_reuse.dir/fig9_reuse.cc.o.d"
+  "CMakeFiles/fig9_reuse.dir/harness.cc.o"
+  "CMakeFiles/fig9_reuse.dir/harness.cc.o.d"
+  "fig9_reuse"
+  "fig9_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_init_accuracy.dir/harness.cc.o"
+  "CMakeFiles/table1_init_accuracy.dir/harness.cc.o.d"
+  "CMakeFiles/table1_init_accuracy.dir/table1_init_accuracy.cc.o"
+  "CMakeFiles/table1_init_accuracy.dir/table1_init_accuracy.cc.o.d"
+  "table1_init_accuracy"
+  "table1_init_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_init_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

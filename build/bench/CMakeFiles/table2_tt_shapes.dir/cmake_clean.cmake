@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tt_shapes.dir/harness.cc.o"
+  "CMakeFiles/table2_tt_shapes.dir/harness.cc.o.d"
+  "CMakeFiles/table2_tt_shapes.dir/table2_tt_shapes.cc.o"
+  "CMakeFiles/table2_tt_shapes.dir/table2_tt_shapes.cc.o.d"
+  "table2_tt_shapes"
+  "table2_tt_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tt_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_table.dir/compress_table.cpp.o"
+  "CMakeFiles/compress_table.dir/compress_table.cpp.o.d"
+  "compress_table"
+  "compress_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_server.dir/embedding_server.cpp.o"
+  "CMakeFiles/embedding_server.dir/embedding_server.cpp.o.d"
+  "embedding_server"
+  "embedding_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrec_baselines.dir/hashed_embedding.cc.o"
+  "CMakeFiles/ttrec_baselines.dir/hashed_embedding.cc.o.d"
+  "CMakeFiles/ttrec_baselines.dir/lowrank_embedding.cc.o"
+  "CMakeFiles/ttrec_baselines.dir/lowrank_embedding.cc.o.d"
+  "CMakeFiles/ttrec_baselines.dir/quantized_embedding.cc.o"
+  "CMakeFiles/ttrec_baselines.dir/quantized_embedding.cc.o.d"
+  "CMakeFiles/ttrec_baselines.dir/t3nsor_embedding.cc.o"
+  "CMakeFiles/ttrec_baselines.dir/t3nsor_embedding.cc.o.d"
+  "libttrec_baselines.a"
+  "libttrec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cached_tt_embedding.cc" "src/cache/CMakeFiles/ttrec_cache.dir/cached_tt_embedding.cc.o" "gcc" "src/cache/CMakeFiles/ttrec_cache.dir/cached_tt_embedding.cc.o.d"
+  "/root/repo/src/cache/freq_tracker.cc" "src/cache/CMakeFiles/ttrec_cache.dir/freq_tracker.cc.o" "gcc" "src/cache/CMakeFiles/ttrec_cache.dir/freq_tracker.cc.o.d"
+  "/root/repo/src/cache/lfu_cache.cc" "src/cache/CMakeFiles/ttrec_cache.dir/lfu_cache.cc.o" "gcc" "src/cache/CMakeFiles/ttrec_cache.dir/lfu_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tt/CMakeFiles/ttrec_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

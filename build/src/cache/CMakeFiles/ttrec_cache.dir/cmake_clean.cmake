@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrec_cache.dir/cached_tt_embedding.cc.o"
+  "CMakeFiles/ttrec_cache.dir/cached_tt_embedding.cc.o.d"
+  "CMakeFiles/ttrec_cache.dir/freq_tracker.cc.o"
+  "CMakeFiles/ttrec_cache.dir/freq_tracker.cc.o.d"
+  "CMakeFiles/ttrec_cache.dir/lfu_cache.cc.o"
+  "CMakeFiles/ttrec_cache.dir/lfu_cache.cc.o.d"
+  "libttrec_cache.a"
+  "libttrec_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrec_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/criteo_synth.cc" "src/data/CMakeFiles/ttrec_data.dir/criteo_synth.cc.o" "gcc" "src/data/CMakeFiles/ttrec_data.dir/criteo_synth.cc.o.d"
+  "/root/repo/src/data/table_specs.cc" "src/data/CMakeFiles/ttrec_data.dir/table_specs.cc.o" "gcc" "src/data/CMakeFiles/ttrec_data.dir/table_specs.cc.o.d"
+  "/root/repo/src/data/trace.cc" "src/data/CMakeFiles/ttrec_data.dir/trace.cc.o" "gcc" "src/data/CMakeFiles/ttrec_data.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ttrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

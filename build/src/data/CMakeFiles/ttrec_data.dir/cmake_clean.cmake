@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrec_data.dir/criteo_synth.cc.o"
+  "CMakeFiles/ttrec_data.dir/criteo_synth.cc.o.d"
+  "CMakeFiles/ttrec_data.dir/table_specs.cc.o"
+  "CMakeFiles/ttrec_data.dir/table_specs.cc.o.d"
+  "CMakeFiles/ttrec_data.dir/trace.cc.o"
+  "CMakeFiles/ttrec_data.dir/trace.cc.o.d"
+  "libttrec_data.a"
+  "libttrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

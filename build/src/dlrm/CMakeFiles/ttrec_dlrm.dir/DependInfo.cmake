@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlrm/capacity_planner.cc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/capacity_planner.cc.o" "gcc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/capacity_planner.cc.o.d"
+  "/root/repo/src/dlrm/embedding_bag.cc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/embedding_bag.cc.o" "gcc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/embedding_bag.cc.o.d"
+  "/root/repo/src/dlrm/interaction.cc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/interaction.cc.o" "gcc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/interaction.cc.o.d"
+  "/root/repo/src/dlrm/loss.cc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/loss.cc.o" "gcc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/loss.cc.o.d"
+  "/root/repo/src/dlrm/mlp.cc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/mlp.cc.o" "gcc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/mlp.cc.o.d"
+  "/root/repo/src/dlrm/model.cc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/model.cc.o" "gcc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/model.cc.o.d"
+  "/root/repo/src/dlrm/trainer.cc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/trainer.cc.o" "gcc" "src/dlrm/CMakeFiles/ttrec_dlrm.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/ttrec_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/ttrec_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ttrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrec_dlrm.dir/capacity_planner.cc.o"
+  "CMakeFiles/ttrec_dlrm.dir/capacity_planner.cc.o.d"
+  "CMakeFiles/ttrec_dlrm.dir/embedding_bag.cc.o"
+  "CMakeFiles/ttrec_dlrm.dir/embedding_bag.cc.o.d"
+  "CMakeFiles/ttrec_dlrm.dir/interaction.cc.o"
+  "CMakeFiles/ttrec_dlrm.dir/interaction.cc.o.d"
+  "CMakeFiles/ttrec_dlrm.dir/loss.cc.o"
+  "CMakeFiles/ttrec_dlrm.dir/loss.cc.o.d"
+  "CMakeFiles/ttrec_dlrm.dir/mlp.cc.o"
+  "CMakeFiles/ttrec_dlrm.dir/mlp.cc.o.d"
+  "CMakeFiles/ttrec_dlrm.dir/model.cc.o"
+  "CMakeFiles/ttrec_dlrm.dir/model.cc.o.d"
+  "CMakeFiles/ttrec_dlrm.dir/trainer.cc.o"
+  "CMakeFiles/ttrec_dlrm.dir/trainer.cc.o.d"
+  "libttrec_dlrm.a"
+  "libttrec_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrec_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

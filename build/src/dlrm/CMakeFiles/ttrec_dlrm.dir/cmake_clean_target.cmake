@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttrec_dlrm.a"
+)

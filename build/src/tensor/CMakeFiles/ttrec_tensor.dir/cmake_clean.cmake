@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrec_tensor.dir/batched_gemm.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/batched_gemm.cc.o.d"
+  "CMakeFiles/ttrec_tensor.dir/gemm.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/ttrec_tensor.dir/parallel.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/parallel.cc.o.d"
+  "CMakeFiles/ttrec_tensor.dir/random.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/random.cc.o.d"
+  "CMakeFiles/ttrec_tensor.dir/serialize.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/ttrec_tensor.dir/stats.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/stats.cc.o.d"
+  "CMakeFiles/ttrec_tensor.dir/svd.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/svd.cc.o.d"
+  "CMakeFiles/ttrec_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ttrec_tensor.dir/tensor.cc.o.d"
+  "libttrec_tensor.a"
+  "libttrec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tt/tt_cores.cc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_cores.cc.o" "gcc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_cores.cc.o.d"
+  "/root/repo/src/tt/tt_decompose.cc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_decompose.cc.o" "gcc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_decompose.cc.o.d"
+  "/root/repo/src/tt/tt_embedding.cc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_embedding.cc.o" "gcc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_embedding.cc.o.d"
+  "/root/repo/src/tt/tt_init.cc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_init.cc.o" "gcc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_init.cc.o.d"
+  "/root/repo/src/tt/tt_io.cc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_io.cc.o" "gcc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_io.cc.o.d"
+  "/root/repo/src/tt/tt_shapes.cc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_shapes.cc.o" "gcc" "src/tt/CMakeFiles/ttrec_tt.dir/tt_shapes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ttrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

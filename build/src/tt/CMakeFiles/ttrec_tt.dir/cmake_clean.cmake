@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrec_tt.dir/tt_cores.cc.o"
+  "CMakeFiles/ttrec_tt.dir/tt_cores.cc.o.d"
+  "CMakeFiles/ttrec_tt.dir/tt_decompose.cc.o"
+  "CMakeFiles/ttrec_tt.dir/tt_decompose.cc.o.d"
+  "CMakeFiles/ttrec_tt.dir/tt_embedding.cc.o"
+  "CMakeFiles/ttrec_tt.dir/tt_embedding.cc.o.d"
+  "CMakeFiles/ttrec_tt.dir/tt_init.cc.o"
+  "CMakeFiles/ttrec_tt.dir/tt_init.cc.o.d"
+  "CMakeFiles/ttrec_tt.dir/tt_io.cc.o"
+  "CMakeFiles/ttrec_tt.dir/tt_io.cc.o.d"
+  "CMakeFiles/ttrec_tt.dir/tt_shapes.cc.o"
+  "CMakeFiles/ttrec_tt.dir/tt_shapes.cc.o.d"
+  "libttrec_tt.a"
+  "libttrec_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrec_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

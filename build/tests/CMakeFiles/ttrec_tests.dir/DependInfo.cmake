@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/ttrec_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/ttrec_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_checkpoint.cc" "tests/CMakeFiles/ttrec_tests.dir/test_checkpoint.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_checkpoint.cc.o.d"
+  "/root/repo/tests/test_csr_batch.cc" "tests/CMakeFiles/ttrec_tests.dir/test_csr_batch.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_csr_batch.cc.o.d"
+  "/root/repo/tests/test_data.cc" "tests/CMakeFiles/ttrec_tests.dir/test_data.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_data.cc.o.d"
+  "/root/repo/tests/test_dlrm.cc" "tests/CMakeFiles/ttrec_tests.dir/test_dlrm.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_dlrm.cc.o.d"
+  "/root/repo/tests/test_embedding_conformance.cc" "tests/CMakeFiles/ttrec_tests.dir/test_embedding_conformance.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_embedding_conformance.cc.o.d"
+  "/root/repo/tests/test_gemm.cc" "tests/CMakeFiles/ttrec_tests.dir/test_gemm.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_gemm.cc.o.d"
+  "/root/repo/tests/test_mlp.cc" "tests/CMakeFiles/ttrec_tests.dir/test_mlp.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_mlp.cc.o.d"
+  "/root/repo/tests/test_optimizer.cc" "tests/CMakeFiles/ttrec_tests.dir/test_optimizer.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_optimizer.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/ttrec_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_planner.cc" "tests/CMakeFiles/ttrec_tests.dir/test_planner.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_planner.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/ttrec_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/ttrec_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_stress_equivalence.cc" "tests/CMakeFiles/ttrec_tests.dir/test_stress_equivalence.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_stress_equivalence.cc.o.d"
+  "/root/repo/tests/test_svd.cc" "tests/CMakeFiles/ttrec_tests.dir/test_svd.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_svd.cc.o.d"
+  "/root/repo/tests/test_tensor.cc" "tests/CMakeFiles/ttrec_tests.dir/test_tensor.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_tensor.cc.o.d"
+  "/root/repo/tests/test_tt_cores.cc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_cores.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_cores.cc.o.d"
+  "/root/repo/tests/test_tt_decompose.cc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_decompose.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_decompose.cc.o.d"
+  "/root/repo/tests/test_tt_embedding.cc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_embedding.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_embedding.cc.o.d"
+  "/root/repo/tests/test_tt_oracle.cc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_oracle.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_oracle.cc.o.d"
+  "/root/repo/tests/test_tt_shapes.cc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_shapes.cc.o" "gcc" "tests/CMakeFiles/ttrec_tests.dir/test_tt_shapes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/ttrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlrm/CMakeFiles/ttrec_dlrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ttrec_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ttrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/ttrec_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttrec_info.dir/ttrec_info.cc.o"
+  "CMakeFiles/ttrec_info.dir/ttrec_info.cc.o.d"
+  "ttrec_info"
+  "ttrec_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttrec_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
