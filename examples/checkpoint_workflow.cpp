@@ -1,11 +1,16 @@
-// The full production workflow: train a TT-Rec DLRM, checkpoint it, resume
-// training from the checkpoint, then export one table's TT cores as a
-// standalone artifact a serving replica can load.
+// The full production workflow: train a TT-Rec DLRM with periodic
+// full-training-state snapshots, "crash", resume from the newest valid
+// snapshot (bit-identical to an uninterrupted run), survive a corrupted
+// snapshot via rotation, then export one table's TT cores as a standalone
+// artifact a serving replica can load.
 //
 //   $ ./checkpoint_workflow [workdir]
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "dlrm/checkpoint.h"
 #include "dlrm/embedding_adapters.h"
 #include "dlrm/embedding_bag.h"
 #include "dlrm/model.h"
@@ -39,11 +44,22 @@ std::unique_ptr<DlrmModel> BuildModel(const DatasetSpec& spec,
   return std::make_unique<DlrmModel>(dlrm, std::move(tables), rng);
 }
 
+/// XOR one byte in place — simulated media corruption for phase 3.
+void CorruptByte(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string workdir = argc > 1 ? argv[1] : "/tmp";
-  const std::string ckpt_path = workdir + "/ttrec_dlrm.ckpt";
+  const std::string snap_dir = workdir + "/ttrec_snapshots";
   const std::string cores_path = workdir + "/ttrec_table.ttrc";
 
   const DatasetSpec spec = KaggleSpec().Scaled(1024);
@@ -55,10 +71,7 @@ int main(int argc, char** argv) {
   SyntheticCriteoConfig dc;
   dc.spec = spec;
   dc.seed = 2026;
-  SyntheticCriteo data(dc);
 
-  // Phase 1: train and checkpoint.
-  auto model = BuildModel(spec, dlrm, 1);
   TrainConfig tc;
   tc.iterations = 150;
   tc.batch_size = 64;
@@ -66,21 +79,69 @@ int main(int argc, char** argv) {
   tc.eval_batches = 2;
   tc.eval_batch_size = 512;
   tc.log_every = 0;
-  TrainResult phase1 = TrainDlrm(*model, data, tc);
-  model->SaveCheckpointToFile(ckpt_path);
-  std::printf("phase 1: %lld iters, accuracy %.3f%% -> checkpoint %s\n",
-              static_cast<long long>(tc.iterations),
-              100.0 * phase1.final_eval.accuracy, ckpt_path.c_str());
+  tc.checkpoint_every = 50;
+  tc.checkpoint_dir = snap_dir;
+  tc.checkpoint_keep_last = 2;
+  tc.fault.check_non_finite = true;
 
-  // Phase 2: resume in a "new process" (fresh model object, same arch).
-  auto resumed = BuildModel(spec, dlrm, 999);  // different init, overwritten
-  resumed->LoadCheckpointFromFile(ckpt_path);
-  TrainResult phase2 = TrainDlrm(*resumed, data, tc);
-  std::printf("phase 2 (resumed): +%lld iters, accuracy %.3f%%\n",
-              static_cast<long long>(tc.iterations),
-              100.0 * phase2.final_eval.accuracy);
+  // Phase 1: train halfway, snapshotting every 50 iterations, then "crash"
+  // (the process simply stops; the snapshots on disk are all that survive).
+  {
+    SyntheticCriteo data(dc);
+    auto model = BuildModel(spec, dlrm, 1);
+    TrainResult phase1 = TrainDlrm(*model, data, tc);
+    std::printf("phase 1: %lld iters, accuracy %.3f%%, %lld snapshots "
+                "(%.1f ms checkpoint overhead) -> crash\n",
+                static_cast<long long>(tc.iterations),
+                100.0 * phase1.final_eval.accuracy,
+                static_cast<long long>(phase1.robustness.checkpoints_written),
+                1000.0 * phase1.checkpoint_seconds);
+  }
 
-  // Phase 3: export one TT table's cores for a serving replica.
+  // Phase 2: a NEW process — fresh model object with different random
+  // init, fresh data stream — resumes from the newest valid snapshot. The
+  // restored RNG cursor replays the exact batch sequence, so this run is
+  // bit-identical to one that never crashed.
+  auto resumed = BuildModel(spec, dlrm, 999);
+  {
+    SyntheticCriteo data(dc);
+    TrainConfig rc = tc;
+    rc.iterations = 300;
+    rc.resume = true;
+    TrainResult phase2 = TrainDlrm(*resumed, data, rc);
+    std::printf("phase 2: resumed at iter %lld, trained to %lld, "
+                "accuracy %.3f%%\n",
+                static_cast<long long>(phase2.start_iteration),
+                static_cast<long long>(rc.iterations),
+                100.0 * phase2.final_eval.accuracy);
+  }
+
+  // Phase 3: corrupt the newest snapshot; recovery must reject it (CRC)
+  // and fall back to the older one in the rotation.
+  {
+    CheckpointManagerConfig mc;
+    mc.directory = snap_dir;
+    mc.keep_last = 2;
+    CheckpointManager manager(mc);
+    const auto snaps = manager.ListSnapshots();
+    if (!snaps.empty()) {
+      CorruptByte(snaps.back(), 200);
+      const SnapshotVerifyResult v = VerifySnapshotFile(snaps.back());
+      std::printf("phase 3: corrupted %s -> verify says: %s\n",
+                  snaps.back().c_str(), v.ok ? "ok (BUG!)" : v.error.c_str());
+      auto recovered = BuildModel(spec, dlrm, 5);
+      SyntheticCriteo data(dc);
+      SnapshotMeta meta;
+      if (manager.RestoreLatest(*recovered, data, &meta)) {
+        std::printf("phase 3: recovery fell back to iteration %lld "
+                    "(%zu snapshot(s) skipped)\n",
+                    static_cast<long long>(meta.iteration),
+                    manager.skipped().size());
+      }
+    }
+  }
+
+  // Phase 4: export one TT table's cores for a serving replica.
   const int tt_table = spec.LargestTables(1)[0];
   auto* adapter =
       dynamic_cast<TtEmbeddingAdapter*>(&resumed->table(tt_table));
@@ -96,7 +157,7 @@ int main(int argc, char** argv) {
                   return row[0];
                 }());
   }
-  std::remove(ckpt_path.c_str());
   std::remove(cores_path.c_str());
+  std::filesystem::remove_all(snap_dir);
   return 0;
 }

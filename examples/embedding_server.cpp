@@ -63,6 +63,27 @@ int main(int argc, char** argv) {
     latencies_us.push_back(
         std::chrono::duration<double, std::micro>(t1 - t0).count());
   }
+  // Malformed requests: a serving replica must not crash on a bad id from
+  // an upstream feature-pipeline bug. Sanitize under kClampToZero — the
+  // offending lookups contribute zero vectors, the batch still completes.
+  CsrBatch malformed = next_batch();
+  malformed.indices[0] = rows + 123;  // stale id past the table
+  malformed.indices[1] = -1;          // sentinel that leaked through
+  const int64_t clamped = malformed.ApplyIndexPolicy(
+      rows, IndexPolicy::kClampToZero, "serving_table");
+  server.Forward(malformed, out.data());
+  std::printf("malformed request served: %lld bad ids clamped to zero "
+              "vectors\n",
+              static_cast<long long>(clamped));
+  // Training-side callers keep the strict policy and get a hard error:
+  CsrBatch strict = next_batch();
+  strict.indices[0] = rows;
+  try {
+    (void)strict.ApplyIndexPolicy(rows, IndexPolicy::kThrow, "serving_table");
+  } catch (const IndexError& e) {
+    std::printf("strict policy rejected the same request: %s\n\n", e.what());
+  }
+
   std::sort(latencies_us.begin(), latencies_us.end());
   auto pct = [&](double p) {
     return latencies_us[static_cast<size_t>(

@@ -186,4 +186,40 @@ void CachedTtEmbeddingBag::ApplyAdagrad(float lr, float eps) {
   cache_.ApplyAdagrad(lr, eps);
 }
 
+void CachedTtEmbeddingBag::ZeroGrad() {
+  tt_.ZeroGrad();
+  cache_.ZeroGrads();
+}
+
+double CachedTtEmbeddingBag::GradSqNorm() const {
+  return tt_.GradSqNorm() + cache_.GradSqNorm();
+}
+
+void CachedTtEmbeddingBag::ScaleGrads(float scale) {
+  tt_.ScaleGrads(scale);
+  cache_.ScaleGrads(scale);
+}
+
+void CachedTtEmbeddingBag::SaveOptState(BinaryWriter& w) const {
+  tt_.SaveOptState(w);
+  const std::vector<float>& acc = cache_.AdagradState();
+  w.WriteU32(acc.empty() ? 0u : 1u);
+  if (!acc.empty()) w.WriteFloats(acc.data(), acc.size());
+}
+
+void CachedTtEmbeddingBag::LoadOptState(BinaryReader& r) {
+  tt_.LoadOptState(r);
+  const uint32_t present = r.ReadU32();
+  if (present == 0) {
+    cache_.SetAdagradState({});
+    return;
+  }
+  TTREC_CHECK_CONFIG(present == 1,
+                     "CachedTtEmbeddingBag::LoadOptState: bad marker");
+  std::vector<float> acc(
+      static_cast<size_t>(cache_.capacity() * cache_.emb_dim()));
+  r.ReadFloats(acc.data(), acc.size());
+  cache_.SetAdagradState(std::move(acc));
+}
+
 }  // namespace ttrec

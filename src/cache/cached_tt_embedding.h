@@ -81,6 +81,19 @@ class CachedTtEmbeddingBag {
   /// Adagrad on both the TT cores and the cached uncompressed rows.
   void ApplyAdagrad(float lr, float eps = 1e-8f);
 
+  /// Discards pending gradients on both the TT cores and the cached rows.
+  void ZeroGrad();
+
+  /// Sum of squares over TT-core and cached-row gradients.
+  double GradSqNorm() const;
+
+  /// Scales TT-core and cached-row gradients (gradient clipping).
+  void ScaleGrads(float scale);
+
+  /// Serializes / restores Adagrad accumulators (TT cores + cached rows).
+  void SaveOptState(BinaryWriter& w) const;
+  void LoadOptState(BinaryReader& r);
+
   /// Forces a cache refresh from the current frequency counts (top-K rows
   /// materialized from the TT cores). Normally driven by Forward.
   void RefreshCache();

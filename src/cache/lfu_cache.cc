@@ -117,6 +117,33 @@ void LfuRowCache::ApplySgd(float lr) {
   }
 }
 
+void LfuRowCache::ZeroGrads() {
+  const size_t used = rows_.size() * static_cast<size_t>(emb_dim_);
+  std::fill(grads_.begin(), grads_.begin() + static_cast<ptrdiff_t>(used),
+            0.0f);
+}
+
+double LfuRowCache::GradSqNorm() const {
+  const size_t used = rows_.size() * static_cast<size_t>(emb_dim_);
+  double sq = 0.0;
+  for (size_t i = 0; i < used; ++i) {
+    sq += static_cast<double>(grads_[i]) * grads_[i];
+  }
+  return sq;
+}
+
+void LfuRowCache::ScaleGrads(float scale) {
+  const size_t used = rows_.size() * static_cast<size_t>(emb_dim_);
+  for (size_t i = 0; i < used; ++i) grads_[i] *= scale;
+}
+
+void LfuRowCache::SetAdagradState(std::vector<float> state) {
+  TTREC_CHECK_CONFIG(state.empty() || state.size() == values_.size(),
+                     "LfuRowCache::SetAdagradState: size mismatch (",
+                     state.size(), " vs ", values_.size(), ")");
+  adagrad_ = std::move(state);
+}
+
 int64_t LfuRowCache::MemoryBytes() const {
   return static_cast<int64_t>(values_.size() * sizeof(float) +
                               grads_.size() * sizeof(float) +

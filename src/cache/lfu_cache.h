@@ -44,6 +44,20 @@ class LfuRowCache {
   /// Populate, which resets it along with the row set).
   void ApplyAdagrad(float lr, float eps = 1e-8f);
 
+  /// Clears accumulated row gradients without applying them.
+  void ZeroGrads();
+
+  /// Sum of squares of all accumulated row gradients.
+  double GradSqNorm() const;
+
+  /// Scales all accumulated row gradients (gradient clipping).
+  void ScaleGrads(float scale);
+
+  /// Adagrad accumulator state, for checkpointing (empty when Adagrad has
+  /// never run). SetAdagradState validates the size.
+  const std::vector<float>& AdagradState() const { return adagrad_; }
+  void SetAdagradState(std::vector<float> state);
+
   /// All currently cached row ids (unordered).
   std::vector<int64_t> CachedRows() const { return rows_; }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/check.h"
+#include "tensor/serialize.h"
 
 namespace ttrec {
 
@@ -118,6 +119,18 @@ MiniBatch SyntheticCriteo::Generate(int64_t batch_size, Rng& rng) const {
 
 MiniBatch SyntheticCriteo::NextBatch(int64_t batch_size) {
   return Generate(batch_size, train_rng_);
+}
+
+void SyntheticCriteo::SaveState(BinaryWriter& w) const {
+  uint64_t s[4];
+  train_rng_.GetState(s);
+  for (uint64_t word : s) w.WriteI64(static_cast<int64_t>(word));
+}
+
+void SyntheticCriteo::LoadState(BinaryReader& r) {
+  uint64_t s[4];
+  for (uint64_t& word : s) word = static_cast<uint64_t>(r.ReadI64());
+  train_rng_.SetState(s);
 }
 
 MiniBatch SyntheticCriteo::EvalBatch(int64_t batch_size,

@@ -25,6 +25,9 @@
 
 namespace ttrec {
 
+class BinaryWriter;
+class BinaryReader;
+
 /// One minibatch: dense features, per-table index bags, labels in {0,1}.
 struct MiniBatch {
   Tensor dense;                  // batch x num_dense
@@ -70,6 +73,14 @@ class SyntheticCriteo {
   /// learnable, and by the generator itself).
   double TeacherLogit(const std::vector<int64_t>& rows_per_table,
                       const float* dense) const;
+
+  /// Serializes / restores the training-stream cursor (the train RNG
+  /// state), so a resumed run replays exactly the batches an uninterrupted
+  /// run would have produced. The dataset config itself is not persisted —
+  /// the restoring process must construct the generator with the same
+  /// SyntheticCriteoConfig.
+  void SaveState(BinaryWriter& w) const;
+  void LoadState(BinaryReader& r);
 
  private:
   MiniBatch Generate(int64_t batch_size, Rng& rng) const;

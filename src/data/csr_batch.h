@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tensor/check.h"
@@ -15,6 +16,12 @@
 namespace ttrec {
 
 enum class PoolingMode : uint8_t { kSum, kMean };
+
+/// What to do with an out-of-range row index in an embedding lookup.
+/// Training wants hard failure (kThrow: a bad id is a data bug); serving
+/// replicas often prefer to degrade gracefully (kClampToZero: the lookup
+/// contributes a zero vector and the request still completes).
+enum class IndexPolicy : uint8_t { kThrow, kClampToZero };
 
 struct CsrBatch {
   std::vector<int64_t> indices;
@@ -44,6 +51,30 @@ struct CsrBatch {
       TTREC_CHECK_INDEX(idx >= 0 && idx < num_rows, "CsrBatch: row index ",
                         idx, " out of range [0, ", num_rows, ")");
     }
+  }
+
+  /// Applies `policy` to every out-of-range index in this batch.
+  ///  - kThrow: throws IndexError naming `table_name`, the offending row
+  ///    id, and the valid range.
+  ///  - kClampToZero: rewrites the lookup to contribute a zero vector
+  ///    (index 0, weight 0) — bag structure is preserved, so sum and mean
+  ///    pooling both see the lookup as absent.
+  /// Returns the number of offending lookups.
+  int64_t ApplyIndexPolicy(int64_t num_rows, IndexPolicy policy,
+                           const std::string& table_name) {
+    int64_t bad = 0;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const int64_t idx = indices[i];
+      if (idx >= 0 && idx < num_rows) continue;
+      TTREC_CHECK_INDEX(policy == IndexPolicy::kClampToZero, "table '",
+                        table_name, "': row index ", idx,
+                        " out of valid range [0, ", num_rows, ")");
+      if (weights.empty()) weights.assign(indices.size(), 1.0f);
+      indices[i] = 0;
+      weights[i] = 0.0f;
+      ++bad;
+    }
+    return bad;
   }
 
   /// Builds a single-lookup-per-bag batch (pooling factor 1, the Criteo

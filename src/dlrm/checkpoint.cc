@@ -1,0 +1,244 @@
+#include "dlrm/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "tensor/atomic_file.h"
+#include "tensor/check.h"
+#include "tensor/serialize.h"
+
+namespace ttrec {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x4E535454;  // "TTSN"
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kNumSections = 4;
+constexpr const char* kSnapshotExt = ".ttsn";
+}  // namespace
+
+void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
+                          const SyntheticCriteo& data,
+                          const SnapshotMeta& meta) {
+  BinaryWriter w(os);
+  w.WriteU32(kSnapshotMagic);
+  w.WriteU32(kSnapshotVersion);
+  w.WriteU32(kNumSections);
+  w.BeginSection("meta");
+  w.WriteI64(meta.iteration);
+  w.WriteString(meta.optimizer);
+  w.EndSection();
+  w.BeginSection("model");
+  model.SaveState(w);
+  w.EndSection();
+  w.BeginSection("optim");
+  model.SaveOptState(w);
+  w.EndSection();
+  w.BeginSection("data");
+  data.SaveState(w);
+  w.EndSection();
+  w.Finish();
+}
+
+SnapshotMeta LoadTrainingSnapshot(std::istream& is, DlrmModel& model,
+                                  SyntheticCriteo& data) {
+  BinaryReader r(is);
+  TTREC_CHECK(r.ReadU32() == kSnapshotMagic,
+              "LoadTrainingSnapshot: bad magic (not a TTSN snapshot)");
+  const uint32_t version = r.ReadU32();
+  TTREC_CHECK(version == kSnapshotVersion,
+              "LoadTrainingSnapshot: unsupported snapshot version ", version);
+  const uint32_t sections = r.ReadU32();
+  TTREC_CHECK(sections == kNumSections,
+              "LoadTrainingSnapshot: expected ", kNumSections,
+              " sections, file declares ", sections);
+  SnapshotMeta meta;
+  r.BeginSection("meta");
+  meta.iteration = r.ReadI64();
+  meta.optimizer = r.ReadString();
+  r.SkipBytes(r.SectionRemaining());  // forward-compatible meta fields
+  r.EndSection();
+  r.BeginSection("model");
+  model.LoadState(r);
+  r.EndSection();
+  r.BeginSection("optim");
+  model.LoadOptState(r);
+  r.EndSection();
+  r.BeginSection("data");
+  data.LoadState(r);
+  r.EndSection();
+  r.Finish();
+  return meta;
+}
+
+void SaveTrainingSnapshotToFile(const std::string& path,
+                                const DlrmModel& model,
+                                const SyntheticCriteo& data,
+                                const SnapshotMeta& meta) {
+  AtomicWriteFile(path, [&](std::ostream& os) {
+    SaveTrainingSnapshot(os, model, data, meta);
+    os.flush();
+    TTREC_CHECK(os.good(), "SaveTrainingSnapshotToFile: write failed for ",
+                path);
+  });
+}
+
+SnapshotMeta LoadTrainingSnapshotFromFile(const std::string& path,
+                                          DlrmModel& model,
+                                          SyntheticCriteo& data) {
+  std::ifstream is(path, std::ios::binary);
+  TTREC_CHECK(is.is_open(), "LoadTrainingSnapshotFromFile: cannot open ",
+              path);
+  return LoadTrainingSnapshot(is, model, data);
+}
+
+SnapshotVerifyResult VerifySnapshotFile(const std::string& path) {
+  SnapshotVerifyResult res;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    res.error = "cannot open " + path;
+    return res;
+  }
+  BinaryReader r(is);
+  try {
+    TTREC_CHECK(r.ReadU32() == kSnapshotMagic,
+                "bad magic (not a TTSN snapshot)");
+    res.version = r.ReadU32();
+    TTREC_CHECK(res.version == kSnapshotVersion,
+                "unsupported snapshot version ", res.version);
+    const uint32_t sections = r.ReadU32();
+    TTREC_CHECK(sections <= 64, "implausible section count ", sections);
+    for (uint32_t i = 0; i < sections; ++i) {
+      const BinaryReader::SectionHeader h = r.BeginAnySection();
+      res.sections.push_back({h.name, h.size, false});
+      if (h.name == "meta") {
+        res.iteration = r.ReadI64();
+        res.optimizer = r.ReadString();
+      }
+      r.SkipBytes(r.SectionRemaining());
+      r.EndSection();
+      res.sections.back().crc_ok = true;
+    }
+    r.Finish();
+    res.ok = true;
+  } catch (const TtRecError& e) {
+    res.error = e.what();
+  }
+  return res;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// `<prefix>-<digits>.ttsn` -> iteration, or -1 when the name is not ours.
+int64_t ParseIteration(const std::string& filename,
+                       const std::string& prefix) {
+  const std::string head = prefix + "-";
+  const std::string tail = kSnapshotExt;
+  if (filename.size() <= head.size() + tail.size()) return -1;
+  if (filename.compare(0, head.size(), head) != 0) return -1;
+  if (filename.compare(filename.size() - tail.size(), tail.size(), tail) !=
+      0) {
+    return -1;
+  }
+  int64_t v = 0;
+  for (size_t i = head.size(); i < filename.size() - tail.size(); ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return -1;
+    v = v * 10 + (c - '0');
+    if (v < 0) return -1;  // overflow
+  }
+  return v;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointManagerConfig config)
+    : config_(std::move(config)) {
+  TTREC_CHECK_CONFIG(!config_.directory.empty(),
+                     "CheckpointManager: directory must not be empty");
+  TTREC_CHECK_CONFIG(!config_.prefix.empty(),
+                     "CheckpointManager: prefix must not be empty");
+  TTREC_CHECK_CONFIG(config_.keep_last >= 1,
+                     "CheckpointManager: keep_last must be >= 1");
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  TTREC_CHECK(fs::is_directory(config_.directory, ec),
+              "CheckpointManager: cannot create directory ",
+              config_.directory);
+}
+
+std::string CheckpointManager::PathFor(int64_t iteration) const {
+  TTREC_CHECK_CONFIG(iteration >= 0,
+                     "CheckpointManager: iteration must be >= 0");
+  char digits[24];
+  std::snprintf(digits, sizeof(digits), "%012lld",
+                static_cast<long long>(iteration));
+  return (fs::path(config_.directory) /
+          (config_.prefix + "-" + digits + kSnapshotExt))
+      .string();
+}
+
+std::vector<std::string> CheckpointManager::ListSnapshots() const {
+  std::vector<std::pair<int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const int64_t it =
+        ParseIteration(entry.path().filename().string(), config_.prefix);
+    if (it >= 0) found.emplace_back(it, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [it, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+std::string CheckpointManager::Save(const DlrmModel& model,
+                                    const SyntheticCriteo& data,
+                                    const SnapshotMeta& meta) {
+  const std::string path = PathFor(meta.iteration);
+  SaveTrainingSnapshotToFile(path, model, data, meta);
+  Prune();
+  return path;
+}
+
+void CheckpointManager::Prune() {
+  std::vector<std::string> snaps = ListSnapshots();
+  const size_t keep = static_cast<size_t>(config_.keep_last);
+  if (snaps.size() <= keep) return;
+  for (size_t i = 0; i + keep < snaps.size(); ++i) {
+    std::error_code ec;
+    fs::remove(snaps[i], ec);  // best effort; a stale file is harmless
+  }
+}
+
+bool CheckpointManager::RestoreLatest(DlrmModel& model, SyntheticCriteo& data,
+                                      SnapshotMeta* meta_out) {
+  skipped_.clear();
+  std::vector<std::string> snaps = ListSnapshots();
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    const SnapshotVerifyResult v = VerifySnapshotFile(*it);
+    if (!v.ok) {
+      skipped_.push_back(*it + ": " + v.error);
+      continue;
+    }
+    try {
+      const SnapshotMeta meta =
+          LoadTrainingSnapshotFromFile(*it, model, data);
+      if (meta_out != nullptr) *meta_out = meta;
+      return true;
+    } catch (const TtRecError& e) {
+      // CRCs were fine but the payload does not fit this model (e.g.
+      // architecture drift); try the next-older snapshot.
+      skipped_.push_back(*it + ": " + e.what());
+    }
+  }
+  return false;
+}
+
+}  // namespace ttrec

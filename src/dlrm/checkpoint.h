@@ -1,0 +1,131 @@
+// Crash-safe full-training-state snapshots.
+//
+// A snapshot captures everything a resumed run needs to continue
+// bit-identically to an uninterrupted one: model parameters (TT cores and
+// dense tables alike), optimizer accumulators, the data stream's RNG
+// cursor, and the iteration counter. On-disk layout ("TTSN" version 1):
+//
+//   u32 magic 0x4E535454 ("TTSN")
+//   u32 version (1)
+//   u32 section count
+//   section "meta"  : i64 iteration, string optimizer name
+//   section "model" : DlrmModel::SaveState payload
+//   section "optim" : DlrmModel::SaveOptState payload
+//   section "data"  : SyntheticCriteo::SaveState payload
+//   u64 FNV-1a whole-file trailer
+//
+// Each section is CRC32-framed (tensor/serialize.h), so VerifySnapshotFile
+// detects torn writes and bit flips without parsing tensors into a model.
+// Files are always written through AtomicWriteFile: a crash mid-save
+// leaves the previous snapshot untouched.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/criteo_synth.h"
+#include "dlrm/model.h"
+
+namespace ttrec {
+
+/// Resume bookkeeping persisted alongside the tensors.
+struct SnapshotMeta {
+  /// Training iterations completed when the snapshot was taken.
+  int64_t iteration = 0;
+  /// OptimizerName() of the saving run; checked on resume so Adagrad
+  /// accumulators are never silently applied to an SGD run (or dropped).
+  std::string optimizer = "sgd";
+};
+
+/// Stream-level save/load. Load throws TtRecError (or a subclass) on any
+/// corruption or architecture mismatch; it never half-applies silently —
+/// callers wanting skip-and-continue semantics should pre-verify with
+/// VerifySnapshotFile (as CheckpointManager::RestoreLatest does).
+void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
+                          const SyntheticCriteo& data,
+                          const SnapshotMeta& meta);
+SnapshotMeta LoadTrainingSnapshot(std::istream& is, DlrmModel& model,
+                                  SyntheticCriteo& data);
+
+/// File-level flavors; saving is atomic (temp + fsync + rename).
+void SaveTrainingSnapshotToFile(const std::string& path,
+                                const DlrmModel& model,
+                                const SyntheticCriteo& data,
+                                const SnapshotMeta& meta);
+SnapshotMeta LoadTrainingSnapshotFromFile(const std::string& path,
+                                          DlrmModel& model,
+                                          SyntheticCriteo& data);
+
+struct SnapshotSectionInfo {
+  std::string name;
+  uint64_t size = 0;
+  bool crc_ok = false;
+};
+
+struct SnapshotVerifyResult {
+  bool ok = false;
+  uint32_t version = 0;
+  int64_t iteration = -1;  // from the "meta" section when readable
+  std::string optimizer;
+  /// Sections in file order; a section with crc_ok == false is where
+  /// validation stopped.
+  std::vector<SnapshotSectionInfo> sections;
+  std::string error;  // empty when ok
+};
+
+/// Structurally validates a snapshot — magic, version, every section's
+/// declared size and CRC32, and the whole-file trailer — without loading
+/// tensors into a model. Never throws; failures land in `error`.
+SnapshotVerifyResult VerifySnapshotFile(const std::string& path);
+
+struct CheckpointManagerConfig {
+  /// Directory snapshots live in; created if missing.
+  std::string directory;
+  /// Snapshot files are named `<prefix>-<iteration padded to 12>.ttsn`.
+  std::string prefix = "snapshot";
+  /// Rotation depth: after each Save, only the newest `keep_last`
+  /// snapshots are kept.
+  int keep_last = 3;
+};
+
+/// Owns a directory of rotated snapshots: atomic saves, keep-last-K
+/// pruning, and restore-from-newest-valid (corrupt files are skipped, not
+/// fatal — that is the point of keeping more than one).
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointManagerConfig config);
+
+  const CheckpointManagerConfig& config() const { return config_; }
+
+  /// Path the snapshot for `iteration` is (or would be) written to.
+  std::string PathFor(int64_t iteration) const;
+
+  /// Atomically writes the snapshot for meta.iteration, prunes old files,
+  /// and returns the path written.
+  std::string Save(const DlrmModel& model, const SyntheticCriteo& data,
+                   const SnapshotMeta& meta);
+
+  /// Restores the newest snapshot that passes full verification AND loads
+  /// cleanly; anything corrupt, truncated, or mismatched is skipped (see
+  /// skipped()). Returns false when no usable snapshot exists — the model
+  /// and data stream are untouched in that case.
+  bool RestoreLatest(DlrmModel& model, SyntheticCriteo& data,
+                     SnapshotMeta* meta_out = nullptr);
+
+  /// Snapshot paths in this manager's directory, ascending by iteration.
+  std::vector<std::string> ListSnapshots() const;
+
+  /// Human-readable "<path>: <reason>" entries for snapshots the last
+  /// RestoreLatest had to skip.
+  const std::vector<std::string>& skipped() const { return skipped_; }
+
+ private:
+  void Prune();
+
+  CheckpointManagerConfig config_;
+  std::vector<std::string> skipped_;
+};
+
+}  // namespace ttrec

@@ -50,6 +50,13 @@ class TtEmbeddingAdapter : public EmbeddingOp {
     }
   }
 
+  void SaveOptState(BinaryWriter& w) const override { tt_.SaveOptState(w); }
+  void LoadOptState(BinaryReader& r) override { tt_.LoadOptState(r); }
+
+  void ZeroGrad() override { tt_.ZeroGrad(); }
+  double GradSqNorm() const override { return tt_.GradSqNorm(); }
+  void ScaleGrads(float scale) override { tt_.ScaleGrads(scale); }
+
   int64_t num_rows() const override { return tt_.num_rows(); }
   int64_t emb_dim() const override { return tt_.emb_dim(); }
   int64_t MemoryBytes() const override { return tt_.MemoryBytes(); }
@@ -84,6 +91,13 @@ class CachedTtEmbeddingAdapter : public EmbeddingOp {
   }
   void SaveState(BinaryWriter& w) const override { op_.SaveState(w); }
   void LoadState(BinaryReader& r) override { op_.LoadState(r); }
+
+  void SaveOptState(BinaryWriter& w) const override { op_.SaveOptState(w); }
+  void LoadOptState(BinaryReader& r) override { op_.LoadOptState(r); }
+
+  void ZeroGrad() override { op_.ZeroGrad(); }
+  double GradSqNorm() const override { return op_.GradSqNorm(); }
+  void ScaleGrads(float scale) override { op_.ScaleGrads(scale); }
 
   int64_t num_rows() const override { return op_.num_rows(); }
   int64_t emb_dim() const override { return op_.emb_dim(); }

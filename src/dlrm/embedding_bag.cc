@@ -126,6 +126,41 @@ void DenseEmbeddingBag::LoadState(BinaryReader& r) {
   grads_.clear();
 }
 
+void DenseEmbeddingBag::SaveOptState(BinaryWriter& w) const {
+  w.WriteU32(rowwise_adagrad_.empty() ? 0u : 1u);
+  if (!rowwise_adagrad_.empty()) {
+    w.WriteFloats(rowwise_adagrad_.data(), rowwise_adagrad_.size());
+  }
+}
+
+void DenseEmbeddingBag::LoadOptState(BinaryReader& r) {
+  const uint32_t present = r.ReadU32();
+  if (present == 0) {
+    rowwise_adagrad_.clear();
+    return;
+  }
+  TTREC_CHECK_CONFIG(present == 1,
+                     "DenseEmbeddingBag::LoadOptState: bad marker");
+  rowwise_adagrad_.assign(static_cast<size_t>(num_rows()), 0.0f);
+  r.ReadFloats(rowwise_adagrad_.data(), rowwise_adagrad_.size());
+}
+
+double DenseEmbeddingBag::GradSqNorm() const {
+  double sq = 0.0;
+  for (const auto& [row, grad] : grads_) {
+    (void)row;
+    for (float g : grad) sq += static_cast<double>(g) * g;
+  }
+  return sq;
+}
+
+void DenseEmbeddingBag::ScaleGrads(float scale) {
+  for (auto& [row, grad] : grads_) {
+    (void)row;
+    for (float& g : grad) g *= scale;
+  }
+}
+
 void DenseEmbeddingBag::ApplySgd(float lr) {
   const int64_t N = emb_dim();
   for (const auto& [row, grad] : grads_) {

@@ -54,6 +54,12 @@ class DenseEmbeddingBag : public EmbeddingOp {
 
   void SaveState(BinaryWriter& w) const override;
   void LoadState(BinaryReader& r) override;
+  void SaveOptState(BinaryWriter& w) const override;
+  void LoadOptState(BinaryReader& r) override;
+
+  void ZeroGrad() override { grads_.clear(); }
+  double GradSqNorm() const override;
+  void ScaleGrads(float scale) override;
 
   int64_t num_rows() const override { return table_.dim(0); }
   int64_t emb_dim() const override { return table_.dim(1); }

@@ -53,6 +53,36 @@ class EmbeddingOp {
     throw ConfigError(Name() + " does not support checkpointing");
   }
 
+  /// Serializes / restores optimizer state (Adagrad accumulators) so a
+  /// resumed run continues the exact optimizer trajectory. The default
+  /// writes an empty marker — correct for operators that carry no state
+  /// beyond their parameters (pure SGD).
+  virtual void SaveOptState(BinaryWriter& w) const { w.WriteU32(0); }
+  virtual void LoadOptState(BinaryReader& r) {
+    TTREC_CHECK_CONFIG(r.ReadU32() == 0, Name(),
+                       ": checkpoint carries optimizer state this operator "
+                       "cannot restore");
+  }
+
+  // Gradient guards used by the fault-tolerant trainer (skip-batch on
+  // non-finite gradients, global-norm clipping). Defaults reject so a
+  // guarded run fails loudly on operators that have not implemented them;
+  // dense, TT, and cached TT override.
+
+  /// Discards accumulated gradients without applying them (drop a
+  /// poisoned batch).
+  virtual void ZeroGrad() {
+    throw ConfigError(Name() + " does not support gradient guards");
+  }
+  /// Sum of squares of all accumulated parameter gradients.
+  virtual double GradSqNorm() const {
+    throw ConfigError(Name() + " does not support gradient guards");
+  }
+  /// Multiplies all accumulated gradients by `scale` (gradient clipping).
+  virtual void ScaleGrads(float /*scale*/) {
+    throw ConfigError(Name() + " does not support gradient guards");
+  }
+
   virtual int64_t num_rows() const = 0;
   virtual int64_t emb_dim() const = 0;
 

@@ -106,6 +106,56 @@ void LinearLayer::ZeroGrad() {
   dbias_.Fill(0.0f);
 }
 
+namespace {
+double TensorSqNorm(const Tensor& t) {
+  double sq = 0.0;
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sq += static_cast<double>(p[i]) * p[i];
+  }
+  return sq;
+}
+
+void TensorScale(Tensor& t, float scale) {
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] *= scale;
+}
+}  // namespace
+
+double LinearLayer::GradSqNorm() const {
+  return TensorSqNorm(dweight_) + TensorSqNorm(dbias_);
+}
+
+void LinearLayer::ScaleGrads(float scale) {
+  TensorScale(dweight_, scale);
+  TensorScale(dbias_, scale);
+}
+
+void LinearLayer::SaveOptState(BinaryWriter& w) const {
+  w.WriteU32(adagrad_weight_.empty() ? 0u : 1u);
+  if (!adagrad_weight_.empty()) {
+    SaveTensor(w, adagrad_weight_);
+    SaveTensor(w, adagrad_bias_);
+  }
+}
+
+void LinearLayer::LoadOptState(BinaryReader& r) {
+  const uint32_t present = r.ReadU32();
+  if (present == 0) {
+    adagrad_weight_ = Tensor();
+    adagrad_bias_ = Tensor();
+    return;
+  }
+  TTREC_CHECK_CONFIG(present == 1, "LinearLayer::LoadOptState: bad marker");
+  Tensor aw = LoadTensor(r);
+  Tensor ab = LoadTensor(r);
+  TTREC_CHECK_SHAPE(aw.shape() == weight_.shape() &&
+                        ab.shape() == bias_.shape(),
+                    "LinearLayer::LoadOptState: accumulator shape mismatch");
+  adagrad_weight_ = std::move(aw);
+  adagrad_bias_ = std::move(ab);
+}
+
 Mlp::Mlp(std::vector<int64_t> dims, bool final_relu, Rng& rng) {
   TTREC_CHECK_CONFIG(dims.size() >= 2, "Mlp: need at least input and output");
   layers_.reserve(dims.size() - 1);
@@ -181,6 +231,24 @@ void Mlp::SaveState(BinaryWriter& w) const {
 
 void Mlp::LoadState(BinaryReader& r) {
   for (LinearLayer& l : layers_) l.LoadState(r);
+}
+
+double Mlp::GradSqNorm() const {
+  double sq = 0.0;
+  for (const LinearLayer& l : layers_) sq += l.GradSqNorm();
+  return sq;
+}
+
+void Mlp::ScaleGrads(float scale) {
+  for (LinearLayer& l : layers_) l.ScaleGrads(scale);
+}
+
+void Mlp::SaveOptState(BinaryWriter& w) const {
+  for (const LinearLayer& l : layers_) l.SaveOptState(w);
+}
+
+void Mlp::LoadOptState(BinaryReader& r) {
+  for (LinearLayer& l : layers_) l.LoadOptState(r);
 }
 
 int64_t Mlp::NumParams() const {

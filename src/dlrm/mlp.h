@@ -35,11 +35,21 @@ class LinearLayer {
   void ApplyAdagrad(float lr, float eps = 1e-8f);
   void ZeroGrad();
 
+  /// Sum of squares of the accumulated weight and bias gradients.
+  double GradSqNorm() const;
+  /// Scales accumulated gradients (gradient clipping).
+  void ScaleGrads(float scale);
+
   int64_t NumParams() const { return weight_.numel() + bias_.numel(); }
 
   /// Serializes / restores weights and biases (not optimizer state).
   void SaveState(BinaryWriter& w) const;
   void LoadState(BinaryReader& r);
+
+  /// Serializes / restores the Adagrad accumulators (empty marker when
+  /// Adagrad has never run).
+  void SaveOptState(BinaryWriter& w) const;
+  void LoadOptState(BinaryReader& r);
 
   Tensor& weight() { return weight_; }  // out x in
   Tensor& bias() { return bias_; }      // out
@@ -81,10 +91,14 @@ class Mlp {
   void ApplySgd(float lr);
   void ApplyAdagrad(float lr, float eps = 1e-8f);
   void ZeroGrad();
+  double GradSqNorm() const;
+  void ScaleGrads(float scale);
 
   int64_t NumParams() const;
   void SaveState(BinaryWriter& w) const;
   void LoadState(BinaryReader& r);
+  void SaveOptState(BinaryWriter& w) const;
+  void LoadOptState(BinaryReader& r);
   int64_t MemoryBytes() const {
     return NumParams() * static_cast<int64_t>(sizeof(float));
   }

@@ -1,9 +1,11 @@
 #include "dlrm/model.h"
 
+#include <cmath>
 #include <fstream>
 
 #include "dlrm/embedding_bag.h"
 #include "dlrm/loss.h"
+#include "tensor/atomic_file.h"
 #include "tensor/check.h"
 #include "tensor/serialize.h"
 
@@ -64,16 +66,37 @@ void DlrmModel::ForwardInternal(const MiniBatch& batch, float* logits) {
   bottom_out_.assign(static_cast<size_t>(B * d), 0.0f);
   bottom_.Forward(batch.dense.data(), B, bottom_out_.data());
 
+  if (config_.index_policy == IndexPolicy::kClampToZero) {
+    sanitized_sparse_.assign(batch.sparse.begin(), batch.sparse.end());
+    for (int t = 0; t < num_tables(); ++t) {
+      clamped_lookups_ +=
+          sanitized_sparse_[static_cast<size_t>(t)].ApplyIndexPolicy(
+              tables_[static_cast<size_t>(t)]->num_rows(),
+              IndexPolicy::kClampToZero,
+              tables_[static_cast<size_t>(t)]->Name());
+    }
+  }
+
   std::vector<const float*> features;
   features.reserve(tables_.size() + 1);
   features.push_back(bottom_out_.data());
   for (int t = 0; t < num_tables(); ++t) {
-    const CsrBatch& cb = batch.sparse[static_cast<size_t>(t)];
+    const CsrBatch& cb = SparseFor(batch, t);
     TTREC_CHECK_SHAPE(cb.num_bags() == B, "table ", t, " has ", cb.num_bags(),
                       " bags for batch size ", B);
     auto& out = emb_out_[static_cast<size_t>(t)];
     out.assign(static_cast<size_t>(B * d), 0.0f);
-    tables_[static_cast<size_t>(t)]->Forward(cb, out.data());
+    try {
+      tables_[static_cast<size_t>(t)]->Forward(cb, out.data());
+    } catch (const IndexError& e) {
+      // Re-throw with the table identified — a bare "index out of range"
+      // from a 26-table model is undebuggable.
+      throw IndexError("embedding table " + std::to_string(t) + " ('" +
+                       tables_[static_cast<size_t>(t)]->Name() + "', " +
+                       std::to_string(tables_[static_cast<size_t>(t)]
+                                          ->num_rows()) +
+                       " rows): " + e.what());
+    }
     features.push_back(out.data());
   }
 
@@ -86,20 +109,47 @@ void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits) {
   ForwardInternal(batch, logits);
 }
 
+const CsrBatch& DlrmModel::SparseFor(const MiniBatch& batch, int t) const {
+  if (config_.index_policy == IndexPolicy::kClampToZero) {
+    return sanitized_sparse_[static_cast<size_t>(t)];
+  }
+  return batch.sparse[static_cast<size_t>(t)];
+}
+
 double DlrmModel::TrainStep(const MiniBatch& batch, float lr) {
   return TrainStep(batch, OptimizerConfig::Sgd(lr));
 }
 
 double DlrmModel::TrainStep(const MiniBatch& batch,
                             const OptimizerConfig& opt) {
+  return TrainStepGuarded(batch, opt, StepGuard{}).loss;
+}
+
+StepOutcome DlrmModel::TrainStepGuarded(const MiniBatch& batch,
+                                        const OptimizerConfig& opt,
+                                        const StepGuard& guard) {
   const int64_t B = batch.batch_size();
   const int64_t d = config_.emb_dim;
+  StepOutcome out;
+
   std::vector<float> logits(static_cast<size_t>(B));
   ForwardInternal(batch, logits.data());
 
   std::vector<float> dlogits(static_cast<size_t>(B));
-  const double loss =
-      BceWithLogits(logits, batch.labels, dlogits.data());
+  out.loss = BceWithLogits(logits, batch.labels, dlogits.data());
+
+  // Loss guards fire before backward: nothing has been mutated yet, so a
+  // skip is free.
+  if (guard.check_non_finite && !std::isfinite(out.loss)) {
+    out.non_finite_loss = true;
+    out.applied = false;
+    return out;
+  }
+  if (out.loss > guard.skip_loss_above) {
+    out.loss_spike_skipped = true;
+    out.applied = false;
+    return out;
+  }
 
   // Top MLP.
   std::vector<float> dinter(
@@ -121,10 +171,33 @@ double DlrmModel::TrainStep(const MiniBatch& batch,
   // Embeddings and bottom MLP.
   for (int t = 0; t < num_tables(); ++t) {
     tables_[static_cast<size_t>(t)]->Backward(
-        batch.sparse[static_cast<size_t>(t)],
-        demb[static_cast<size_t>(t)].data());
+        SparseFor(batch, t), demb[static_cast<size_t>(t)].data());
   }
   bottom_.Backward(dbottom.data(), B, nullptr);
+
+  // Gradient guards fire after backward but before the optimizer touches
+  // any parameter: a poisoned batch is discarded by zeroing the
+  // accumulated gradients, leaving parameters and optimizer state intact.
+  if (guard.check_non_finite || guard.grad_clip_norm > 0.0f) {
+    double sq = bottom_.GradSqNorm() + top_.GradSqNorm();
+    for (const auto& t : tables_) sq += t->GradSqNorm();
+    out.grad_norm = std::sqrt(sq);
+    if (guard.check_non_finite && !std::isfinite(out.grad_norm)) {
+      out.non_finite_grad = true;
+      out.applied = false;
+      ZeroGrad();
+      return out;
+    }
+    if (guard.grad_clip_norm > 0.0f &&
+        out.grad_norm > static_cast<double>(guard.grad_clip_norm)) {
+      const float scale = static_cast<float>(
+          static_cast<double>(guard.grad_clip_norm) / out.grad_norm);
+      bottom_.ScaleGrads(scale);
+      top_.ScaleGrads(scale);
+      for (auto& t : tables_) t->ScaleGrads(scale);
+      out.clipped = true;
+    }
+  }
 
   // Optimizer step.
   if (opt.kind == OptimizerConfig::Kind::kAdagrad) {
@@ -135,7 +208,13 @@ double DlrmModel::TrainStep(const MiniBatch& batch,
     top_.ApplySgd(opt.lr);
   }
   for (auto& t : tables_) t->ApplyUpdate(opt);
-  return loss;
+  return out;
+}
+
+void DlrmModel::ZeroGrad() {
+  bottom_.ZeroGrad();
+  top_.ZeroGrad();
+  for (auto& t : tables_) t->ZeroGrad();
 }
 
 EvalMetrics DlrmModel::Evaluate(const MiniBatch& batch) {
@@ -170,10 +249,7 @@ constexpr uint32_t kCheckpointMagic = 0x4D524C44;  // "DLRM"
 constexpr uint32_t kCheckpointVersion = 1;
 }  // namespace
 
-void DlrmModel::SaveCheckpoint(std::ostream& os) const {
-  BinaryWriter w(os);
-  w.WriteU32(kCheckpointMagic);
-  w.WriteU32(kCheckpointVersion);
+void DlrmModel::SaveState(BinaryWriter& w) const {
   w.WriteI64(config_.num_dense);
   w.WriteI64(config_.emb_dim);
   w.WriteI64(num_tables());
@@ -183,16 +259,9 @@ void DlrmModel::SaveCheckpoint(std::ostream& os) const {
     w.WriteString(t->Name());
     t->SaveState(w);
   }
-  w.Finish();
 }
 
-void DlrmModel::LoadCheckpoint(std::istream& is) {
-  BinaryReader r(is);
-  TTREC_CHECK(r.ReadU32() == kCheckpointMagic,
-              "LoadCheckpoint: bad magic (not a DLRM checkpoint)");
-  const uint32_t version = r.ReadU32();
-  TTREC_CHECK(version == kCheckpointVersion,
-              "LoadCheckpoint: unsupported version ", version);
+void DlrmModel::LoadState(BinaryReader& r) {
   TTREC_CHECK_CONFIG(r.ReadI64() == config_.num_dense,
                      "LoadCheckpoint: num_dense mismatch");
   TTREC_CHECK_CONFIG(r.ReadI64() == config_.emb_dim,
@@ -207,14 +276,45 @@ void DlrmModel::LoadCheckpoint(std::istream& is) {
                        name, "' does not match model's '", t->Name(), "'");
     t->LoadState(r);
   }
+}
+
+void DlrmModel::SaveOptState(BinaryWriter& w) const {
+  bottom_.SaveOptState(w);
+  top_.SaveOptState(w);
+  for (const auto& t : tables_) t->SaveOptState(w);
+}
+
+void DlrmModel::LoadOptState(BinaryReader& r) {
+  bottom_.LoadOptState(r);
+  top_.LoadOptState(r);
+  for (auto& t : tables_) t->LoadOptState(r);
+}
+
+void DlrmModel::SaveCheckpoint(std::ostream& os) const {
+  BinaryWriter w(os);
+  w.WriteU32(kCheckpointMagic);
+  w.WriteU32(kCheckpointVersion);
+  SaveState(w);
+  w.Finish();
+}
+
+void DlrmModel::LoadCheckpoint(std::istream& is) {
+  BinaryReader r(is);
+  TTREC_CHECK(r.ReadU32() == kCheckpointMagic,
+              "LoadCheckpoint: bad magic (not a DLRM checkpoint)");
+  const uint32_t version = r.ReadU32();
+  TTREC_CHECK(version == kCheckpointVersion,
+              "LoadCheckpoint: unsupported version ", version);
+  LoadState(r);
   r.Finish();
 }
 
 void DlrmModel::SaveCheckpointToFile(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  TTREC_CHECK(os.is_open(), "SaveCheckpointToFile: cannot open ", path);
-  SaveCheckpoint(os);
-  TTREC_CHECK(os.good(), "SaveCheckpointToFile: write failed");
+  AtomicWriteFile(path, [this](std::ostream& os) {
+    SaveCheckpoint(os);
+    os.flush();
+    TTREC_CHECK(os.good(), "SaveCheckpointToFile: write failed");
+  });
 }
 
 void DlrmModel::LoadCheckpointFromFile(const std::string& path) {

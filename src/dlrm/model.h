@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,34 @@ struct DlrmConfig {
   /// Hidden sizes of the top tower; a final linear-to-1 layer is appended
   /// (MLPerf Kaggle reference: 512-256-1).
   std::vector<int64_t> top_hidden = {64, 32};
+  /// Out-of-range categorical ids: throw (training — a bad id is a data
+  /// bug) or clamp to a zero-vector contribution (serving — the request
+  /// still completes). Clamped lookups are counted in clamped_lookups().
+  IndexPolicy index_policy = IndexPolicy::kThrow;
+};
+
+/// Per-step guard limits for the fault-tolerant training loop. The default
+/// guard checks nothing and is numerically identical to a bare TrainStep.
+struct StepGuard {
+  /// Detect non-finite loss (before backward) and non-finite gradients
+  /// (before the optimizer step); the offending batch is skipped.
+  bool check_non_finite = false;
+  /// Global L2 gradient-norm clipping threshold; 0 disables.
+  float grad_clip_norm = 0.0f;
+  /// Skip the update (before backward) when the batch loss reaches this
+  /// value — the trainer's loss-spike detector sets it per step.
+  double skip_loss_above = std::numeric_limits<double>::infinity();
+};
+
+/// What a guarded training step actually did.
+struct StepOutcome {
+  double loss = 0.0;
+  bool applied = true;            // false: parameters were left untouched
+  bool non_finite_loss = false;
+  bool non_finite_grad = false;
+  bool loss_spike_skipped = false;  // skip_loss_above triggered
+  bool clipped = false;
+  double grad_norm = 0.0;  // global L2 norm (0 when guards are off)
 };
 
 struct EvalMetrics {
@@ -63,6 +92,15 @@ class DlrmModel {
   /// and every embedding table); returns the batch BCE loss.
   double TrainStep(const MiniBatch& batch, const OptimizerConfig& opt);
 
+  /// TrainStep with fault guards: non-finite loss/gradient detection,
+  /// global-norm gradient clipping, and a loss ceiling (spike skip). When
+  /// a guard fires the parameters (and optimizer state) are left exactly
+  /// as they were — the batch is dropped, gradients discarded. With the
+  /// default StepGuard this is bit-identical to TrainStep.
+  StepOutcome TrainStepGuarded(const MiniBatch& batch,
+                               const OptimizerConfig& opt,
+                               const StepGuard& guard);
+
   /// Forward + metrics on a held-out batch (no parameter updates).
   EvalMetrics Evaluate(const MiniBatch& batch);
 
@@ -82,6 +120,23 @@ class DlrmModel {
   void SaveCheckpointToFile(const std::string& path) const;
   void LoadCheckpointFromFile(const std::string& path);
 
+  /// Writer-level flavors (no magic/trailer) so the model state can embed
+  /// inside a larger artifact, e.g. a full-training-state snapshot
+  /// (dlrm/checkpoint.h).
+  void SaveState(BinaryWriter& w) const;
+  void LoadState(BinaryReader& r);
+
+  /// Optimizer state (Adagrad accumulators of both towers and every
+  /// table); an empty marker under pure SGD.
+  void SaveOptState(BinaryWriter& w) const;
+  void LoadOptState(BinaryReader& r);
+
+  /// Discards all pending gradients (towers and tables).
+  void ZeroGrad();
+
+  /// Lookups rewritten to zero-vectors under IndexPolicy::kClampToZero.
+  int64_t clamped_lookups() const { return clamped_lookups_; }
+
   int64_t EmbeddingMemoryBytes() const;
   int64_t MlpMemoryBytes() const {
     return bottom_.MemoryBytes() + top_.MemoryBytes();
@@ -94,6 +149,10 @@ class DlrmModel {
   /// Runs the forward pass and leaves activations cached for backward.
   void ForwardInternal(const MiniBatch& batch, float* logits);
 
+  /// The lookup batch table `t` actually sees: the sanitized copy under
+  /// IndexPolicy::kClampToZero, the caller's batch otherwise.
+  const CsrBatch& SparseFor(const MiniBatch& batch, int t) const;
+
   DlrmConfig config_;
   std::vector<std::unique_ptr<EmbeddingOp>> tables_;
   Mlp bottom_;
@@ -104,6 +163,8 @@ class DlrmModel {
   std::vector<float> bottom_out_;            // B x d
   std::vector<std::vector<float>> emb_out_;  // per table, B x d
   std::vector<float> inter_out_;             // B x inter_dim
+  std::vector<CsrBatch> sanitized_sparse_;   // only used under kClampToZero
+  int64_t clamped_lookups_ = 0;
 };
 
 /// Convenience factory: builds a DLRM over `spec` where every table is an

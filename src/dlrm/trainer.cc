@@ -1,7 +1,11 @@
 #include "dlrm/trainer.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
 
+#include "dlrm/checkpoint.h"
 #include "tensor/check.h"
 
 namespace ttrec {
@@ -11,6 +15,30 @@ using Clock = std::chrono::steady_clock;
 double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
+
+/// Bias-corrected EMA of applied batch losses — the loss-spike baseline.
+class LossEma {
+ public:
+  explicit LossEma(double beta) : beta_(beta) {}
+  void Observe(double loss) {
+    ema_ = beta_ * ema_ + (1.0 - beta_) * loss;
+    correction_ *= beta_;
+    ++count_;
+  }
+  int64_t count() const { return count_; }
+  double value() const { return ema_ / (1.0 - correction_); }
+  void Reset() {
+    ema_ = 0.0;
+    correction_ = 1.0;
+    count_ = 0;
+  }
+
+ private:
+  double beta_;
+  double ema_ = 0.0;
+  double correction_ = 1.0;  // beta^count, for bias correction
+  int64_t count_ = 0;
+};
 }  // namespace
 
 std::vector<MiniBatch> MakeEvalSet(const SyntheticCriteo& data,
@@ -28,6 +56,13 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
                       const TrainConfig& config) {
   TTREC_CHECK_CONFIG(config.iterations >= 1, "need >= 1 training iteration");
   TTREC_CHECK_CONFIG(config.batch_size >= 1, "batch size must be positive");
+  TTREC_CHECK_CONFIG(
+      config.checkpoint_every == 0 || !config.checkpoint_dir.empty(),
+      "checkpoint_every > 0 requires checkpoint_dir");
+  TTREC_CHECK_CONFIG(
+      config.fault.on_fault != FaultToleranceConfig::OnFault::kRollback ||
+          config.checkpoint_every > 0,
+      "rollback fault policy requires checkpointing (checkpoint_every > 0)");
 
   OptimizerConfig opt;
   opt.kind = config.optimizer;
@@ -36,18 +71,94 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
 
   TrainResult result;
   result.iterations = config.iterations;
-  for (int64_t it = 0; it < config.iterations; ++it) {
+
+  std::unique_ptr<CheckpointManager> ckpt;
+  if (config.checkpoint_every > 0 || config.resume) {
+    TTREC_CHECK_CONFIG(!config.checkpoint_dir.empty(),
+                       "resume requires checkpoint_dir");
+    CheckpointManagerConfig cc;
+    cc.directory = config.checkpoint_dir;
+    cc.keep_last = config.checkpoint_keep_last;
+    ckpt = std::make_unique<CheckpointManager>(cc);
+  }
+  if (config.resume && ckpt != nullptr) {
+    const auto t0 = Clock::now();
+    SnapshotMeta meta;
+    if (ckpt->RestoreLatest(model, data, &meta)) {
+      TTREC_CHECK_CONFIG(
+          meta.optimizer == OptimizerName(opt.kind),
+          "resume: snapshot was trained with '", meta.optimizer,
+          "', this run uses '", OptimizerName(opt.kind), "'");
+      result.start_iteration = meta.iteration;
+    }
+    result.checkpoint_seconds += Seconds(t0, Clock::now());
+  }
+
+  StepGuard guard;
+  guard.check_non_finite = config.fault.check_non_finite;
+  guard.grad_clip_norm = config.fault.grad_clip_norm;
+
+  LossEma ema(config.fault.spike_ema_beta);
+  const int64_t clamped_before = model.clamped_lookups();
+  int rollbacks_left = config.fault.max_rollbacks;
+
+  for (int64_t it = result.start_iteration; it < config.iterations; ++it) {
     const auto t0 = Clock::now();
     MiniBatch batch = data.NextBatch(config.batch_size);
     const auto t1 = Clock::now();
-    const double loss = model.TrainStep(batch, opt);
+
+    guard.skip_loss_above =
+        (config.fault.spike_factor > 0.0 &&
+         ema.count() >= config.fault.spike_warmup)
+            ? config.fault.spike_factor * ema.value()
+            : std::numeric_limits<double>::infinity();
+
+    const StepOutcome o = model.TrainStepGuarded(batch, opt, guard);
     const auto t2 = Clock::now();
     result.data_seconds += Seconds(t0, t1);
     result.train_seconds += Seconds(t1, t2);
+
+    if (o.non_finite_loss) ++result.robustness.non_finite_loss_skips;
+    if (o.non_finite_grad) ++result.robustness.non_finite_grad_skips;
+    if (o.loss_spike_skipped) ++result.robustness.loss_spike_skips;
+    if (o.clipped) ++result.robustness.clipped_steps;
+    if (o.applied) {
+      ema.Observe(o.loss);
+    } else if (config.fault.on_fault ==
+                   FaultToleranceConfig::OnFault::kRollback &&
+               ckpt != nullptr && rollbacks_left > 0) {
+      const auto r0 = Clock::now();
+      SnapshotMeta meta;
+      if (ckpt->RestoreLatest(model, data, &meta)) {
+        result.checkpoint_seconds += Seconds(r0, Clock::now());
+        ++result.robustness.rollbacks;
+        --rollbacks_left;
+        ema.Reset();  // the baseline belongs to the discarded trajectory
+        it = meta.iteration - 1;  // loop increment resumes at meta.iteration
+        continue;
+      }
+      result.checkpoint_seconds += Seconds(r0, Clock::now());
+      // No usable snapshot: fall through to skip-batch behavior.
+    }
+
     if (config.log_every > 0 && it % config.log_every == 0) {
-      result.loss_history.push_back(loss);
+      result.loss_history.push_back(o.loss);
+    }
+
+    if (ckpt != nullptr && config.checkpoint_every > 0 &&
+        (it + 1) % config.checkpoint_every == 0) {
+      const auto c0 = Clock::now();
+      SnapshotMeta meta;
+      meta.iteration = it + 1;
+      meta.optimizer = OptimizerName(opt.kind);
+      ckpt->Save(model, data, meta);
+      result.checkpoint_seconds += Seconds(c0, Clock::now());
+      ++result.robustness.checkpoints_written;
     }
   }
+  result.robustness.clamped_lookups =
+      model.clamped_lookups() - clamped_before;
+
   if (config.eval_batches > 0) {
     result.final_eval = model.Evaluate(MakeEvalSet(data, config));
   }

@@ -2,9 +2,17 @@
 // loss history and wall-clock time, and evaluates on held-out batches —
 // producing exactly the (accuracy, loss, time, memory) tuples the paper's
 // evaluation section plots.
+//
+// The loop is fault-tolerant: per-step guards (non-finite loss/gradient
+// detection, gradient clipping, loss-spike skip), periodic full-training-
+// state snapshots (dlrm/checkpoint.h), resume-from-newest-valid, and an
+// optional rollback-to-last-checkpoint fault policy. All of it is off by
+// default — the bare configuration trains bit-identically to the original
+// loop.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/criteo_synth.h"
@@ -12,6 +20,27 @@
 #include "dlrm/optimizer.h"
 
 namespace ttrec {
+
+struct FaultToleranceConfig {
+  /// Skip batches whose loss or global gradient norm is non-finite.
+  bool check_non_finite = false;
+  /// Global L2 gradient-norm clipping threshold; 0 disables.
+  float grad_clip_norm = 0.0f;
+  /// Loss-spike detector: after `spike_warmup` applied steps, a batch
+  /// whose loss exceeds `spike_factor` x the bias-corrected EMA of
+  /// applied losses is treated as a fault. 0 disables.
+  double spike_factor = 0.0;
+  int64_t spike_warmup = 20;
+  double spike_ema_beta = 0.98;
+  /// Response to a detected fault (non-finite or spike): drop the batch
+  /// and keep going, or restore the newest valid snapshot and replay.
+  /// Rollback needs checkpointing enabled; it targets transient faults
+  /// (a flipped bit in an accumulator) — a fault that deterministically
+  /// recurs burns through `max_rollbacks` and then degrades to skipping.
+  enum class OnFault { kSkipBatch, kRollback };
+  OnFault on_fault = OnFault::kSkipBatch;
+  int max_rollbacks = 3;
+};
 
 struct TrainConfig {
   int64_t iterations = 200;
@@ -25,6 +54,33 @@ struct TrainConfig {
   int64_t eval_batch_size = 512;
   /// Record a loss sample every `log_every` iterations (0 = never).
   int64_t log_every = 10;
+
+  /// Snapshot the full training state every N iterations (0 = never);
+  /// requires checkpoint_dir.
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  int checkpoint_keep_last = 3;
+  /// Before training, restore the newest valid snapshot from
+  /// checkpoint_dir (no-op when none exists). A resumed run replays the
+  /// exact batch stream of an uninterrupted one.
+  bool resume = false;
+
+  FaultToleranceConfig fault;
+};
+
+/// What the guards and the checkpointer actually did during a run.
+struct RobustnessCounters {
+  int64_t non_finite_loss_skips = 0;
+  int64_t non_finite_grad_skips = 0;
+  int64_t loss_spike_skips = 0;
+  int64_t clipped_steps = 0;
+  int64_t rollbacks = 0;
+  int64_t checkpoints_written = 0;
+  /// Out-of-range lookups rewritten under IndexPolicy::kClampToZero.
+  int64_t clamped_lookups = 0;
+  int64_t TotalSkips() const {
+    return non_finite_loss_skips + non_finite_grad_skips + loss_spike_skips;
+  }
 };
 
 struct TrainResult {
@@ -32,7 +88,13 @@ struct TrainResult {
   EvalMetrics final_eval;
   double train_seconds = 0.0;        // excluding data generation and eval
   double data_seconds = 0.0;
+  /// Wall-clock spent writing (and, on resume, restoring) snapshots —
+  /// the checkpoint overhead to report against train_seconds.
+  double checkpoint_seconds = 0.0;
   int64_t iterations = 0;
+  /// First iteration this run actually executed (> 0 after a resume).
+  int64_t start_iteration = 0;
+  RobustnessCounters robustness;
   double MsPerIteration() const {
     return iterations > 0 ? 1000.0 * train_seconds /
                                 static_cast<double>(iterations)

@@ -1,0 +1,67 @@
+#include "tensor/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tensor/check.h"
+
+namespace ttrec {
+
+namespace {
+
+/// fsync the file (or directory) at `path`; returns false on failure.
+/// Directories need O_RDONLY; regular files accept it too.
+bool FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void AtomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& produce) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      TTREC_CHECK(os.is_open(), "AtomicWriteFile: cannot open temp file ",
+                  tmp);
+      produce(os);
+      os.flush();
+      TTREC_CHECK(os.good() && !os.fail(),
+                  "AtomicWriteFile: write to ", tmp, " failed (disk full?)");
+      os.close();
+      TTREC_CHECK(!os.fail(), "AtomicWriteFile: closing ", tmp, " failed");
+    }
+    // Data must be durable before the rename becomes visible, otherwise a
+    // crash could expose a renamed-but-empty file.
+    const int fd = ::open(tmp.c_str(), O_WRONLY);
+    TTREC_CHECK(fd >= 0, "AtomicWriteFile: cannot reopen ", tmp,
+                " for fsync");
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    TTREC_CHECK(synced, "AtomicWriteFile: fsync of ", tmp, " failed");
+    TTREC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "AtomicWriteFile: rename ", tmp, " -> ", path, " failed");
+    // Best effort: persist the directory entry as well.
+    (void)FsyncPath(ParentDir(path));
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace ttrec

@@ -1,0 +1,24 @@
+// Crash-safe file replacement: write-to-temp + flush + fsync + rename.
+//
+// A `kill -9`, full disk, or power loss during a save must never leave a
+// torn file at the destination path: either the old contents survive intact
+// or the new contents are complete. POSIX rename(2) within one filesystem
+// gives exactly that guarantee once the temp file's data has reached disk.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace ttrec {
+
+/// Atomically replaces `path`: `produce` writes the payload into a
+/// temporary file in the same directory, which is then flushed, fsync'd,
+/// and renamed over `path` (the directory entry is fsync'd too). On any
+/// failure — including an exception thrown by `produce` — the temp file is
+/// removed and the destination is left untouched. Throws TtRecError on
+/// I/O failure.
+void AtomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& produce);
+
+}  // namespace ttrec

@@ -87,6 +87,14 @@ bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 
 Rng Rng::Split() { return Rng(NextUInt64()); }
 
+void Rng::GetState(uint64_t out[4]) const {
+  for (int i = 0; i < 4; ++i) out[i] = s_[i];
+}
+
+void Rng::SetState(const uint64_t in[4]) {
+  for (int i = 0; i < 4; ++i) s_[i] = in[i];
+}
+
 double TailNormalStddev(double threshold) {
   if (threshold <= 0.0) return 1.0;
   // For X ~ N(0,1) conditioned on |X| > t: E[X]=0 and

@@ -51,6 +51,11 @@ class Rng {
   /// Creates an independent child stream (for per-table/per-worker RNGs).
   Rng Split();
 
+  /// Engine-state access for checkpointing: a restored Rng continues the
+  /// exact stream it was saved from (byte-identical draws).
+  void GetState(uint64_t out[4]) const;
+  void SetState(const uint64_t in[4]);
+
  private:
   uint64_t s_[4];
 };

@@ -1,5 +1,7 @@
 #include "tensor/serialize.h"
 
+#include <algorithm>
+#include <array>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -20,15 +22,46 @@ uint64_t FnvUpdate(uint64_t h, const void* data, size_t bytes) {
   }
   return h;
 }
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
 }  // namespace
+
+uint32_t Crc32(const void* data, size_t bytes, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 BinaryWriter::BinaryWriter(std::ostream& os) : os_(os), checksum_(kFnvOffset) {}
 
-void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
-  TTREC_CHECK(!finished_, "BinaryWriter: write after Finish");
+void BinaryWriter::WriteToStream(const void* data, size_t bytes) {
   os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
   TTREC_CHECK(os_.good(), "BinaryWriter: stream write failed");
   checksum_ = FnvUpdate(checksum_, data, bytes);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  TTREC_CHECK(!finished_, "BinaryWriter: write after Finish");
+  if (in_section_) {
+    const auto* p = static_cast<const char*>(data);
+    section_buf_.insert(section_buf_.end(), p, p + bytes);
+    return;
+  }
+  WriteToStream(data, bytes);
 }
 
 void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
@@ -49,8 +82,31 @@ void BinaryWriter::WriteString(const std::string& s) {
   if (!s.empty()) WriteRaw(s.data(), s.size());
 }
 
+void BinaryWriter::BeginSection(const std::string& name) {
+  TTREC_CHECK(!in_section_, "BinaryWriter: sections do not nest (already in '",
+              section_name_, "')");
+  TTREC_CHECK(!finished_, "BinaryWriter: BeginSection after Finish");
+  in_section_ = true;
+  section_name_ = name;
+  section_buf_.clear();
+}
+
+void BinaryWriter::EndSection() {
+  TTREC_CHECK(in_section_, "BinaryWriter: EndSection without BeginSection");
+  in_section_ = false;
+  WriteString(section_name_);
+  WriteI64(static_cast<int64_t>(section_buf_.size()));
+  if (!section_buf_.empty()) {
+    WriteToStream(section_buf_.data(), section_buf_.size());
+  }
+  WriteU32(Crc32(section_buf_.data(), section_buf_.size()));
+  section_buf_.clear();
+}
+
 void BinaryWriter::Finish() {
   TTREC_CHECK(!finished_, "BinaryWriter: Finish called twice");
+  TTREC_CHECK(!in_section_, "BinaryWriter: Finish inside section '",
+              section_name_, "'");
   const uint64_t sum = checksum_;
   os_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
   TTREC_CHECK(os_.good(), "BinaryWriter: trailer write failed");
@@ -60,11 +116,20 @@ void BinaryWriter::Finish() {
 BinaryReader::BinaryReader(std::istream& is) : is_(is), checksum_(kFnvOffset) {}
 
 void BinaryReader::ReadRaw(void* data, size_t bytes) {
+  if (in_section_) {
+    TTREC_CHECK(bytes <= section_remaining_, "BinaryReader: section '",
+                section_name_, "' overrun (corrupt length: wanted ", bytes,
+                " bytes, ", section_remaining_, " left)");
+  }
   is_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
   TTREC_CHECK(is_.gcount() == static_cast<std::streamsize>(bytes),
               "BinaryReader: truncated stream (wanted ", bytes, " bytes, got ",
               is_.gcount(), ")");
   checksum_ = FnvUpdate(checksum_, data, bytes);
+  if (in_section_) {
+    section_remaining_ -= bytes;
+    section_crc_ = Crc32(data, bytes, section_crc_);
+  }
 }
 
 uint32_t BinaryReader::ReadU32() {
@@ -105,7 +170,54 @@ std::string BinaryReader::ReadString() {
   return s;
 }
 
+BinaryReader::SectionHeader BinaryReader::BeginAnySection() {
+  TTREC_CHECK(!in_section_, "BinaryReader: sections do not nest (already in '",
+              section_name_, "')");
+  SectionHeader h;
+  h.name = ReadString();
+  const int64_t size = ReadI64();
+  TTREC_CHECK(size >= 0, "BinaryReader: negative section size for '", h.name,
+              "'");
+  h.size = static_cast<uint64_t>(size);
+  in_section_ = true;
+  section_name_ = h.name;
+  section_remaining_ = h.size;
+  section_crc_ = 0;
+  return h;
+}
+
+uint64_t BinaryReader::BeginSection(const std::string& expected_name) {
+  const SectionHeader h = BeginAnySection();
+  TTREC_CHECK(h.name == expected_name, "BinaryReader: expected section '",
+              expected_name, "', found '", h.name, "'");
+  return h.size;
+}
+
+void BinaryReader::EndSection() {
+  TTREC_CHECK(in_section_, "BinaryReader: EndSection without BeginSection");
+  TTREC_CHECK(section_remaining_ == 0, "BinaryReader: section '",
+              section_name_, "' has ", section_remaining_,
+              " unread payload bytes");
+  const uint32_t computed = section_crc_;
+  in_section_ = false;
+  const uint32_t stored = ReadU32();
+  TTREC_CHECK(stored == computed, "BinaryReader: CRC32 mismatch in section '",
+              section_name_, "' (file corrupted)");
+}
+
+void BinaryReader::SkipBytes(uint64_t bytes) {
+  char buf[4096];
+  while (bytes > 0) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(bytes, sizeof(buf)));
+    ReadRaw(buf, chunk);
+    bytes -= chunk;
+  }
+}
+
 void BinaryReader::Finish() {
+  TTREC_CHECK(!in_section_, "BinaryReader: Finish inside section '",
+              section_name_, "'");
   const uint64_t computed = checksum_;
   uint64_t stored;
   is_.read(reinterpret_cast<char*>(&stored), sizeof(stored));

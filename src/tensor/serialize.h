@@ -3,6 +3,12 @@
 // Little-endian, length-prefixed sections, FNV-1a checksum trailer. Used to
 // persist TT cores (tt/tt_io.h) and embedding tables so compressed models
 // can be exported from training and loaded by serving replicas.
+//
+// Crash-safety layer: writers can additionally frame payloads into named,
+// CRC32-protected sections ([name][i64 size][payload][u32 crc32]). A torn
+// or bit-flipped file is then detected at the granularity of one section —
+// without parsing the payload — which is what the checkpoint verifier
+// (dlrm/checkpoint.h, `ttrec_info verify`) relies on.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,10 @@
 #include "tensor/tensor.h"
 
 namespace ttrec {
+
+/// Running CRC32 (IEEE 802.3, polynomial 0xEDB88320). Pass the previous
+/// return value as `crc` to continue over multiple buffers; start with 0.
+uint32_t Crc32(const void* data, size_t bytes, uint32_t crc = 0);
 
 /// Streaming writer with a running FNV-1a checksum.
 class BinaryWriter {
@@ -25,6 +35,13 @@ class BinaryWriter {
   void WriteFloats(const float* data, size_t count);
   void WriteString(const std::string& s);
 
+  /// Begins a named, CRC32-protected section. Writes between BeginSection
+  /// and EndSection are buffered; EndSection emits
+  /// [name][i64 payload size][payload][u32 crc32] to the stream. Sections
+  /// do not nest.
+  void BeginSection(const std::string& name);
+  void EndSection();
+
   /// Writes the checksum trailer; call exactly once, last.
   void Finish();
 
@@ -32,15 +49,25 @@ class BinaryWriter {
 
  private:
   void WriteRaw(const void* data, size_t bytes);
+  void WriteToStream(const void* data, size_t bytes);
 
   std::ostream& os_;
   uint64_t checksum_;
   bool finished_ = false;
+  bool in_section_ = false;
+  std::string section_name_;
+  std::vector<char> section_buf_;
 };
 
 /// Streaming reader that mirrors BinaryWriter and validates the trailer.
 class BinaryReader {
  public:
+  /// Header of a section as stored on disk.
+  struct SectionHeader {
+    std::string name;
+    uint64_t size = 0;
+  };
+
   explicit BinaryReader(std::istream& is);
 
   uint32_t ReadU32();
@@ -48,6 +75,29 @@ class BinaryReader {
   std::vector<int64_t> ReadI64Vec();
   void ReadFloats(float* data, size_t count);
   std::string ReadString();
+
+  /// Reads a section header without constraining the name (used by
+  /// verifiers that walk unknown files). Subsequent reads are tracked
+  /// against the declared size and a running CRC32 until EndSection.
+  SectionHeader BeginAnySection();
+
+  /// Reads a section header and checks the name matches; returns the
+  /// payload size. Throws TtRecError on mismatch.
+  uint64_t BeginSection(const std::string& expected_name);
+
+  /// Validates that exactly the declared payload size was consumed and
+  /// that the stored CRC32 matches the bytes read. Throws on corruption.
+  void EndSection();
+
+  /// Consumes `bytes` payload bytes without interpreting them (still
+  /// feeds the CRC32/FNV checksums) — lets a verifier validate sections
+  /// without materializing tensors.
+  void SkipBytes(uint64_t bytes);
+
+  /// Unconsumed payload bytes of the current section (0 outside one).
+  uint64_t SectionRemaining() const {
+    return in_section_ ? section_remaining_ : 0;
+  }
 
   /// Reads and validates the checksum trailer; throws TtRecError on
   /// mismatch or short stream.
@@ -58,6 +108,10 @@ class BinaryReader {
 
   std::istream& is_;
   uint64_t checksum_;
+  bool in_section_ = false;
+  std::string section_name_;
+  uint64_t section_remaining_ = 0;
+  uint32_t section_crc_ = 0;
 };
 
 /// Tensor <-> stream (shape + raw float data).

@@ -141,6 +141,56 @@ void TtEmbeddingBag::ZeroGrad() {
   }
 }
 
+double TtEmbeddingBag::GradSqNorm() const {
+  double sq = 0.0;
+  for (int k = 0; k < static_cast<int>(grads_.size()); ++k) {
+    const int64_t slice_size = cores_.SliceSize(k);
+    const Tensor& grad = grads_[static_cast<size_t>(k)];
+    for (int64_t ik : touched_slices_[static_cast<size_t>(k)]) {
+      const float* g = grad.data() + ik * slice_size;
+      for (int64_t j = 0; j < slice_size; ++j) {
+        sq += static_cast<double>(g[j]) * g[j];
+      }
+    }
+  }
+  return sq;
+}
+
+void TtEmbeddingBag::ScaleGrads(float scale) {
+  for (int k = 0; k < static_cast<int>(grads_.size()); ++k) {
+    const int64_t slice_size = cores_.SliceSize(k);
+    Tensor& grad = grads_[static_cast<size_t>(k)];
+    for (int64_t ik : touched_slices_[static_cast<size_t>(k)]) {
+      float* g = grad.data() + ik * slice_size;
+      for (int64_t j = 0; j < slice_size; ++j) g[j] *= scale;
+    }
+  }
+}
+
+void TtEmbeddingBag::SaveOptState(BinaryWriter& w) const {
+  w.WriteU32(adagrad_state_.empty() ? 0u : 1u);
+  for (const Tensor& t : adagrad_state_) SaveTensor(w, t);
+}
+
+void TtEmbeddingBag::LoadOptState(BinaryReader& r) {
+  const uint32_t present = r.ReadU32();
+  if (present == 0) {
+    adagrad_state_.clear();
+    return;
+  }
+  TTREC_CHECK_CONFIG(present == 1, "TtEmbeddingBag::LoadOptState: bad marker");
+  std::vector<Tensor> state;
+  state.reserve(static_cast<size_t>(cores_.num_cores()));
+  for (int k = 0; k < cores_.num_cores(); ++k) {
+    Tensor t = LoadTensor(r);
+    TTREC_CHECK_SHAPE(t.shape() == cores_.core(k).shape(),
+                      "TtEmbeddingBag::LoadOptState: accumulator ", k,
+                      " shape mismatch");
+    state.push_back(std::move(t));
+  }
+  adagrad_state_ = std::move(state);
+}
+
 int64_t TtEmbeddingBag::WorkspaceBytes() const {
   const int d = cores_.num_cores();
   int64_t floats = 0;

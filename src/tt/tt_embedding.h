@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "data/csr_batch.h"
+#include "tensor/serialize.h"
 #include "tensor/tensor.h"
 #include "tt/tt_cores.h"
 #include "tt/tt_init.h"
@@ -102,6 +103,18 @@ class TtEmbeddingBag {
 
   /// Clears accumulated gradients without applying them.
   void ZeroGrad();
+
+  /// Sum of squares over all accumulated core gradients (touched slices
+  /// only — untouched slices are zero).
+  double GradSqNorm() const;
+
+  /// Scales all accumulated core gradients (gradient clipping).
+  void ScaleGrads(float scale);
+
+  /// Serializes / restores the Adagrad accumulators so a resumed run
+  /// continues the exact optimizer trajectory (no-op marker under SGD).
+  void SaveOptState(BinaryWriter& w) const;
+  void LoadOptState(BinaryReader& r);
 
   /// Parameter memory (cores only).
   int64_t MemoryBytes() const { return cores_.MemoryBytes(); }

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "tensor/atomic_file.h"
 #include "tensor/serialize.h"
 
 #include "tensor/check.h"
@@ -63,10 +64,14 @@ TtCores LoadTtCores(std::istream& is) {
 }
 
 void SaveTtCoresToFile(const std::string& path, const TtCores& cores) {
-  std::ofstream os(path, std::ios::binary);
-  TTREC_CHECK(os.is_open(), "SaveTtCoresToFile: cannot open ", path);
-  SaveTtCores(os, cores);
-  TTREC_CHECK(os.good(), "SaveTtCoresToFile: write to ", path, " failed");
+  // Atomic write-to-temp + fsync + rename: a crash or full disk mid-save
+  // can never leave a torn file at `path`.
+  AtomicWriteFile(path, [&](std::ostream& os) {
+    SaveTtCores(os, cores);
+    os.flush();
+    TTREC_CHECK(os.good() && !os.fail(), "SaveTtCoresToFile: write to ", path,
+                " failed");
+  });
 }
 
 TtCores LoadTtCoresFromFile(const std::string& path) {

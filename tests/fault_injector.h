@@ -1,0 +1,142 @@
+// Fault-injection utilities for the crash-safety and self-healing tests.
+//
+// Three fault families, matching the failure modes the checkpoint and
+// trainer hardening defends against:
+//   - file faults: truncation (torn write / crash mid-save) and byte
+//     flips (media corruption) applied to an on-disk snapshot;
+//   - stream faults: an ostream that starts failing after a byte budget
+//     (disk full), driving the writer's error paths;
+//   - gradient faults: an EmbeddingOp wrapper that poisons grad_output
+//     with NaNs on chosen Backward calls (a flipped bit in an
+//     accumulator), driving the non-finite-gradient guard.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dlrm/embedding_op.h"
+#include "tensor/check.h"
+
+namespace ttrec {
+namespace testing {
+
+inline uint64_t FileSize(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  TTREC_CHECK(is.is_open(), "FileSize: cannot open ", path);
+  return static_cast<uint64_t>(is.tellg());
+}
+
+/// Truncates `path` to its first `bytes` bytes (a torn write: the process
+/// died mid-save, or the filesystem lost the tail).
+inline void TruncateFileAt(const std::string& path, uint64_t bytes) {
+  std::ifstream is(path, std::ios::binary);
+  TTREC_CHECK(is.is_open(), "TruncateFileAt: cannot open ", path);
+  std::vector<char> head(static_cast<size_t>(bytes));
+  is.read(head.data(), static_cast<std::streamsize>(bytes));
+  TTREC_CHECK(is.gcount() == static_cast<std::streamsize>(bytes),
+              "TruncateFileAt: file shorter than ", bytes, " bytes");
+  is.close();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(head.data(), static_cast<std::streamsize>(head.size()));
+  TTREC_CHECK(os.good(), "TruncateFileAt: rewrite failed");
+}
+
+/// XORs `mask` into the byte at `offset` (a single flipped bit or burst
+/// error on the storage medium).
+inline void FlipByte(const std::string& path, uint64_t offset,
+                     unsigned char mask = 0x40) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  TTREC_CHECK(f.is_open(), "FlipByte: cannot open ", path);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  TTREC_CHECK(f.gcount() == 1, "FlipByte: offset ", offset, " past EOF");
+  c = static_cast<char>(c ^ mask);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+  TTREC_CHECK(f.good(), "FlipByte: write-back failed");
+}
+
+/// Streambuf that accepts `budget` bytes and then fails every write —
+/// the disk filled up mid-checkpoint.
+class FailAfterStreambuf : public std::streambuf {
+ public:
+  explicit FailAfterStreambuf(uint64_t budget) : budget_(budget) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (budget_ == 0) return traits_type::eof();
+    --budget_;
+    return ch;
+  }
+  std::streamsize xsputn(const char* /*s*/, std::streamsize n) override {
+    if (static_cast<uint64_t>(n) > budget_) {
+      budget_ = 0;
+      return 0;  // short write -> stream enters the fail state
+    }
+    budget_ -= static_cast<uint64_t>(n);
+    return n;
+  }
+
+ private:
+  uint64_t budget_;
+};
+
+/// EmbeddingOp decorator that replaces grad_output with NaNs on the
+/// `fault_on_call`-th Backward (0-based), then behaves normally again —
+/// a transient hardware fault. Everything else delegates, including
+/// Name(), so checkpoints of a wrapped model stay format-identical.
+class NanGradInjector : public EmbeddingOp {
+ public:
+  NanGradInjector(std::unique_ptr<EmbeddingOp> inner, int64_t fault_on_call)
+      : inner_(std::move(inner)), fault_on_call_(fault_on_call) {}
+
+  void Forward(const CsrBatch& batch, float* output) override {
+    inner_->Forward(batch, output);
+  }
+  void Backward(const CsrBatch& batch, const float* grad_output) override {
+    if (backward_calls_++ == fault_on_call_) {
+      const std::vector<float> poisoned(
+          static_cast<size_t>(batch.num_bags() * emb_dim()),
+          std::numeric_limits<float>::quiet_NaN());
+      inner_->Backward(batch, poisoned.data());
+      return;
+    }
+    inner_->Backward(batch, grad_output);
+  }
+  void ApplySgd(float lr) override { inner_->ApplySgd(lr); }
+  void ApplyUpdate(const OptimizerConfig& opt) override {
+    inner_->ApplyUpdate(opt);
+  }
+  void SaveState(BinaryWriter& w) const override { inner_->SaveState(w); }
+  void LoadState(BinaryReader& r) override { inner_->LoadState(r); }
+  void SaveOptState(BinaryWriter& w) const override {
+    inner_->SaveOptState(w);
+  }
+  void LoadOptState(BinaryReader& r) override { inner_->LoadOptState(r); }
+  void ZeroGrad() override { inner_->ZeroGrad(); }
+  double GradSqNorm() const override { return inner_->GradSqNorm(); }
+  void ScaleGrads(float scale) override { inner_->ScaleGrads(scale); }
+  int64_t num_rows() const override { return inner_->num_rows(); }
+  int64_t emb_dim() const override { return inner_->emb_dim(); }
+  int64_t MemoryBytes() const override { return inner_->MemoryBytes(); }
+  std::string Name() const override { return inner_->Name(); }
+
+  int64_t backward_calls() const { return backward_calls_; }
+
+ private:
+  std::unique_ptr<EmbeddingOp> inner_;
+  int64_t fault_on_call_;
+  int64_t backward_calls_ = 0;
+};
+
+}  // namespace testing
+}  // namespace ttrec

@@ -1,14 +1,21 @@
 // DLRM checkpointing: roundtrip prediction equality, exact training resume
-// under SGD, architecture validation, cached-TT state restoration.
+// under SGD, architecture validation, cached-TT state restoration, and the
+// crash-safety layer (full-training-state snapshots, CRC32 sections,
+// atomic writes) under injected faults.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "cache/cached_tt_embedding.h"
+#include "dlrm/checkpoint.h"
 #include "dlrm/embedding_adapters.h"
 #include "dlrm/embedding_bag.h"
 #include "dlrm/model.h"
 #include "dlrm/trainer.h"
+#include "fault_injector.h"
+#include "tensor/atomic_file.h"
 #include "tensor/check.h"
 
 namespace ttrec {
@@ -173,6 +180,241 @@ TEST(Checkpoint, CachedStateRestoresHitRate) {
             loaded->op().cache().CachedRows());
   EXPECT_EQ(original->op().iteration(), loaded->op().iteration());
   EXPECT_TRUE(loaded->op().warmed_up());
+}
+
+// ---------------------------------------------------------------------------
+// Full-training-state snapshots ("TTSN") and injected faults.
+
+struct SnapshotFixture {
+  std::string path;
+  explicit SnapshotFixture(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::remove(path.c_str());
+  }
+  ~SnapshotFixture() { std::remove(path.c_str()); }
+};
+
+TEST(Snapshot, AdagradResumeContinuesBitwise) {
+  // The snapshot carries optimizer accumulators and the data cursor, so a
+  // restored Adagrad run continues bit-identically — the stronger claim
+  // than the SGD-only exactness of Checkpoint.SgdResumeIsExact.
+  SnapshotFixture fx("ttrec_snap_adagrad.ttsn");
+  const OptimizerConfig opt = OptimizerConfig::Adagrad(0.05f);
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(31);
+  for (int i = 0; i < 10; ++i) {
+    (void)model->TrainStep(data.NextBatch(32), opt);
+  }
+  SnapshotMeta meta;
+  meta.iteration = 10;
+  meta.optimizer = OptimizerName(opt.kind);
+  SaveTrainingSnapshotToFile(fx.path, *model, data, meta);
+
+  auto resumed = MakeMixedModel(777);
+  SyntheticCriteo data2(TinyData());  // fresh cursor, will be overwritten
+  const SnapshotMeta loaded =
+      LoadTrainingSnapshotFromFile(fx.path, *resumed, data2);
+  EXPECT_EQ(loaded.iteration, 10);
+  EXPECT_EQ(loaded.optimizer, "adagrad");
+
+  for (int i = 0; i < 6; ++i) {
+    MiniBatch ba = data.NextBatch(32);
+    MiniBatch bb = data2.NextBatch(32);
+    // Restored RNG cursor -> the two streams emit identical batches.
+    ASSERT_EQ(ba.labels, bb.labels) << "step " << i;
+    const double la = model->TrainStep(ba, opt);
+    const double lb = resumed->TrainStep(bb, opt);
+    EXPECT_EQ(la, lb) << "step " << i;
+  }
+  std::stringstream sa, sb;
+  model->SaveCheckpoint(sa);
+  resumed->SaveCheckpoint(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(Snapshot, VerifyReportsSectionsWithoutLoading) {
+  SnapshotFixture fx("ttrec_snap_verify.ttsn");
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(32);
+  SnapshotMeta meta;
+  meta.iteration = 42;
+  SaveTrainingSnapshotToFile(fx.path, *model, data, meta);
+
+  const SnapshotVerifyResult v = VerifySnapshotFile(fx.path);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.version, 1u);
+  EXPECT_EQ(v.iteration, 42);
+  ASSERT_EQ(v.sections.size(), 4u);
+  EXPECT_EQ(v.sections[0].name, "meta");
+  EXPECT_EQ(v.sections[1].name, "model");
+  EXPECT_EQ(v.sections[2].name, "optim");
+  EXPECT_EQ(v.sections[3].name, "data");
+  for (const auto& s : v.sections) EXPECT_TRUE(s.crc_ok) << s.name;
+}
+
+TEST(Snapshot, TruncationSweepNeverVerifiesOrLoads) {
+  // A snapshot cut at ANY point — section boundary or mid-payload — must
+  // fail verification and refuse to load. Torn writes cannot be trusted.
+  SnapshotFixture fx("ttrec_snap_trunc.ttsn");
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(33);
+  SaveTrainingSnapshotToFile(fx.path, *model, data, SnapshotMeta{});
+  const uint64_t size = testing::FileSize(fx.path);
+  ASSERT_GT(size, 16u);
+
+  for (const double frac : {0.05, 0.3, 0.5, 0.8, 0.99}) {
+    SnapshotFixture cut("ttrec_snap_trunc_cut.ttsn");
+    std::filesystem::copy_file(
+        fx.path, cut.path,
+        std::filesystem::copy_options::overwrite_existing);
+    testing::TruncateFileAt(cut.path,
+                            static_cast<uint64_t>(frac * static_cast<double>(size)));
+    const SnapshotVerifyResult v = VerifySnapshotFile(cut.path);
+    EXPECT_FALSE(v.ok) << "fraction " << frac;
+    auto victim = MakeMixedModel(33);
+    SyntheticCriteo d2(TinyData());
+    EXPECT_THROW(LoadTrainingSnapshotFromFile(cut.path, *victim, d2),
+                 TtRecError)
+        << "fraction " << frac;
+  }
+}
+
+TEST(Snapshot, BitFlipIsCaughtBySectionCrc) {
+  SnapshotFixture fx("ttrec_snap_flip.ttsn");
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(34);
+  SaveTrainingSnapshotToFile(fx.path, *model, data, SnapshotMeta{});
+  const uint64_t size = testing::FileSize(fx.path);
+
+  // Flip one byte in the model payload (the bulk of the file) — the kind
+  // of corruption the whole-file trailer alone would also catch, but the
+  // section CRC pinpoints and catches without reading to EOF.
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    SnapshotFixture bad("ttrec_snap_flip_bad.ttsn");
+    std::filesystem::copy_file(
+        fx.path, bad.path,
+        std::filesystem::copy_options::overwrite_existing);
+    testing::FlipByte(bad.path,
+                      static_cast<uint64_t>(frac * static_cast<double>(size)));
+    const SnapshotVerifyResult v = VerifySnapshotFile(bad.path);
+    EXPECT_FALSE(v.ok) << "fraction " << frac;
+    auto victim = MakeMixedModel(34);
+    SyntheticCriteo d2(TinyData());
+    EXPECT_THROW(LoadTrainingSnapshotFromFile(bad.path, *victim, d2),
+                 TtRecError)
+        << "fraction " << frac;
+  }
+}
+
+TEST(Snapshot, StaleVersionIsRejectedByName) {
+  SnapshotFixture fx("ttrec_snap_stale.ttsn");
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(35);
+  SaveTrainingSnapshotToFile(fx.path, *model, data, SnapshotMeta{});
+  // The version field is the u32 at offset 4; bump it to a future value.
+  testing::FlipByte(fx.path, 4, 0x02 ^ 0x01);  // 1 -> 2
+  const SnapshotVerifyResult v = VerifySnapshotFile(fx.path);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("version"), std::string::npos) << v.error;
+  auto victim = MakeMixedModel(35);
+  SyntheticCriteo d2(TinyData());
+  EXPECT_THROW(LoadTrainingSnapshotFromFile(fx.path, *victim, d2),
+               TtRecError);
+}
+
+TEST(Snapshot, AtomicWriteKeepsOldFileWhenProducerFails) {
+  SnapshotFixture fx("ttrec_snap_atomic.txt");
+  AtomicWriteFile(fx.path,
+                  [](std::ostream& os) { os << "generation one"; });
+  EXPECT_THROW(AtomicWriteFile(fx.path,
+                               [](std::ostream& os) {
+                                 os << "half-written garbage";
+                                 throw InternalError("injected crash");
+                               }),
+               InternalError);
+  std::ifstream is(fx.path);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "generation one");
+  // No temp droppings left next to the target.
+  int neighbors = 0;
+  const auto dir = std::filesystem::path(fx.path).parent_path();
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().filename().string().find("ttrec_snap_atomic") == 0) {
+      ++neighbors;
+    }
+  }
+  EXPECT_EQ(neighbors, 1);
+}
+
+TEST(Snapshot, DiskFullDuringSaveThrows) {
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(36);
+  testing::FailAfterStreambuf buf(64);  // "disk" fills after 64 bytes
+  std::ostream os(&buf);
+  EXPECT_THROW(
+      SaveTrainingSnapshot(os, *model, data, SnapshotMeta{}),
+      TtRecError);
+}
+
+TEST(Snapshot, ManagerRotatesAndKeepsNewest) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ttrec_mgr_rotate").string();
+  std::filesystem::remove_all(dir);
+  CheckpointManagerConfig mc;
+  mc.directory = dir;
+  mc.keep_last = 2;
+  CheckpointManager manager(mc);
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(37);
+  for (int64_t it : {5, 10, 15, 20}) {
+    SnapshotMeta meta;
+    meta.iteration = it;
+    manager.Save(*model, data, meta);
+  }
+  const auto snaps = manager.ListSnapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_NE(snaps[0].find("000000000015"), std::string::npos) << snaps[0];
+  EXPECT_NE(snaps[1].find("000000000020"), std::string::npos) << snaps[1];
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, RestoreLatestSkipsEveryCorruptCandidate) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ttrec_mgr_skip").string();
+  std::filesystem::remove_all(dir);
+  CheckpointManagerConfig mc;
+  mc.directory = dir;
+  mc.keep_last = 3;
+  CheckpointManager manager(mc);
+  SyntheticCriteo data(TinyData());
+  auto model = MakeMixedModel(38);
+  for (int64_t it : {5, 10, 15}) {
+    (void)model->TrainStep(data.NextBatch(32), 0.1f);
+    SnapshotMeta meta;
+    meta.iteration = it;
+    manager.Save(*model, data, meta);
+  }
+  auto snaps = manager.ListSnapshots();
+  ASSERT_EQ(snaps.size(), 3u);
+  // Newest torn, middle bit-flipped: recovery lands on the oldest.
+  testing::TruncateFileAt(snaps[2], testing::FileSize(snaps[2]) - 5);
+  testing::FlipByte(snaps[1], testing::FileSize(snaps[1]) / 2);
+
+  auto recovered = MakeMixedModel(999);
+  SyntheticCriteo d2(TinyData());
+  SnapshotMeta meta;
+  ASSERT_TRUE(manager.RestoreLatest(*recovered, d2, &meta));
+  EXPECT_EQ(meta.iteration, 5);
+  EXPECT_EQ(manager.skipped().size(), 2u);
+
+  // With every snapshot corrupt, recovery reports failure, not garbage.
+  testing::FlipByte(snaps[0], testing::FileSize(snaps[0]) / 3);
+  auto untouched = MakeMixedModel(999);
+  SyntheticCriteo d3(TinyData());
+  EXPECT_FALSE(manager.RestoreLatest(*untouched, d3));
+  EXPECT_EQ(manager.skipped().size(), 3u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

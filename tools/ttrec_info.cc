@@ -1,19 +1,34 @@
-// CLI utility: inspect a saved TT-cores artifact (tt/tt_io.h format).
+// CLI utility: inspect a saved TT-cores artifact (tt/tt_io.h format), or
+// structurally verify a training snapshot without loading it into a model.
 //
 //   $ ttrec_info table.ttrc
 //   10131227x16 -> (1,216,2,32) * (32,217,2,32) * (32,217,4,1) ...
+//
+//   $ ttrec_info verify snapshots/snapshot-000000000100.ttsn
+//   TTSN version 1, iteration 100, optimizer sgd
+//     meta      29 B  crc ok
+//     model  51824 B  crc ok
+//     ...
 #include <cstdio>
+#include <cstring>
 
+#include "dlrm/checkpoint.h"
 #include "tensor/check.h"
 #include "tt/tt_io.h"
 
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <cores-file.ttrc>\n", argv[0]);
-    return 2;
-  }
+namespace {
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <cores-file.ttrc>\n"
+               "       %s verify <snapshot.ttsn>\n",
+               prog, prog);
+  return 2;
+}
+
+int InfoTtCores(const char* path) {
   try {
-    const ttrec::TtCores cores = ttrec::LoadTtCoresFromFile(argv[1]);
+    const ttrec::TtCores cores = ttrec::LoadTtCoresFromFile(path);
     const ttrec::TtShape& s = cores.shape();
     std::printf("%s\n", s.ToString().c_str());
     std::printf("cores: %d\n", cores.num_cores());
@@ -32,4 +47,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+}
+
+/// Validates magic, version, section CRCs, and the file trailer. Exit 0
+/// only when every check passes — scriptable as a pre-restore gate.
+int VerifySnapshot(const char* path) {
+  const ttrec::SnapshotVerifyResult v = ttrec::VerifySnapshotFile(path);
+  if (v.version != 0) {
+    std::printf("TTSN version %u, iteration %lld, optimizer %s\n", v.version,
+                static_cast<long long>(v.iteration),
+                v.optimizer.empty() ? "?" : v.optimizer.c_str());
+  }
+  for (const auto& s : v.sections) {
+    std::printf("  %-6s %10llu B  crc %s\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.size),
+                s.crc_ok ? "ok" : "FAILED");
+  }
+  if (!v.ok) {
+    std::fprintf(stderr, "INVALID: %s\n", v.error.c_str());
+    return 1;
+  }
+  std::printf("OK: %zu sections verified\n", v.sections.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
+    if (argc != 3) return Usage(argv[0]);
+    return VerifySnapshot(argv[2]);
+  }
+  if (argc != 2) return Usage(argv[0]);
+  return InfoTtCores(argv[1]);
 }
