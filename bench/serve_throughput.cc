@@ -1,0 +1,167 @@
+// Closed-loop serving benchmark over the src/serve/ subsystem.
+//
+// A mixed dense / cached-TT DLRM is warmed on a Zipf-skewed criteo_synth
+// trace, then a fixed request set is replayed through the InferenceServer
+// at micro-batch caps {1, 8, 32, 128} (cap 1 is the one-request-at-a-time
+// baseline). Each sweep point reports QPS and latency percentiles; before
+// the sweep, every request's served logit is checked bitwise against a
+// sequential single-request InferenceSession run — micro-batching must
+// change throughput, never results.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "serve/inference_server.h"
+#include "serve/inference_session.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+namespace {
+
+struct SweepPoint {
+  int64_t max_batch = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+SweepPoint RunPoint(const DlrmModel& model,
+                    const std::vector<serve::InferenceRequest>& requests,
+                    int64_t max_batch, int producers) {
+  serve::InferenceServerConfig cfg;
+  cfg.max_batch_size = max_batch;
+  // Closed-loop clients can never have more than `producers` requests in
+  // flight, so holding an under-full batch open buys little: a short
+  // coalescing window lets concurrent submissions land, then the consumer
+  // greedily drains whatever queued while the previous batch was running.
+  cfg.max_wait = std::chrono::microseconds(max_batch == 1 ? 0 : 25);
+  serve::InferenceServer server(model, cfg);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(producers));
+  const size_t n = requests.size();
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      // Closed loop: each producer replays its stripe one request at a
+      // time, waiting for the logits before submitting the next.
+      for (size_t i = static_cast<size_t>(p); i < n;
+           i += static_cast<size_t>(producers)) {
+        serve::InferenceRequest r;
+        r.dense = requests[i].dense;
+        r.sparse = requests[i].sparse;
+        server.Submit(std::move(r)).get();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const serve::ServeMetricsSnapshot s = server.metrics().Snapshot();
+  SweepPoint pt;
+  pt.max_batch = max_batch;
+  pt.qps = s.qps;
+  pt.p50_us = s.latency_p50_us;
+  pt.p95_us = s.latency_p95_us;
+  pt.p99_us = s.latency_p99_us;
+  pt.mean_batch = s.mean_batch_size;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("serve_throughput",
+              "serving QPS/latency vs micro-batch cap (src/serve/)", env);
+
+  SweepModelConfig cfg;
+  cfg.spec = KaggleSpec().Scaled(env.scale_div);
+  cfg.num_tt_tables = 3;
+  cfg.use_cache = true;
+  cfg.dlrm = BenchDlrmConfig(env);
+  Rng rng(17);
+  std::unique_ptr<DlrmModel> model = BuildSweepModel(cfg, rng);
+
+  SyntheticCriteoConfig data_cfg = BenchDataConfig(cfg.spec, /*seed=*/23);
+  SyntheticCriteo data(data_cfg);
+
+  // Warm the LFU caches through the training-path forward, then freeze.
+  std::vector<float> warm_logits(static_cast<size_t>(env.batch_size));
+  for (int64_t i = 0; i < cfg.warmup_iterations + 5; ++i) {
+    model->PredictLogits(data.NextBatch(env.batch_size), warm_logits.data());
+  }
+
+  const int64_t num_requests = env.full ? 4096 : 768;
+  std::vector<serve::InferenceRequest> requests;
+  {
+    const MiniBatch trace = data.EvalBatch(num_requests, /*eval_seed=*/5);
+    requests = serve::SplitSamples(trace);
+
+    // Correctness gate: serve the whole trace through a batching server and
+    // compare every logit bitwise against a sequential session.
+    serve::InferenceSession sequential(*model);
+    std::vector<float> reference(static_cast<size_t>(num_requests));
+    for (size_t i = 0; i < requests.size(); ++i) {
+      MiniBatch one;
+      one.dense = requests[i].dense;
+      one.sparse = requests[i].sparse;
+      one.labels.assign(1, 0.0f);
+      sequential.Run(one, &reference[i]);
+    }
+    serve::InferenceServerConfig scfg;
+    scfg.max_batch_size = 64;
+    scfg.max_wait = std::chrono::microseconds(500);
+    serve::InferenceServer server(*model, scfg);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(requests.size());
+    for (const serve::InferenceRequest& req : requests) {
+      serve::InferenceRequest copy;
+      copy.dense = req.dense;
+      copy.sparse = req.sparse;
+      futures.push_back(server.Submit(std::move(copy)));
+    }
+    int64_t mismatches = 0;
+    double max_batch_seen = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const serve::InferenceResult res = futures[i].get();
+      if (res.logits.size() != 1 || res.logits[0] != reference[i]) {
+        ++mismatches;
+      }
+      max_batch_seen =
+          std::max(max_batch_seen, static_cast<double>(res.micro_batch_size));
+    }
+    std::printf("bitwise check: %" PRId64 " requests, %" PRId64
+                " mismatches vs sequential (largest micro-batch %.0f) -> %s\n\n",
+                num_requests, mismatches, max_batch_seen,
+                mismatches == 0 ? "OK" : "FAILED");
+    if (mismatches != 0) return 1;
+  }
+
+  // Enough closed-loop clients to saturate the largest micro-batch cap —
+  // offered concurrency bounds the reachable batch size.
+  const int producers = 32;
+  std::printf("closed-loop producers: %d, requests per point: %" PRId64 "\n",
+              producers, num_requests);
+  std::printf("%-10s %10s %10s %10s %10s %12s\n", "max_batch", "qps", "p50_us",
+              "p95_us", "p99_us", "mean_batch");
+  double qps_unbatched = 0.0;
+  double qps_best = 0.0;
+  for (const int64_t max_batch : {1, 8, 32, 128}) {
+    const SweepPoint pt = RunPoint(*model, requests, max_batch, producers);
+    if (max_batch == 1) qps_unbatched = pt.qps;
+    qps_best = std::max(qps_best, pt.qps);
+    std::printf("%-10" PRId64 " %10.0f %10.0f %10.0f %10.0f %12.1f\n",
+                pt.max_batch, pt.qps, pt.p50_us, pt.p95_us, pt.p99_us,
+                pt.mean_batch);
+  }
+  std::printf("\nmicro-batching speedup over one-at-a-time: %.2fx\n",
+              qps_unbatched > 0.0 ? qps_best / qps_unbatched : 0.0);
+  return 0;
+}

@@ -39,7 +39,7 @@ CachedTtEmbeddingBag::CachedTtEmbeddingBag(CachedTtConfig config, TtInit init,
 
 template <typename OnHit>
 CsrBatch CachedTtEmbeddingBag::Partition(const CsrBatch& batch,
-                                         OnHit&& on_hit) {
+                                         OnHit&& on_hit) const {
   const int64_t n_bags = batch.num_bags();
   CsrBatch tt_batch;
   tt_batch.offsets.reserve(static_cast<size_t>(n_bags) + 1);
@@ -119,6 +119,26 @@ void CachedTtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
       });
   tt_.Forward(tt_batch, output);
   for (const CacheHit& hit : hit_scratch_) {
+    float* dst = output + hit.bag * N;
+    for (int64_t j = 0; j < N; ++j) dst[j] += hit.weight * hit.vec[j];
+  }
+}
+
+void CachedTtEmbeddingBag::ForwardInference(const CsrBatch& batch,
+                                            float* output) const {
+  batch.Validate(num_rows());
+  const int64_t N = emb_dim();
+
+  // Same hit/miss split and fold order as Forward, but with call-local
+  // scratch (no shared hit_scratch_) and zero control-plane side effects:
+  // no iteration advance, no frequency tracking, no refresh.
+  std::vector<CacheHit> hits;
+  const CsrBatch tt_batch = Partition(
+      batch, [&](int64_t bag, int64_t /*row*/, float w, const float* vec) {
+        hits.push_back(CacheHit{bag, w, vec});
+      });
+  tt_.ForwardInference(tt_batch, output);
+  for (const CacheHit& hit : hits) {
     float* dst = output + hit.bag * N;
     for (int64_t j = 0; j < N; ++j) dst[j] += hit.weight * hit.vec[j];
   }

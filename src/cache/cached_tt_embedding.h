@@ -68,6 +68,19 @@ class CachedTtEmbeddingBag {
   /// iteration counter and performs warm-up cache refreshes.
   void Forward(const CsrBatch& batch, float* output);
 
+  /// Read-only serving forward: pools the batch like Forward but does NOT
+  /// advance the iteration counter, track frequencies, or refresh the cache
+  /// — the hot set stays exactly as the last (training-side) refresh left
+  /// it.
+  ///
+  /// Thread-safety: safe for any number of concurrent callers, and produces
+  /// output bitwise identical to Forward on a frozen cache (hits read
+  /// through LfuRowCache::Find const, misses run the TT chain per lookup).
+  /// Must not race with mutations (Forward, Backward, optimizer steps,
+  /// RefreshCache, LoadState) — serve traffic and training steps on the
+  /// same operator require external phasing.
+  void ForwardInference(const CsrBatch& batch, float* output) const;
+
   /// Accumulates gradients: cached rows into the cache's gradient slots,
   /// missed rows into the TT core gradients. Must be called with the same
   /// batch as the preceding Forward (standard autograd pairing) — the
@@ -116,9 +129,10 @@ class CachedTtEmbeddingBag {
 
  private:
   /// Splits `batch` into cache hits (applied immediately via `on_hit`) and
-  /// a TT sub-batch carrying explicit per-lookup weights.
+  /// a TT sub-batch carrying explicit per-lookup weights. Const (and safe
+  /// for concurrent callers): only reads the cache through Find const.
   template <typename OnHit>
-  CsrBatch Partition(const CsrBatch& batch, OnHit&& on_hit);
+  CsrBatch Partition(const CsrBatch& batch, OnHit&& on_hit) const;
 
   struct CacheHit {
     int64_t bag;

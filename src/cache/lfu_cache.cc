@@ -45,20 +45,20 @@ int64_t LfuRowCache::SlotOf(int64_t row) const {
 float* LfuRowCache::Find(int64_t row) {
   const int64_t slot = SlotOf(row);
   if (slot < 0) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return values_.data() + slot * emb_dim_;
 }
 
 const float* LfuRowCache::Find(int64_t row) const {
   const int64_t slot = SlotOf(row);
   if (slot < 0) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return values_.data() + slot * emb_dim_;
 }
 
@@ -153,14 +153,15 @@ int64_t LfuRowCache::MemoryBytes() const {
 }
 
 double LfuRowCache::HitRate() const {
-  const int64_t total = hits_ + misses_;
+  const int64_t h = hits();
+  const int64_t total = h + misses();
   return total == 0 ? 0.0
-                    : static_cast<double>(hits_) / static_cast<double>(total);
+                    : static_cast<double>(h) / static_cast<double>(total);
 }
 
 void LfuRowCache::ResetStats() {
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ttrec

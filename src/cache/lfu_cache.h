@@ -6,8 +6,19 @@
 // from the frequency tracker); reads and in-place SGD updates are O(1).
 // Eviction discards learned weights (paper: re-decomposing evicted rows into
 // the TT cores would be streaming TT decomposition, an open problem).
+//
+// Thread-safety contract (the serving read path depends on this):
+//  - `Find(int64_t) const` is safe to call from any number of concurrent
+//    reader threads: the lookup touches only the immutable-between-Populate
+//    slot map and values array, and the hit/miss statistics are relaxed
+//    atomics. The returned pointer stays valid until the next Populate.
+//  - Any mutation — Populate, ApplySgd/ApplyAdagrad, ZeroGrads, ScaleGrads,
+//    SetAdagradState, writing through the non-const Find pointer — requires
+//    exclusive access (no concurrent readers or writers). Training owns that
+//    phase; serving only ever uses the const path on a frozen cache.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -24,7 +35,10 @@ class LfuRowCache {
   int64_t emb_dim() const { return emb_dim_; }
   int64_t size() const { return static_cast<int64_t>(rows_.size()); }
 
-  /// Pointer to the cached vector for `row`, or nullptr on miss.
+  /// Pointer to the cached vector for `row`, or nullptr on miss. The const
+  /// overload is safe for concurrent readers (see the contract above); the
+  /// non-const overload hands out a writable pointer and therefore belongs
+  /// to the exclusive-access training phase.
   float* Find(int64_t row);
   const float* Find(int64_t row) const;
 
@@ -64,9 +78,10 @@ class LfuRowCache {
   /// Bytes for vectors + gradients + the id map.
   int64_t MemoryBytes() const;
 
-  // Hit statistics (updated by Find).
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  // Hit statistics (updated by Find; relaxed atomics so concurrent readers
+  // can count without synchronizing).
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   double HitRate() const;
   void ResetStats();
 
@@ -82,8 +97,8 @@ class LfuRowCache {
   std::vector<float> adagrad_;     // lazily sized capacity x emb_dim
   std::vector<int64_t> map_keys_;  // open addressing: row id or -1
   std::vector<int64_t> map_slots_;
-  mutable int64_t hits_ = 0;
-  mutable int64_t misses_ = 0;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace ttrec

@@ -33,9 +33,10 @@ struct CsrBatch {
   }
   int64_t num_lookups() const { return static_cast<int64_t>(indices.size()); }
 
-  /// Validates internal consistency and that all indices are in
-  /// [0, num_rows). Throws IndexError/ShapeError on violation.
-  void Validate(int64_t num_rows) const {
+  /// Validates offsets/weights consistency without looking at index values
+  /// — what a serving frontend can check before it knows (or cares) which
+  /// IndexPolicy the model applies. Throws ShapeError on violation.
+  void ValidateStructure() const {
     TTREC_CHECK_SHAPE(!offsets.empty() && offsets.front() == 0,
                       "CsrBatch: offsets must start with 0");
     for (size_t i = 1; i < offsets.size(); ++i) {
@@ -47,6 +48,12 @@ struct CsrBatch {
                       offsets.back(), " vs ", num_lookups());
     TTREC_CHECK_SHAPE(weights.empty() || weights.size() == indices.size(),
                       "CsrBatch: weights must be empty or match indices");
+  }
+
+  /// Validates internal consistency and that all indices are in
+  /// [0, num_rows). Throws IndexError/ShapeError on violation.
+  void Validate(int64_t num_rows) const {
+    ValidateStructure();
     for (int64_t idx : indices) {
       TTREC_CHECK_INDEX(idx >= 0 && idx < num_rows, "CsrBatch: row index ",
                         idx, " out of range [0, ", num_rows, ")");

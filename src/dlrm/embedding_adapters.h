@@ -24,6 +24,9 @@ class TtEmbeddingAdapter : public EmbeddingOp {
   void Forward(const CsrBatch& batch, float* output) override {
     tt_.Forward(batch, output);
   }
+  void ForwardInference(const CsrBatch& batch, float* output) const override {
+    tt_.ForwardInference(batch, output);
+  }
   void Backward(const CsrBatch& batch, const float* grad_output) override {
     tt_.Backward(batch, grad_output);
   }
@@ -77,6 +80,9 @@ class CachedTtEmbeddingAdapter : public EmbeddingOp {
 
   void Forward(const CsrBatch& batch, float* output) override {
     op_.Forward(batch, output);
+  }
+  void ForwardInference(const CsrBatch& batch, float* output) const override {
+    op_.ForwardInference(batch, output);
   }
   void Backward(const CsrBatch& batch, const float* grad_output) override {
     op_.Backward(batch, grad_output);

@@ -44,6 +44,10 @@ class DenseEmbeddingBag : public EmbeddingOp {
   DenseEmbeddingBag(Tensor table, PoolingMode pooling);
 
   void Forward(const CsrBatch& batch, float* output) override;
+  /// The dense gather/pool has no forward side effects, so the serving
+  /// path is the same loop, const. Safe for concurrent readers as long as
+  /// no thread mutates the table (ApplySgd/ApplyUpdate/LoadState).
+  void ForwardInference(const CsrBatch& batch, float* output) const override;
   void Backward(const CsrBatch& batch, const float* grad_output) override;
   void ApplySgd(float lr) override;
 

@@ -50,6 +50,38 @@ void DotInteraction::Forward(const std::vector<const float*>& features,
   }
 }
 
+void DotInteraction::ForwardInference(
+    const std::vector<const float*>& features, int64_t batch,
+    float* out) const {
+  TTREC_CHECK_SHAPE(static_cast<int>(features.size()) == num_features_,
+                    "DotInteraction: expected ", num_features_,
+                    " feature blocks, got ", features.size());
+  const int F = num_features_;
+  const int64_t d = dim_;
+  for (int f = 0; f < F; ++f) {
+    TTREC_CHECK_INDEX(features[static_cast<size_t>(f)] != nullptr,
+                      "DotInteraction: null feature block ", f);
+  }
+  const int64_t od = out_dim();
+  for (int64_t b = 0; b < batch; ++b) {
+    float* ob = out + b * od;
+    // Leading copy of z_0, then the upper-triangle dots — identical
+    // accumulation order to Forward, just read straight from the feature
+    // blocks instead of the gathered cache.
+    std::memcpy(ob, features[0] + b * d, static_cast<size_t>(d) * sizeof(float));
+    int64_t p = d;
+    for (int i = 0; i < F; ++i) {
+      const float* zi = features[static_cast<size_t>(i)] + b * d;
+      for (int j = i + 1; j < F; ++j) {
+        const float* zj = features[static_cast<size_t>(j)] + b * d;
+        float dot = 0.0f;
+        for (int64_t k = 0; k < d; ++k) dot += zi[k] * zj[k];
+        ob[p++] = dot;
+      }
+    }
+  }
+}
+
 void DotInteraction::Backward(const float* grad_out, int64_t batch,
                               const std::vector<float*>& grads) {
   TTREC_CHECK_SHAPE(static_cast<int>(grads.size()) == num_features_,

@@ -30,6 +30,12 @@ class DotInteraction {
   void Forward(const std::vector<const float*>& features, int64_t batch,
                float* out);
 
+  /// Forward without caching (Backward may not follow): same arithmetic in
+  /// the same order, so the output is bitwise identical to Forward. Const
+  /// and safe for concurrent callers.
+  void ForwardInference(const std::vector<const float*>& features,
+                        int64_t batch, float* out) const;
+
   /// grads[f] receives dL/d(features[f]) (batch x dim, overwritten). Must
   /// follow Forward with the same batch.
   void Backward(const float* grad_out, int64_t batch,

@@ -45,6 +45,21 @@ void LinearLayer::Forward(const float* x, int64_t batch, float* y) {
   cached_y_.assign(y, y + batch * out_dim_);
 }
 
+void LinearLayer::ForwardInference(const float* x, int64_t batch,
+                                   float* y) const {
+  TTREC_CHECK(batch >= 0, "negative batch");
+  // Same kernel and epilogue as Forward, minus the activation caching.
+  Gemm(Trans::kNo, Trans::kYes, batch, out_dim_, in_dim_, 1.0f, x, in_dim_,
+       weight_.data(), in_dim_, 0.0f, y, out_dim_);
+  for (int64_t b = 0; b < batch; ++b) {
+    float* yb = y + b * out_dim_;
+    for (int64_t j = 0; j < out_dim_; ++j) {
+      yb[j] += bias_.data()[j];
+      if (relu_ && yb[j] < 0.0f) yb[j] = 0.0f;
+    }
+  }
+}
+
 void LinearLayer::Backward(const float* dy, int64_t batch, float* dx) {
   TTREC_CHECK(batch == cached_batch_,
               "Backward batch size does not match the preceding Forward");
@@ -177,6 +192,23 @@ void Mlp::Forward(const float* x, int64_t batch, float* y) {
                             0.0f),
                         act_[i].data());
     layers_[i].Forward(cur, batch, out);
+    cur = out;
+  }
+}
+
+void Mlp::ForwardInference(const float* x, int64_t batch, float* y,
+                           std::vector<std::vector<float>>& act) const {
+  act.resize(layers_.size());
+  const float* cur = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    float* out;
+    if (i + 1 == layers_.size()) {
+      out = y;
+    } else {
+      act[i].assign(static_cast<size_t>(batch * layers_[i].out_dim()), 0.0f);
+      out = act[i].data();
+    }
+    layers_[i].ForwardInference(cur, batch, out);
     cur = out;
   }
 }

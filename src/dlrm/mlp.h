@@ -26,6 +26,11 @@ class LinearLayer {
   /// y (batch x out) = act(x (batch x in) * W^T + b). Caches x and y.
   void Forward(const float* x, int64_t batch, float* y);
 
+  /// Forward without caching activations: same arithmetic (bitwise
+  /// identical output), const, safe for concurrent callers. Backward may
+  /// not follow this call.
+  void ForwardInference(const float* x, int64_t batch, float* y) const;
+
   /// Accumulates dW/db from dy (batch x out); writes dx (batch x in) unless
   /// null. Must follow a Forward with the same batch size.
   void Backward(const float* dy, int64_t batch, float* dx);
@@ -81,9 +86,19 @@ class Mlp {
   int64_t out_dim() const { return layers_.back().out_dim(); }
   int num_layers() const { return static_cast<int>(layers_.size()); }
   LinearLayer& layer(int i) { return layers_[static_cast<size_t>(i)]; }
+  const LinearLayer& layer(int i) const {
+    return layers_[static_cast<size_t>(i)];
+  }
 
   /// y (batch x out_dim); caches per-layer activations.
   void Forward(const float* x, int64_t batch, float* y);
+
+  /// Forward without touching the tower's own activation buffers: the
+  /// caller provides `act` (resized to num_layers() - 1 inter-layer
+  /// buffers). Const and safe for concurrent callers, each with its own
+  /// `act`; output is bitwise identical to Forward.
+  void ForwardInference(const float* x, int64_t batch, float* y,
+                        std::vector<std::vector<float>>& act) const;
 
   /// Propagates dy back; writes dx (batch x in_dim) unless null.
   void Backward(const float* dy, int64_t batch, float* dx);

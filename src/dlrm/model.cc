@@ -7,6 +7,7 @@
 #include "dlrm/loss.h"
 #include "tensor/atomic_file.h"
 #include "tensor/check.h"
+#include "tensor/parallel.h"
 #include "tensor/serialize.h"
 
 namespace ttrec {
@@ -107,6 +108,76 @@ void DlrmModel::ForwardInternal(const MiniBatch& batch, float* logits) {
 
 void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits) {
   ForwardInternal(batch, logits);
+}
+
+void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits,
+                              InferenceScratch& s) const {
+  TTREC_CHECK_SHAPE(static_cast<int>(batch.sparse.size()) == num_tables(),
+                    "MiniBatch has ", batch.sparse.size(),
+                    " sparse features, model has ", num_tables(), " tables");
+  const int64_t B = batch.batch_size();
+  const int64_t d = config_.emb_dim;
+  TTREC_CHECK_SHAPE(batch.dense.ndim() == 2 && batch.dense.dim(0) == B &&
+                        batch.dense.dim(1) == config_.num_dense,
+                    "MiniBatch dense feature shape mismatch");
+
+  s.bottom_out.assign(static_cast<size_t>(B * d), 0.0f);
+  bottom_.ForwardInference(batch.dense.data(), B, s.bottom_out.data(),
+                           s.bottom_act);
+
+  // Sanitization happens serially up front so the parallel region below
+  // only reads.
+  const bool clamp = config_.index_policy == IndexPolicy::kClampToZero;
+  if (clamp) {
+    s.sanitized_sparse.assign(batch.sparse.begin(), batch.sparse.end());
+    for (int t = 0; t < num_tables(); ++t) {
+      s.clamped_lookups +=
+          s.sanitized_sparse[static_cast<size_t>(t)].ApplyIndexPolicy(
+              tables_[static_cast<size_t>(t)]->num_rows(),
+              IndexPolicy::kClampToZero,
+              tables_[static_cast<size_t>(t)]->Name());
+    }
+  }
+
+  // Shard the table lookups across the pool, one table per chunk. Inner
+  // kernels (BatchedGemm) also call ParallelFor; those nested calls run
+  // inline on the worker, so a 26-table model keeps every core busy on
+  // coarse table-level work instead of deadlocking.
+  s.emb_out.resize(tables_.size());
+  ParallelFor(
+      num_tables(),
+      [&](int64_t t_begin, int64_t t_end) {
+        for (int64_t t = t_begin; t < t_end; ++t) {
+          const CsrBatch& cb = clamp
+                                   ? s.sanitized_sparse[static_cast<size_t>(t)]
+                                   : batch.sparse[static_cast<size_t>(t)];
+          TTREC_CHECK_SHAPE(cb.num_bags() == B, "table ", t, " has ",
+                            cb.num_bags(), " bags for batch size ", B);
+          auto& out = s.emb_out[static_cast<size_t>(t)];
+          out.assign(static_cast<size_t>(B * d), 0.0f);
+          try {
+            tables_[static_cast<size_t>(t)]->ForwardInference(cb, out.data());
+          } catch (const IndexError& e) {
+            throw IndexError(
+                "embedding table " + std::to_string(t) + " ('" +
+                tables_[static_cast<size_t>(t)]->Name() + "', " +
+                std::to_string(tables_[static_cast<size_t>(t)]->num_rows()) +
+                " rows): " + e.what());
+          }
+        }
+      },
+      /*grain=*/1);
+
+  std::vector<const float*> features;
+  features.reserve(tables_.size() + 1);
+  features.push_back(s.bottom_out.data());
+  for (int t = 0; t < num_tables(); ++t) {
+    features.push_back(s.emb_out[static_cast<size_t>(t)].data());
+  }
+
+  s.inter_out.assign(static_cast<size_t>(B * interaction_.out_dim()), 0.0f);
+  interaction_.ForwardInference(features, B, s.inter_out.data());
+  top_.ForwardInference(s.inter_out.data(), B, logits, s.top_act);
 }
 
 const CsrBatch& DlrmModel::SparseFor(const MiniBatch& batch, int t) const {

@@ -66,6 +66,22 @@ struct EvalMetrics {
   double auc = 0.5;
 };
 
+/// Caller-owned working memory for the const PredictLogits overload. The
+/// serving layer keeps one per session so concurrent inference threads never
+/// share mutable buffers; reusing an instance across calls avoids
+/// per-request allocation churn.
+struct InferenceScratch {
+  std::vector<float> bottom_out;                  // B x d
+  std::vector<std::vector<float>> bottom_act;     // bottom-MLP hidden layers
+  std::vector<std::vector<float>> emb_out;        // per table, B x d
+  std::vector<float> inter_out;                   // B x inter_dim
+  std::vector<std::vector<float>> top_act;        // top-MLP hidden layers
+  std::vector<CsrBatch> sanitized_sparse;         // only under kClampToZero
+  /// Lookups rewritten to zero-vectors under IndexPolicy::kClampToZero,
+  /// accumulated across calls using this scratch.
+  int64_t clamped_lookups = 0;
+};
+
 class DlrmModel {
  public:
   /// `tables` supplies one EmbeddingOp per categorical feature; all must
@@ -76,6 +92,9 @@ class DlrmModel {
   int num_tables() const { return static_cast<int>(tables_.size()); }
   const DlrmConfig& config() const { return config_; }
   EmbeddingOp& table(int t) { return *tables_[static_cast<size_t>(t)]; }
+  const EmbeddingOp& table(int t) const {
+    return *tables_[static_cast<size_t>(t)];
+  }
 
   /// Replaces table `t` in place — the post-training compression workflow
   /// (e.g. swap a trained dense table for its TT-SVD or quantized form and
@@ -84,6 +103,17 @@ class DlrmModel {
 
   /// Forward only; writes one logit per sample into `logits`.
   void PredictLogits(const MiniBatch& batch, float* logits);
+
+  /// Read-only forward for serving: same arithmetic as PredictLogits (the
+  /// logits are bitwise identical for any micro-batching of the same
+  /// requests), but const — no activation caching, no cache refresh, no
+  /// table state mutation. All working memory lives in the caller-owned
+  /// `scratch`, so concurrent callers with distinct scratches are safe as
+  /// long as nothing mutates the model (no TrainStep / LoadCheckpoint /
+  /// ReplaceTable in flight). Table lookups are sharded across the global
+  /// ThreadPool, one table per chunk.
+  void PredictLogits(const MiniBatch& batch, float* logits,
+                     InferenceScratch& scratch) const;
 
   /// Forward + backward + SGD step; returns the batch BCE loss.
   double TrainStep(const MiniBatch& batch, float lr);

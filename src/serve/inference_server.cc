@@ -1,0 +1,148 @@
+#include "serve/inference_server.h"
+
+#include <exception>
+#include <utility>
+
+#include "dlrm/embedding_adapters.h"
+#include "serve/inference_session.h"
+#include "tensor/check.h"
+
+namespace ttrec::serve {
+
+InferenceServer::InferenceServer(const DlrmModel& model,
+                                 InferenceServerConfig config)
+    : model_(model),
+      config_(config),
+      queue_(config.queue_capacity),
+      batcher_(model.num_tables(), model.config().num_dense) {
+  TTREC_CHECK_CONFIG(config_.max_batch_size >= 1,
+                     "InferenceServer: max_batch_size must be >= 1");
+  TTREC_CHECK_CONFIG(config_.num_consumers >= 1,
+                     "InferenceServer: num_consumers must be >= 1");
+  consumers_.reserve(static_cast<size_t>(config_.num_consumers));
+  for (int i = 0; i < config_.num_consumers; ++i) {
+    consumers_.emplace_back([this] { ConsumerLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+void InferenceServer::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  queue_.Close();
+  for (std::thread& t : consumers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void InferenceServer::ValidateRequest(const InferenceRequest& r) const {
+  const int64_t S = r.num_samples();
+  TTREC_CHECK_SHAPE(r.dense.ndim() == 2 && S >= 1 &&
+                        r.dense.dim(1) == model_.config().num_dense,
+                    "InferenceRequest: dense must be (num_samples x ",
+                    model_.config().num_dense, ")");
+  TTREC_CHECK_SHAPE(
+      static_cast<int>(r.sparse.size()) == model_.num_tables(),
+      "InferenceRequest: has ", r.sparse.size(),
+      " sparse features, model has ", model_.num_tables(), " tables");
+  const bool strict =
+      model_.config().index_policy == IndexPolicy::kThrow;
+  for (int t = 0; t < model_.num_tables(); ++t) {
+    const CsrBatch& cb = r.sparse[static_cast<size_t>(t)];
+    TTREC_CHECK_SHAPE(cb.num_bags() == S, "InferenceRequest: table ", t,
+                      " has ", cb.num_bags(), " bags for ", S, " samples");
+    // Index-range errors fail this request alone, here at Submit time —
+    // under kClampToZero the forward pass absorbs them instead.
+    if (strict) {
+      cb.Validate(model_.table(t).num_rows());
+    } else {
+      cb.ValidateStructure();
+    }
+  }
+}
+
+std::future<InferenceResult> InferenceServer::Submit(
+    InferenceRequest request) {
+  std::promise<InferenceResult> promise;
+  std::future<InferenceResult> future = promise.get_future();
+  try {
+    ValidateRequest(request);
+  } catch (...) {
+    metrics_.RecordRequestFailed();
+    promise.set_exception(std::current_exception());
+    return future;
+  }
+  PendingRequest item;
+  item.request = std::move(request);
+  item.promise = std::move(promise);
+  item.enqueued_at = std::chrono::steady_clock::now();
+  if (!queue_.Push(std::move(item))) {
+    metrics_.RecordRequestFailed();  // Push already failed the promise
+  }
+  return future;
+}
+
+void InferenceServer::ConsumerLoop() {
+  InferenceSession session(model_);
+  std::vector<float> logits;
+  for (;;) {
+    std::vector<PendingRequest> items =
+        queue_.PopBatch(config_.max_batch_size, config_.max_wait);
+    if (items.empty()) return;  // closed and drained
+
+    const auto batch_start = std::chrono::steady_clock::now();
+    MicroBatch mb = batcher_.Assemble(std::move(items));
+    const int64_t B = mb.batch.batch_size();
+    metrics_.RecordBatch(B);
+    logits.assign(static_cast<size_t>(B), 0.0f);
+    try {
+      session.Run(mb.batch, logits.data());
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      metrics_.RecordRequestFailed(
+          static_cast<int64_t>(mb.requests.size()));
+      for (PendingRequest& pr : mb.requests) pr.promise.set_exception(err);
+      continue;
+    }
+    const auto done = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < mb.requests.size(); ++r) {
+      PendingRequest& pr = mb.requests[r];
+      InferenceResult result;
+      result.micro_batch_size = B;
+      result.logits.assign(
+          logits.begin() + mb.sample_offsets[r],
+          logits.begin() + mb.sample_offsets[r + 1]);
+      const auto us = [](auto d) {
+        return std::chrono::duration_cast<std::chrono::microseconds>(d)
+            .count();
+      };
+      metrics_.RecordRequestOk(us(done - pr.enqueued_at),
+                               us(batch_start - pr.enqueued_at));
+      pr.promise.set_value(std::move(result));
+    }
+  }
+}
+
+ServeMetricsSnapshot InferenceServer::SnapshotWithCacheStats() const {
+  ServeMetricsSnapshot s = metrics_.Snapshot();
+  for (int t = 0; t < model_.num_tables(); ++t) {
+    const auto* cached =
+        dynamic_cast<const CachedTtEmbeddingAdapter*>(&model_.table(t));
+    if (cached == nullptr) continue;
+    s.has_cache = true;
+    s.cache_hits += cached->op().cache().hits();
+    s.cache_misses += cached->op().cache().misses();
+  }
+  if (s.has_cache && s.cache_hits + s.cache_misses > 0) {
+    s.cache_hit_rate =
+        static_cast<double>(s.cache_hits) /
+        static_cast<double>(s.cache_hits + s.cache_misses);
+  }
+  return s;
+}
+
+std::string InferenceServer::MetricsJson() const {
+  return ToJson(SnapshotWithCacheStats());
+}
+
+}  // namespace ttrec::serve

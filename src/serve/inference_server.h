@@ -1,0 +1,94 @@
+// The serving front door: Submit() a request, get a std::future for its
+// logits. Internally: bounded RequestQueue -> MicroBatcher -> per-consumer
+// InferenceSession running the const forward pass, with ServeMetrics
+// recording batch sizes, queue waits, and end-to-end latency.
+//
+//   producers ──Submit──▶ RequestQueue ──PopBatch──▶ consumer threads
+//                                                    │  MicroBatcher
+//                                                    │  InferenceSession
+//                                                    ▼
+//                                        promises fulfilled, ServeMetrics
+//
+// Thread-safety: Submit may be called from any number of threads. The model
+// must stay frozen (no training / checkpoint loads / table swaps) for the
+// server's lifetime — the const forward contract in dlrm/model.h.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dlrm/model.h"
+#include "serve/micro_batcher.h"
+#include "serve/request_queue.h"
+#include "serve/serve_metrics.h"
+
+namespace ttrec::serve {
+
+struct InferenceServerConfig {
+  /// Micro-batch cap in requests: a consumer closes its batch as soon as
+  /// it has gathered this many (equals samples for the common
+  /// one-sample-per-request client). 1 disables batching — the
+  /// one-request-at-a-time baseline in bench/serve_throughput.
+  int64_t max_batch_size = 32;
+  /// How long a consumer holds an under-full batch open waiting for
+  /// stragglers. Larger values raise batch sizes (and throughput) at the
+  /// cost of per-request latency.
+  std::chrono::microseconds max_wait{200};
+  /// Queue bound; producers block when serving falls behind (backpressure
+  /// instead of unbounded memory growth).
+  size_t queue_capacity = 1024;
+  /// Consumer threads, each with its own InferenceSession. One is usually
+  /// right when the forward pass itself shards across the ThreadPool; more
+  /// helps when batches are small and per-batch overhead dominates.
+  int num_consumers = 1;
+};
+
+class InferenceServer {
+ public:
+  /// The server holds a reference: `model` must outlive it and stay frozen.
+  InferenceServer(const DlrmModel& model, InferenceServerConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Validates and enqueues `request`; the future resolves with its logits
+  /// once a consumer has run its micro-batch. A malformed request (shape
+  /// mismatch, or out-of-range index under IndexPolicy::kThrow) fails only
+  /// its own future, at Submit time, and never poisons a micro-batch.
+  /// Blocks while the queue is full; fails fast after Shutdown.
+  std::future<InferenceResult> Submit(InferenceRequest request);
+
+  /// Closes the queue, drains in-flight work, joins consumers. Idempotent;
+  /// the destructor calls it.
+  void Shutdown();
+
+  const ServeMetrics& metrics() const { return metrics_; }
+
+  /// Snapshot + cache hit stats from the model's cached-TT tables (summed
+  /// across tables; absent when no table carries an LFU cache).
+  ServeMetricsSnapshot SnapshotWithCacheStats() const;
+  std::string MetricsJson() const;
+
+  const InferenceServerConfig& config() const { return config_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void ConsumerLoop();
+  void ValidateRequest(const InferenceRequest& request) const;
+
+  const DlrmModel& model_;
+  InferenceServerConfig config_;
+  RequestQueue queue_;
+  MicroBatcher batcher_;
+  ServeMetrics metrics_;
+  std::vector<std::thread> consumers_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace ttrec::serve

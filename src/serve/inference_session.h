@@ -1,0 +1,48 @@
+// A read-only forward executor bound to a frozen DlrmModel.
+//
+// One session = one caller at a time: the session owns the InferenceScratch
+// so repeated Run calls reuse working memory instead of reallocating.
+// Concurrent serving uses one session per consumer thread over the shared
+// const model — safe by the PredictLogits-const contract (dlrm/model.h), as
+// long as nothing mutates the model (no TrainStep / LoadCheckpoint /
+// ReplaceTable) while sessions are live.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlrm/model.h"
+
+namespace ttrec::serve {
+
+class InferenceSession {
+ public:
+  explicit InferenceSession(const DlrmModel& model) : model_(model) {}
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// Writes one logit per sample into `logits` (batch.batch_size() floats).
+  /// Table lookups shard across the global ThreadPool; results are bitwise
+  /// identical for any micro-batching of the same samples.
+  void Run(const MiniBatch& batch, float* logits) {
+    model_.PredictLogits(batch, logits, scratch_);
+  }
+
+  std::vector<float> Run(const MiniBatch& batch) {
+    std::vector<float> logits(static_cast<size_t>(batch.batch_size()));
+    Run(batch, logits.data());
+    return logits;
+  }
+
+  const DlrmModel& model() const { return model_; }
+
+  /// Lookups zeroed under IndexPolicy::kClampToZero since construction.
+  int64_t clamped_lookups() const { return scratch_.clamped_lookups; }
+
+ private:
+  const DlrmModel& model_;
+  InferenceScratch scratch_;
+};
+
+}  // namespace ttrec::serve

@@ -1,0 +1,104 @@
+#include "serve/micro_batcher.h"
+
+#include <cstring>
+#include <utility>
+
+#include "tensor/check.h"
+
+namespace ttrec::serve {
+
+MicroBatcher::MicroBatcher(int num_tables, int64_t num_dense)
+    : num_tables_(num_tables), num_dense_(num_dense) {
+  TTREC_CHECK_CONFIG(num_tables >= 1, "MicroBatcher: need >= 1 table");
+  TTREC_CHECK_CONFIG(num_dense >= 1,
+                     "MicroBatcher: num_dense must be positive");
+}
+
+MicroBatch MicroBatcher::Assemble(
+    std::vector<PendingRequest> requests) const {
+  TTREC_CHECK(!requests.empty(), "MicroBatcher: empty request set");
+  MicroBatch mb;
+  mb.sample_offsets.reserve(requests.size() + 1);
+  mb.sample_offsets.push_back(0);
+  int64_t total = 0;
+  for (const PendingRequest& pr : requests) {
+    total += pr.request.num_samples();
+    mb.sample_offsets.push_back(total);
+  }
+
+  mb.batch.dense = Tensor({total, num_dense_});
+  mb.batch.labels.assign(static_cast<size_t>(total), 0.0f);
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const Tensor& d = requests[r].request.dense;
+    std::memcpy(mb.batch.dense.data() +
+                    mb.sample_offsets[r] * num_dense_,
+                d.data(),
+                static_cast<size_t>(d.numel()) * sizeof(float));
+  }
+
+  mb.batch.sparse.resize(static_cast<size_t>(num_tables_));
+  for (int t = 0; t < num_tables_; ++t) {
+    CsrBatch& merged = mb.batch.sparse[static_cast<size_t>(t)];
+    int64_t lookups = 0;
+    bool any_weights = false;
+    for (const PendingRequest& pr : requests) {
+      const CsrBatch& cb = pr.request.sparse[static_cast<size_t>(t)];
+      lookups += cb.num_lookups();
+      any_weights = any_weights || !cb.weights.empty();
+    }
+    merged.indices.reserve(static_cast<size_t>(lookups));
+    merged.offsets.reserve(static_cast<size_t>(total) + 1);
+    merged.offsets.push_back(0);
+    if (any_weights) merged.weights.reserve(static_cast<size_t>(lookups));
+    for (const PendingRequest& pr : requests) {
+      const CsrBatch& cb = pr.request.sparse[static_cast<size_t>(t)];
+      const int64_t base = merged.num_lookups();
+      merged.indices.insert(merged.indices.end(), cb.indices.begin(),
+                            cb.indices.end());
+      for (size_t b = 1; b < cb.offsets.size(); ++b) {
+        merged.offsets.push_back(base + cb.offsets[b]);
+      }
+      if (any_weights) {
+        if (cb.weights.empty()) {
+          merged.weights.insert(merged.weights.end(),
+                                static_cast<size_t>(cb.num_lookups()), 1.0f);
+        } else {
+          merged.weights.insert(merged.weights.end(), cb.weights.begin(),
+                                cb.weights.end());
+        }
+      }
+    }
+  }
+
+  mb.requests = std::move(requests);
+  return mb;
+}
+
+std::vector<InferenceRequest> SplitSamples(const MiniBatch& batch) {
+  const int64_t B = batch.batch_size();
+  const int64_t nd = batch.dense.ndim() == 2 ? batch.dense.dim(1) : 0;
+  TTREC_CHECK_SHAPE(batch.dense.ndim() == 2 && batch.dense.dim(0) == B,
+                    "SplitSamples: dense must be (batch x num_dense)");
+  std::vector<InferenceRequest> out(static_cast<size_t>(B));
+  for (int64_t s = 0; s < B; ++s) {
+    InferenceRequest& r = out[static_cast<size_t>(s)];
+    r.dense = Tensor({1, nd});
+    std::memcpy(r.dense.data(), batch.dense.data() + s * nd,
+                static_cast<size_t>(nd) * sizeof(float));
+    r.sparse.resize(batch.sparse.size());
+    for (size_t t = 0; t < batch.sparse.size(); ++t) {
+      const CsrBatch& cb = batch.sparse[t];
+      const int64_t lo = cb.offsets[static_cast<size_t>(s)];
+      const int64_t hi = cb.offsets[static_cast<size_t>(s) + 1];
+      CsrBatch& bag = r.sparse[t];
+      bag.indices.assign(cb.indices.begin() + lo, cb.indices.begin() + hi);
+      bag.offsets = {0, hi - lo};
+      if (!cb.weights.empty()) {
+        bag.weights.assign(cb.weights.begin() + lo, cb.weights.begin() + hi);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ttrec::serve

@@ -1,0 +1,54 @@
+// Coalesces queued requests into one MiniBatch for a single forward pass.
+//
+// Correctness contract: because every layer of the const inference path
+// computes each sample independently in a fixed order (see
+// dlrm/model.h PredictLogits const), the logits of a request are bitwise
+// identical whether it runs alone or folded into a micro-batch — batching
+// changes throughput, never results. tests/test_serve.cc asserts this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/criteo_synth.h"
+#include "serve/request_queue.h"
+
+namespace ttrec::serve {
+
+/// The assembled unit of work a consumer executes.
+struct MicroBatch {
+  /// Concatenation of the requests' samples, in queue order. Labels are
+  /// zero-filled — MiniBatch sizes itself off labels, and the forward pass
+  /// never reads them.
+  MiniBatch batch;
+  /// The requests, same order as their samples; promises still pending.
+  std::vector<PendingRequest> requests;
+  /// Request r owns samples [sample_offsets[r], sample_offsets[r+1]).
+  std::vector<int64_t> sample_offsets;
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(int num_tables, int64_t num_dense);
+
+  /// Concatenates `requests` (already shape-validated by Submit) into one
+  /// MicroBatch. Per-table CsrBatches are merged by appending indices and
+  /// shifting offsets; per-lookup weights are materialized as all-ones
+  /// whenever any request in the batch carries explicit weights for that
+  /// table, so mixed batches pool identically to their solo runs.
+  MicroBatch Assemble(std::vector<PendingRequest> requests) const;
+
+  int num_tables() const { return num_tables_; }
+  int64_t num_dense() const { return num_dense_; }
+
+ private:
+  int num_tables_;
+  int64_t num_dense_;
+};
+
+/// The inverse of Assemble: one single-sample InferenceRequest per sample
+/// of `batch` (labels dropped). How load generators and tests turn a
+/// criteo_synth MiniBatch into a request stream.
+std::vector<InferenceRequest> SplitSamples(const MiniBatch& batch);
+
+}  // namespace ttrec::serve

@@ -1,0 +1,80 @@
+#include "serve/request_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/check.h"
+
+namespace ttrec::serve {
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
+  TTREC_CHECK_CONFIG(capacity >= 1, "RequestQueue: capacity must be >= 1");
+}
+
+bool RequestQueue::Push(PendingRequest item) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (!closed_) {
+      items_.push_back(std::move(item));
+      lock.unlock();
+      not_empty_.notify_one();
+      return true;
+    }
+  }
+  item.promise.set_exception(std::make_exception_ptr(
+      std::runtime_error("InferenceServer: shut down, request rejected")));
+  return false;
+}
+
+std::vector<PendingRequest> RequestQueue::PopBatch(
+    int64_t max_items, std::chrono::microseconds max_wait) {
+  std::vector<PendingRequest> out;
+  if (max_items < 1) max_items = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return out;  // closed and drained
+
+  const auto deadline = std::chrono::steady_clock::now() + max_wait;
+  for (;;) {
+    while (!items_.empty() &&
+           static_cast<int64_t>(out.size()) < max_items) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (static_cast<int64_t>(out.size()) >= max_items || closed_) break;
+    // Batch not full: wait (up to the deadline) for stragglers to coalesce.
+    if (not_empty_.wait_until(lock, deadline, [this] {
+          return closed_ || !items_.empty();
+        })) {
+      if (items_.empty()) break;  // woken by Close with nothing left
+      continue;
+    }
+    break;  // deadline passed
+  }
+  lock.unlock();
+  not_full_.notify_all();
+  return out;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace ttrec::serve

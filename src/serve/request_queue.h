@@ -1,0 +1,85 @@
+// The producer side of the serving pipeline: request/result types and the
+// bounded MPMC queue that feeds the batching consumers.
+//
+// Thread-safety: every RequestQueue method may be called concurrently from
+// any number of producer and consumer threads. PendingRequest itself is
+// move-only (it carries a std::promise) and owned by exactly one thread at
+// a time — the producer until Push, the queue while enqueued, one consumer
+// after PopBatch.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "data/csr_batch.h"
+#include "tensor/tensor.h"
+
+namespace ttrec::serve {
+
+/// One inference request: `dense` is (num_samples x num_dense) and `sparse`
+/// holds one CsrBatch per table with num_samples bags each. Most clients
+/// send a single sample; multi-sample requests ride through unchanged and
+/// get one logit per sample back.
+struct InferenceRequest {
+  Tensor dense;
+  std::vector<CsrBatch> sparse;
+
+  int64_t num_samples() const {
+    return dense.ndim() == 2 ? dense.dim(0) : 0;
+  }
+};
+
+struct InferenceResult {
+  std::vector<float> logits;  // one per request sample
+  /// Size of the micro-batch this request was folded into — telemetry for
+  /// the client; the logits themselves are batching-invariant.
+  int64_t micro_batch_size = 0;
+};
+
+/// A request plus its delivery machinery, as stored on the queue.
+struct PendingRequest {
+  InferenceRequest request;
+  std::promise<InferenceResult> promise;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+/// Bounded FIFO between producers (Submit) and batching consumers.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+
+  /// Blocks while the queue is full. If the queue is (or becomes) closed,
+  /// fails the item's promise with a shutdown error and returns false.
+  bool Push(PendingRequest item);
+
+  /// Takes up to `max_items` requests. Blocks until at least one is
+  /// available, then keeps collecting until `max_items` are gathered or
+  /// `max_wait` has elapsed since the first was taken — the micro-batching
+  /// policy knob: larger waits trade first-request latency for bigger
+  /// batches. Once the queue is closed, drains without waiting; an empty
+  /// return means closed-and-drained (the consumer's exit signal).
+  std::vector<PendingRequest> PopBatch(int64_t max_items,
+                                       std::chrono::microseconds max_wait);
+
+  /// Closes the queue: subsequent Push calls fail, blocked pushers wake and
+  /// fail, consumers drain what remains and then get empty batches.
+  void Close();
+
+  bool closed() const;
+  size_t size() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ttrec::serve

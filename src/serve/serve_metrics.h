@@ -1,0 +1,128 @@
+// Latency / throughput telemetry for the serving subsystem.
+//
+// Everything on the hot path (per-request and per-batch recording) is
+// lock-free: counters are striped across cache-line-padded atomic cells to
+// keep producer threads from bouncing one line, and histograms are fixed
+// geometric-bucket atomic arrays. Readers (Snapshot / ToJson) sum without
+// stopping the world, so a snapshot taken under load is approximate at the
+// margin of in-flight increments — fine for telemetry, documented here so
+// nobody asserts exact equality against a live server.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ttrec::serve {
+
+/// Contention-resistant counter: each increment lands on one of kStripes
+/// cache-line-padded cells chosen by thread identity; Total() sums all
+/// cells. Relaxed ordering throughout — counts, not synchronization.
+class StripedCounter {
+ public:
+  void Add(int64_t n);
+  int64_t Total() const;
+  void Reset();
+
+ private:
+  static constexpr int kStripes = 16;
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// Fixed geometric-bucket histogram over microsecond values. Record() is a
+/// single relaxed fetch_add; PercentileMicros interpolates linearly inside
+/// the winning bucket, so p50/p95/p99 carry ~25% bucket-width resolution —
+/// the right trade for a hot path that must never take a lock.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(int64_t micros);
+  int64_t TotalCount() const;
+  /// p in (0, 100]. Returns 0 when the histogram is empty.
+  double PercentileMicros(double p) const;
+  double MeanMicros() const;
+  void Reset();
+
+ private:
+  // Bucket i covers [bounds_[i], bounds_[i+1]) µs; bounds grow by ~1.25x
+  // per bucket, so 96 buckets reach past half an hour.
+  static constexpr int kBuckets = 96;
+  int BucketFor(int64_t micros) const;
+
+  std::array<int64_t, kBuckets + 1> bounds_;
+  std::array<std::atomic<int64_t>, kBuckets> counts_{};
+  std::atomic<int64_t> sum_micros_{0};
+};
+
+/// A point-in-time read of ServeMetrics, plus the cache stats the server
+/// fills in from the model's cached-TT tables (has_cache == false when the
+/// model serves without an LFU cache).
+struct ServeMetricsSnapshot {
+  double uptime_seconds = 0.0;
+  int64_t requests_ok = 0;
+  int64_t requests_failed = 0;
+  int64_t samples = 0;
+  int64_t batches = 0;
+  double qps = 0.0;              // completed requests / uptime
+  double mean_batch_size = 0.0;  // samples / batches
+
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+
+  double queue_wait_mean_us = 0.0;
+  double queue_wait_p50_us = 0.0;
+  double queue_wait_p95_us = 0.0;
+  double queue_wait_p99_us = 0.0;
+
+  /// batch_size_hist[i] = batches whose size fell in [2^i, 2^(i+1)).
+  std::vector<int64_t> batch_size_hist;
+
+  bool has_cache = false;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+};
+
+/// Serializes a snapshot as a single JSON object (stable key order, no
+/// external dependency).
+std::string ToJson(const ServeMetricsSnapshot& s);
+
+/// The server-side metrics hub. All Record* methods are thread-safe and
+/// lock-free; Snapshot() may run concurrently with recording.
+class ServeMetrics {
+ public:
+  ServeMetrics();
+
+  /// A request completed: end-to-end latency (Submit -> result set) and the
+  /// time it spent queued before its micro-batch started executing.
+  void RecordRequestOk(int64_t latency_us, int64_t queue_wait_us);
+  void RecordRequestFailed(int64_t n = 1);
+  /// A micro-batch of `batch_size` samples began executing.
+  void RecordBatch(int64_t batch_size);
+
+  ServeMetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  static constexpr int kBatchSizeBuckets = 16;  // up to 2^16-sample batches
+
+  std::chrono::steady_clock::time_point start_;
+  StripedCounter ok_;
+  StripedCounter failed_;
+  StripedCounter samples_;
+  StripedCounter batches_;
+  LatencyHistogram latency_;
+  LatencyHistogram queue_wait_;
+  std::array<std::atomic<int64_t>, kBatchSizeBuckets> batch_size_hist_{};
+};
+
+}  // namespace ttrec::serve

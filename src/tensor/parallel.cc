@@ -7,6 +7,23 @@
 
 namespace ttrec {
 
+namespace {
+
+// Depth of ParallelFor chunk execution on this thread. Non-zero means we are
+// inside a pool task (or the caller's own chunk) and nested ParallelFor
+// calls must run inline: queuing from a worker and then blocking on the
+// result could leave every worker waiting on tasks nobody is free to run.
+thread_local int tls_parallel_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++tls_parallel_depth; }
+  ~RegionGuard() { --tls_parallel_depth; }
+};
+
+}  // namespace
+
+bool ThreadPool::InParallelRegion() { return tls_parallel_depth > 0; }
+
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i) {
@@ -34,14 +51,15 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_back();
     }
     try {
+      RegionGuard in_region;
       (*task.fn)(task.begin, task.end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!task.call->error) task.call->error = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
+      if (--task.call->pending == 0) done_cv_.notify_all();
     }
   }
 }
@@ -53,33 +71,34 @@ void ThreadPool::ParallelFor(int64_t total, int64_t grain,
   const int64_t max_chunks = (total + grain - 1) / grain;
   const int64_t num_chunks =
       std::min<int64_t>(max_chunks, static_cast<int64_t>(num_threads_));
-  if (num_chunks <= 1 || workers_.empty()) {
+  if (num_chunks <= 1 || workers_.empty() || InParallelRegion()) {
     fn(0, total);
     return;
   }
   const int64_t chunk = (total + num_chunks - 1) / num_chunks;
+  CallState call;
+  call.pending = static_cast<int>(num_chunks - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // One chunk stays on the calling thread; the rest go to the queue.
     for (int64_t c = 1; c < num_chunks; ++c) {
       queue_.push_back(
-          Task{&fn, c * chunk, std::min(total, (c + 1) * chunk)});
+          Task{&fn, c * chunk, std::min(total, (c + 1) * chunk), &call});
     }
-    pending_ += static_cast<int>(num_chunks - 1);
   }
   cv_.notify_all();
   // Run the caller's chunk, but never unwind before the workers finish —
-  // their tasks reference `fn` on this stack frame.
+  // their tasks reference `fn` and `call` on this stack frame.
   std::exception_ptr caller_error;
   try {
+    RegionGuard in_region;
     fn(0, std::min(total, chunk));
   } catch (...) {
     caller_error = std::current_exception();
   }
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
-  std::exception_ptr err = caller_error ? caller_error : first_error_;
-  first_error_ = nullptr;
+  done_cv_.wait(lock, [&call] { return call.pending == 0; });
+  const std::exception_ptr err = caller_error ? caller_error : call.error;
   if (err) std::rethrow_exception(err);
 }
 

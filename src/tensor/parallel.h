@@ -5,6 +5,16 @@
 // paper's batched cuBLAS launch). The pool is created lazily and sized from
 // std::thread::hardware_concurrency() unless overridden. On a single-core
 // host parallel_for degrades to an inline loop with zero overhead.
+//
+// Concurrency contract (the serving layer depends on both):
+//  - ParallelFor may be called from several threads at once; every call has
+//    its own completion state, so independent callers neither wait on each
+//    other's chunks nor steal each other's exceptions.
+//  - ParallelFor is re-entrant: a call made from inside a pool task (or from
+//    the caller-executed chunk of an enclosing ParallelFor) runs inline on
+//    the current thread instead of enqueuing. This lets an outer loop shard
+//    coarse work (e.g. one embedding table per worker) while inner kernels
+//    (BatchedGemm) still call ParallelFor without deadlocking the pool.
 #pragma once
 
 #include <condition_variable>
@@ -33,9 +43,14 @@ class ThreadPool {
 
   /// Runs `fn(begin, end)` over [0, total) split into roughly equal chunks,
   /// one per worker; blocks until all chunks finish. `grain` is the minimum
-  /// chunk size (small ranges run inline).
+  /// chunk size (small ranges run inline). Safe to call concurrently from
+  /// multiple threads and from inside pool tasks (nested calls run inline).
   void ParallelFor(int64_t total, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
+
+  /// True while the current thread is executing a ParallelFor chunk (either
+  /// as a pool worker or as the calling thread running its own share).
+  static bool InParallelRegion();
 
   /// Process-wide pool, sized from hardware_concurrency (min 1).
   static ThreadPool& Global();
@@ -44,10 +59,18 @@ class ThreadPool {
   static void SetGlobalThreads(int num_threads);
 
  private:
+  /// Per-ParallelFor completion state, stack-allocated by the call so
+  /// concurrent calls are fully independent.
+  struct CallState {
+    int pending = 0;
+    std::exception_ptr error;
+  };
+
   struct Task {
     const std::function<void(int64_t, int64_t)>* fn = nullptr;
     int64_t begin = 0;
     int64_t end = 0;
+    CallState* call = nullptr;
   };
 
   void WorkerLoop();
@@ -58,9 +81,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   std::vector<Task> queue_;
-  int pending_ = 0;
   bool shutdown_ = false;
-  std::exception_ptr first_error_;
 };
 
 /// Shorthand for ThreadPool::Global().ParallelFor with a default grain.

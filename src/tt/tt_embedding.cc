@@ -220,7 +220,7 @@ void TtEmbeddingBag::BuildBlockDedup(std::span<const int64_t> indices,
 
 void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
                                   int64_t begin, int64_t end, float* rows_out,
-                                  BlockBuffers& buf, bool stashing) {
+                                  BlockBuffers& buf, Stash* stash) const {
   const TtShape& s = cores_.shape();
   const int d = s.num_cores();
   const int64_t L = end - begin;
@@ -273,8 +273,8 @@ void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
     shape.k = kk;
     BatchedGemm(shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
 
-    if (stashing && !last_stage) {
-      auto& st = stash_.stage[static_cast<size_t>(c)];
+    if (stash != nullptr && !last_stage) {
+      auto& st = stash->stage[static_cast<size_t>(c)];
       std::memcpy(st.data() + begin * out_stride,
                   buf.inter[static_cast<size_t>(c)].data(),
                   static_cast<size_t>(L * out_stride) * sizeof(float));
@@ -319,7 +319,7 @@ void TtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
       const int64_t num_unique = static_cast<int64_t>(buf.unique.size());
       buf.unique_rows.resize(static_cast<size_t>(num_unique * N));
       ForwardBlock(buf.unique, 0, num_unique, buf.unique_rows.data(), buf,
-                   /*stashing=*/false);
+                   /*stash=*/nullptr);
       for (int64_t l = begin; l < end; ++l) {
         const float wl = w[static_cast<size_t>(l)];
         const float* src =
@@ -333,7 +333,7 @@ void TtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
       continue;
     }
     ForwardBlock(batch.indices, begin, end, rows.data(), buf,
-                 config_.stash_intermediates);
+                 config_.stash_intermediates ? &stash_ : nullptr);
     for (int64_t l = begin; l < end; ++l) {
       const float wl = w[static_cast<size_t>(l)];
       const float* src = rows.data() + (l - begin) * N;
@@ -351,6 +351,39 @@ void TtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
   stats_.forward_flops += n_lookups * fwd_flops_per_lookup_;
 }
 
+void TtEmbeddingBag::ForwardInference(const CsrBatch& batch,
+                                      float* output) const {
+  batch.Validate(num_rows());
+  const int64_t N = emb_dim();
+  const int64_t n_lookups = batch.num_lookups();
+  const int64_t n_bags = batch.num_bags();
+
+  std::fill(output, output + n_bags * N, 0.0f);
+
+  const std::vector<int64_t> bags = LookupBags(batch);
+  const std::vector<float> w = EffectiveWeights(batch, config_.pooling, bags);
+
+  // Always the per-lookup path (no dedup): each lookup's TT chain is an
+  // independent GEMM problem, so pooled outputs are bitwise identical no
+  // matter how requests were micro-batched together.
+  BlockBuffers buf;
+  std::vector<float> rows(
+      static_cast<size_t>(std::min(config_.block_size, std::max<int64_t>(
+                                                           n_lookups, 1)) *
+                          N));
+  for (int64_t begin = 0; begin < n_lookups; begin += config_.block_size) {
+    const int64_t end = std::min(n_lookups, begin + config_.block_size);
+    ForwardBlock(batch.indices, begin, end, rows.data(), buf,
+                 /*stash=*/nullptr);
+    for (int64_t l = begin; l < end; ++l) {
+      const float wl = w[static_cast<size_t>(l)];
+      const float* src = rows.data() + (l - begin) * N;
+      float* dst = output + bags[static_cast<size_t>(l)] * N;
+      for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
+    }
+  }
+}
+
 void TtEmbeddingBag::LookupRows(std::span<const int64_t> indices, float* out) {
   for (int64_t idx : indices) {
     TTREC_CHECK_INDEX(idx >= 0 && idx < num_rows(), "LookupRows: index ", idx,
@@ -361,7 +394,7 @@ void TtEmbeddingBag::LookupRows(std::span<const int64_t> indices, float* out) {
   for (int64_t begin = 0; begin < n; begin += config_.block_size) {
     const int64_t end = std::min(n, begin + config_.block_size);
     ForwardBlock(indices, begin, end, out + begin * emb_dim(), buf,
-                 /*stashing=*/false);
+                 /*stash=*/nullptr);
   }
   stats_.lookups += n;
   stats_.forward_flops += n * fwd_flops_per_lookup_;
@@ -410,7 +443,7 @@ void TtEmbeddingBag::Backward(const CsrBatch& batch,
       work = static_cast<int64_t>(buf.unique.size());
       std::vector<float> scratch_rows(static_cast<size_t>(work * N));
       ForwardBlock(buf.unique, 0, work, scratch_rows.data(), buf,
-                   /*stashing=*/false);
+                   /*stash=*/nullptr);
     } else if (use_stash) {
       // Digits are still needed for slice addressing.
       buf.digits.resize(static_cast<size_t>(L * d));
@@ -425,7 +458,7 @@ void TtEmbeddingBag::Backward(const CsrBatch& batch,
       // path.
       std::vector<float> scratch_rows(static_cast<size_t>(L * N));
       ForwardBlock(batch.indices, begin, end, scratch_rows.data(), buf,
-                   /*stashing=*/false);
+                   /*stash=*/nullptr);
     }
 
     // D_{d-1} = w_l * dL/d(bag row), reshaped per unit.

@@ -78,6 +78,13 @@ class TtEmbeddingBag {
   /// overwritten). Validates the batch against num_rows().
   void Forward(const CsrBatch& batch, float* output);
 
+  /// Read-only forward for serving: identical arithmetic to Forward (minus
+  /// stashing and dedup, so per-lookup results are independent of how
+  /// requests are batched), but const and thread-safe for concurrent
+  /// callers — no gradient buffers, no stash, and no stats counters are
+  /// touched. Serving telemetry lives in serve/ServeMetrics instead.
+  void ForwardInference(const CsrBatch& batch, float* output) const;
+
   /// Reconstructs individual rows without pooling into `out`
   /// (indices.size() x emb_dim). Uses the same batched kernel.
   void LookupRows(std::span<const int64_t> indices, float* out);
@@ -123,13 +130,16 @@ class TtEmbeddingBag {
 
  private:
   struct BlockBuffers;
+  struct Stash;
 
   /// Computes reconstructed rows for lookups [begin, end) of `indices` into
   /// `rows_out` (contiguous, emb_dim stride). If `stash` is non-null, stage
-  /// intermediates for these lookups are copied into the stash.
+  /// intermediates for these lookups are copied into it. Const — all mutable
+  /// state is passed in, which is what makes the inference path shareable
+  /// across threads.
   void ForwardBlock(std::span<const int64_t> indices, int64_t begin,
                     int64_t end, float* rows_out, BlockBuffers& buf,
-                    bool stashing);
+                    Stash* stash) const;
 
   void EnsureGrads();
 

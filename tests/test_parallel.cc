@@ -6,6 +6,7 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "tensor/batched_gemm.h"
@@ -91,6 +92,78 @@ TEST(ThreadPool, GlobalPoolResize) {
   EXPECT_THROW(ThreadPool::SetGlobalThreads(0), ConfigError);
   ThreadPool::SetGlobalThreads(1);
   EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  // BatchedGemm calls ParallelFor from inside table-level ParallelFor
+  // chunks (the serving path); nested calls must run inline instead of
+  // enqueuing, or the pool deadlocks on itself.
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 16, kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  pool.ParallelFor(kOuter, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      EXPECT_TRUE(ThreadPool::InParallelRegion());
+      pool.ParallelFor(kInner, 1, [&](int64_t jb, int64_t je) {
+        for (int64_t j = jb; j < je; ++j) {
+          hits[static_cast<size_t>(i * kInner + j)].fetch_add(1);
+        }
+      });
+    }
+  });
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentCallersAreIndependent) {
+  // Several external threads sharing one pool: every call must see its own
+  // completion (no cross-caller waiting on a shared pending count).
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr int64_t kTotal = 2000;
+  std::vector<std::atomic<int64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int rep = 0; rep < 5; ++rep) {
+        std::atomic<int64_t> local{0};
+        pool.ParallelFor(kTotal, 16, [&](int64_t b, int64_t e) {
+          local.fetch_add(e - b);
+        });
+        // The call returned: every one of *its* chunks must have run.
+        ASSERT_EQ(local.load(), kTotal);
+      }
+      sums[static_cast<size_t>(c)].store(1);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (const auto& s : sums) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentCallerExceptionsStayWithTheirCall) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  std::vector<int> outcome(kCallers, -1);  // 0 = ok, 1 = threw
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      const bool should_throw = (c % 2 == 0);
+      try {
+        pool.ParallelFor(500, 1, [&](int64_t b, int64_t) {
+          if (should_throw && b == 250) throw IndexError("caller boom");
+        });
+        outcome[static_cast<size_t>(c)] = 0;
+      } catch (const TtRecError&) {
+        outcome[static_cast<size_t>(c)] = 1;
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(outcome[static_cast<size_t>(c)], c % 2 == 0 ? 1 : 0)
+        << "caller " << c;
+  }
 }
 
 TEST(BatchedGemm, SameResultAcrossThreadCounts) {

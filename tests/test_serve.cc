@@ -1,0 +1,430 @@
+// src/serve/ subsystem: metrics primitives, queue semantics, micro-batch
+// assembly round-trips, and the headline concurrency contract — N producer
+// threads against a batching consumer produce logits bitwise identical to a
+// sequential single-request session. Built to run clean under TSan
+// (-DTTREC_SANITIZE=thread) as well as ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/criteo_synth.h"
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "dlrm/model.h"
+#include "serve/inference_server.h"
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
+#include "serve/request_queue.h"
+#include "serve/serve_metrics.h"
+#include "tensor/check.h"
+#include "tt/tt_shapes.h"
+
+namespace ttrec {
+namespace {
+
+using serve::InferenceRequest;
+using serve::InferenceResult;
+using serve::PendingRequest;
+
+// ---------------------------------------------------------------------------
+// Metrics primitives
+// ---------------------------------------------------------------------------
+
+TEST(StripedCounter, AddAndTotal) {
+  serve::StripedCounter c;
+  EXPECT_EQ(c.Total(), 0);
+  c.Add(5);
+  c.Add(-2);
+  EXPECT_EQ(c.Total(), 3);
+  c.Reset();
+  EXPECT_EQ(c.Total(), 0);
+}
+
+TEST(StripedCounter, ConcurrentAddsAreLossless) {
+  serve::StripedCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Total(), int64_t{kThreads} * kAddsPerThread);
+}
+
+TEST(LatencyHistogram, EmptyReturnsZero) {
+  serve::LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesTrackKnownDistribution) {
+  serve::LatencyHistogram h;
+  // 1..1000 µs, one sample each: p50 ~ 500, p99 ~ 990.
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.TotalCount(), 1000);
+  EXPECT_NEAR(h.MeanMicros(), 500.5, 1.0);
+  // Geometric buckets grow ~1.25x, so percentiles carry ~25% resolution.
+  EXPECT_NEAR(h.PercentileMicros(50), 500.0, 130.0);
+  EXPECT_NEAR(h.PercentileMicros(99), 990.0, 260.0);
+  EXPECT_LE(h.PercentileMicros(50), h.PercentileMicros(95));
+  EXPECT_LE(h.PercentileMicros(95), h.PercentileMicros(99));
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsKeepTotalCount) {
+  serve::LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(1 + (t * kPerThread + i) % 997);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(ServeMetrics, SnapshotAndJson) {
+  serve::ServeMetrics m;
+  m.RecordBatch(4);
+  for (int i = 0; i < 4; ++i) m.RecordRequestOk(100 + i, 10);
+  m.RecordRequestFailed();
+  const serve::ServeMetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.requests_ok, 4);
+  EXPECT_EQ(s.requests_failed, 1);
+  EXPECT_EQ(s.batches, 1);
+  EXPECT_EQ(s.samples, 4);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 4.0);
+  EXPECT_GT(s.latency_mean_us, 0.0);
+  const std::string json = serve::ToJson(s);
+  EXPECT_NE(json.find("\"requests_ok\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"requests_failed\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"batch_size_hist\":{\"4\":1}"), std::string::npos)
+      << json;
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------------
+
+PendingRequest MakePending(int64_t tag) {
+  PendingRequest pr;
+  pr.request.dense = Tensor({1, 1});
+  pr.request.dense[0] = static_cast<float>(tag);
+  pr.enqueued_at = std::chrono::steady_clock::now();
+  return pr;
+}
+
+TEST(RequestQueue, PopBatchRespectsMaxItemsAndOrder) {
+  serve::RequestQueue q(/*capacity=*/16);
+  for (int64_t i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(MakePending(i)));
+  EXPECT_EQ(q.size(), 5u);
+  auto batch = q.PopBatch(3, std::chrono::microseconds(0));
+  ASSERT_EQ(batch.size(), 3u);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(batch[static_cast<size_t>(i)].request.dense[0],
+                    static_cast<float>(i));
+  }
+  batch = q.PopBatch(100, std::chrono::microseconds(0));
+  EXPECT_EQ(batch.size(), 2u);  // greedy drain, no waiting past the deadline
+}
+
+TEST(RequestQueue, CloseFailsPushAndDrainsPops) {
+  serve::RequestQueue q(16);
+  ASSERT_TRUE(q.Push(MakePending(7)));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+
+  PendingRequest late = MakePending(8);
+  std::future<InferenceResult> late_future = late.promise.get_future();
+  EXPECT_FALSE(q.Push(std::move(late)));
+  EXPECT_THROW(late_future.get(), std::runtime_error);
+
+  // The item enqueued before Close is still drained...
+  auto batch = q.PopBatch(10, std::chrono::microseconds(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FLOAT_EQ(batch[0].request.dense[0], 7.0f);
+  // ...then empty-batch is the consumer's exit signal.
+  EXPECT_TRUE(q.PopBatch(10, std::chrono::microseconds(0)).empty());
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  serve::RequestQueue q(4);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    // Blocks on empty queue until Close.
+    auto batch = q.PopBatch(10, std::chrono::microseconds(1000));
+    woke.store(batch.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+// ---------------------------------------------------------------------------
+// MicroBatcher: Assemble is the inverse of SplitSamples
+// ---------------------------------------------------------------------------
+
+SyntheticCriteoConfig ServeDataConfig(int num_tables = 4, int64_t rows = 200) {
+  SyntheticCriteoConfig cfg;
+  cfg.spec.name = "serve_test";
+  cfg.spec.num_dense = 13;
+  cfg.spec.table_rows.assign(static_cast<size_t>(num_tables), rows);
+  cfg.zipf_exponent = 1.1;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(MicroBatcher, AssembleRoundTripsSplitSamples) {
+  SyntheticCriteo data(ServeDataConfig());
+  const MiniBatch original = data.EvalBatch(9);
+  std::vector<InferenceRequest> requests = serve::SplitSamples(original);
+  ASSERT_EQ(requests.size(), 9u);
+
+  std::vector<PendingRequest> pending;
+  for (InferenceRequest& r : requests) {
+    PendingRequest pr;
+    pr.request = std::move(r);
+    pending.push_back(std::move(pr));
+  }
+  serve::MicroBatcher batcher(/*num_tables=*/4, /*num_dense=*/13);
+  serve::MicroBatch mb = batcher.Assemble(std::move(pending));
+
+  ASSERT_EQ(mb.batch.batch_size(), original.batch_size());
+  ASSERT_EQ(mb.sample_offsets.size(), 10u);
+  for (size_t r = 0; r < 9; ++r) {
+    EXPECT_EQ(mb.sample_offsets[r], static_cast<int64_t>(r));
+  }
+  // Dense features survive concatenation bitwise.
+  ASSERT_EQ(mb.batch.dense.numel(), original.dense.numel());
+  for (int64_t i = 0; i < original.dense.numel(); ++i) {
+    EXPECT_EQ(mb.batch.dense[i], original.dense[i]);
+  }
+  // Per-table CSR structure is reassembled exactly.
+  ASSERT_EQ(mb.batch.sparse.size(), original.sparse.size());
+  for (size_t t = 0; t < original.sparse.size(); ++t) {
+    EXPECT_EQ(mb.batch.sparse[t].indices, original.sparse[t].indices);
+    EXPECT_EQ(mb.batch.sparse[t].offsets, original.sparse[t].offsets);
+  }
+  // Labels are zero-filled (sizing only, never read by the forward pass).
+  for (float label : mb.batch.labels) EXPECT_EQ(label, 0.0f);
+}
+
+TEST(MicroBatcher, MixedWeightsMaterializeAllOnes) {
+  SyntheticCriteo data(ServeDataConfig(/*num_tables=*/1));
+  std::vector<InferenceRequest> requests =
+      serve::SplitSamples(data.EvalBatch(2));
+  // Give request 0 explicit weights; request 1 stays implicit (all-ones).
+  requests[0].sparse[0].weights.assign(
+      requests[0].sparse[0].indices.size(), 2.0f);
+  std::vector<PendingRequest> pending;
+  for (InferenceRequest& r : requests) {
+    PendingRequest pr;
+    pr.request = std::move(r);
+    pending.push_back(std::move(pr));
+  }
+  serve::MicroBatcher batcher(1, 13);
+  serve::MicroBatch mb = batcher.Assemble(std::move(pending));
+  const CsrBatch& merged = mb.batch.sparse[0];
+  ASSERT_EQ(merged.weights.size(), merged.indices.size());
+  size_t i = 0;
+  const size_t n0 = static_cast<size_t>(merged.offsets[1]);  // request 0's lookups
+  for (; i < n0; ++i) EXPECT_FLOAT_EQ(merged.weights[i], 2.0f);
+  for (; i < merged.weights.size(); ++i) {
+    EXPECT_FLOAT_EQ(merged.weights[i], 1.0f);  // materialized implicit ones
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving
+// ---------------------------------------------------------------------------
+
+DlrmConfig ServeDlrmConfig() {
+  DlrmConfig cfg;
+  cfg.emb_dim = 8;
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.index_policy = IndexPolicy::kThrow;
+  return cfg;
+}
+
+// Mixed backend model: dense bag + plain TT + cached TT + dense bag, so the
+// serving path exercises every ForwardInference implementation at once.
+std::unique_ptr<DlrmModel> BuildServeModel(const DatasetSpec& spec, Rng& rng,
+                                           DlrmConfig cfg) {
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  tables.push_back(std::make_unique<DenseEmbeddingBag>(
+      spec.table_rows[0], cfg.emb_dim, PoolingMode::kSum,
+      DenseEmbeddingInit::UniformScaled(), rng));
+  {
+    TtEmbeddingConfig tt;
+    tt.shape = MakeTtShape(spec.table_rows[1], cfg.emb_dim, 3, 4);
+    tables.push_back(
+        std::make_unique<TtEmbeddingAdapter>(tt, TtInit::kSampledGaussian, rng));
+  }
+  {
+    CachedTtConfig ct;
+    ct.tt.shape = MakeTtShape(spec.table_rows[2], cfg.emb_dim, 3, 4);
+    ct.cache_capacity = 32;
+    ct.warmup_iterations = 2;
+    ct.refresh_interval = 2;
+    tables.push_back(std::make_unique<CachedTtEmbeddingAdapter>(
+        ct, TtInit::kSampledGaussian, rng));
+  }
+  tables.push_back(std::make_unique<DenseEmbeddingBag>(
+      spec.table_rows[3], cfg.emb_dim, PoolingMode::kSum,
+      DenseEmbeddingInit::UniformScaled(), rng));
+  return std::make_unique<DlrmModel>(cfg, std::move(tables), rng);
+}
+
+TEST(InferenceSession, ConstForwardMatchesTrainingForwardBitwise) {
+  Rng rng(31);
+  SyntheticCriteo data(ServeDataConfig());
+  std::unique_ptr<DlrmModel> model =
+      BuildServeModel(data.config().spec, rng, ServeDlrmConfig());
+  // Warm + freeze the cached table through the training-path forward.
+  std::vector<float> warm(32);
+  for (int i = 0; i < 6; ++i) {
+    model->PredictLogits(data.NextBatch(32), warm.data());
+  }
+  const MiniBatch batch = data.EvalBatch(24);
+  std::vector<float> mutable_logits(24), const_logits(24);
+  model->PredictLogits(batch, mutable_logits.data());
+  serve::InferenceSession session(*model);
+  session.Run(batch, const_logits.data());
+  for (size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(const_logits[i], mutable_logits[i]) << "sample " << i;
+  }
+}
+
+TEST(InferenceServer, MultiProducerBatchedMatchesSequentialBitwise) {
+  Rng rng(47);
+  SyntheticCriteo data(ServeDataConfig());
+  std::unique_ptr<DlrmModel> model =
+      BuildServeModel(data.config().spec, rng, ServeDlrmConfig());
+  std::vector<float> warm(32);
+  for (int i = 0; i < 6; ++i) {
+    model->PredictLogits(data.NextBatch(32), warm.data());
+  }
+
+  constexpr int64_t kRequests = 96;
+  const MiniBatch trace = data.EvalBatch(kRequests);
+  const std::vector<InferenceRequest> requests = serve::SplitSamples(trace);
+
+  // Sequential reference: one request at a time through a private session.
+  std::vector<float> reference(kRequests);
+  {
+    serve::InferenceSession sequential(*model);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      MiniBatch one;
+      one.dense = requests[i].dense;
+      one.sparse = requests[i].sparse;
+      one.labels.assign(1, 0.0f);
+      sequential.Run(one, &reference[i]);
+    }
+  }
+
+  // Concurrent: N producer threads against a batching consumer. A long
+  // max_wait forces real coalescing so the bitwise claim is tested on
+  // genuinely multi-request micro-batches.
+  serve::InferenceServerConfig cfg;
+  cfg.max_batch_size = 16;
+  cfg.max_wait = std::chrono::microseconds(2000);
+  serve::InferenceServer server(*model, cfg);
+
+  constexpr int kProducers = 6;
+  std::vector<float> served(kRequests);
+  std::atomic<int64_t> max_micro_batch{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = static_cast<size_t>(p); i < requests.size();
+           i += kProducers) {
+        InferenceRequest copy;
+        copy.dense = requests[i].dense;
+        copy.sparse = requests[i].sparse;
+        const InferenceResult res = server.Submit(std::move(copy)).get();
+        ASSERT_EQ(res.logits.size(), 1u);
+        served[i] = res.logits[0];
+        int64_t seen = max_micro_batch.load();
+        while (seen < res.micro_batch_size &&
+               !max_micro_batch.compare_exchange_weak(seen,
+                                                      res.micro_batch_size)) {
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  for (int64_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(served[static_cast<size_t>(i)],
+              reference[static_cast<size_t>(i)])
+        << "request " << i;
+  }
+  // The claim is only interesting if batching actually happened.
+  EXPECT_GT(max_micro_batch.load(), 1);
+
+  const serve::ServeMetricsSnapshot snap = server.SnapshotWithCacheStats();
+  EXPECT_EQ(snap.requests_ok, kRequests);
+  EXPECT_EQ(snap.requests_failed, 0);
+  EXPECT_EQ(snap.samples, kRequests);
+  EXPECT_TRUE(snap.has_cache);  // table 2 carries the LFU cache
+  server.Shutdown();
+}
+
+TEST(InferenceServer, MalformedRequestFailsOnlyItsOwnFuture) {
+  Rng rng(53);
+  SyntheticCriteo data(ServeDataConfig());
+  std::unique_ptr<DlrmModel> model =
+      BuildServeModel(data.config().spec, rng, ServeDlrmConfig());
+  serve::InferenceServer server(*model, {});
+
+  std::vector<InferenceRequest> reqs = serve::SplitSamples(data.EvalBatch(3));
+
+  // Out-of-range index under kThrow: rejected at Submit.
+  reqs[0].sparse[0].indices[0] = data.config().spec.table_rows[0] + 99;
+  auto bad_index = server.Submit(std::move(reqs[0]));
+  EXPECT_THROW(bad_index.get(), IndexError);
+
+  // Wrong dense width: rejected at Submit.
+  reqs[1].dense = Tensor({1, 2});
+  auto bad_shape = server.Submit(std::move(reqs[1]));
+  EXPECT_THROW(bad_shape.get(), ShapeError);
+
+  // A well-formed request right after still serves.
+  const InferenceResult ok = server.Submit(std::move(reqs[2])).get();
+  EXPECT_EQ(ok.logits.size(), 1u);
+
+  const serve::ServeMetricsSnapshot snap = server.metrics().Snapshot();
+  EXPECT_EQ(snap.requests_ok, 1);
+  EXPECT_EQ(snap.requests_failed, 2);
+}
+
+TEST(InferenceServer, SubmitAfterShutdownFailsFast) {
+  Rng rng(59);
+  SyntheticCriteo data(ServeDataConfig());
+  std::unique_ptr<DlrmModel> model =
+      BuildServeModel(data.config().spec, rng, ServeDlrmConfig());
+  serve::InferenceServer server(*model, {});
+  std::vector<InferenceRequest> reqs = serve::SplitSamples(data.EvalBatch(2));
+  EXPECT_EQ(server.Submit(std::move(reqs[0])).get().logits.size(), 1u);
+  server.Shutdown();
+  server.Shutdown();  // idempotent
+  auto rejected = server.Submit(std::move(reqs[1]));
+  EXPECT_THROW(rejected.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ttrec

@@ -11,6 +11,7 @@
 //     ...
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "dlrm/checkpoint.h"
 #include "tensor/check.h"
@@ -20,8 +21,17 @@ namespace {
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s <cores-file.ttrc>\n"
-               "       %s verify <snapshot.ttsn>\n",
+               "usage: %s <command> [args]\n"
+               "\n"
+               "commands:\n"
+               "  info <cores-file.ttrc>    describe a saved TT-cores artifact\n"
+               "                            (factorization, ranks, compression)\n"
+               "  verify <snapshot.ttsn>    check a training snapshot's magic,\n"
+               "                            version, and section CRCs\n"
+               "  help                      print this message\n"
+               "\n"
+               "`%s <cores-file.ttrc>` (no subcommand) is accepted as a\n"
+               "shorthand for `info`.\n",
                prog, prog);
   return 2;
 }
@@ -74,10 +84,26 @@ int VerifySnapshot(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
+  if (argc < 2) return Usage(argv[0]);
+  if (std::strcmp(argv[1], "help") == 0 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    Usage(argv[0]);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "verify") == 0) {
     if (argc != 3) return Usage(argv[0]);
     return VerifySnapshot(argv[2]);
   }
-  if (argc != 2) return Usage(argv[0]);
-  return InfoTtCores(argv[1]);
+  if (std::strcmp(argv[1], "info") == 0) {
+    if (argc != 3) return Usage(argv[0]);
+    return InfoTtCores(argv[2]);
+  }
+  // A lone existing-file argument is the legacy `ttrec_info <file>`
+  // spelling; anything else (flags, extra args, unknown subcommands) gets
+  // usage and a non-zero exit.
+  if (argc == 2 && argv[1][0] != '-' &&
+      std::filesystem::exists(argv[1])) {
+    return InfoTtCores(argv[1]);
+  }
+  return Usage(argv[0]);
 }
