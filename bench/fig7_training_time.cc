@@ -1,7 +1,13 @@
 // Figure 7: normalized end-to-end DLRM training time of TT-Rec across TT
 // ranks (8/16/32/64) and number of compressed tables (3/5/7), relative to
 // the uncompressed baseline (= 1.0).
+//
+// `--json out.json` additionally writes the sweep as machine-readable JSON
+// (ms/iter, normalized time, embedding bytes per cell) for the perf
+// trajectory.
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "harness.h"
@@ -9,7 +15,52 @@
 using namespace ttrec;
 using namespace ttrec::bench;
 
-int main() {
+namespace {
+
+struct Cell {
+  int tables = 0;
+  long long rank = 0;
+  double ms_per_iter = 0.0;
+  double normalized = 0.0;
+  long long embedding_bytes = 0;
+};
+
+int WriteJson(const std::string& path, double baseline_ms,
+              long long baseline_bytes, const std::vector<Cell>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig7_training_time\",\n");
+  std::fprintf(f, "  \"baseline_ms_per_iter\": %.4f,\n", baseline_ms);
+  std::fprintf(f, "  \"baseline_embedding_bytes\": %lld,\n", baseline_bytes);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"tt_tables\": %d, \"rank\": %lld, \"ms_per_iter\": "
+                 "%.4f, \"normalized_time\": %.4f, \"embedding_bytes\": "
+                 "%lld}%s\n",
+                 c.tables, c.rank, c.ms_per_iter, c.normalized,
+                 c.embedding_bytes, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   const BenchEnv env = BenchEnv::FromEnvironment();
   PrintHeader("fig7_training_time",
               "Paper Figure 7 (normalized training time vs rank x #tables)",
@@ -32,6 +83,7 @@ int main() {
               "absolute values not comparable)\n\n",
               rb.ms_per_iter);
 
+  std::vector<Cell> cells;
   const std::vector<int64_t> ranks = {8, 16, 32, 64};
   std::printf("normalized training time (baseline = 1.00):\n%-10s", "TT-Emb.");
   for (int64_t r : ranks) std::printf(" rank=%-7lld", static_cast<long long>(r));
@@ -45,6 +97,9 @@ int main() {
       cfg.tt_rank = rank;
       const SweepRunResult r = RunSweep(cfg, tc, 99);
       std::printf(" %-12.2f", r.ms_per_iter / rb.ms_per_iter);
+      cells.push_back(Cell{k, static_cast<long long>(rank), r.ms_per_iter,
+                           r.ms_per_iter / rb.ms_per_iter,
+                           static_cast<long long>(r.embedding_bytes)});
       if (rank == 32) {
         red32 = static_cast<double>(rb.embedding_bytes) /
                 static_cast<double>(r.embedding_bytes);
@@ -55,5 +110,10 @@ int main() {
   std::printf(
       "\nExpected shape (paper Fig 7): overhead grows with rank and with "
       "#tables compressed; at the optimal rank the overhead is ~10-15%%.\n");
+
+  if (!json_path.empty()) {
+    return WriteJson(json_path, rb.ms_per_iter,
+                     static_cast<long long>(rb.embedding_bytes), cells);
+  }
   return 0;
 }

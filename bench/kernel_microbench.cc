@@ -1,8 +1,19 @@
 // google-benchmark microbenchmarks for the hot kernels: GEMM, batched GEMM,
 // TT-EmbeddingBag forward/backward, row materialization, cache probes, and
 // Zipf sampling. These are the building blocks behind Figures 7/8/11/12.
+//
+// `--json out.json` switches to a machine-readable thread-count sweep of the
+// block-parallel TT kernels (GFLOP/s and lookups/s per pool size, plus a
+// cross-thread determinism check) — the BENCH_kernels.json artifact CI
+// uploads so the perf trajectory populates. All other flags pass through to
+// google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/freq_tracker.h"
@@ -10,6 +21,7 @@
 #include "data/csr_batch.h"
 #include "tensor/batched_gemm.h"
 #include "tensor/gemm.h"
+#include "tensor/parallel.h"
 #include "tensor/random.h"
 #include "tt/tt_embedding.h"
 
@@ -171,7 +183,147 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample)->Arg(10000)->Arg(10000000);
 
+// --json mode: a Criteo-shape thread-count sweep of the block-parallel TT
+// kernels. Times whole-table forward and forward+backward+SGD at pool sizes
+// {1, 2, 4, 8}, derives GFLOP/s from the operator's own FLOP counters, and
+// verifies the forward output is bitwise identical across all pool sizes
+// (the determinism contract of DESIGN.md "Kernel parallelism").
+int RunKernelJsonSweep(const std::string& path) {
+  const int64_t rows = 1000000;
+  const int64_t rank = 32;
+  const int64_t batch = 4096;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int reps = 5;
+
+  struct SweepRow {
+    int threads = 0;
+    double fwd_ms = 0.0, fwd_gflops = 0.0, fwd_lookups_per_s = 0.0;
+    double fwdbwd_ms = 0.0, fwdbwd_gflops = 0.0, fwdbwd_lookups_per_s = 0.0;
+  };
+  std::vector<SweepRow> rowsout;
+  std::vector<float> ref_out;
+  bool deterministic = true;
+  int64_t block_size = 0;
+
+  using Clock = std::chrono::steady_clock;
+  auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  for (int threads : thread_counts) {
+    ThreadPool::SetGlobalThreads(threads);
+    TtEmbeddingBag emb = MakeBenchEmbedding(rows, rank);
+    block_size = emb.config().block_size;
+    CsrBatch lookup = MakeLookupBatch(rows, batch);
+    std::vector<float> out(static_cast<size_t>(batch * 16));
+    std::vector<float> grad(out.size(), 1.0f);
+
+    emb.Forward(lookup, out.data());  // warm-up + determinism probe
+    if (ref_out.empty()) {
+      ref_out = out;
+    } else if (std::memcmp(ref_out.data(), out.data(),
+                           out.size() * sizeof(float)) != 0) {
+      deterministic = false;
+    }
+
+    SweepRow row;
+    row.threads = threads;
+    const TtEmbeddingStats before_fwd = emb.stats();
+    auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) emb.Forward(lookup, out.data());
+    row.fwd_ms = ms_since(t0) / reps;
+    const int64_t fwd_flops =
+        (emb.stats().forward_flops - before_fwd.forward_flops) / reps;
+    row.fwd_gflops = static_cast<double>(fwd_flops) / (row.fwd_ms * 1e6);
+    row.fwd_lookups_per_s = static_cast<double>(batch) / (row.fwd_ms * 1e-3);
+
+    const TtEmbeddingStats before_bwd = emb.stats();
+    t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+      emb.Forward(lookup, out.data());
+      emb.Backward(lookup, grad.data());
+      emb.ApplySgd(0.01f);
+    }
+    row.fwdbwd_ms = ms_since(t0) / reps;
+    const int64_t step_flops =
+        (emb.stats().forward_flops - before_bwd.forward_flops +
+         emb.stats().backward_flops - before_bwd.backward_flops) /
+        reps;
+    row.fwdbwd_gflops = static_cast<double>(step_flops) / (row.fwdbwd_ms * 1e6);
+    row.fwdbwd_lookups_per_s =
+        static_cast<double>(batch) / (row.fwdbwd_ms * 1e-3);
+    rowsout.push_back(row);
+
+    std::printf(
+        "threads=%d  fwd %.2f ms (%.2f GFLOP/s)  fwd+bwd+sgd %.2f ms "
+        "(%.2f GFLOP/s)\n",
+        threads, row.fwd_ms, row.fwd_gflops, row.fwdbwd_ms,
+        row.fwdbwd_gflops);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel_microbench\",\n");
+  std::fprintf(f,
+               "  \"table\": {\"rows\": %lld, \"emb_dim\": 16, \"num_cores\": "
+               "3, \"rank\": %lld, \"batch\": %lld, \"block_size\": %lld},\n",
+               static_cast<long long>(rows), static_cast<long long>(rank),
+               static_cast<long long>(batch),
+               static_cast<long long>(block_size));
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rowsout.size(); ++i) {
+    const SweepRow& r = rowsout[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"forward_ms\": %.4f, \"forward_gflops\": "
+        "%.4f, \"forward_lookups_per_s\": %.1f, \"fwdbwd_ms\": %.4f, "
+        "\"fwdbwd_gflops\": %.4f, \"fwdbwd_lookups_per_s\": %.1f, "
+        "\"fwd_speedup_vs_1t\": %.3f, \"fwdbwd_speedup_vs_1t\": %.3f}%s\n",
+        r.threads, r.fwd_ms, r.fwd_gflops, r.fwd_lookups_per_s, r.fwdbwd_ms,
+        r.fwdbwd_gflops, r.fwdbwd_lookups_per_s,
+        rowsout[0].fwd_ms / r.fwd_ms, rowsout[0].fwdbwd_ms / r.fwdbwd_ms,
+        i + 1 < rowsout.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (deterministic across threads: %s)\n", path.c_str(),
+              deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace ttrec
 
-BENCHMARK_MAIN();
+// Custom main: peel off `--json <path>` (google-benchmark rejects unknown
+// flags) before handing the rest to the standard benchmark driver.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return ttrec::RunKernelJsonSweep(json_path);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -127,6 +127,14 @@ class CachedTtEmbeddingBag {
     return tt_.MemoryBytes() + cache_.MemoryBytes();
   }
 
+  /// Peak transient kernel memory of the miss path — the block-parallel TT
+  /// workspace (see TtEmbeddingBag::WorkspaceBytes). The hit path reads
+  /// cached rows in place and allocates nothing beyond the reusable hit
+  /// scratch.
+  int64_t WorkspaceBytes(int num_threads = 0) const {
+    return tt_.WorkspaceBytes(num_threads);
+  }
+
  private:
   /// Splits `batch` into cache hits (applied immediately via `on_hit`) and
   /// a TT sub-batch carrying explicit per-lookup weights. Const (and safe

@@ -101,11 +101,24 @@ void FreqTracker::Clear() {
 void FreqTracker::Decay(double factor) {
   TTREC_CHECK_CONFIG(factor >= 0.0 && factor < 1.0,
                      "FreqTracker: decay factor must be in [0, 1)");
+  // Rebuild the table, dropping keys whose count decays to zero. Flooring
+  // counts in place would leave dead slots occupied: size_ never shrinks,
+  // the load factor ratchets upward across decay cycles, and Grow() ends up
+  // doubling the table over tombstones that carry no information.
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size(), Slot{});
+  size_ = 0;
   total_ = 0;
-  for (Slot& s : slots_) {
+  for (const Slot& s : old) {
     if (s.key == kEmpty) continue;
-    s.count = static_cast<int64_t>(std::floor(s.count * factor));
-    total_ += s.count;
+    const int64_t decayed = static_cast<int64_t>(std::floor(
+        static_cast<double>(s.count) * factor));
+    if (decayed <= 0) continue;
+    Slot& dst = slots_[ProbeFor(s.key)];
+    dst.key = s.key;
+    dst.count = decayed;
+    ++size_;
+    total_ += decayed;
   }
 }
 

@@ -41,8 +41,9 @@ class FreqTracker {
   void Clear();
 
   /// Multiplies every count by `factor` in [0, 1) — exponential decay for
-  /// phase-adaptive tracking; counts rounding to zero are kept (slot reuse
-  /// is not attempted).
+  /// phase-adaptive tracking. The table is rebuilt in place and keys whose
+  /// count rounds to zero are dropped (size() shrinks), so repeated decay
+  /// cycles never ratchet the load factor over dead slots.
   void Decay(double factor);
 
  private:

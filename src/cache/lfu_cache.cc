@@ -87,7 +87,15 @@ void LfuRowCache::Rebuild() {
 
 void LfuRowCache::Populate(std::span<const int64_t> rows,
                            const float* values) {
-  const size_t n = std::min(rows.size(), static_cast<size_t>(capacity_));
+  // Refuse oversized row sets outright. Truncating here would zero the
+  // hit/miss stats as if the full hot set were resident while silently
+  // serving a smaller one — a capacity-planning bug that surfaces only as
+  // mysteriously low hit rates.
+  TTREC_CHECK_CONFIG(
+      rows.size() <= static_cast<size_t>(capacity_),
+      "LfuRowCache::Populate: ", rows.size(), " rows exceed capacity ",
+      capacity_, "; pass at most `capacity()` rows");
+  const size_t n = rows.size();
   rows_.assign(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(n));
   std::memcpy(values_.data(), values, n * static_cast<size_t>(emb_dim_) *
                                            sizeof(float));

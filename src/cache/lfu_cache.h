@@ -45,10 +45,12 @@ class LfuRowCache {
   /// Gradient accumulator slot paired with a cached row; nullptr on miss.
   float* GradFor(int64_t row);
 
-  /// Replaces the cache contents with `rows` (at most `capacity`; excess is
-  /// ignored) and their vectors from `values` (rows.size() x emb_dim).
-  /// Gradients are zeroed. Previously cached rows keep nothing — eviction
-  /// discards learned weights by design.
+  /// Replaces the cache contents with `rows` and their vectors from
+  /// `values` (rows.size() x emb_dim). Throws ConfigError if rows.size()
+  /// exceeds `capacity` — truncating would silently serve a smaller hot set
+  /// while resetting stats as if fully populated. Gradients are zeroed.
+  /// Previously cached rows keep nothing — eviction discards learned
+  /// weights by design.
   void Populate(std::span<const int64_t> rows, const float* values);
 
   /// Applies w -= lr * grad to every cached row and clears gradients.

@@ -63,6 +63,9 @@ class TtEmbeddingAdapter : public EmbeddingOp {
   int64_t num_rows() const override { return tt_.num_rows(); }
   int64_t emb_dim() const override { return tt_.emb_dim(); }
   int64_t MemoryBytes() const override { return tt_.MemoryBytes(); }
+  int64_t WorkspaceBytes(int num_threads = 0) const override {
+    return tt_.WorkspaceBytes(num_threads);
+  }
   std::string Name() const override { return "tt_embedding"; }
 
   TtEmbeddingBag& tt() { return tt_; }
@@ -108,6 +111,9 @@ class CachedTtEmbeddingAdapter : public EmbeddingOp {
   int64_t num_rows() const override { return op_.num_rows(); }
   int64_t emb_dim() const override { return op_.emb_dim(); }
   int64_t MemoryBytes() const override { return op_.MemoryBytes(); }
+  int64_t WorkspaceBytes(int num_threads = 0) const override {
+    return op_.WorkspaceBytes(num_threads);
+  }
   std::string Name() const override { return "cached_tt_embedding"; }
 
   CachedTtEmbeddingBag& op() { return op_; }

@@ -101,6 +101,13 @@ class EmbeddingOp {
   /// Parameter memory in bytes (the x-axis of Figures 1/5/8).
   virtual int64_t MemoryBytes() const = 0;
 
+  /// Peak transient working memory of one Forward/Backward call when the
+  /// operator's kernels run on `num_threads` pool workers (0 = the current
+  /// global ThreadPool) — what a capacity planner adds on top of
+  /// MemoryBytes. Default 0: dense and baseline operators pool straight
+  /// into the caller's output.
+  virtual int64_t WorkspaceBytes(int /*num_threads*/ = 0) const { return 0; }
+
   virtual std::string Name() const = 0;
 };
 

@@ -7,6 +7,7 @@
 
 #include "dlrm/checkpoint.h"
 #include "tensor/check.h"
+#include "tensor/parallel.h"
 
 namespace ttrec {
 
@@ -63,6 +64,11 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
       config.fault.on_fault != FaultToleranceConfig::OnFault::kRollback ||
           config.checkpoint_every > 0,
       "rollback fault policy requires checkpointing (checkpoint_every > 0)");
+  TTREC_CHECK_CONFIG(config.num_threads >= 0,
+                     "num_threads must be >= 0 (0 = leave the pool as-is)");
+  if (config.num_threads > 0) {
+    ThreadPool::SetGlobalThreads(config.num_threads);
+  }
 
   OptimizerConfig opt;
   opt.kind = config.optimizer;

@@ -55,6 +55,11 @@ struct TrainConfig {
   /// Record a loss sample every `log_every` iterations (0 = never).
   int64_t log_every = 10;
 
+  /// Resize the global ThreadPool before training (0 = leave it alone).
+  /// The TT kernels are block-parallel and deterministic for any value, so
+  /// this is purely a throughput knob; results are bitwise identical.
+  int num_threads = 0;
+
   /// Snapshot the full training state every N iterations (0 = never);
   /// requires checkpoint_dir.
   int64_t checkpoint_every = 0;

@@ -37,6 +37,29 @@ class InferenceSession {
 
   const DlrmModel& model() const { return model_; }
 
+  /// Upper bound on the transient working memory of one Run call, for
+  /// replica capacity planning: every table's kernel workspace on top of
+  /// the session-owned scratch. Run shards tables across the pool one
+  /// table per chunk (dlrm/model.h), so within a call each table's TT
+  /// kernel executes single-threaded — hence WorkspaceBytes(1) per table.
+  /// The session scratch itself (MLP activations, per-table outputs) is
+  /// sized by the first Run and reused; this estimate reflects its current
+  /// allocation.
+  int64_t WorkspaceBytesEstimate() const {
+    int64_t bytes = 0;
+    for (int t = 0; t < model_.num_tables(); ++t) {
+      bytes += model_.table(t).WorkspaceBytes(/*num_threads=*/1);
+    }
+    auto vec_bytes = [](const std::vector<float>& v) {
+      return static_cast<int64_t>(v.capacity() * sizeof(float));
+    };
+    bytes += vec_bytes(scratch_.bottom_out) + vec_bytes(scratch_.inter_out);
+    for (const auto& v : scratch_.bottom_act) bytes += vec_bytes(v);
+    for (const auto& v : scratch_.emb_out) bytes += vec_bytes(v);
+    for (const auto& v : scratch_.top_act) bytes += vec_bytes(v);
+    return bytes;
+  }
+
   /// Lookups zeroed under IndexPolicy::kClampToZero since construction.
   int64_t clamped_lookups() const { return scratch_.clamped_lookups; }
 

@@ -33,6 +33,11 @@ struct BatchedGemmShape {
 /// Safe to call with C pointers that alias *across* problems only when
 /// beta == 1 and `deterministic` is true (accumulation runs single-threaded
 /// in batch order); otherwise behaviour is undefined, matching cuBLAS.
+///
+/// When called from inside an outer ParallelFor chunk (a nested call — e.g.
+/// from a block-parallel TT kernel task) the batch runs inline on the
+/// current thread in batch order, deterministically: outer parallelism owns
+/// the pool, inner batches never re-enter it.
 void BatchedGemm(const BatchedGemmShape& shape,
                  std::span<const float* const> a,
                  std::span<const float* const> b, std::span<float* const> c,

@@ -4,6 +4,7 @@
 
 #include "tensor/check.h"
 #include "tensor/gemm.h"
+#include "tensor/parallel.h"
 
 namespace ttrec {
 
@@ -79,18 +80,33 @@ void TtCores::MaterializeRow(int64_t row, float* out) const {
 }
 
 Tensor TtCores::MaterializeRows(std::span<const int64_t> rows) const {
+  // Rows are independent TT chains writing disjoint output ranges, so this
+  // parallelizes trivially and deterministically. Keeps the LFU cache's
+  // refresh (CachedTtEmbedding::RefreshCache materializes the whole hot
+  // set) off the critical path on multi-core hosts.
   Tensor out({static_cast<int64_t>(rows.size()), emb_dim()});
-  for (size_t i = 0; i < rows.size(); ++i) {
-    MaterializeRow(rows[i], out.data() + static_cast<int64_t>(i) * emb_dim());
-  }
+  ParallelFor(
+      static_cast<int64_t>(rows.size()),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          MaterializeRow(rows[static_cast<size_t>(i)],
+                         out.data() + i * emb_dim());
+        }
+      },
+      /*grain=*/8);
   return out;
 }
 
 Tensor TtCores::MaterializeFull() const {
   Tensor out({num_rows(), emb_dim()});
-  for (int64_t r = 0; r < num_rows(); ++r) {
-    MaterializeRow(r, out.data() + r * emb_dim());
-  }
+  ParallelFor(
+      num_rows(),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t r = begin; r < end; ++r) {
+          MaterializeRow(r, out.data() + r * emb_dim());
+        }
+      },
+      /*grain=*/8);
   return out;
 }
 

@@ -13,6 +13,14 @@ namespace ttrec {
 
 namespace {
 
+// Blocks are dispatched to the pool in sequential "rounds" of at most
+// kRoundBlocksPerThread blocks per worker. Rounds bound the shared row
+// buffer (forward) and the number of live block-local gradient accumulators
+// (backward) without affecting results: per-bag pooling order and the
+// block-order gradient merge are functions of block boundaries only, and
+// block boundaries depend only on config.block_size.
+constexpr int64_t kRoundBlocksPerThread = 4;
+
 /// Bag id for every lookup, from the CSR offsets.
 std::vector<int64_t> LookupBags(const CsrBatch& batch) {
   std::vector<int64_t> bags(static_cast<size_t>(batch.num_lookups()));
@@ -44,6 +52,24 @@ std::vector<float> EffectiveWeights(const CsrBatch& batch,
   return w;
 }
 
+/// Order-sensitive 64-bit fingerprint of a lookup-index sequence (splitmix64
+/// finalizer per element folded FNV-style). Stamps the stash so Backward can
+/// prove it is replaying intermediates of THIS batch, not merely one of
+/// equal size.
+uint64_t HashIndices(std::span<const int64_t> indices) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(indices.size());
+  for (int64_t v : indices) {
+    uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    h = (h ^ x) * 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 struct TtEmbeddingBag::BlockBuffers {
@@ -58,11 +84,36 @@ struct TtEmbeddingBag::BlockBuffers {
   std::vector<float> d_cur;
   std::vector<float> d_next;
   std::vector<float> slice_grads;
+  std::vector<float> scratch_rows;  // recompute / dedup-expanded rows
   // Dedup scratch (config.deduplicate).
   std::vector<int64_t> unique;
   std::vector<int32_t> lookup_to_unique;
   std::vector<float> unique_rows;
   std::unordered_map<int64_t, int32_t> dedup_map;
+};
+
+// Block-local gradient accumulator: per core, a compact first-touch-ordered
+// list of slice ids plus their dense gradient rows. Each block task writes
+// only its own BlockGrads; the caller merges them into grads_ in block
+// order, so the accumulated gradient never depends on the thread count.
+struct TtEmbeddingBag::BlockGrads {
+  struct PerCore {
+    std::vector<int64_t> slices;  // slice ids, first-touch order
+    std::unordered_map<int64_t, int32_t> index;
+    std::vector<float> data;  // slices.size() * slice_size floats
+  };
+  std::vector<PerCore> cores;
+
+  float* SliceFor(int k, int64_t ik, int64_t slice_size) {
+    PerCore& pc = cores[static_cast<size_t>(k)];
+    auto [it, inserted] =
+        pc.index.try_emplace(ik, static_cast<int32_t>(pc.slices.size()));
+    if (inserted) {
+      pc.slices.push_back(ik);
+      pc.data.resize(pc.slices.size() * static_cast<size_t>(slice_size), 0.0f);
+    }
+    return pc.data.data() + static_cast<int64_t>(it->second) * slice_size;
+  }
 };
 
 TtEmbeddingBag::TtEmbeddingBag(TtEmbeddingConfig config, TtCores cores)
@@ -191,21 +242,66 @@ void TtEmbeddingBag::LoadOptState(BinaryReader& r) {
   adagrad_state_ = std::move(state);
 }
 
-int64_t TtEmbeddingBag::WorkspaceBytes() const {
+int64_t TtEmbeddingBag::WorkspaceBytes(int num_threads) const {
+  const TtShape& s = cores_.shape();
   const int d = cores_.num_cores();
-  int64_t floats = 0;
-  for (int c = 1; c <= d - 2; ++c) {
-    floats += config_.block_size * prodn_[static_cast<size_t>(c)] *
-              cores_.shape().ranks[static_cast<size_t>(c) + 1];
+  const int64_t B = config_.block_size;
+  const int64_t N = emb_dim();
+  const int64_t threads =
+      num_threads > 0 ? num_threads : ThreadPool::Global().num_threads();
+
+  // Largest propagated gradient D_c and slice gradient across stages
+  // (same derivation as Backward).
+  int64_t max_d_stride = N;
+  int64_t max_slice = cores_.SliceSize(0);
+  for (int c = 0; c < d; ++c) {
+    max_d_stride = std::max(
+        max_d_stride,
+        prodn_[static_cast<size_t>(c)] * s.ranks[static_cast<size_t>(c) + 1]);
+    if (c > 0) max_slice = std::max(max_slice, cores_.SliceSize(c));
   }
-  floats += config_.block_size * emb_dim();  // row buffer
-  return floats * static_cast<int64_t>(sizeof(float)) +
-         3 * config_.block_size * static_cast<int64_t>(sizeof(void*));
+
+  // --- Per concurrently running block task (one BlockBuffers each). ---
+  int64_t per_block_floats = 0;
+  // Forward stage intermediates, stages 1..d-2.
+  for (int c = 1; c <= d - 2; ++c) {
+    per_block_floats += B * prodn_[static_cast<size_t>(c)] *
+                        s.ranks[static_cast<size_t>(c) + 1];
+  }
+  // Backward: D_c ping-pong buffers, per-unit slice gradients, and the
+  // recompute (or dedup-expanded) row scratch.
+  per_block_floats += 2 * B * max_d_stride + B * max_slice + B * N;
+  // Block-local gradient accumulators: at most min(B, m_k) distinct slices
+  // per core can be touched by one block.
+  for (int k = 0; k < d; ++k) {
+    per_block_floats +=
+        std::min(B, s.row_factors[static_cast<size_t>(k)]) *
+        cores_.SliceSize(k);
+  }
+  int64_t per_block_bytes =
+      per_block_floats * static_cast<int64_t>(sizeof(float)) +
+      B * d * static_cast<int64_t>(sizeof(int64_t)) +  // digits
+      3 * B * static_cast<int64_t>(sizeof(void*));     // a/b/c pointer arrays
+  if (config_.deduplicate) {
+    // unique ids + lookup->unique mapping + expanded unique rows + hash map
+    // (~3 words per entry at typical open-addressing load factors).
+    per_block_bytes += B * static_cast<int64_t>(sizeof(int64_t)) +
+                       B * static_cast<int64_t>(sizeof(int32_t)) +
+                       B * N * static_cast<int64_t>(sizeof(float)) +
+                       3 * B * static_cast<int64_t>(sizeof(void*));
+  }
+
+  // --- Shared per-call buffer: one round's reconstructed rows, which the
+  // pooling phase reads (kRoundBlocksPerThread blocks per worker).
+  const int64_t round_rows_bytes = kRoundBlocksPerThread * threads * B * N *
+                                   static_cast<int64_t>(sizeof(float));
+
+  return threads * per_block_bytes + round_rows_bytes;
 }
 
 void TtEmbeddingBag::BuildBlockDedup(std::span<const int64_t> indices,
                                      int64_t begin, int64_t end,
-                                     BlockBuffers& buf) {
+                                     BlockBuffers& buf) const {
   buf.unique.clear();
   buf.dedup_map.clear();
   buf.lookup_to_unique.resize(static_cast<size_t>(end - begin));
@@ -271,6 +367,8 @@ void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
     shape.m = m;
     shape.n = nn;
     shape.k = kk;
+    // Inside a block task this runs inline (pool re-entrancy); from a
+    // sequential caller it still fans the batch across the pool.
     BatchedGemm(shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
 
     if (stash != nullptr && !last_stage) {
@@ -279,6 +377,81 @@ void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
                   buf.inter[static_cast<size_t>(c)].data(),
                   static_cast<size_t>(L * out_stride) * sizeof(float));
     }
+  }
+}
+
+void TtEmbeddingBag::PooledForward(const CsrBatch& batch,
+                                   std::span<const int64_t> bags,
+                                   std::span<const float> w, float* output,
+                                   Stash* stash, bool dedup) const {
+  const int64_t N = emb_dim();
+  const int64_t n_lookups = batch.num_lookups();
+  if (n_lookups == 0) return;
+
+  const int64_t bs = config_.block_size;
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t round_blocks = std::max<int64_t>(
+      1, kRoundBlocksPerThread * static_cast<int64_t>(pool.num_threads()));
+  const int64_t round_lookups = round_blocks * bs;
+
+  // Reconstructed rows for one round, indexed by (lookup - round_begin).
+  std::vector<float> rows(
+      static_cast<size_t>(std::min(n_lookups, round_lookups) * N));
+
+  for (int64_t r0 = 0; r0 < n_lookups; r0 += round_lookups) {
+    const int64_t r1 = std::min(n_lookups, r0 + round_lookups);
+    const int64_t blocks = (r1 - r0 + bs - 1) / bs;
+
+    // Phase 1: reconstruct rows, block-parallel. Each block writes a
+    // disjoint range of `rows` (and, when stashing, a disjoint range of the
+    // stash), so tasks never overlap.
+    pool.ParallelFor(blocks, 1, [&](int64_t c0, int64_t c1) {
+      BlockBuffers buf;
+      for (int64_t blk = c0; blk < c1; ++blk) {
+        const int64_t begin = r0 + blk * bs;
+        const int64_t end = std::min(r1, begin + bs);
+        float* out_rows = rows.data() + (begin - r0) * N;
+        if (dedup) {
+          BuildBlockDedup(batch.indices, begin, end, buf);
+          const int64_t num_unique = static_cast<int64_t>(buf.unique.size());
+          buf.unique_rows.resize(static_cast<size_t>(num_unique * N));
+          ForwardBlock(buf.unique, 0, num_unique, buf.unique_rows.data(), buf,
+                       /*stash=*/nullptr);
+          for (int64_t l = begin; l < end; ++l) {
+            const float* src =
+                buf.unique_rows.data() +
+                static_cast<int64_t>(
+                    buf.lookup_to_unique[static_cast<size_t>(l - begin)]) *
+                    N;
+            std::memcpy(out_rows + (l - begin) * N, src,
+                        static_cast<size_t>(N) * sizeof(float));
+          }
+        } else {
+          ForwardBlock(batch.indices, begin, end, out_rows, buf, stash);
+        }
+      }
+    });
+
+    // Phase 2: pool this round's rows into bags. Every bag is owned by
+    // exactly one chunk (bags partition the lookup range), and a bag's
+    // lookups accumulate in lookup order across sequential rounds — so the
+    // scatter is race-free and bitwise independent of the thread count.
+    const int64_t bag_lo = bags[static_cast<size_t>(r0)];
+    const int64_t bag_hi = bags[static_cast<size_t>(r1 - 1)] + 1;
+    pool.ParallelFor(bag_hi - bag_lo, 16, [&](int64_t u0, int64_t u1) {
+      for (int64_t bag = bag_lo + u0; bag < bag_lo + u1; ++bag) {
+        const int64_t lo =
+            std::max(r0, batch.offsets[static_cast<size_t>(bag)]);
+        const int64_t hi =
+            std::min(r1, batch.offsets[static_cast<size_t>(bag) + 1]);
+        float* dst = output + bag * N;
+        for (int64_t l = lo; l < hi; ++l) {
+          const float wl = w[static_cast<size_t>(l)];
+          const float* src = rows.data() + (l - r0) * N;
+          for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
+        }
+      }
+    });
   }
 }
 
@@ -294,6 +467,7 @@ void TtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
   const std::vector<int64_t> bags = LookupBags(batch);
   const std::vector<float> w = EffectiveWeights(batch, config_.pooling, bags);
 
+  ++forward_serial_;
   stash_.valid = false;
   if (config_.stash_intermediates) {
     stash_.stage.assign(static_cast<size_t>(std::max(0, d - 2)) + 1, {});
@@ -305,46 +479,15 @@ void TtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
     }
   }
 
-  BlockBuffers buf;
-  std::vector<float> rows(
-      static_cast<size_t>(std::min(config_.block_size, std::max<int64_t>(
-                                                           n_lookups, 1)) *
-                          N));
-  for (int64_t begin = 0; begin < n_lookups; begin += config_.block_size) {
-    const int64_t end = std::min(n_lookups, begin + config_.block_size);
-    if (config_.deduplicate) {
-      // Run the TT chain once per distinct row in the block; pooling reads
-      // through the lookup -> unique mapping.
-      BuildBlockDedup(batch.indices, begin, end, buf);
-      const int64_t num_unique = static_cast<int64_t>(buf.unique.size());
-      buf.unique_rows.resize(static_cast<size_t>(num_unique * N));
-      ForwardBlock(buf.unique, 0, num_unique, buf.unique_rows.data(), buf,
-                   /*stash=*/nullptr);
-      for (int64_t l = begin; l < end; ++l) {
-        const float wl = w[static_cast<size_t>(l)];
-        const float* src =
-            buf.unique_rows.data() +
-            static_cast<int64_t>(
-                buf.lookup_to_unique[static_cast<size_t>(l - begin)]) *
-                N;
-        float* dst = output + bags[static_cast<size_t>(l)] * N;
-        for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
-      }
-      continue;
-    }
-    ForwardBlock(batch.indices, begin, end, rows.data(), buf,
-                 config_.stash_intermediates ? &stash_ : nullptr);
-    for (int64_t l = begin; l < end; ++l) {
-      const float wl = w[static_cast<size_t>(l)];
-      const float* src = rows.data() + (l - begin) * N;
-      float* dst = output + bags[static_cast<size_t>(l)] * N;
-      for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
-    }
-  }
+  PooledForward(batch, bags, w, output,
+                config_.stash_intermediates ? &stash_ : nullptr,
+                config_.deduplicate);
 
   if (config_.stash_intermediates) {
     stash_.valid = true;
     stash_.num_lookups = n_lookups;
+    stash_.fingerprint = HashIndices(batch.indices);
+    stash_.forward_serial = forward_serial_;
   }
   ++stats_.forward_calls;
   stats_.lookups += n_lookups;
@@ -355,7 +498,6 @@ void TtEmbeddingBag::ForwardInference(const CsrBatch& batch,
                                       float* output) const {
   batch.Validate(num_rows());
   const int64_t N = emb_dim();
-  const int64_t n_lookups = batch.num_lookups();
   const int64_t n_bags = batch.num_bags();
 
   std::fill(output, output + n_bags * N, 0.0f);
@@ -366,22 +508,7 @@ void TtEmbeddingBag::ForwardInference(const CsrBatch& batch,
   // Always the per-lookup path (no dedup): each lookup's TT chain is an
   // independent GEMM problem, so pooled outputs are bitwise identical no
   // matter how requests were micro-batched together.
-  BlockBuffers buf;
-  std::vector<float> rows(
-      static_cast<size_t>(std::min(config_.block_size, std::max<int64_t>(
-                                                           n_lookups, 1)) *
-                          N));
-  for (int64_t begin = 0; begin < n_lookups; begin += config_.block_size) {
-    const int64_t end = std::min(n_lookups, begin + config_.block_size);
-    ForwardBlock(batch.indices, begin, end, rows.data(), buf,
-                 /*stash=*/nullptr);
-    for (int64_t l = begin; l < end; ++l) {
-      const float wl = w[static_cast<size_t>(l)];
-      const float* src = rows.data() + (l - begin) * N;
-      float* dst = output + bags[static_cast<size_t>(l)] * N;
-      for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
-    }
-  }
+  PooledForward(batch, bags, w, output, /*stash=*/nullptr, /*dedup=*/false);
 }
 
 void TtEmbeddingBag::LookupRows(std::span<const int64_t> indices, float* out) {
@@ -390,14 +517,165 @@ void TtEmbeddingBag::LookupRows(std::span<const int64_t> indices, float* out) {
                       " out of range [0, ", num_rows(), ")");
   }
   const int64_t n = static_cast<int64_t>(indices.size());
-  BlockBuffers buf;
-  for (int64_t begin = 0; begin < n; begin += config_.block_size) {
-    const int64_t end = std::min(n, begin + config_.block_size);
-    ForwardBlock(indices, begin, end, out + begin * emb_dim(), buf,
-                 /*stash=*/nullptr);
-  }
+  const int64_t bs = config_.block_size;
+  const int64_t blocks = (n + bs - 1) / bs;
+  const int64_t N = emb_dim();
+  // Blocks write disjoint output ranges and there is no accumulation, so
+  // this is trivially deterministic.
+  ThreadPool::Global().ParallelFor(blocks, 1, [&](int64_t c0, int64_t c1) {
+    BlockBuffers buf;
+    for (int64_t blk = c0; blk < c1; ++blk) {
+      const int64_t begin = blk * bs;
+      const int64_t end = std::min(n, begin + bs);
+      ForwardBlock(indices, begin, end, out + begin * N, buf,
+                   /*stash=*/nullptr);
+    }
+  });
   stats_.lookups += n;
   stats_.forward_flops += n * fwd_flops_per_lookup_;
+}
+
+void TtEmbeddingBag::BackwardBlock(const CsrBatch& batch,
+                                   std::span<const int64_t> bags,
+                                   std::span<const float> w,
+                                   const float* grad_output, int64_t begin,
+                                   int64_t end, bool use_stash,
+                                   int64_t max_d_stride, int64_t max_slice,
+                                   BlockBuffers& buf,
+                                   BlockGrads& local) const {
+  const TtShape& s = cores_.shape();
+  const int d = s.num_cores();
+  const int64_t N = emb_dim();
+  const int64_t L = end - begin;
+
+  local.cores.assign(static_cast<size_t>(d), BlockGrads::PerCore{});
+
+  // `work` = gradient-carrying units in this block: one per lookup, or one
+  // per distinct row when deduplicating (gradients are linear in the row,
+  // so per-row aggregation is exact).
+  int64_t work = L;
+  if (config_.deduplicate) {
+    BuildBlockDedup(batch.indices, begin, end, buf);
+    work = static_cast<int64_t>(buf.unique.size());
+    buf.scratch_rows.resize(static_cast<size_t>(work * N));
+    ForwardBlock(buf.unique, 0, work, buf.scratch_rows.data(), buf,
+                 /*stash=*/nullptr);
+  } else if (use_stash) {
+    // Digits are still needed for slice addressing.
+    buf.digits.resize(static_cast<size_t>(L * d));
+    for (int64_t l = 0; l < L; ++l) {
+      const std::vector<int64_t> dg = s.RowDigits(batch.indices[begin + l]);
+      std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+    }
+  } else {
+    // Recompute intermediates (Algorithm 2 line 3). We only need stages
+    // 1..d-2; run the forward including the last stage into a scratch row
+    // buffer — its cost is small relative to the rest and keeps one code
+    // path.
+    buf.scratch_rows.resize(static_cast<size_t>(L * N));
+    ForwardBlock(batch.indices, begin, end, buf.scratch_rows.data(), buf,
+                 /*stash=*/nullptr);
+  }
+
+  // D_{d-1} = w_l * dL/d(bag row), reshaped per unit.
+  buf.d_cur.resize(static_cast<size_t>(work * max_d_stride));
+  buf.d_next.resize(static_cast<size_t>(work * max_d_stride));
+  buf.slice_grads.resize(static_cast<size_t>(work * max_slice));
+  if (config_.deduplicate) {
+    std::fill(
+        buf.d_cur.begin(),
+        buf.d_cur.begin() + static_cast<ptrdiff_t>(work * max_d_stride),
+        0.0f);
+    for (int64_t l = begin; l < end; ++l) {
+      const float wl = w[static_cast<size_t>(l)];
+      const float* g = grad_output + bags[static_cast<size_t>(l)] * N;
+      float* dcur =
+          buf.d_cur.data() +
+          static_cast<int64_t>(
+              buf.lookup_to_unique[static_cast<size_t>(l - begin)]) *
+              max_d_stride;
+      for (int64_t j = 0; j < N; ++j) dcur[j] += wl * g[j];
+    }
+  } else {
+    for (int64_t l = begin; l < end; ++l) {
+      const float wl = w[static_cast<size_t>(l)];
+      const float* g = grad_output + bags[static_cast<size_t>(l)] * N;
+      float* dcur = buf.d_cur.data() + (l - begin) * max_d_stride;
+      for (int64_t j = 0; j < N; ++j) dcur[j] = wl * g[j];
+    }
+  }
+
+  buf.a_ptrs.resize(static_cast<size_t>(work));
+  buf.b_ptrs.resize(static_cast<size_t>(work));
+  buf.c_ptrs.resize(static_cast<size_t>(work));
+
+  for (int c = d - 1; c >= 1; --c) {
+    const int64_t m_prev = prodn_[static_cast<size_t>(c - 1)];
+    const int64_t rank_c = s.ranks[static_cast<size_t>(c)];
+    const int64_t cols_c = cores_.SliceCols(c);
+    const int64_t slice_size = rank_c * cols_c;
+    const int64_t prev_stride = (c >= 2) ? m_prev * rank_c : 0;
+
+    auto p_prev = [&](int64_t l) -> const float* {
+      const int64_t* dg = buf.digits.data() + l * d;
+      if (c == 1) return cores_.Slice(0, dg[0]);
+      if (use_stash) {
+        return stash_.stage[static_cast<size_t>(c - 1)].data() +
+               (begin + l) * prev_stride;
+      }
+      return buf.inter[static_cast<size_t>(c - 1)].data() + l * prev_stride;
+    };
+
+    // Slice gradients: sg = P_{c-1}^T * D_c  (Eq. 4).
+    for (int64_t l = 0; l < work; ++l) {
+      buf.a_ptrs[static_cast<size_t>(l)] = p_prev(l);
+      buf.b_ptrs[static_cast<size_t>(l)] = buf.d_cur.data() + l * max_d_stride;
+      buf.c_ptrs[static_cast<size_t>(l)] =
+          buf.slice_grads.data() + l * max_slice;
+    }
+    BatchedGemmShape sg_shape;
+    sg_shape.ta = Trans::kYes;
+    sg_shape.m = rank_c;
+    sg_shape.n = cols_c;
+    sg_shape.k = m_prev;
+    BatchedGemm(sg_shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
+
+    // Scatter-add into the block-local accumulator, in unit order: correct
+    // under duplicate indices within the block and independent of how
+    // blocks were scheduled across threads.
+    for (int64_t l = 0; l < work; ++l) {
+      const int64_t ik = buf.digits[static_cast<size_t>(l * d + c)];
+      float* dst = local.SliceFor(c, ik, slice_size);
+      const float* src = buf.slice_grads.data() + l * max_slice;
+      for (int64_t j = 0; j < slice_size; ++j) dst[j] += src[j];
+    }
+
+    // Propagate: D_{c-1} = D_c * slice_c^T  (Eq. 5).
+    for (int64_t l = 0; l < work; ++l) {
+      const int64_t* dg = buf.digits.data() + l * d;
+      buf.a_ptrs[static_cast<size_t>(l)] = buf.d_cur.data() + l * max_d_stride;
+      buf.b_ptrs[static_cast<size_t>(l)] = cores_.Slice(c, dg[c]);
+      buf.c_ptrs[static_cast<size_t>(l)] =
+          buf.d_next.data() + l * max_d_stride;
+    }
+    BatchedGemmShape prop_shape;
+    prop_shape.tb = Trans::kYes;
+    prop_shape.m = m_prev;
+    prop_shape.n = rank_c;
+    prop_shape.k = cols_c;
+    BatchedGemm(prop_shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
+    buf.d_cur.swap(buf.d_next);
+  }
+
+  // After the c == 1 iteration, D_0 is exactly the gradient of the core-0
+  // slice of each lookup.
+  const int64_t slice0 = cores_.SliceSize(0);
+  for (int64_t l = 0; l < work; ++l) {
+    const int64_t i0 = buf.digits[static_cast<size_t>(l * d)];
+    float* dst = local.SliceFor(0, i0, slice0);
+    const float* src = buf.d_cur.data() + l * max_d_stride;
+    for (int64_t j = 0; j < slice0; ++j) dst[j] += src[j];
+  }
 }
 
 void TtEmbeddingBag::Backward(const CsrBatch& batch,
@@ -412,8 +690,17 @@ void TtEmbeddingBag::Backward(const CsrBatch& batch,
   const std::vector<int64_t> bags = LookupBags(batch);
   const std::vector<float> w = EffectiveWeights(batch, config_.pooling, bags);
 
+  // The stash is trusted only when it provably came from a Forward over
+  // THIS batch: same lookup count, same indices fingerprint, and written by
+  // the most recent Forward call. A matching count alone is not evidence —
+  // Forward(A); Backward(B) with |A| == |B| would silently replay A's
+  // intermediates and corrupt every gradient. On mismatch we fall back to
+  // recompute, which yields bitwise identical gradients (the stash holds
+  // memcpys of exactly the values recompute would produce).
   const bool use_stash = config_.stash_intermediates && stash_.valid &&
-                         stash_.num_lookups == n_lookups;
+                         stash_.num_lookups == n_lookups &&
+                         stash_.forward_serial == forward_serial_ &&
+                         stash_.fingerprint == HashIndices(batch.indices);
 
   // Maximum per-lookup size of the propagated gradient D_c and of a slice
   // gradient, across stages.
@@ -429,142 +716,51 @@ void TtEmbeddingBag::Backward(const CsrBatch& batch,
     if (c > 0) max_slice = std::max(max_slice, cores_.SliceSize(c));
   }
 
-  BlockBuffers buf;
-  for (int64_t begin = 0; begin < n_lookups; begin += config_.block_size) {
-    const int64_t end = std::min(n_lookups, begin + config_.block_size);
-    const int64_t L = end - begin;
+  const int64_t bs = config_.block_size;
+  const int64_t num_blocks = (n_lookups + bs - 1) / bs;
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t round_blocks = std::max<int64_t>(
+      1, kRoundBlocksPerThread * static_cast<int64_t>(pool.num_threads()));
 
-    // `work` = gradient-carrying units in this block: one per lookup, or
-    // one per distinct row when deduplicating (gradients are linear in the
-    // row, so per-row aggregation is exact).
-    int64_t work = L;
-    if (config_.deduplicate) {
-      BuildBlockDedup(batch.indices, begin, end, buf);
-      work = static_cast<int64_t>(buf.unique.size());
-      std::vector<float> scratch_rows(static_cast<size_t>(work * N));
-      ForwardBlock(buf.unique, 0, work, scratch_rows.data(), buf,
-                   /*stash=*/nullptr);
-    } else if (use_stash) {
-      // Digits are still needed for slice addressing.
-      buf.digits.resize(static_cast<size_t>(L * d));
-      for (int64_t l = 0; l < L; ++l) {
-        const std::vector<int64_t> dg = s.RowDigits(batch.indices[begin + l]);
-        std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+  std::vector<BlockGrads> block_grads;
+  for (int64_t rb = 0; rb < num_blocks; rb += round_blocks) {
+    const int64_t rcount = std::min(round_blocks, num_blocks - rb);
+    block_grads.assign(static_cast<size_t>(rcount), BlockGrads{});
+
+    // Phase 1: per-block Algorithm 2 chains, block-parallel. Each task
+    // accumulates into its own BlockGrads only.
+    pool.ParallelFor(rcount, 1, [&](int64_t c0, int64_t c1) {
+      BlockBuffers buf;
+      for (int64_t bi = c0; bi < c1; ++bi) {
+        const int64_t begin = (rb + bi) * bs;
+        const int64_t end = std::min(n_lookups, begin + bs);
+        BackwardBlock(batch, bags, w, grad_output, begin, end, use_stash,
+                      max_d_stride, max_slice, buf,
+                      block_grads[static_cast<size_t>(bi)]);
       }
-    } else {
-      // Recompute intermediates (Algorithm 2 line 3). We only need stages
-      // 1..d-2; run the forward including the last stage into a scratch row
-      // buffer — its cost is small relative to the rest and keeps one code
-      // path.
-      std::vector<float> scratch_rows(static_cast<size_t>(L * N));
-      ForwardBlock(batch.indices, begin, end, scratch_rows.data(), buf,
-                   /*stash=*/nullptr);
-    }
+    });
 
-    // D_{d-1} = w_l * dL/d(bag row), reshaped per unit.
-    buf.d_cur.resize(static_cast<size_t>(work * max_d_stride));
-    buf.d_next.resize(static_cast<size_t>(work * max_d_stride));
-    buf.slice_grads.resize(static_cast<size_t>(work * max_slice));
-    if (config_.deduplicate) {
-      std::fill(buf.d_cur.begin(),
-                buf.d_cur.begin() +
-                    static_cast<ptrdiff_t>(work * max_d_stride),
-                0.0f);
-      for (int64_t l = begin; l < end; ++l) {
-        const float wl = w[static_cast<size_t>(l)];
-        const float* g = grad_output + bags[static_cast<size_t>(l)] * N;
-        float* dcur =
-            buf.d_cur.data() +
-            static_cast<int64_t>(
-                buf.lookup_to_unique[static_cast<size_t>(l - begin)]) *
-                max_d_stride;
-        for (int64_t j = 0; j < N; ++j) dcur[j] += wl * g[j];
-      }
-    } else {
-      for (int64_t l = begin; l < end; ++l) {
-        const float wl = w[static_cast<size_t>(l)];
-        const float* g = grad_output + bags[static_cast<size_t>(l)] * N;
-        float* dcur = buf.d_cur.data() + (l - begin) * max_d_stride;
-        for (int64_t j = 0; j < N; ++j) dcur[j] = wl * g[j];
-      }
-    }
-
-    buf.a_ptrs.resize(static_cast<size_t>(work));
-    buf.b_ptrs.resize(static_cast<size_t>(work));
-    buf.c_ptrs.resize(static_cast<size_t>(work));
-
-    for (int c = d - 1; c >= 1; --c) {
-      const int64_t m_prev = prodn_[static_cast<size_t>(c - 1)];
-      const int64_t rank_c = s.ranks[static_cast<size_t>(c)];
-      const int64_t cols_c = cores_.SliceCols(c);
-      const int64_t slice_size = rank_c * cols_c;
-      const int64_t prev_stride = (c >= 2) ? m_prev * rank_c : 0;
-
-      auto p_prev = [&](int64_t l) -> const float* {
-        const int64_t* dg = buf.digits.data() + l * d;
-        if (c == 1) return cores_.Slice(0, dg[0]);
-        if (use_stash) {
-          return stash_.stage[static_cast<size_t>(c - 1)].data() +
-                 (begin + l) * prev_stride;
+    // Phase 2: merge block-local gradients into the dense per-core buffers
+    // in fixed block order. Cores are independent (grads_ / touched state
+    // are per-core), so the merge parallelizes over cores while the
+    // block-order summation keeps results thread-count-invariant.
+    pool.ParallelFor(d, 1, [&](int64_t k0, int64_t k1) {
+      for (int64_t k = k0; k < k1; ++k) {
+        const int64_t slice_size = cores_.SliceSize(static_cast<int>(k));
+        Tensor& grad = grads_[static_cast<size_t>(k)];
+        for (const BlockGrads& bg : block_grads) {
+          const auto& pc = bg.cores[static_cast<size_t>(k)];
+          for (size_t p = 0; p < pc.slices.size(); ++p) {
+            const int64_t ik = pc.slices[p];
+            MarkTouched(static_cast<int>(k), ik);
+            float* dst = grad.data() + ik * slice_size;
+            const float* src =
+                pc.data.data() + static_cast<int64_t>(p) * slice_size;
+            for (int64_t j = 0; j < slice_size; ++j) dst[j] += src[j];
+          }
         }
-        return buf.inter[static_cast<size_t>(c - 1)].data() + l * prev_stride;
-      };
-
-      // Slice gradients: sg = P_{c-1}^T * D_c  (Eq. 4).
-      for (int64_t l = 0; l < work; ++l) {
-        buf.a_ptrs[static_cast<size_t>(l)] = p_prev(l);
-        buf.b_ptrs[static_cast<size_t>(l)] =
-            buf.d_cur.data() + l * max_d_stride;
-        buf.c_ptrs[static_cast<size_t>(l)] =
-            buf.slice_grads.data() + l * max_slice;
       }
-      BatchedGemmShape sg_shape;
-      sg_shape.ta = Trans::kYes;
-      sg_shape.m = rank_c;
-      sg_shape.n = cols_c;
-      sg_shape.k = m_prev;
-      BatchedGemm(sg_shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
-
-      // Sequential scatter-add into the dense core gradient: deterministic
-      // and correct under duplicate indices within the block.
-      Tensor& grad_core = grads_[static_cast<size_t>(c)];
-      for (int64_t l = 0; l < work; ++l) {
-        const int64_t ik = buf.digits[static_cast<size_t>(l * d + c)];
-        MarkTouched(c, ik);
-        float* dst = grad_core.data() + ik * slice_size;
-        const float* src = buf.slice_grads.data() + l * max_slice;
-        for (int64_t j = 0; j < slice_size; ++j) dst[j] += src[j];
-      }
-
-      // Propagate: D_{c-1} = D_c * slice_c^T  (Eq. 5).
-      for (int64_t l = 0; l < work; ++l) {
-        const int64_t* dg = buf.digits.data() + l * d;
-        buf.a_ptrs[static_cast<size_t>(l)] =
-            buf.d_cur.data() + l * max_d_stride;
-        buf.b_ptrs[static_cast<size_t>(l)] = cores_.Slice(c, dg[c]);
-        buf.c_ptrs[static_cast<size_t>(l)] =
-            buf.d_next.data() + l * max_d_stride;
-      }
-      BatchedGemmShape prop_shape;
-      prop_shape.tb = Trans::kYes;
-      prop_shape.m = m_prev;
-      prop_shape.n = rank_c;
-      prop_shape.k = cols_c;
-      BatchedGemm(prop_shape, buf.a_ptrs, buf.b_ptrs, buf.c_ptrs);
-      buf.d_cur.swap(buf.d_next);
-    }
-
-    // After the c == 1 iteration, D_0 is exactly the gradient of the core-0
-    // slice of each lookup.
-    Tensor& grad_core0 = grads_[0];
-    const int64_t slice0 = cores_.SliceSize(0);
-    for (int64_t l = 0; l < work; ++l) {
-      const int64_t i0 = buf.digits[static_cast<size_t>(l * d)];
-      MarkTouched(0, i0);
-      float* dst = grad_core0.data() + i0 * slice0;
-      const float* src = buf.d_cur.data() + l * max_d_stride;
-      for (int64_t j = 0; j < slice0; ++j) dst[j] += src[j];
-    }
+    });
   }
 
   ++stats_.backward_calls;
@@ -576,21 +772,32 @@ void TtEmbeddingBag::ApplySgd(float lr) {
   // Only slices touched since the last ApplySgd/ZeroGrad carry gradient;
   // update and re-zero exactly those — O(touched) not O(params), which is
   // what keeps the cached hybrid's miss path cheap at high hit rates.
+  // Each touched slice is updated by exactly one task and the update is
+  // elementwise, so any chunking yields the same result.
+  ThreadPool& pool = ThreadPool::Global();
   for (int k = 0; k < cores_.num_cores(); ++k) {
     const int64_t slice_size = cores_.SliceSize(k);
     Tensor& core = cores_.core(k);
     Tensor& grad = grads_[static_cast<size_t>(k)];
     auto& flags = touched_flags_[static_cast<size_t>(k)];
-    for (int64_t ik : touched_slices_[static_cast<size_t>(k)]) {
-      float* w = core.data() + ik * slice_size;
-      float* g = grad.data() + ik * slice_size;
-      for (int64_t j = 0; j < slice_size; ++j) {
-        w[j] -= lr * g[j];
-        g[j] = 0.0f;
-      }
-      flags[static_cast<size_t>(ik)] = 0;
-    }
-    touched_slices_[static_cast<size_t>(k)].clear();
+    auto& touched = touched_slices_[static_cast<size_t>(k)];
+    const int64_t grain =
+        std::max<int64_t>(1, 4096 / std::max<int64_t>(1, slice_size));
+    pool.ParallelFor(
+        static_cast<int64_t>(touched.size()), grain,
+        [&](int64_t t0, int64_t t1) {
+          for (int64_t t = t0; t < t1; ++t) {
+            const int64_t ik = touched[static_cast<size_t>(t)];
+            float* w = core.data() + ik * slice_size;
+            float* g = grad.data() + ik * slice_size;
+            for (int64_t j = 0; j < slice_size; ++j) {
+              w[j] -= lr * g[j];
+              g[j] = 0.0f;
+            }
+            flags[static_cast<size_t>(ik)] = 0;
+          }
+        });
+    touched.clear();
   }
   stash_.valid = false;  // cores changed; stashed intermediates are stale
 }
@@ -604,24 +811,35 @@ void TtEmbeddingBag::ApplyAdagrad(float lr, float eps) {
       adagrad_state_.emplace_back(cores_.core(k).shape());
     }
   }
+  // Same ownership argument as ApplySgd: one task per touched slice,
+  // elementwise math — deterministic for any thread count.
+  ThreadPool& pool = ThreadPool::Global();
   for (int k = 0; k < cores_.num_cores(); ++k) {
     const int64_t slice_size = cores_.SliceSize(k);
     Tensor& core = cores_.core(k);
     Tensor& grad = grads_[static_cast<size_t>(k)];
     Tensor& state = adagrad_state_[static_cast<size_t>(k)];
     auto& flags = touched_flags_[static_cast<size_t>(k)];
-    for (int64_t ik : touched_slices_[static_cast<size_t>(k)]) {
-      float* w = core.data() + ik * slice_size;
-      float* g = grad.data() + ik * slice_size;
-      float* st = state.data() + ik * slice_size;
-      for (int64_t j = 0; j < slice_size; ++j) {
-        st[j] += g[j] * g[j];
-        w[j] -= lr * g[j] / (std::sqrt(st[j]) + eps);
-        g[j] = 0.0f;
-      }
-      flags[static_cast<size_t>(ik)] = 0;
-    }
-    touched_slices_[static_cast<size_t>(k)].clear();
+    auto& touched = touched_slices_[static_cast<size_t>(k)];
+    const int64_t grain =
+        std::max<int64_t>(1, 4096 / std::max<int64_t>(1, slice_size));
+    pool.ParallelFor(
+        static_cast<int64_t>(touched.size()), grain,
+        [&](int64_t t0, int64_t t1) {
+          for (int64_t t = t0; t < t1; ++t) {
+            const int64_t ik = touched[static_cast<size_t>(t)];
+            float* w = core.data() + ik * slice_size;
+            float* g = grad.data() + ik * slice_size;
+            float* st = state.data() + ik * slice_size;
+            for (int64_t j = 0; j < slice_size; ++j) {
+              st[j] += g[j] * g[j];
+              w[j] -= lr * g[j] / (std::sqrt(st[j]) + eps);
+              g[j] = 0.0f;
+            }
+            flags[static_cast<size_t>(ik)] = 0;
+          }
+        });
+    touched.clear();
   }
   stash_.valid = false;
 }

@@ -1,18 +1,26 @@
 // TT-EmbeddingBag: the paper's core operator (§4.1, Algorithms 1 & 2).
 //
 // Forward: a batch of embedding lookups is processed in blocks of up to
-// `block_size` lookups. Each TT stage runs as ONE batched GEMM whose
-// per-problem operands are pointers to core slices and intermediate
-// buffers — the CPU analogue of the cuBLAS GemmBatchedEx launches in
-// Algorithm 1. Reconstructed rows are then pooled into bags with optional
-// per-sample weights (Eq. 6/7).
+// `block_size` lookups. Blocks execute concurrently on the global ThreadPool
+// — each block task owns a private BlockBuffers, so no kernel state is
+// shared between workers. Within a block each TT stage runs as ONE batched
+// GEMM whose per-problem operands are pointers to core slices and
+// intermediate buffers — the CPU analogue of the cuBLAS GemmBatchedEx
+// launches in Algorithm 1 (nested BatchedGemm calls run inline on the block
+// task's thread). Reconstructed rows are then pooled into bags with optional
+// per-sample weights (Eq. 6/7); every bag is owned by exactly one pooling
+// task and accumulates its lookups in lookup order, so pooled outputs are
+// bitwise independent of the thread count.
 //
 // Backward (Algorithm 2, Eq. 4/5): intermediates are either recomputed
-// (default; lowest memory, the paper's choice) or stashed from the forward
-// pass (faster, more memory — the trade-off §4.2 discusses). Per-lookup
-// slice gradients come from batched GEMMs; a sequential scatter-add then
-// accumulates them into dense per-core gradient buffers, which makes
-// duplicate indices within a batch well-defined and runs deterministic.
+// (default; lowest memory, the paper's choice) or replayed from the stash
+// written by the previous Forward (faster, more memory — the trade-off §4.2
+// discusses). Per-lookup slice gradients come from batched GEMMs; each block
+// task scatter-adds them into block-local slice accumulators (touched-slice
+// maps), which are then merged into the dense per-core gradient buffers in
+// fixed block order. Block boundaries depend only on `block_size`, so the
+// result is bitwise identical for any thread count, and duplicate indices
+// within a batch stay well-defined.
 //
 // ApplySgd folds the accumulated gradients into the cores (plain SGD, the
 // optimizer MLPerf-DLRM uses) and clears them.
@@ -34,9 +42,12 @@ namespace ttrec {
 struct TtEmbeddingConfig {
   TtShape shape;
   PoolingMode pooling = PoolingMode::kSum;
-  /// Max lookups per batched-GEMM block (B in Algorithm 1). Bounds
-  /// intermediate memory at block_size * emb_dim * max_rank floats.
-  int64_t block_size = 4096;
+  /// Max lookups per batched-GEMM block (B in Algorithm 1). Blocks are the
+  /// unit of parallelism and bound intermediate memory at block_size *
+  /// emb_dim * max_rank floats per in-flight block. Block boundaries are a
+  /// function of this config alone — never of the thread count — which is
+  /// what makes dedup grouping and gradient merge order reproducible.
+  int64_t block_size = 1024;
   /// Keep forward intermediates for the next Backward call instead of
   /// recomputing them (paper §4.2: "can be eliminated by storing tensors
   /// from the forward pass ... slightly increased memory footprint").
@@ -75,7 +86,9 @@ class TtEmbeddingBag {
   const TtEmbeddingStats& stats() const { return stats_; }
 
   /// Pools the batch into `output` (num_bags x emb_dim, row-major,
-  /// overwritten). Validates the batch against num_rows().
+  /// overwritten). Validates the batch against num_rows(). Blocks run
+  /// concurrently on the global ThreadPool; the result is bitwise identical
+  /// for any thread count.
   void Forward(const CsrBatch& batch, float* output);
 
   /// Read-only forward for serving: identical arithmetic to Forward (minus
@@ -86,16 +99,21 @@ class TtEmbeddingBag {
   void ForwardInference(const CsrBatch& batch, float* output) const;
 
   /// Reconstructs individual rows without pooling into `out`
-  /// (indices.size() x emb_dim). Uses the same batched kernel.
+  /// (indices.size() x emb_dim). Uses the same batched kernel; blocks run
+  /// concurrently (disjoint output ranges, no accumulation).
   void LookupRows(std::span<const int64_t> indices, float* out);
 
   /// Accumulates core gradients for `batch` given `grad_output`
-  /// (num_bags x emb_dim). Must match the batch geometry of the preceding
-  /// Forward when stashing is enabled.
+  /// (num_bags x emb_dim). The stash written by the previous Forward is
+  /// consumed only when it provably came from this exact batch (lookup
+  /// count, forward serial, and an indices fingerprint all match);
+  /// otherwise intermediates are recomputed, which yields bitwise the same
+  /// gradients.
   void Backward(const CsrBatch& batch, const float* grad_output);
 
   /// cores -= lr * grads; gradients are cleared. Stashed intermediates are
-  /// invalidated (the cores changed).
+  /// invalidated (the cores changed). Touched slices update in parallel
+  /// (each slice is owned by one task — deterministic for any chunking).
   void ApplySgd(float lr);
 
   /// Elementwise Adagrad on the TT cores: state += g^2,
@@ -125,21 +143,45 @@ class TtEmbeddingBag {
 
   /// Parameter memory (cores only).
   int64_t MemoryBytes() const { return cores_.MemoryBytes(); }
-  /// Peak transient memory of a Forward block (intermediates + pointers).
-  int64_t WorkspaceBytes() const;
+  /// Peak transient memory of a Forward/Backward call: per-block-task
+  /// buffers (stage intermediates, GEMM pointer arrays, backward ping-pong
+  /// and slice-gradient scratch, dedup scratch, block-local gradient
+  /// accumulators) times the number of concurrent block tasks, plus the
+  /// shared per-round row buffer the pooling phase reads. `num_threads`
+  /// <= 0 means size for the current global ThreadPool.
+  int64_t WorkspaceBytes(int num_threads = 0) const;
 
  private:
   struct BlockBuffers;
+  struct BlockGrads;
   struct Stash;
 
   /// Computes reconstructed rows for lookups [begin, end) of `indices` into
   /// `rows_out` (contiguous, emb_dim stride). If `stash` is non-null, stage
-  /// intermediates for these lookups are copied into it. Const — all mutable
+  /// intermediates for these lookups are copied into it (disjoint per-block
+  /// ranges, so concurrent block tasks never overlap). Const — all mutable
   /// state is passed in, which is what makes the inference path shareable
   /// across threads.
   void ForwardBlock(std::span<const int64_t> indices, int64_t begin,
                     int64_t end, float* rows_out, BlockBuffers& buf,
                     Stash* stash) const;
+
+  /// Shared engine of Forward / ForwardInference: reconstructs rows block-
+  /// parallel, then pools them into `output` with per-bag ownership. Rounds
+  /// of blocks bound the row buffer; round boundaries never change results.
+  void PooledForward(const CsrBatch& batch, std::span<const int64_t> bags,
+                     std::span<const float> w, float* output, Stash* stash,
+                     bool dedup) const;
+
+  /// Backward for lookups [begin, end): runs the per-block Algorithm 2
+  /// chain and scatter-adds slice gradients into the block-local `local`
+  /// accumulator (never into grads_ — that merge happens on the caller, in
+  /// block order). Const for the same reason as ForwardBlock.
+  void BackwardBlock(const CsrBatch& batch, std::span<const int64_t> bags,
+                     std::span<const float> w, const float* grad_output,
+                     int64_t begin, int64_t end, bool use_stash,
+                     int64_t max_d_stride, int64_t max_slice,
+                     BlockBuffers& buf, BlockGrads& local) const;
 
   void EnsureGrads();
 
@@ -149,7 +191,7 @@ class TtEmbeddingBag {
 
   /// Fills buf.unique / buf.lookup_to_unique for lookups [begin, end).
   void BuildBlockDedup(std::span<const int64_t> indices, int64_t begin,
-                       int64_t end, BlockBuffers& buf);
+                       int64_t end, BlockBuffers& buf) const;
 
   TtEmbeddingConfig config_;
   TtCores cores_;
@@ -165,13 +207,20 @@ class TtEmbeddingBag {
 
   // Stash: per-lookup intermediates of stages 0..d-2 for the whole last
   // forward batch (stage 0 entries are slice copies only implicitly — the
-  // slices themselves serve; we stash stages 1..d-2).
+  // slices themselves serve; we stash stages 1..d-2). The fingerprint and
+  // forward serial stamp WHICH batch the stash came from: Backward must not
+  // trust a stash merely because the lookup count matches (a Forward on
+  // batch A followed by Backward on batch B of equal size would otherwise
+  // silently reuse A's intermediates and corrupt gradients).
   struct Stash {
     bool valid = false;
     int64_t num_lookups = 0;
+    uint64_t fingerprint = 0;     // hash of the forward batch's indices
+    int64_t forward_serial = -1;  // which Forward call wrote this stash
     std::vector<std::vector<float>> stage;  // stage[c]: intermediates c=1..d-2
   };
   Stash stash_;
+  int64_t forward_serial_ = 0;  // incremented by every Forward
 
   int64_t fwd_flops_per_lookup_ = 0;
   int64_t bwd_flops_per_lookup_ = 0;

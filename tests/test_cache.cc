@@ -119,11 +119,52 @@ TEST(LfuRowCache, RepopulateDiscardsOldContents) {
   EXPECT_EQ(cache.size(), 1);
 }
 
-TEST(LfuRowCache, CapacityClampsPopulation) {
+TEST(LfuRowCache, PopulateBeyondCapacityThrows) {
+  // Regression: Populate used to silently truncate an oversized row set
+  // (keeping the first `capacity` rows) while resetting stats as if fully
+  // populated — a capacity-planning bug visible only as low hit rates.
   LfuRowCache cache(2, 1);
   std::vector<float> vals = {1, 2, 3};
-  cache.Populate(std::vector<int64_t>{1, 2, 3}, vals.data());
-  EXPECT_EQ(cache.size(), 2);  // only first `capacity` rows kept
+  EXPECT_THROW(cache.Populate(std::vector<int64_t>{1, 2, 3}, vals.data()),
+               ConfigError);
+  // Exactly-capacity populations still work.
+  cache.Populate(std::vector<int64_t>{1, 2}, vals.data());
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(FreqTracker, DecayDropsDeadKeysAndShrinks) {
+  // Regression: Decay used to floor counts in place and keep dead slots
+  // occupied — size() never shrank, and repeated decay cycles ratcheted the
+  // load factor until Grow() doubled the table over tombstones.
+  FreqTracker t(16);
+  for (int64_t k = 0; k < 100; ++k) t.Increment(k, 1);
+  EXPECT_EQ(t.size(), 100);
+  t.Decay(0.5);  // floor(0.5) == 0 for every key
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.total(), 0);
+  for (int64_t k = 0; k < 100; ++k) EXPECT_EQ(t.Count(k), 0);
+  // Survivors keep decayed counts; dead keys are really gone (re-inserting
+  // one starts from scratch).
+  t.Increment(7, 10);
+  t.Increment(8, 1);
+  t.Decay(0.5);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.Count(7), 5);
+  EXPECT_EQ(t.Count(8), 0);
+  t.Increment(8, 2);
+  EXPECT_EQ(t.Count(8), 2);
+}
+
+TEST(FreqTracker, RepeatedDecayDoesNotRatchetLoadFactor) {
+  // Many insert+decay cycles over disjoint key ranges: with tombstones this
+  // kept growing the table; with the rebuild the tracker returns to empty
+  // after every full decay.
+  FreqTracker t(16);
+  for (int iter = 0; iter < 50; ++iter) {
+    for (int64_t k = 0; k < 64; ++k) t.Increment(iter * 1000 + k, 1);
+    t.Decay(0.25);
+    EXPECT_EQ(t.size(), 0) << "cycle " << iter;
+  }
 }
 
 TEST(LfuRowCache, RejectsDuplicatesAndBadConfig) {

@@ -1,0 +1,349 @@
+// Block-parallel TT kernel determinism and regression suite.
+//
+// Contract under test (DESIGN.md "Kernel parallelism"): forward, backward,
+// and optimizer application of TtEmbeddingBag are bitwise identical for any
+// global ThreadPool size, with and without dedup and stash. Plus regression
+// tests for the stale-stash gradient corruption and the workspace
+// accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/csr_batch.h"
+#include "tensor/check.h"
+#include "tensor/parallel.h"
+#include "tt/tt_embedding.h"
+
+namespace ttrec {
+namespace {
+
+/// Restores the global pool size on scope exit so thread-count sweeps never
+/// leak into other tests.
+class PoolGuard {
+ public:
+  PoolGuard() : saved_(ThreadPool::Global().num_threads()) {}
+  ~PoolGuard() { ThreadPool::SetGlobalThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TtEmbeddingConfig BaseConfig() {
+  TtEmbeddingConfig cfg;
+  cfg.shape = MakeTtShape(/*num_rows=*/60, /*emb_dim=*/8, /*num_cores=*/3,
+                          /*rank=*/4);
+  cfg.block_size = 7;  // many blocks even on small batches
+  return cfg;
+}
+
+/// ~180 lookups over 60 rows, bag sizes 0..5, duplicates, per-sample
+/// weights. Big enough that block_size 7 yields dozens of blocks (several
+/// rounds at every tested thread count).
+CsrBatch BigBatch(bool with_weights) {
+  CsrBatch b;
+  Rng rng(42);
+  b.offsets.push_back(0);
+  for (int bag = 0; bag < 64; ++bag) {
+    const int64_t size = static_cast<int64_t>(rng.Uniform(0.0, 5.99));
+    for (int64_t i = 0; i < size; ++i) {
+      b.indices.push_back(static_cast<int64_t>(rng.Uniform(0.0, 59.99)));
+    }
+    b.offsets.push_back(static_cast<int64_t>(b.indices.size()));
+  }
+  if (with_weights) {
+    for (size_t i = 0; i < b.indices.size(); ++i) {
+      b.weights.push_back(0.25f + 0.01f * static_cast<float>(i % 7));
+    }
+  }
+  return b;
+}
+
+std::vector<float> FixedGrad(int64_t n) {
+  std::vector<float> g(static_cast<size_t>(n));
+  Rng rng(99);
+  for (float& x : g) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return g;
+}
+
+struct PipelineResult {
+  std::vector<float> fwd1, fwd2;
+  std::vector<std::vector<float>> grads;  // dense per-core grads after step 1
+  std::vector<std::vector<float>> cores;  // core params after two full steps
+};
+
+/// Two full train steps (Forward/Backward/optimizer) on two different
+/// batches at the given pool size; captures every intermediate worth
+/// comparing bitwise.
+PipelineResult RunPipeline(const TtEmbeddingConfig& cfg, int threads,
+                           bool adagrad, bool with_weights) {
+  ThreadPool::SetGlobalThreads(threads);
+  Rng rng(1234);
+  TtEmbeddingBag emb(cfg, TtInit::kGaussian, rng);
+
+  CsrBatch batch1 = BigBatch(with_weights);
+  CsrBatch batch2 = BigBatch(with_weights);
+  std::reverse(batch2.indices.begin(), batch2.indices.end());
+
+  PipelineResult r;
+  const int64_t N = emb.emb_dim();
+
+  r.fwd1.assign(static_cast<size_t>(batch1.num_bags() * N), 0.0f);
+  emb.Forward(batch1, r.fwd1.data());
+  const std::vector<float> g1 = FixedGrad(batch1.num_bags() * N);
+  emb.Backward(batch1, g1.data());
+  for (int k = 0; k < emb.cores().num_cores(); ++k) {
+    const Tensor& gk = emb.core_grad(k);
+    r.grads.emplace_back(gk.data(), gk.data() + gk.numel());
+  }
+  if (adagrad) {
+    emb.ApplyAdagrad(0.05f);
+  } else {
+    emb.ApplySgd(0.05f);
+  }
+
+  r.fwd2.assign(static_cast<size_t>(batch2.num_bags() * N), 0.0f);
+  emb.Forward(batch2, r.fwd2.data());
+  const std::vector<float> g2 = FixedGrad(batch2.num_bags() * N);
+  emb.Backward(batch2, g2.data());
+  if (adagrad) {
+    emb.ApplyAdagrad(0.05f);
+  } else {
+    emb.ApplySgd(0.05f);
+  }
+  for (int k = 0; k < emb.cores().num_cores(); ++k) {
+    const Tensor& ck = emb.cores().core(k);
+    r.cores.emplace_back(ck.data(), ck.data() + ck.numel());
+  }
+  return r;
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what,
+                        int threads) {
+  ASSERT_EQ(a.size(), b.size()) << what << " @ " << threads << " threads";
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << " differs from the single-thread result at " << threads
+      << " threads";
+}
+
+void ExpectSamePipeline(const PipelineResult& ref, const PipelineResult& got,
+                        int threads) {
+  ExpectBitwiseEqual(ref.fwd1, got.fwd1, "forward (step 1)", threads);
+  ExpectBitwiseEqual(ref.fwd2, got.fwd2, "forward (step 2)", threads);
+  ASSERT_EQ(ref.grads.size(), got.grads.size());
+  for (size_t k = 0; k < ref.grads.size(); ++k) {
+    ExpectBitwiseEqual(ref.grads[k], got.grads[k], "core gradient", threads);
+  }
+  ASSERT_EQ(ref.cores.size(), got.cores.size());
+  for (size_t k = 0; k < ref.cores.size(); ++k) {
+    ExpectBitwiseEqual(ref.cores[k], got.cores[k], "core after step",
+                       threads);
+  }
+}
+
+struct ParallelCase {
+  const char* name;
+  bool dedup;
+  bool stash;
+  bool adagrad;
+  bool weights;
+  PoolingMode pooling;
+};
+
+class TtEmbeddingParallel : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(TtEmbeddingParallel, BitwiseIdenticalAcrossThreadCounts) {
+  const ParallelCase& pc = GetParam();
+  TtEmbeddingConfig cfg = BaseConfig();
+  cfg.deduplicate = pc.dedup;
+  cfg.stash_intermediates = pc.stash;
+  cfg.pooling = pc.pooling;
+
+  PoolGuard guard;
+  const PipelineResult ref =
+      RunPipeline(cfg, /*threads=*/1, pc.adagrad, pc.weights);
+  for (int threads : {2, 8}) {
+    const PipelineResult got =
+        RunPipeline(cfg, threads, pc.adagrad, pc.weights);
+    ExpectSamePipeline(ref, got, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TtEmbeddingParallel,
+    ::testing::Values(
+        ParallelCase{"plain_sgd", false, false, false, false,
+                     PoolingMode::kSum},
+        ParallelCase{"dedup_sgd", true, false, false, false,
+                     PoolingMode::kSum},
+        ParallelCase{"stash_sgd", false, true, false, false,
+                     PoolingMode::kSum},
+        ParallelCase{"plain_adagrad_weighted_mean", false, false, true, true,
+                     PoolingMode::kMean},
+        ParallelCase{"dedup_adagrad", true, false, true, false,
+                     PoolingMode::kSum},
+        ParallelCase{"stash_adagrad_weighted", false, true, true, true,
+                     PoolingMode::kSum}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(TtEmbeddingParallelOps, LookupRowsBitwiseIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  std::vector<int64_t> idx;
+  Rng rng(7);
+  for (int i = 0; i < 150; ++i) {
+    idx.push_back(static_cast<int64_t>(rng.Uniform(0.0, 59.99)));
+  }
+
+  auto run = [&](int threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    Rng init_rng(55);
+    TtEmbeddingBag emb(BaseConfig(), TtInit::kGaussian, init_rng);
+    std::vector<float> out(idx.size() * static_cast<size_t>(emb.emb_dim()));
+    emb.LookupRows(idx, out.data());
+    return out;
+  };
+
+  const std::vector<float> ref = run(1);
+  for (int threads : {2, 8}) {
+    ExpectBitwiseEqual(ref, run(threads), "LookupRows", threads);
+  }
+}
+
+TEST(TtEmbeddingParallelOps, ForwardInferenceMatchesForwardBitwise) {
+  // ForwardInference shares the block-parallel engine with Forward (minus
+  // stash/dedup); on a plain config the two must agree bitwise at any
+  // thread count.
+  PoolGuard guard;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    Rng rng(11);
+    TtEmbeddingBag emb(BaseConfig(), TtInit::kGaussian, rng);
+    CsrBatch batch = BigBatch(/*with_weights=*/true);
+    std::vector<float> train(
+        static_cast<size_t>(batch.num_bags() * emb.emb_dim()), 0.0f);
+    std::vector<float> serve(train.size(), 0.0f);
+    emb.Forward(batch, train.data());
+    emb.ForwardInference(batch, serve.data());
+    ExpectBitwiseEqual(train, serve, "ForwardInference vs Forward", threads);
+  }
+}
+
+TEST(TtEmbeddingStashRegression, BackwardOnDifferentBatchRecomputes) {
+  // Regression: Backward used to trust the stash whenever the lookup COUNT
+  // matched. Forward(A); Backward(B) with |A| == |B| replayed A's
+  // intermediates and silently corrupted every gradient. With the batch
+  // fingerprint the stash is rejected and intermediates are recomputed —
+  // bitwise the gradients a Forward(B); Backward(B) pairing produces.
+  TtEmbeddingConfig cfg = BaseConfig();
+  cfg.stash_intermediates = true;
+
+  CsrBatch a = BigBatch(/*with_weights=*/false);
+  CsrBatch b = a;
+  std::reverse(b.indices.begin(), b.indices.end());
+  ASSERT_EQ(a.num_lookups(), b.num_lookups());
+  ASSERT_NE(a.indices, b.indices);
+
+  Rng rng1(321), rng2(321);
+  TtEmbeddingBag mismatched(cfg, TtInit::kGaussian, rng1);
+  TtEmbeddingBag reference(cfg, TtInit::kGaussian, rng2);
+
+  const int64_t N = mismatched.emb_dim();
+  std::vector<float> out(static_cast<size_t>(a.num_bags() * N));
+  const std::vector<float> g = FixedGrad(a.num_bags() * N);
+
+  mismatched.Forward(a, out.data());  // stashes A's intermediates
+  mismatched.Backward(b, g.data());   // must NOT replay them for B
+
+  reference.Forward(b, out.data());
+  reference.Backward(b, g.data());
+
+  for (int k = 0; k < mismatched.cores().num_cores(); ++k) {
+    const Tensor& gm = mismatched.core_grad(k);
+    const Tensor& gr = reference.core_grad(k);
+    ASSERT_EQ(gm.numel(), gr.numel());
+    EXPECT_EQ(std::memcmp(gm.data(), gr.data(),
+                          static_cast<size_t>(gm.numel()) * sizeof(float)),
+              0)
+        << "core " << k
+        << ": stale stash leaked into gradients of a different batch";
+  }
+}
+
+TEST(TtEmbeddingStashRegression, MatchingBatchStillUsesStashCorrectly) {
+  // The fingerprint must not break the legitimate stash path: Forward(A);
+  // Backward(A) equals the recompute configuration bitwise.
+  TtEmbeddingConfig stash_cfg = BaseConfig();
+  stash_cfg.stash_intermediates = true;
+  TtEmbeddingConfig recompute_cfg = BaseConfig();
+
+  CsrBatch a = BigBatch(/*with_weights=*/false);
+  Rng rng1(77), rng2(77);
+  TtEmbeddingBag stashed(stash_cfg, TtInit::kGaussian, rng1);
+  TtEmbeddingBag recomputed(recompute_cfg, TtInit::kGaussian, rng2);
+
+  const int64_t N = stashed.emb_dim();
+  std::vector<float> out(static_cast<size_t>(a.num_bags() * N));
+  const std::vector<float> g = FixedGrad(a.num_bags() * N);
+
+  stashed.Forward(a, out.data());
+  stashed.Backward(a, g.data());
+  recomputed.Forward(a, out.data());
+  recomputed.Backward(a, g.data());
+
+  for (int k = 0; k < stashed.cores().num_cores(); ++k) {
+    const Tensor& gs = stashed.core_grad(k);
+    const Tensor& gr = recomputed.core_grad(k);
+    EXPECT_EQ(std::memcmp(gs.data(), gr.data(),
+                          static_cast<size_t>(gs.numel()) * sizeof(float)),
+              0)
+        << "core " << k << ": stash and recompute paths diverged";
+  }
+}
+
+TEST(TtWorkspaceRegression, AccountsForBackwardAndDedupAndThreads) {
+  // Regression: WorkspaceBytes used to count only the forward intermediates
+  // and pointer arrays — no backward ping-pong buffers, no slice-gradient
+  // scratch, no dedup scratch, no per-thread multiplier.
+  TtEmbeddingConfig cfg = BaseConfig();
+  cfg.block_size = 64;
+  Rng rng(5);
+  TtEmbeddingBag emb(cfg, TtInit::kGaussian, rng);
+
+  const int64_t ws1 = emb.WorkspaceBytes(/*num_threads=*/1);
+  // Backward needs at least the two D ping-pong buffers on top of the
+  // forward-only accounting: 2 * block * max_d_stride floats, where
+  // max_d_stride >= emb_dim.
+  const int64_t d_pingpong =
+      2 * cfg.block_size * emb.emb_dim() *
+      static_cast<int64_t>(sizeof(float));
+  EXPECT_GE(ws1, d_pingpong);
+
+  // More threads -> more concurrent block tasks -> more workspace. Both the
+  // per-block-task term and the shared round buffer scale with the pool
+  // width, so 8 threads need several times the single-thread bound.
+  const int64_t ws8 = emb.WorkspaceBytes(/*num_threads=*/8);
+  EXPECT_GT(ws8, ws1);
+  EXPECT_GE(ws8, 4 * ws1);
+
+  // Dedup adds its scratch (unique ids, mapping, expanded rows, map).
+  TtEmbeddingConfig dedup_cfg = cfg;
+  dedup_cfg.deduplicate = true;
+  Rng rng2(5);
+  TtEmbeddingBag dedup_emb(dedup_cfg, TtInit::kGaussian, rng2);
+  EXPECT_GT(dedup_emb.WorkspaceBytes(1), ws1);
+
+  // Still monotone in block size (the planner sizes blocks by memory).
+  TtEmbeddingConfig big_cfg = cfg;
+  big_cfg.block_size = 4096;
+  Rng rng3(5);
+  TtEmbeddingBag big_emb(big_cfg, TtInit::kGaussian, rng3);
+  EXPECT_LT(ws1, big_emb.WorkspaceBytes(1));
+}
+
+}  // namespace
+}  // namespace ttrec
