@@ -5,12 +5,14 @@
 // `--json out.json` additionally writes the sweep as machine-readable JSON
 // (ms/iter, normalized time, embedding bytes per cell) for the perf
 // trajectory.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness.h"
+#include "obs/json_writer.h"
 
 using namespace ttrec;
 using namespace ttrec::bench;
@@ -27,25 +29,30 @@ struct Cell {
 
 int WriteJson(const std::string& path, double baseline_ms,
               long long baseline_bytes, const std::vector<Cell>& cells) {
+  // Shared BENCH_*.json envelope (obs/json_writer.h); cell field names are
+  // the stable contract — only schema_version is new.
+  ttrec::obs::JsonWriter w;
+  ttrec::obs::BeginBenchEnvelope(w, "fig7_training_time");
+  w.Kv("baseline_ms_per_iter", baseline_ms, 4);
+  w.Kv("baseline_embedding_bytes", static_cast<int64_t>(baseline_bytes));
+  w.Key("cells").BeginArray();
+  for (const Cell& c : cells) {
+    w.BeginObject();
+    w.Kv("tt_tables", c.tables);
+    w.Kv("rank", static_cast<int64_t>(c.rank));
+    w.Kv("ms_per_iter", c.ms_per_iter, 4);
+    w.Kv("normalized_time", c.normalized, 4);
+    w.Kv("embedding_bytes", static_cast<int64_t>(c.embedding_bytes));
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"fig7_training_time\",\n");
-  std::fprintf(f, "  \"baseline_ms_per_iter\": %.4f,\n", baseline_ms);
-  std::fprintf(f, "  \"baseline_embedding_bytes\": %lld,\n", baseline_bytes);
-  std::fprintf(f, "  \"cells\": [\n");
-  for (size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    std::fprintf(f,
-                 "    {\"tt_tables\": %d, \"rank\": %lld, \"ms_per_iter\": "
-                 "%.4f, \"normalized_time\": %.4f, \"embedding_bytes\": "
-                 "%lld}%s\n",
-                 c.tables, c.rank, c.ms_per_iter, c.normalized,
-                 c.embedding_bytes, i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
   return 0;

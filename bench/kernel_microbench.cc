@@ -19,6 +19,7 @@
 #include "cache/freq_tracker.h"
 #include "cache/lfu_cache.h"
 #include "data/csr_batch.h"
+#include "obs/json_writer.h"
 #include "tensor/batched_gemm.h"
 #include "tensor/gemm.h"
 #include "tensor/parallel.h"
@@ -262,37 +263,38 @@ int RunKernelJsonSweep(const std::string& path) {
         row.fwdbwd_gflops);
   }
 
+  // Shared BENCH_*.json envelope (obs/json_writer.h); field names below are
+  // the stable contract CI consumers parse — only schema_version is new.
+  obs::JsonWriter w;
+  obs::BeginBenchEnvelope(w, "kernel_microbench");
+  w.Key("table").BeginObject();
+  w.Kv("rows", rows).Kv("emb_dim", 16).Kv("num_cores", 3);
+  w.Kv("rank", rank).Kv("batch", batch).Kv("block_size", block_size);
+  w.EndObject();
+  w.Kv("hardware_concurrency", std::thread::hardware_concurrency());
+  w.Kv("deterministic_across_threads", deterministic);
+  w.Key("results").BeginArray();
+  for (const SweepRow& r : rowsout) {
+    w.BeginObject();
+    w.Kv("threads", r.threads);
+    w.Kv("forward_ms", r.fwd_ms, 4);
+    w.Kv("forward_gflops", r.fwd_gflops, 4);
+    w.Kv("forward_lookups_per_s", r.fwd_lookups_per_s, 1);
+    w.Kv("fwdbwd_ms", r.fwdbwd_ms, 4);
+    w.Kv("fwdbwd_gflops", r.fwdbwd_gflops, 4);
+    w.Kv("fwdbwd_lookups_per_s", r.fwdbwd_lookups_per_s, 1);
+    w.Kv("fwd_speedup_vs_1t", rowsout[0].fwd_ms / r.fwd_ms, 3);
+    w.Kv("fwdbwd_speedup_vs_1t", rowsout[0].fwdbwd_ms / r.fwdbwd_ms, 3);
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"kernel_microbench\",\n");
-  std::fprintf(f,
-               "  \"table\": {\"rows\": %lld, \"emb_dim\": 16, \"num_cores\": "
-               "3, \"rank\": %lld, \"batch\": %lld, \"block_size\": %lld},\n",
-               static_cast<long long>(rows), static_cast<long long>(rank),
-               static_cast<long long>(batch),
-               static_cast<long long>(block_size));
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
-               deterministic ? "true" : "false");
-  std::fprintf(f, "  \"results\": [\n");
-  for (size_t i = 0; i < rowsout.size(); ++i) {
-    const SweepRow& r = rowsout[i];
-    std::fprintf(
-        f,
-        "    {\"threads\": %d, \"forward_ms\": %.4f, \"forward_gflops\": "
-        "%.4f, \"forward_lookups_per_s\": %.1f, \"fwdbwd_ms\": %.4f, "
-        "\"fwdbwd_gflops\": %.4f, \"fwdbwd_lookups_per_s\": %.1f, "
-        "\"fwd_speedup_vs_1t\": %.3f, \"fwdbwd_speedup_vs_1t\": %.3f}%s\n",
-        r.threads, r.fwd_ms, r.fwd_gflops, r.fwd_lookups_per_s, r.fwdbwd_ms,
-        r.fwdbwd_gflops, r.fwdbwd_lookups_per_s,
-        rowsout[0].fwd_ms / r.fwd_ms, rowsout[0].fwdbwd_ms / r.fwdbwd_ms,
-        i + 1 < rowsout.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   std::printf("wrote %s (deterministic across threads: %s)\n", path.c_str(),
               deterministic ? "yes" : "NO");

@@ -7,15 +7,22 @@
 // the sweep, every request's served logit is checked bitwise against a
 // sequential single-request InferenceSession run — micro-batching must
 // change throughput, never results.
+//
+// `--json out.json` additionally writes the sweep in the shared BENCH_*.json
+// envelope (schema_version + config echo + per-point metrics) for the perf
+// trajectory.
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "harness.h"
+#include "obs/json_writer.h"
 #include "serve/inference_server.h"
 #include "serve/inference_session.h"
 
@@ -76,7 +83,14 @@ SweepPoint RunPoint(const DlrmModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   const BenchEnv env = BenchEnv::FromEnvironment();
   PrintHeader("serve_throughput",
               "serving QPS/latency vs micro-batch cap (src/serve/)", env);
@@ -153,15 +167,53 @@ int main() {
               "p95_us", "p99_us", "mean_batch");
   double qps_unbatched = 0.0;
   double qps_best = 0.0;
+  std::vector<SweepPoint> points;
   for (const int64_t max_batch : {1, 8, 32, 128}) {
     const SweepPoint pt = RunPoint(*model, requests, max_batch, producers);
     if (max_batch == 1) qps_unbatched = pt.qps;
     qps_best = std::max(qps_best, pt.qps);
+    points.push_back(pt);
     std::printf("%-10" PRId64 " %10.0f %10.0f %10.0f %10.0f %12.1f\n",
                 pt.max_batch, pt.qps, pt.p50_us, pt.p95_us, pt.p99_us,
                 pt.mean_batch);
   }
+  const double speedup =
+      qps_unbatched > 0.0 ? qps_best / qps_unbatched : 0.0;
   std::printf("\nmicro-batching speedup over one-at-a-time: %.2fx\n",
-              qps_unbatched > 0.0 ? qps_best / qps_unbatched : 0.0);
+              speedup);
+
+  if (!json_path.empty()) {
+    obs::JsonWriter w;
+    obs::BeginBenchEnvelope(w, "serve_throughput");
+    w.Key("config").BeginObject();
+    w.Kv("num_requests", num_requests);
+    w.Kv("producers", producers);
+    w.Kv("num_tt_tables", cfg.num_tt_tables);
+    w.Kv("use_cache", cfg.use_cache);
+    w.EndObject();
+    w.Key("points").BeginArray();
+    for (const SweepPoint& pt : points) {
+      w.BeginObject();
+      w.Kv("max_batch", pt.max_batch);
+      w.Kv("qps", pt.qps, 1);
+      w.Kv("p50_us", pt.p50_us, 1);
+      w.Kv("p95_us", pt.p95_us, 1);
+      w.Kv("p99_us", pt.p99_us, 1);
+      w.Kv("mean_batch_size", pt.mean_batch, 2);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Kv("speedup_vs_unbatched", speedup, 3);
+    w.EndObject();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -30,6 +30,13 @@ class HashedEmbeddingBag : public EmbeddingOp {
   int64_t emb_dim() const override { return inner_.emb_dim(); }
   int64_t num_buckets() const { return inner_.num_rows(); }
   int64_t MemoryBytes() const override { return inner_.MemoryBytes(); }
+  void CollectStats(obs::MetricRegistry& reg) const override {
+    EmbeddingOp::CollectStats(reg);
+    reg.gauge("hashed.buckets").Add(static_cast<double>(num_buckets()));
+    reg.gauge("hashed.compression")
+        .Add(static_cast<double>(num_rows()) /
+             static_cast<double>(num_buckets()));
+  }
   std::string Name() const override { return "hashed_embedding_bag"; }
 
   /// The bucket a logical row maps to; exposed for collision analysis.

@@ -34,6 +34,10 @@ class LowRankEmbeddingBag : public EmbeddingOp {
   int64_t MemoryBytes() const override {
     return (a_.numel() + b_.numel()) * static_cast<int64_t>(sizeof(float));
   }
+  void CollectStats(obs::MetricRegistry& reg) const override {
+    EmbeddingOp::CollectStats(reg);
+    reg.gauge("lowrank.rank").Add(static_cast<double>(rank()));
+  }
   std::string Name() const override { return "lowrank_embedding_bag"; }
 
  private:

@@ -34,6 +34,10 @@ class QuantizedEmbeddingBag : public EmbeddingOp {
 
   /// Quantized payload + per-row scale/offset.
   int64_t MemoryBytes() const override;
+  void CollectStats(obs::MetricRegistry& reg) const override {
+    EmbeddingOp::CollectStats(reg);
+    reg.gauge("quantized.bits").Add(static_cast<double>(bits()));
+  }
   std::string Name() const override { return "quantized_embedding_bag"; }
 
   /// Dequantizes one row (for error analysis / tests).

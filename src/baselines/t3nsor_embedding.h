@@ -40,6 +40,11 @@ class T3nsorEmbeddingBag : public EmbeddingOp {
   /// Persistent parameter memory (cores only; the materialized table is
   /// transient — see WorkingSetBytes).
   int64_t MemoryBytes() const override { return tt_.MemoryBytes(); }
+  void CollectStats(obs::MetricRegistry& reg) const override {
+    EmbeddingOp::CollectStats(reg);
+    reg.gauge("t3nsor.working_set_bytes")
+        .Add(static_cast<double>(WorkingSetBytes()));
+  }
   std::string Name() const override { return "t3nsor_embedding"; }
 
   /// Peak transient memory of a Forward call: the fully materialized table.

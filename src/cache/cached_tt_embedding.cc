@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/check.h"
 #include "tt/tt_io.h"
 
@@ -71,10 +72,28 @@ CsrBatch CachedTtEmbeddingBag::Partition(const CsrBatch& batch,
 }
 
 void CachedTtEmbeddingBag::RefreshCache() {
+  TTREC_TRACE_SCOPE("cache.refresh");
   const std::vector<int64_t> top = tracker_.TopK(cache_.capacity());
   if (top.empty()) return;
   const Tensor values = tt_.cores().MaterializeRows(top);
   cache_.Populate(top, values.data());
+  ++refreshes_;
+}
+
+void CachedTtEmbeddingBag::CollectStats(obs::MetricRegistry& reg) const {
+  reg.counter("cache.hits").Add(cache_.hits());
+  reg.counter("cache.misses").Add(cache_.misses());
+  reg.counter("cache.evictions").Add(cache_.evictions());
+  reg.counter("cache.populates").Add(cache_.populates());
+  reg.counter("cache.refreshes").Add(refreshes_);
+  reg.counter("cache.decay_rebuilds").Add(tracker_.decay_rebuilds());
+  reg.gauge("cache.rows_resident").Add(static_cast<double>(cache_.size()));
+  reg.gauge("cache.rows_capacity").Add(static_cast<double>(cache_.capacity()));
+  const TtEmbeddingStats& tt = tt_.stats();
+  reg.counter("tt.forward_calls").Add(tt.forward_calls);
+  reg.counter("tt.lookups").Add(tt.lookups);
+  reg.counter("tt.forward_flops").Add(tt.forward_flops);
+  reg.counter("tt.backward_flops").Add(tt.backward_flops);
 }
 
 void CachedTtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {

@@ -21,6 +21,7 @@
 #include "cache/freq_tracker.h"
 #include "cache/lfu_cache.h"
 #include "data/csr_batch.h"
+#include "obs/metrics.h"
 #include "tensor/serialize.h"
 #include "tt/tt_embedding.h"
 
@@ -122,6 +123,15 @@ class CachedTtEmbeddingBag {
   double HitRate() const { return cache_.HitRate(); }
   void ResetStats() { cache_.ResetStats(); }
 
+  /// Cache refreshes performed (warm-up cadence + final freeze + re-warms).
+  int64_t refreshes() const { return refreshes_; }
+
+  /// Adds cache and TT statistics into `reg` under the shared names
+  /// (cache.hits / cache.misses / cache.evictions / cache.refreshes /
+  /// cache.decay_rebuilds, tt.* — see TtEmbeddingStats) so totals across
+  /// several cached tables sum naturally in one registry.
+  void CollectStats(obs::MetricRegistry& reg) const;
+
   /// Parameter memory: TT cores + cache storage.
   int64_t MemoryBytes() const {
     return tt_.MemoryBytes() + cache_.MemoryBytes();
@@ -154,6 +164,7 @@ class CachedTtEmbeddingBag {
   FreqTracker tracker_;
   int64_t iteration_ = 0;
   int64_t rewarm_until_ = -1;  // end of the current re-warm window
+  int64_t refreshes_ = 0;
   std::vector<CacheHit> hit_scratch_;
 };
 

@@ -120,6 +120,7 @@ void FreqTracker::Decay(double factor) {
     ++size_;
     total_ += decayed;
   }
+  ++decay_rebuilds_;
 }
 
 }  // namespace ttrec

@@ -46,6 +46,9 @@ class FreqTracker {
   /// cycles never ratchet the load factor over dead slots.
   void Decay(double factor);
 
+  /// Decay() calls so far (each one rebuilds the table).
+  int64_t decay_rebuilds() const { return decay_rebuilds_; }
+
  private:
   struct Slot {
     int64_t key = kEmpty;
@@ -59,6 +62,7 @@ class FreqTracker {
   std::vector<Slot> slots_;
   int64_t size_ = 0;
   int64_t total_ = 0;
+  int64_t decay_rebuilds_ = 0;
 };
 
 }  // namespace ttrec

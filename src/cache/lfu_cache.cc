@@ -96,12 +96,21 @@ void LfuRowCache::Populate(std::span<const int64_t> rows,
       "LfuRowCache::Populate: ", rows.size(), " rows exceed capacity ",
       capacity_, "; pass at most `capacity()` rows");
   const size_t n = rows.size();
+  std::vector<int64_t> previous = std::move(rows_);
   rows_.assign(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(n));
   std::memcpy(values_.data(), values, n * static_cast<size_t>(emb_dim_) *
                                            sizeof(float));
   std::fill(grads_.begin(), grads_.end(), 0.0f);
   std::fill(adagrad_.begin(), adagrad_.end(), 0.0f);
   Rebuild();
+  // Count the rows that did not survive the repopulation — their learned
+  // weights are gone (the streaming-decomposition gap the paper leaves
+  // open), which is exactly what an operator watching `cache.evictions`
+  // wants to see.
+  for (const int64_t row : previous) {
+    if (SlotOf(row) < 0) ++evictions_;
+  }
+  ++populates_;
 }
 
 void LfuRowCache::ApplyAdagrad(float lr, float eps) {
@@ -170,6 +179,8 @@ double LfuRowCache::HitRate() const {
 void LfuRowCache::ResetStats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_ = 0;
+  populates_ = 0;
 }
 
 }  // namespace ttrec

@@ -66,6 +66,14 @@ class TtEmbeddingAdapter : public EmbeddingOp {
   int64_t WorkspaceBytes(int num_threads = 0) const override {
     return tt_.WorkspaceBytes(num_threads);
   }
+  void CollectStats(obs::MetricRegistry& reg) const override {
+    EmbeddingOp::CollectStats(reg);
+    const TtEmbeddingStats& st = tt_.stats();
+    reg.counter("tt.forward_calls").Add(st.forward_calls);
+    reg.counter("tt.lookups").Add(st.lookups);
+    reg.counter("tt.forward_flops").Add(st.forward_flops);
+    reg.counter("tt.backward_flops").Add(st.backward_flops);
+  }
   std::string Name() const override { return "tt_embedding"; }
 
   TtEmbeddingBag& tt() { return tt_; }
@@ -114,6 +122,11 @@ class CachedTtEmbeddingAdapter : public EmbeddingOp {
   int64_t WorkspaceBytes(int num_threads = 0) const override {
     return op_.WorkspaceBytes(num_threads);
   }
+  void CollectStats(obs::MetricRegistry& reg) const override {
+    EmbeddingOp::CollectStats(reg);
+    op_.CollectStats(reg);
+  }
+  void ResetStats() override { op_.ResetStats(); }
   std::string Name() const override { return "cached_tt_embedding"; }
 
   CachedTtEmbeddingBag& op() { return op_; }

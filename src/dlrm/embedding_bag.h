@@ -70,6 +70,12 @@ class DenseEmbeddingBag : public EmbeddingOp {
   int64_t MemoryBytes() const override {
     return table_.numel() * static_cast<int64_t>(sizeof(float));
   }
+  void CollectStats(obs::MetricRegistry& reg) const override {
+    EmbeddingOp::CollectStats(reg);
+    reg.gauge("dense.rows").Add(static_cast<double>(num_rows()));
+    reg.gauge("dense.grad_rows_pending")
+        .Add(static_cast<double>(grads_.size()));
+  }
   std::string Name() const override { return "dense_embedding_bag"; }
 
   Tensor& table() { return table_; }

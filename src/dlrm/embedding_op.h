@@ -12,6 +12,7 @@
 
 #include "data/csr_batch.h"
 #include "dlrm/optimizer.h"
+#include "obs/metrics.h"
 #include "tensor/serialize.h"
 
 namespace ttrec {
@@ -94,6 +95,24 @@ class EmbeddingOp {
   virtual void ScaleGrads(float /*scale*/) {
     throw ConfigError(Name() + " does not support gradient guards");
   }
+
+  /// Adds this operator's lifetime statistics into `reg`. Implementations
+  /// Add() into shared metric names ("cache.hits", "tt.lookups", ...), so
+  /// collecting a whole model into one registry sums per-table totals for
+  /// free; callers that want a point-in-time view collect into a fresh
+  /// registry per snapshot. The default records what every operator has —
+  /// its parameter memory and its presence. Overrides should extend, not
+  /// replace: call EmbeddingOp::CollectStats(reg) first.
+  virtual void CollectStats(obs::MetricRegistry& reg) const {
+    reg.counter("emb.tables").Add(1);
+    reg.gauge("emb.memory_bytes").Add(static_cast<double>(MemoryBytes()));
+  }
+
+  /// Zeroes the resettable statistics CollectStats reports (cache hit/miss
+  /// windows and the like). Default no-op: most operators report only
+  /// monotone lifetime stats. Replaces the dynamic_cast reach-in the serve
+  /// CLI used for cached tables.
+  virtual void ResetStats() {}
 
   virtual int64_t num_rows() const = 0;
   virtual int64_t emb_dim() const = 0;

@@ -5,6 +5,7 @@
 
 #include "dlrm/embedding_bag.h"
 #include "dlrm/loss.h"
+#include "obs/trace.h"
 #include "tensor/atomic_file.h"
 #include "tensor/check.h"
 #include "tensor/parallel.h"
@@ -65,7 +66,10 @@ void DlrmModel::ForwardInternal(const MiniBatch& batch, float* logits) {
                     "MiniBatch dense feature shape mismatch");
 
   bottom_out_.assign(static_cast<size_t>(B * d), 0.0f);
-  bottom_.Forward(batch.dense.data(), B, bottom_out_.data());
+  {
+    TTREC_TRACE_SCOPE("dlrm.fwd.bottom_mlp");
+    bottom_.Forward(batch.dense.data(), B, bottom_out_.data());
+  }
 
   if (config_.index_policy == IndexPolicy::kClampToZero) {
     sanitized_sparse_.assign(batch.sparse.begin(), batch.sparse.end());
@@ -81,28 +85,35 @@ void DlrmModel::ForwardInternal(const MiniBatch& batch, float* logits) {
   std::vector<const float*> features;
   features.reserve(tables_.size() + 1);
   features.push_back(bottom_out_.data());
-  for (int t = 0; t < num_tables(); ++t) {
-    const CsrBatch& cb = SparseFor(batch, t);
-    TTREC_CHECK_SHAPE(cb.num_bags() == B, "table ", t, " has ", cb.num_bags(),
-                      " bags for batch size ", B);
-    auto& out = emb_out_[static_cast<size_t>(t)];
-    out.assign(static_cast<size_t>(B * d), 0.0f);
-    try {
-      tables_[static_cast<size_t>(t)]->Forward(cb, out.data());
-    } catch (const IndexError& e) {
-      // Re-throw with the table identified — a bare "index out of range"
-      // from a 26-table model is undebuggable.
-      throw IndexError("embedding table " + std::to_string(t) + " ('" +
-                       tables_[static_cast<size_t>(t)]->Name() + "', " +
-                       std::to_string(tables_[static_cast<size_t>(t)]
-                                          ->num_rows()) +
-                       " rows): " + e.what());
+  {
+    TTREC_TRACE_SCOPE("dlrm.fwd.embedding");
+    for (int t = 0; t < num_tables(); ++t) {
+      const CsrBatch& cb = SparseFor(batch, t);
+      TTREC_CHECK_SHAPE(cb.num_bags() == B, "table ", t, " has ",
+                        cb.num_bags(), " bags for batch size ", B);
+      auto& out = emb_out_[static_cast<size_t>(t)];
+      out.assign(static_cast<size_t>(B * d), 0.0f);
+      try {
+        tables_[static_cast<size_t>(t)]->Forward(cb, out.data());
+      } catch (const IndexError& e) {
+        // Re-throw with the table identified — a bare "index out of range"
+        // from a 26-table model is undebuggable.
+        throw IndexError("embedding table " + std::to_string(t) + " ('" +
+                         tables_[static_cast<size_t>(t)]->Name() + "', " +
+                         std::to_string(tables_[static_cast<size_t>(t)]
+                                            ->num_rows()) +
+                         " rows): " + e.what());
+      }
+      features.push_back(out.data());
     }
-    features.push_back(out.data());
   }
 
   inter_out_.assign(static_cast<size_t>(B * interaction_.out_dim()), 0.0f);
-  interaction_.Forward(features, B, inter_out_.data());
+  {
+    TTREC_TRACE_SCOPE("dlrm.fwd.interaction");
+    interaction_.Forward(features, B, inter_out_.data());
+  }
+  TTREC_TRACE_SCOPE("dlrm.fwd.top_mlp");
   top_.Forward(inter_out_.data(), B, logits);
 }
 
@@ -225,7 +236,10 @@ StepOutcome DlrmModel::TrainStepGuarded(const MiniBatch& batch,
   // Top MLP.
   std::vector<float> dinter(
       static_cast<size_t>(B * interaction_.out_dim()));
-  top_.Backward(dlogits.data(), B, dinter.data());
+  {
+    TTREC_TRACE_SCOPE("dlrm.bwd.top_mlp");
+    top_.Backward(dlogits.data(), B, dinter.data());
+  }
 
   // Interaction.
   std::vector<float> dbottom(static_cast<size_t>(B * d));
@@ -237,19 +251,29 @@ StepOutcome DlrmModel::TrainStepGuarded(const MiniBatch& batch,
     demb[t].assign(static_cast<size_t>(B * d), 0.0f);
     grads.push_back(demb[t].data());
   }
-  interaction_.Backward(dinter.data(), B, grads);
+  {
+    TTREC_TRACE_SCOPE("dlrm.bwd.interaction");
+    interaction_.Backward(dinter.data(), B, grads);
+  }
 
   // Embeddings and bottom MLP.
-  for (int t = 0; t < num_tables(); ++t) {
-    tables_[static_cast<size_t>(t)]->Backward(
-        SparseFor(batch, t), demb[static_cast<size_t>(t)].data());
+  {
+    TTREC_TRACE_SCOPE("dlrm.bwd.embedding");
+    for (int t = 0; t < num_tables(); ++t) {
+      tables_[static_cast<size_t>(t)]->Backward(
+          SparseFor(batch, t), demb[static_cast<size_t>(t)].data());
+    }
   }
-  bottom_.Backward(dbottom.data(), B, nullptr);
+  {
+    TTREC_TRACE_SCOPE("dlrm.bwd.bottom_mlp");
+    bottom_.Backward(dbottom.data(), B, nullptr);
+  }
 
   // Gradient guards fire after backward but before the optimizer touches
   // any parameter: a poisoned batch is discarded by zeroing the
   // accumulated gradients, leaving parameters and optimizer state intact.
   if (guard.check_non_finite || guard.grad_clip_norm > 0.0f) {
+    TTREC_TRACE_SCOPE("dlrm.guards");
     double sq = bottom_.GradSqNorm() + top_.GradSqNorm();
     for (const auto& t : tables_) sq += t->GradSqNorm();
     out.grad_norm = std::sqrt(sq);
@@ -271,6 +295,7 @@ StepOutcome DlrmModel::TrainStepGuarded(const MiniBatch& batch,
   }
 
   // Optimizer step.
+  TTREC_TRACE_SCOPE("dlrm.optimizer");
   if (opt.kind == OptimizerConfig::Kind::kAdagrad) {
     bottom_.ApplyAdagrad(opt.lr, opt.eps);
     top_.ApplyAdagrad(opt.lr, opt.eps);

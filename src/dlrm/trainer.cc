@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "dlrm/checkpoint.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 #include "tensor/check.h"
 #include "tensor/parallel.h"
 
@@ -108,9 +110,38 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
   const int64_t clamped_before = model.clamped_lookups();
   int rollbacks_left = config.fault.max_rollbacks;
 
+  // Observability: publish into the caller's registry when given; a
+  // reporter without a registry gets a run-local one. `bump` is for rare
+  // events (name lookup each time); the per-iteration metrics cache their
+  // references outside the loop.
+  obs::MetricRegistry local_registry;
+  obs::MetricRegistry* reg = config.metrics;
+  const bool want_reporter =
+      !config.report_path.empty() && config.report_interval_ms > 0;
+  if (reg == nullptr && want_reporter) reg = &local_registry;
+  const auto bump = [reg](const char* name, int64_t n = 1) {
+    if (reg != nullptr && n != 0) reg->counter(name).Add(n);
+  };
+  obs::StripedCounter* iterations_c =
+      reg != nullptr ? &reg->counter("train.iterations") : nullptr;
+  obs::Histogram* step_us_h =
+      reg != nullptr ? &reg->histogram("train.step_us") : nullptr;
+  obs::Histogram* data_us_h =
+      reg != nullptr ? &reg->histogram("train.data_us") : nullptr;
+  std::unique_ptr<obs::PeriodicReporter> reporter;
+  if (want_reporter) {
+    reporter = std::make_unique<obs::PeriodicReporter>(
+        [reg] { return reg->ToJson(); },
+        std::chrono::milliseconds(config.report_interval_ms),
+        config.report_path);
+  }
+
   for (int64_t it = result.start_iteration; it < config.iterations; ++it) {
     const auto t0 = Clock::now();
-    MiniBatch batch = data.NextBatch(config.batch_size);
+    MiniBatch batch = [&] {
+      TTREC_TRACE_SCOPE("train.batch_gen");
+      return data.NextBatch(config.batch_size);
+    }();
     const auto t1 = Clock::now();
 
     guard.skip_loss_above =
@@ -119,25 +150,47 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
             ? config.fault.spike_factor * ema.value()
             : std::numeric_limits<double>::infinity();
 
-    const StepOutcome o = model.TrainStepGuarded(batch, opt, guard);
+    const StepOutcome o = [&] {
+      TTREC_TRACE_SCOPE("train.step");
+      return model.TrainStepGuarded(batch, opt, guard);
+    }();
     const auto t2 = Clock::now();
     result.data_seconds += Seconds(t0, t1);
     result.train_seconds += Seconds(t1, t2);
+    if (iterations_c != nullptr) {
+      iterations_c->Add(1);
+      data_us_h->Record(static_cast<int64_t>(1e6 * Seconds(t0, t1)));
+      step_us_h->Record(static_cast<int64_t>(1e6 * Seconds(t1, t2)));
+    }
 
-    if (o.non_finite_loss) ++result.robustness.non_finite_loss_skips;
-    if (o.non_finite_grad) ++result.robustness.non_finite_grad_skips;
-    if (o.loss_spike_skipped) ++result.robustness.loss_spike_skips;
-    if (o.clipped) ++result.robustness.clipped_steps;
+    if (o.non_finite_loss) {
+      ++result.robustness.non_finite_loss_skips;
+      bump("train.non_finite_loss_skips");
+    }
+    if (o.non_finite_grad) {
+      ++result.robustness.non_finite_grad_skips;
+      bump("train.non_finite_grad_skips");
+    }
+    if (o.loss_spike_skipped) {
+      ++result.robustness.loss_spike_skips;
+      bump("train.loss_spike_skips");
+    }
+    if (o.clipped) {
+      ++result.robustness.clipped_steps;
+      bump("train.clipped_steps");
+    }
     if (o.applied) {
       ema.Observe(o.loss);
     } else if (config.fault.on_fault ==
                    FaultToleranceConfig::OnFault::kRollback &&
                ckpt != nullptr && rollbacks_left > 0) {
       const auto r0 = Clock::now();
+      TTREC_TRACE_SCOPE("train.rollback");
       SnapshotMeta meta;
       if (ckpt->RestoreLatest(model, data, &meta)) {
         result.checkpoint_seconds += Seconds(r0, Clock::now());
         ++result.robustness.rollbacks;
+        bump("train.rollbacks");
         --rollbacks_left;
         ema.Reset();  // the baseline belongs to the discarded trajectory
         it = meta.iteration - 1;  // loop increment resumes at meta.iteration
@@ -154,18 +207,27 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
     if (ckpt != nullptr && config.checkpoint_every > 0 &&
         (it + 1) % config.checkpoint_every == 0) {
       const auto c0 = Clock::now();
+      TTREC_TRACE_SCOPE("train.checkpoint");
       SnapshotMeta meta;
       meta.iteration = it + 1;
       meta.optimizer = OptimizerName(opt.kind);
       ckpt->Save(model, data, meta);
-      result.checkpoint_seconds += Seconds(c0, Clock::now());
+      const double ckpt_s = Seconds(c0, Clock::now());
+      result.checkpoint_seconds += ckpt_s;
       ++result.robustness.checkpoints_written;
+      bump("train.checkpoints_written");
+      if (reg != nullptr) {
+        reg->histogram("train.checkpoint_us")
+            .Record(static_cast<int64_t>(1e6 * ckpt_s));
+      }
     }
   }
   result.robustness.clamped_lookups =
       model.clamped_lookups() - clamped_before;
+  bump("train.clamped_lookups", result.robustness.clamped_lookups);
 
   if (config.eval_batches > 0) {
+    TTREC_TRACE_SCOPE("train.eval");
     result.final_eval = model.Evaluate(MakeEvalSet(data, config));
   }
   return result;

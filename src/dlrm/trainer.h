@@ -18,6 +18,7 @@
 #include "data/criteo_synth.h"
 #include "dlrm/model.h"
 #include "dlrm/optimizer.h"
+#include "obs/metrics.h"
 
 namespace ttrec {
 
@@ -69,6 +70,19 @@ struct TrainConfig {
   /// checkpoint_dir (no-op when none exists). A resumed run replays the
   /// exact batch stream of an uninterrupted one.
   bool resume = false;
+
+  /// Observability: when set, the trainer publishes into this registry as
+  /// it runs — per-iteration histograms (train.step_us, train.data_us,
+  /// train.checkpoint_us) and live counters mirroring RobustnessCounters
+  /// (train.iterations, train.non_finite_loss_skips, ...). Not owned; must
+  /// outlive the TrainDlrm call. The same registry can be shared across
+  /// sequential runs (counters keep accumulating).
+  obs::MetricRegistry* metrics = nullptr;
+  /// When non-empty and report_interval_ms > 0, a PeriodicReporter appends
+  /// one registry-JSON line per interval to this file during the run (plus
+  /// a final line). Uses `metrics` when set, else a run-local registry.
+  std::string report_path;
+  int64_t report_interval_ms = 0;
 
   FaultToleranceConfig fault;
 };

@@ -1,0 +1,148 @@
+#include "json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/check.h"
+
+namespace ttrec::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    TTREC_CHECK(stack_.back() == '[',
+                "JsonWriter: value inside an object requires a Key() first");
+    if (has_items_.back()) out_.push_back(',');
+    has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back('{');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  TTREC_CHECK(!stack_.empty() && stack_.back() == '{' && !after_key_,
+              "JsonWriter: unbalanced EndObject()");
+  out_.push_back('}');
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back('[');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  TTREC_CHECK(!stack_.empty() && stack_.back() == '[' && !after_key_,
+              "JsonWriter: unbalanced EndArray()");
+  out_.push_back(']');
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  TTREC_CHECK(!stack_.empty() && stack_.back() == '{' && !after_key_,
+              "JsonWriter: Key() is only valid directly inside an object");
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  AppendEscaped(out_, k);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v, int precision) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeValue();
+  AppendEscaped(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+void BeginBenchEnvelope(JsonWriter& w, std::string_view bench_name) {
+  w.BeginObject();
+  w.Kv("schema_version", kBenchSchemaVersion);
+  w.Kv("bench", bench_name);
+}
+
+}  // namespace ttrec::obs

@@ -1,0 +1,75 @@
+// Minimal streaming JSON writer — the single serialization surface for
+// every machine-readable artifact this repo emits: MetricRegistry
+// snapshots, ServeMetrics telemetry, chrome://tracing dumps, and the
+// BENCH_*.json envelopes the bench binaries write for CI.
+//
+// Key order is exactly the call order (deterministic output), commas and
+// nesting are handled by a state stack, and doubles are printed with a
+// caller-chosen fixed precision so diffs of two runs stay line-stable.
+// No external dependency, no DOM — append-only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ttrec::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next object member. Must be directly followed by
+  /// a Value/Begin* call.
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(uint32_t v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(uint64_t v) { return Value(static_cast<int64_t>(v)); }
+  /// Fixed-precision double ("%.<precision>f"); non-finite values are
+  /// emitted as null (JSON has no NaN/Inf).
+  JsonWriter& Value(double v, int precision = 3);
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  /// Splices pre-serialized JSON verbatim (e.g. a nested registry dump).
+  JsonWriter& RawValue(std::string_view json);
+
+  /// Key(k) + Value(v) in one call, for flat blocks.
+  template <typename T>
+  JsonWriter& Kv(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+  JsonWriter& Kv(std::string_view k, double v, int precision) {
+    Key(k);
+    return Value(v, precision);
+  }
+
+  /// The serialized document. Valid once every Begin* has been closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<char> stack_;       // '{' or '['
+  std::vector<bool> has_items_;   // per open scope: need a comma?
+  bool after_key_ = false;
+};
+
+/// Opens the shared bench-artifact envelope: `{"schema_version":1,
+/// "bench":"<name>",` — the caller then writes its config echo and metric
+/// blocks and closes the object. Every BENCH_*.json starts this way so CI
+/// consumers can dispatch on one stable header.
+void BeginBenchEnvelope(JsonWriter& w, std::string_view bench_name);
+
+/// Current bench-envelope schema version.
+inline constexpr int kBenchSchemaVersion = 1;
+
+}  // namespace ttrec::obs

@@ -1,0 +1,230 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "obs/json_writer.h"
+#include "tensor/check.h"
+
+namespace ttrec::obs {
+
+namespace {
+
+int ThreadStripe(int stripes) {
+  // Hash of the thread id, computed once per thread. A plain modulo of the
+  // hash is fine: we need spread, not uniformity.
+  static thread_local const size_t tid_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<int>(tid_hash % static_cast<size_t>(stripes));
+}
+
+}  // namespace
+
+void StripedCounter::Add(int64_t n) {
+  cells_[static_cast<size_t>(ThreadStripe(kStripes))].value.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+int64_t StripedCounter::Total() const {
+  int64_t total = 0;
+  for (const Cell& c : cells_) total += c.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void StripedCounter::Reset() {
+  for (Cell& c : cells_) c.value.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double d) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram() {
+  bounds_[0] = 0;
+  double v = 1.0;
+  for (int i = 1; i <= kBuckets; ++i) {
+    // Strictly increasing integer bounds: geometric growth once the 1.25x
+    // step exceeds one microsecond, +1 before that.
+    bounds_[static_cast<size_t>(i)] =
+        std::max(bounds_[static_cast<size_t>(i - 1)] + 1,
+                 static_cast<int64_t>(std::llround(v)));
+    v *= 1.25;
+  }
+}
+
+int Histogram::BucketFor(int64_t micros) const {
+  if (micros < 0) micros = 0;
+  // Last bound is an interpolation anchor, not a cap: values beyond it land
+  // in the final bucket.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), micros);
+  const int idx = static_cast<int>(it - bounds_.begin()) - 1;
+  return std::min(idx, kBuckets - 1);
+}
+
+void Histogram::Record(int64_t micros) {
+  counts_[static_cast<size_t>(BucketFor(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros < 0 ? 0 : micros, std::memory_order_relaxed);
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::MeanMicros() const {
+  const int64_t n = TotalCount();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double Histogram::PercentileMicros(double p) const {
+  std::array<int64_t, kBuckets> counts;
+  int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<size_t>(i)] =
+        counts_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[static_cast<size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total);
+  double cum = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const int64_t c = counts[static_cast<size_t>(i)];
+    if (c == 0) continue;
+    if (cum + static_cast<double>(c) >= target) {
+      const double lo = static_cast<double>(bounds_[static_cast<size_t>(i)]);
+      const double hi =
+          static_cast<double>(bounds_[static_cast<size_t>(i + 1)]);
+      const double frac =
+          std::clamp((target - cum) / static_cast<double>(c), 0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    cum += static_cast<double>(c);
+  }
+  return static_cast<double>(bounds_[kBuckets]);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) w.Kv(name, value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) w.Kv(name, value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w.Key(name).BeginObject();
+    w.Kv("count", h.count);
+    w.Kv("mean", h.mean);
+    w.Kv("p50", h.p50);
+    w.Kv("p95", h.p95);
+    w.Kv("p99", h.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+StripedCounter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TTREC_CHECK_CONFIG(gauges_.find(name) == gauges_.end() &&
+                         histograms_.find(name) == histograms_.end(),
+                     "metric name already used by a different kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::make_unique<StripedCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TTREC_CHECK_CONFIG(counters_.find(name) == counters_.end() &&
+                         histograms_.find(name) == histograms_.end(),
+                     "metric name already used by a different kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TTREC_CHECK_CONFIG(counters_.find(name) == counters_.end() &&
+                         gauges_.find(name) == gauges_.end(),
+                     "metric name already used by a different kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+const StripedCounter* MetricRegistry::FindCounter(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->Total());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->Value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->TotalCount();
+    hs.mean = h->MeanMicros();
+    hs.p50 = h->PercentileMicros(50.0);
+    hs.p95 = h->PercentileMicros(95.0);
+    hs.p99 = h->PercentileMicros(99.0);
+    s.histograms.emplace_back(name, hs);
+  }
+  return s;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace ttrec::obs

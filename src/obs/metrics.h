@@ -1,0 +1,150 @@
+// Unified metrics substrate shared by the trainer, the TT kernels, the LFU
+// cache, and the serving subsystem.
+//
+// The write-side primitives (StripedCounter, Histogram) are the lock-free
+// designs proven in the serving layer, promoted here so every subsystem
+// records through one implementation:
+//   - StripedCounter stripes increments across cache-line-padded atomic
+//     cells chosen by thread identity (relaxed ordering — counts, not
+//     synchronization).
+//   - Histogram is a fixed geometric-bucket atomic array: Record() is one
+//     relaxed fetch_add, percentiles interpolate linearly inside the
+//     winning bucket (~25% bucket-width resolution). Bucket bounds are
+//     bit-identical to the original serving histogram so migrated
+//     consumers report the same percentiles.
+//
+// MetricRegistry names these primitives. Creation (the first counter()/
+// gauge()/histogram() call for a name) takes a mutex; the returned
+// reference is stable for the registry's lifetime, so hot paths look up
+// once and record lock-free thereafter. Snapshot()/ToJson() read without
+// stopping writers — a snapshot under load is approximate at the margin of
+// in-flight increments.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ttrec::obs {
+
+/// Contention-resistant counter: each increment lands on one of kStripes
+/// cache-line-padded cells chosen by thread identity; Total() sums all
+/// cells.
+class StripedCounter {
+ public:
+  void Add(int64_t n);
+  int64_t Total() const;
+  void Reset();
+
+ private:
+  static constexpr int kStripes = 16;
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// A last-write-wins double. Set() for instantaneous readings (queue depth,
+/// bytes resident); Add() for accumulating contributions from several
+/// sources into one figure (e.g. per-table memory summed across a model).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed geometric-bucket histogram. Values are conventionally
+/// microseconds (hence the accessor names), but any non-negative int64
+/// works. Record() is a single relaxed fetch_add; PercentileMicros
+/// interpolates linearly inside the winning bucket.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t micros);
+  int64_t TotalCount() const;
+  /// p in (0, 100]. Returns 0 when the histogram is empty.
+  double PercentileMicros(double p) const;
+  double MeanMicros() const;
+  void Reset();
+
+ private:
+  // Bucket i covers [bounds_[i], bounds_[i+1]) µs; bounds grow by ~1.25x
+  // per bucket, so 96 buckets reach past half an hour.
+  static constexpr int kBuckets = 96;
+  int BucketFor(int64_t micros) const;
+
+  std::array<int64_t, kBuckets + 1> bounds_;
+  std::array<std::atomic<int64_t>, kBuckets> counts_{};
+  std::atomic<int64_t> sum_micros_{0};
+};
+
+/// Point-in-time read of one histogram.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time read of a whole registry, sorted by metric name within
+/// each kind (counters, gauges, histograms) so serialization is stable.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,p50,
+  /// p95,p99}}} with keys in sorted order.
+  std::string ToJson() const;
+};
+
+/// Named metrics. counter("x")/gauge("x")/histogram("x") create on first
+/// use and return a reference that stays valid for the registry's
+/// lifetime — cache it in hot paths; only the first lookup locks. A name
+/// may be used for only one metric kind.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  StripedCounter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// nullptr when no metric of that kind exists under `name`.
+  const StripedCounter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every registered metric (the metrics stay registered).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps names sorted, which Snapshot() relies on for stable
+  // output; unique_ptr keeps references stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<StripedCounter>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ttrec::obs

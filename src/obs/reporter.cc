@@ -1,0 +1,71 @@
+#include "obs/reporter.h"
+
+#include <utility>
+
+#include "tensor/check.h"
+
+namespace ttrec::obs {
+
+PeriodicReporter::PeriodicReporter(Producer producer,
+                                   std::chrono::milliseconds interval,
+                                   std::ostream& out)
+    : producer_(std::move(producer)), interval_(interval), out_(&out) {
+  Start();
+}
+
+PeriodicReporter::PeriodicReporter(Producer producer,
+                                   std::chrono::milliseconds interval,
+                                   const std::string& path)
+    : producer_(std::move(producer)), interval_(interval) {
+  file_.open(path, std::ios::out | std::ios::app);
+  TTREC_CHECK_CONFIG(file_.is_open(), "PeriodicReporter: cannot open ", path);
+  out_ = &file_;
+  Start();
+}
+
+void PeriodicReporter::Start() {
+  TTREC_CHECK_CONFIG(interval_.count() > 0,
+                     "PeriodicReporter: interval must be positive");
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PeriodicReporter::WriteLine() {
+  // Producer runs outside mu_ — it may itself take locks (registry
+  // snapshot) and must not deadlock against Stop().
+  const std::string line = producer_();
+  (*out_) << line << '\n';
+  out_->flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lines_;
+}
+
+void PeriodicReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    WriteLine();
+    lock.lock();
+  }
+}
+
+void PeriodicReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  WriteLine();  // final line: the end-of-run state always lands on disk
+}
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+int64_t PeriodicReporter::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+}  // namespace ttrec::obs

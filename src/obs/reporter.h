@@ -1,0 +1,68 @@
+// PeriodicReporter: a background thread that appends one JSON line per
+// interval to a stream or file — the "what is the run doing right now"
+// feed for long training jobs and live servers.
+//
+// The reporter is deliberately dumb: it owns cadence, shutdown, and
+// flushing; the caller supplies a producer callback returning the line
+// body (typically MetricRegistry::ToJson() or an InferenceServer metrics
+// dump). One final line is always written on Stop() so short runs still
+// leave a record.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+namespace ttrec::obs {
+
+class PeriodicReporter {
+ public:
+  /// Returns one JSON object (no trailing newline); called from the
+  /// reporter thread, so it must be safe to run concurrently with the
+  /// instrumented code — registry snapshots are.
+  using Producer = std::function<std::string()>;
+
+  /// Appends to `out` every `interval`. The stream must outlive the
+  /// reporter.
+  PeriodicReporter(Producer producer, std::chrono::milliseconds interval,
+                   std::ostream& out);
+  /// Same, appending to the file at `path` (created if missing). Throws
+  /// ttrec::ConfigError when the file cannot be opened.
+  PeriodicReporter(Producer producer, std::chrono::milliseconds interval,
+                   const std::string& path);
+
+  /// Stops the thread, writing one final line first. Idempotent; also run
+  /// by the destructor.
+  void Stop();
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Lines written so far (including the final Stop() line once stopped).
+  int64_t lines_written() const;
+
+ private:
+  void Start();
+  void Loop();
+  void WriteLine();
+
+  Producer producer_;
+  std::chrono::milliseconds interval_;
+  std::ofstream file_;   // only used by the path constructor
+  std::ostream* out_;    // points at file_ or the caller's stream
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  int64_t lines_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace ttrec::obs

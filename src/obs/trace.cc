@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+
+namespace ttrec::obs {
+
+Tracer& Tracer::Global() {
+  // Leaked singleton: TraceScope dtors can run during static teardown of
+  // other translation units, so the tracer must never be destroyed first.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Ring& Tracer::LocalRing() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::make_unique<Ring>());
+    Ring& r = *rings_.back();
+    r.tid = static_cast<uint32_t>(rings_.size() - 1);
+    r.buf.resize(static_cast<size_t>(capacity_));
+    ring = &r;
+  }
+  return *ring;
+}
+
+void Tracer::Enable(int64_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<int64_t>(1, events_per_thread);
+  for (auto& r : rings_) {
+    std::lock_guard<std::mutex> rlock(r->mu);
+    r->buf.assign(static_cast<size_t>(capacity_), TraceEvent{});
+    r->next = 0;
+    r->count = 0;
+    r->dropped = 0;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(const char* name, int64_t ts_us, int64_t dur_us) {
+  Ring& r = LocalRing();
+  std::lock_guard<std::mutex> lock(r.mu);  // uncontended except during flush
+  const int64_t cap = static_cast<int64_t>(r.buf.size());
+  if (cap == 0) return;
+  r.buf[static_cast<size_t>(r.next)] = TraceEvent{name, ts_us, dur_us};
+  r.next = (r.next + 1) % cap;
+  if (r.count < cap) {
+    ++r.count;
+  } else {
+    ++r.dropped;  // the cursor just overwrote the oldest event
+  }
+}
+
+std::string Tracer::FlushJson() {
+  struct Flat {
+    TraceEvent e;
+    uint32_t tid;
+  };
+  std::vector<Flat> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& r : rings_) {
+      std::lock_guard<std::mutex> rlock(r->mu);
+      const int64_t cap = static_cast<int64_t>(r->buf.size());
+      // Oldest event sits at the write cursor once the ring has wrapped.
+      const int64_t first = r->count == cap ? r->next : 0;
+      for (int64_t i = 0; i < r->count; ++i) {
+        events.push_back(
+            Flat{r->buf[static_cast<size_t>((first + i) % cap)], r->tid});
+      }
+      r->next = 0;
+      r->count = 0;
+      r->dropped = 0;
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Flat& a, const Flat& b) {
+                     return a.e.ts_us < b.e.ts_us;
+                   });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Kv("displayTimeUnit", "ms");
+  w.Key("traceEvents").BeginArray();
+  for (const Flat& f : events) {
+    w.BeginObject();
+    w.Kv("name", f.e.name);
+    w.Kv("cat", "ttrec");
+    w.Kv("ph", "X");
+    w.Kv("ts", f.e.ts_us);
+    w.Kv("dur", f.e.dur_us);
+    w.Kv("pid", 1);
+    w.Kv("tid", f.tid);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+int64_t Tracer::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rlock(r->mu);
+    total += r->count;
+  }
+  return total;
+}
+
+int64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rlock(r->mu);
+    total += r->dropped;
+  }
+  return total;
+}
+
+}  // namespace ttrec::obs

@@ -3,7 +3,8 @@
 #include <exception>
 #include <utility>
 
-#include "dlrm/embedding_adapters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/inference_session.h"
 #include "tensor/check.h"
 
@@ -23,6 +24,11 @@ InferenceServer::InferenceServer(const DlrmModel& model,
   for (int i = 0; i < config_.num_consumers; ++i) {
     consumers_.emplace_back([this] { ConsumerLoop(); });
   }
+  if (!config_.report_path.empty() && config_.report_interval.count() > 0) {
+    reporter_ = std::make_unique<obs::PeriodicReporter>(
+        [this] { return MetricsJson(); }, config_.report_interval,
+        config_.report_path);
+  }
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
@@ -33,6 +39,7 @@ void InferenceServer::Shutdown() {
   for (std::thread& t : consumers_) {
     if (t.joinable()) t.join();
   }
+  if (reporter_ != nullptr) reporter_->Stop();  // final line post-drain
 }
 
 void InferenceServer::ValidateRequest(const InferenceRequest& r) const {
@@ -86,16 +93,23 @@ void InferenceServer::ConsumerLoop() {
   InferenceSession session(model_);
   std::vector<float> logits;
   for (;;) {
-    std::vector<PendingRequest> items =
-        queue_.PopBatch(config_.max_batch_size, config_.max_wait);
+    std::vector<PendingRequest> items;
+    {
+      TTREC_TRACE_SCOPE("serve.queue_wait");
+      items = queue_.PopBatch(config_.max_batch_size, config_.max_wait);
+    }
     if (items.empty()) return;  // closed and drained
 
     const auto batch_start = std::chrono::steady_clock::now();
-    MicroBatch mb = batcher_.Assemble(std::move(items));
+    MicroBatch mb = [&] {
+      TTREC_TRACE_SCOPE("serve.assemble");
+      return batcher_.Assemble(std::move(items));
+    }();
     const int64_t B = mb.batch.batch_size();
     metrics_.RecordBatch(B);
     logits.assign(static_cast<size_t>(B), 0.0f);
     try {
+      TTREC_TRACE_SCOPE("serve.inference");
       session.Run(mb.batch, logits.data());
     } catch (...) {
       const std::exception_ptr err = std::current_exception();
@@ -105,6 +119,7 @@ void InferenceServer::ConsumerLoop() {
       continue;
     }
     const auto done = std::chrono::steady_clock::now();
+    TTREC_TRACE_SCOPE("serve.split");
     for (size_t r = 0; r < mb.requests.size(); ++r) {
       PendingRequest& pr = mb.requests[r];
       InferenceResult result;
@@ -125,13 +140,20 @@ void InferenceServer::ConsumerLoop() {
 
 ServeMetricsSnapshot InferenceServer::SnapshotWithCacheStats() const {
   ServeMetricsSnapshot s = metrics_.Snapshot();
+  // Collect every table into a fresh registry: cached tables Add() into the
+  // shared cache.* names, so per-model totals fall out of the registry
+  // semantics — no dynamic_cast on concrete adapter types.
+  obs::MetricRegistry stats;
   for (int t = 0; t < model_.num_tables(); ++t) {
-    const auto* cached =
-        dynamic_cast<const CachedTtEmbeddingAdapter*>(&model_.table(t));
-    if (cached == nullptr) continue;
+    model_.table(t).CollectStats(stats);
+  }
+  if (const obs::StripedCounter* hits = stats.FindCounter("cache.hits")) {
     s.has_cache = true;
-    s.cache_hits += cached->op().cache().hits();
-    s.cache_misses += cached->op().cache().misses();
+    s.cache_hits = hits->Total();
+  }
+  if (const obs::StripedCounter* misses = stats.FindCounter("cache.misses")) {
+    s.has_cache = true;
+    s.cache_misses = misses->Total();
   }
   if (s.has_cache && s.cache_hits + s.cache_misses > 0) {
     s.cache_hit_rate =

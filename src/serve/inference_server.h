@@ -18,11 +18,13 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dlrm/model.h"
+#include "obs/reporter.h"
 #include "serve/micro_batcher.h"
 #include "serve/request_queue.h"
 #include "serve/serve_metrics.h"
@@ -46,6 +48,11 @@ struct InferenceServerConfig {
   /// right when the forward pass itself shards across the ThreadPool; more
   /// helps when batches are small and per-batch overhead dominates.
   int num_consumers = 1;
+  /// When non-empty and report_interval > 0, a PeriodicReporter appends one
+  /// MetricsJson() line per interval to this file for the server's
+  /// lifetime (plus a final line at shutdown).
+  std::string report_path;
+  std::chrono::milliseconds report_interval{0};
 };
 
 class InferenceServer {
@@ -88,6 +95,7 @@ class InferenceServer {
   MicroBatcher batcher_;
   ServeMetrics metrics_;
   std::vector<std::thread> consumers_;
+  std::unique_ptr<obs::PeriodicReporter> reporter_;
   std::atomic<bool> shut_down_{false};
 };
 

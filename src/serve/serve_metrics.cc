@@ -1,116 +1,17 @@
 #include "serve/serve_metrics.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <functional>
-#include <thread>
+#include "obs/json_writer.h"
 
 namespace ttrec::serve {
 
-namespace {
-
-int ThreadStripe(int stripes) {
-  // Hash of the thread id, computed once per thread. A plain modulo of the
-  // hash is fine: we need spread, not uniformity.
-  static thread_local const size_t tid_hash =
-      std::hash<std::thread::id>{}(std::this_thread::get_id());
-  return static_cast<int>(tid_hash % static_cast<size_t>(stripes));
-}
-
-}  // namespace
-
-void StripedCounter::Add(int64_t n) {
-  cells_[static_cast<size_t>(ThreadStripe(kStripes))].value.fetch_add(
-      n, std::memory_order_relaxed);
-}
-
-int64_t StripedCounter::Total() const {
-  int64_t total = 0;
-  for (const Cell& c : cells_) total += c.value.load(std::memory_order_relaxed);
-  return total;
-}
-
-void StripedCounter::Reset() {
-  for (Cell& c : cells_) c.value.store(0, std::memory_order_relaxed);
-}
-
-LatencyHistogram::LatencyHistogram() {
-  bounds_[0] = 0;
-  double v = 1.0;
-  for (int i = 1; i <= kBuckets; ++i) {
-    // Strictly increasing integer bounds: geometric growth once the 1.25x
-    // step exceeds one microsecond, +1 before that.
-    bounds_[static_cast<size_t>(i)] =
-        std::max(bounds_[static_cast<size_t>(i - 1)] + 1,
-                 static_cast<int64_t>(std::llround(v)));
-    v *= 1.25;
-  }
-}
-
-int LatencyHistogram::BucketFor(int64_t micros) const {
-  if (micros < 0) micros = 0;
-  // Last bound is an interpolation anchor, not a cap: values beyond it land
-  // in the final bucket.
-  const auto it =
-      std::upper_bound(bounds_.begin(), bounds_.end(), micros);
-  const int idx = static_cast<int>(it - bounds_.begin()) - 1;
-  return std::min(idx, kBuckets - 1);
-}
-
-void LatencyHistogram::Record(int64_t micros) {
-  counts_[static_cast<size_t>(BucketFor(micros))].fetch_add(
-      1, std::memory_order_relaxed);
-  sum_micros_.fetch_add(micros < 0 ? 0 : micros, std::memory_order_relaxed);
-}
-
-int64_t LatencyHistogram::TotalCount() const {
-  int64_t total = 0;
-  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
-  return total;
-}
-
-double LatencyHistogram::MeanMicros() const {
-  const int64_t n = TotalCount();
-  if (n == 0) return 0.0;
-  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
-         static_cast<double>(n);
-}
-
-double LatencyHistogram::PercentileMicros(double p) const {
-  std::array<int64_t, kBuckets> counts;
-  int64_t total = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    counts[static_cast<size_t>(i)] =
-        counts_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
-    total += counts[static_cast<size_t>(i)];
-  }
-  if (total == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(total);
-  double cum = 0.0;
-  for (int i = 0; i < kBuckets; ++i) {
-    const int64_t c = counts[static_cast<size_t>(i)];
-    if (c == 0) continue;
-    if (cum + static_cast<double>(c) >= target) {
-      const double lo = static_cast<double>(bounds_[static_cast<size_t>(i)]);
-      const double hi =
-          static_cast<double>(bounds_[static_cast<size_t>(i + 1)]);
-      const double frac =
-          std::clamp((target - cum) / static_cast<double>(c), 0.0, 1.0);
-      return lo + frac * (hi - lo);
-    }
-    cum += static_cast<double>(c);
-  }
-  return static_cast<double>(bounds_[kBuckets]);
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
-  sum_micros_.store(0, std::memory_order_relaxed);
-}
-
-ServeMetrics::ServeMetrics() : start_(std::chrono::steady_clock::now()) {}
+ServeMetrics::ServeMetrics()
+    : start_(std::chrono::steady_clock::now()),
+      ok_(registry_.counter("serve.requests_ok")),
+      failed_(registry_.counter("serve.requests_failed")),
+      samples_(registry_.counter("serve.samples")),
+      batches_(registry_.counter("serve.batches")),
+      latency_(registry_.histogram("serve.latency_us")),
+      queue_wait_(registry_.histogram("serve.queue_wait_us")) {}
 
 void ServeMetrics::RecordRequestOk(int64_t latency_us, int64_t queue_wait_us) {
   ok_.Add(1);
@@ -135,8 +36,7 @@ void ServeMetrics::RecordBatch(int64_t batch_size) {
 ServeMetricsSnapshot ServeMetrics::Snapshot() const {
   ServeMetricsSnapshot s;
   const auto now = std::chrono::steady_clock::now();
-  s.uptime_seconds =
-      std::chrono::duration<double>(now - start_).count();
+  s.uptime_seconds = std::chrono::duration<double>(now - start_).count();
   s.requests_ok = ok_.Total();
   s.requests_failed = failed_.Total();
   s.samples = samples_.Total();
@@ -167,92 +67,50 @@ ServeMetricsSnapshot ServeMetrics::Snapshot() const {
 
 void ServeMetrics::Reset() {
   start_ = std::chrono::steady_clock::now();
-  ok_.Reset();
-  failed_.Reset();
-  samples_.Reset();
-  batches_.Reset();
-  latency_.Reset();
-  queue_wait_.Reset();
+  registry_.Reset();
   for (auto& c : batch_size_hist_) c.store(0, std::memory_order_relaxed);
 }
 
-namespace {
-
-void AppendKv(std::string& out, const char* key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"%s\":%.3f", key, v);
-  out += buf;
-}
-
-void AppendKv(std::string& out, const char* key, int64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"%s\":%lld", key,
-                static_cast<long long>(v));
-  out += buf;
-}
-
-}  // namespace
-
 std::string ToJson(const ServeMetricsSnapshot& s) {
-  std::string j = "{";
-  AppendKv(j, "uptime_seconds", s.uptime_seconds);
-  j += ",";
-  AppendKv(j, "requests_ok", s.requests_ok);
-  j += ",";
-  AppendKv(j, "requests_failed", s.requests_failed);
-  j += ",";
-  AppendKv(j, "samples", s.samples);
-  j += ",";
-  AppendKv(j, "batches", s.batches);
-  j += ",";
-  AppendKv(j, "qps", s.qps);
-  j += ",";
-  AppendKv(j, "mean_batch_size", s.mean_batch_size);
-  j += ",\"latency_us\":{";
-  AppendKv(j, "mean", s.latency_mean_us);
-  j += ",";
-  AppendKv(j, "p50", s.latency_p50_us);
-  j += ",";
-  AppendKv(j, "p95", s.latency_p95_us);
-  j += ",";
-  AppendKv(j, "p99", s.latency_p99_us);
-  j += "},\"queue_wait_us\":{";
-  AppendKv(j, "mean", s.queue_wait_mean_us);
-  j += ",";
-  AppendKv(j, "p50", s.queue_wait_p50_us);
-  j += ",";
-  AppendKv(j, "p95", s.queue_wait_p95_us);
-  j += ",";
-  AppendKv(j, "p99", s.queue_wait_p99_us);
-  j += "},\"batch_size_hist\":{";
-  bool first = true;
+  // Byte-compatible with the pre-obs hand-rolled serializer: same key
+  // order, %.3f doubles, zero batch-size buckets skipped, `cache` block
+  // only when a cache exists.
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Kv("uptime_seconds", s.uptime_seconds);
+  w.Kv("requests_ok", s.requests_ok);
+  w.Kv("requests_failed", s.requests_failed);
+  w.Kv("samples", s.samples);
+  w.Kv("batches", s.batches);
+  w.Kv("qps", s.qps);
+  w.Kv("mean_batch_size", s.mean_batch_size);
+  w.Key("latency_us").BeginObject();
+  w.Kv("mean", s.latency_mean_us);
+  w.Kv("p50", s.latency_p50_us);
+  w.Kv("p95", s.latency_p95_us);
+  w.Kv("p99", s.latency_p99_us);
+  w.EndObject();
+  w.Key("queue_wait_us").BeginObject();
+  w.Kv("mean", s.queue_wait_mean_us);
+  w.Kv("p50", s.queue_wait_p50_us);
+  w.Kv("p95", s.queue_wait_p95_us);
+  w.Kv("p99", s.queue_wait_p99_us);
+  w.EndObject();
+  w.Key("batch_size_hist").BeginObject();
   for (size_t i = 0; i < s.batch_size_hist.size(); ++i) {
     if (s.batch_size_hist[i] == 0) continue;
-    if (!first) j += ",";
-    first = false;
-    char key[32];
-    std::snprintf(key, sizeof(key), "%lld",
-                  static_cast<long long>(int64_t{1} << i));
-    j += "\"";
-    j += key;
-    j += "\":";
-    char val[32];
-    std::snprintf(val, sizeof(val), "%lld",
-                  static_cast<long long>(s.batch_size_hist[i]));
-    j += val;
+    w.Kv(std::to_string(int64_t{1} << i), s.batch_size_hist[i]);
   }
-  j += "}";
+  w.EndObject();
   if (s.has_cache) {
-    j += ",\"cache\":{";
-    AppendKv(j, "hits", s.cache_hits);
-    j += ",";
-    AppendKv(j, "misses", s.cache_misses);
-    j += ",";
-    AppendKv(j, "hit_rate", s.cache_hit_rate);
-    j += "}";
+    w.Key("cache").BeginObject();
+    w.Kv("hits", s.cache_hits);
+    w.Kv("misses", s.cache_misses);
+    w.Kv("hit_rate", s.cache_hit_rate);
+    w.EndObject();
   }
-  j += "}";
-  return j;
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace ttrec::serve

@@ -1,12 +1,17 @@
 // Latency / throughput telemetry for the serving subsystem.
 //
-// Everything on the hot path (per-request and per-batch recording) is
-// lock-free: counters are striped across cache-line-padded atomic cells to
-// keep producer threads from bouncing one line, and histograms are fixed
-// geometric-bucket atomic arrays. Readers (Snapshot / ToJson) sum without
-// stopping the world, so a snapshot taken under load is approximate at the
-// margin of in-flight increments — fine for telemetry, documented here so
-// nobody asserts exact equality against a live server.
+// Since the unified observability layer landed, this is a thin facade over
+// ttrec::obs: the striped counters and geometric histograms that used to
+// live here are now obs::StripedCounter / obs::Histogram (bit-identical
+// bucket bounds, so percentiles are unchanged), and ServeMetrics records
+// into a private obs::MetricRegistry. The snapshot struct and ToJson()
+// output are byte-compatible with the pre-migration format — `ttrec_serve`
+// and `bench/serve_throughput` consumers parse the same keys.
+//
+// Hot-path properties are inherited from obs: Record* methods are
+// lock-free, and Snapshot()/ToJson() read without stopping the world, so a
+// snapshot taken under load is approximate at the margin of in-flight
+// increments.
 #pragma once
 
 #include <array>
@@ -16,50 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ttrec::serve {
 
-/// Contention-resistant counter: each increment lands on one of kStripes
-/// cache-line-padded cells chosen by thread identity; Total() sums all
-/// cells. Relaxed ordering throughout — counts, not synchronization.
-class StripedCounter {
- public:
-  void Add(int64_t n);
-  int64_t Total() const;
-  void Reset();
-
- private:
-  static constexpr int kStripes = 16;
-  struct alignas(64) Cell {
-    std::atomic<int64_t> value{0};
-  };
-  std::array<Cell, kStripes> cells_;
-};
-
-/// Fixed geometric-bucket histogram over microsecond values. Record() is a
-/// single relaxed fetch_add; PercentileMicros interpolates linearly inside
-/// the winning bucket, so p50/p95/p99 carry ~25% bucket-width resolution —
-/// the right trade for a hot path that must never take a lock.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  void Record(int64_t micros);
-  int64_t TotalCount() const;
-  /// p in (0, 100]. Returns 0 when the histogram is empty.
-  double PercentileMicros(double p) const;
-  double MeanMicros() const;
-  void Reset();
-
- private:
-  // Bucket i covers [bounds_[i], bounds_[i+1]) µs; bounds grow by ~1.25x
-  // per bucket, so 96 buckets reach past half an hour.
-  static constexpr int kBuckets = 96;
-  int BucketFor(int64_t micros) const;
-
-  std::array<int64_t, kBuckets + 1> bounds_;
-  std::array<std::atomic<int64_t>, kBuckets> counts_{};
-  std::atomic<int64_t> sum_micros_{0};
-};
+/// Historical names, now provided by the shared observability layer.
+using StripedCounter = obs::StripedCounter;
+using LatencyHistogram = obs::Histogram;
 
 /// A point-in-time read of ServeMetrics, plus the cache stats the server
 /// fills in from the model's cached-TT tables (has_cache == false when the
@@ -112,16 +80,25 @@ class ServeMetrics {
   ServeMetricsSnapshot Snapshot() const;
   void Reset();
 
+  /// The backing registry, for callers that want the raw named metrics
+  /// (e.g. a PeriodicReporter producer). Names: serve.requests_ok,
+  /// serve.requests_failed, serve.samples, serve.batches,
+  /// serve.latency_us, serve.queue_wait_us.
+  const obs::MetricRegistry& registry() const { return registry_; }
+
  private:
   static constexpr int kBatchSizeBuckets = 16;  // up to 2^16-sample batches
 
+  obs::MetricRegistry registry_;  // must precede the references below
   std::chrono::steady_clock::time_point start_;
-  StripedCounter ok_;
-  StripedCounter failed_;
-  StripedCounter samples_;
-  StripedCounter batches_;
-  LatencyHistogram latency_;
-  LatencyHistogram queue_wait_;
+  obs::StripedCounter& ok_;
+  obs::StripedCounter& failed_;
+  obs::StripedCounter& samples_;
+  obs::StripedCounter& batches_;
+  obs::Histogram& latency_;
+  obs::Histogram& queue_wait_;
+  // Linear power-of-two batch-size buckets; a geometric obs::Histogram
+  // would blur the exact power-of-two keys ToJson() reports.
   std::array<std::atomic<int64_t>, kBatchSizeBuckets> batch_size_hist_{};
 };
 

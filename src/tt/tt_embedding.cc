@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "tensor/batched_gemm.h"
 #include "tensor/check.h"
 #include "tensor/parallel.h"
@@ -323,9 +324,12 @@ void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
   const int64_t N = emb_dim();
 
   buf.digits.resize(static_cast<size_t>(L * d));
-  for (int64_t l = 0; l < L; ++l) {
-    const std::vector<int64_t> dg = s.RowDigits(indices[begin + l]);
-    std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+  {
+    TTREC_TRACE_SCOPE("tt.decode");
+    for (int64_t l = 0; l < L; ++l) {
+      const std::vector<int64_t> dg = s.RowDigits(indices[begin + l]);
+      std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+    }
   }
 
   buf.inter.resize(static_cast<size_t>(std::max(0, d - 2)) + 1);
@@ -333,6 +337,7 @@ void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
   buf.b_ptrs.resize(static_cast<size_t>(L));
   buf.c_ptrs.resize(static_cast<size_t>(L));
 
+  TTREC_TRACE_SCOPE("tt.gemm_chain");
   for (int c = 1; c < d; ++c) {
     const int64_t m = prodn_[static_cast<size_t>(c - 1)];
     const int64_t kk = s.ranks[static_cast<size_t>(c)];
@@ -439,6 +444,7 @@ void TtEmbeddingBag::PooledForward(const CsrBatch& batch,
     const int64_t bag_lo = bags[static_cast<size_t>(r0)];
     const int64_t bag_hi = bags[static_cast<size_t>(r1 - 1)] + 1;
     pool.ParallelFor(bag_hi - bag_lo, 16, [&](int64_t u0, int64_t u1) {
+      TTREC_TRACE_SCOPE("tt.pool");
       for (int64_t bag = bag_lo + u0; bag < bag_lo + u1; ++bag) {
         const int64_t lo =
             std::max(r0, batch.offsets[static_cast<size_t>(bag)]);
@@ -730,6 +736,7 @@ void TtEmbeddingBag::Backward(const CsrBatch& batch,
     // Phase 1: per-block Algorithm 2 chains, block-parallel. Each task
     // accumulates into its own BlockGrads only.
     pool.ParallelFor(rcount, 1, [&](int64_t c0, int64_t c1) {
+      TTREC_TRACE_SCOPE("tt.backward.block");
       BlockBuffers buf;
       for (int64_t bi = c0; bi < c1; ++bi) {
         const int64_t begin = (rb + bi) * bs;
@@ -745,6 +752,7 @@ void TtEmbeddingBag::Backward(const CsrBatch& batch,
     // are per-core), so the merge parallelizes over cores while the
     // block-order summation keeps results thread-count-invariant.
     pool.ParallelFor(d, 1, [&](int64_t k0, int64_t k1) {
+      TTREC_TRACE_SCOPE("tt.backward.merge");
       for (int64_t k = k0; k < k1; ++k) {
         const int64_t slice_size = cores_.SliceSize(static_cast<int>(k));
         Tensor& grad = grads_[static_cast<size_t>(k)];

@@ -1,0 +1,424 @@
+// Observability substrate (src/obs/): concurrent counter/histogram
+// exactness, registry JSON stability, trace ring overflow semantics,
+// chrome trace shape, the periodic reporter, and the two contracts the
+// instrumentation must never break — bitwise-identical training with
+// tracing on vs off across thread counts, and robustness counters
+// surfacing in the registry under injected faults.
+//
+// Suite names all start with "Obs" so CI's TSan shard can select them
+// with a single --gtest_filter pattern.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/csr_batch.h"
+#include "dlrm/embedding_adapters.h"
+#include "dlrm/embedding_bag.h"
+#include "dlrm/model.h"
+#include "dlrm/trainer.h"
+#include "fault_injector.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
+#include "tensor/check.h"
+#include "tensor/parallel.h"
+#include "tt/tt_embedding.h"
+
+namespace ttrec {
+namespace {
+
+class PoolGuard {
+ public:
+  PoolGuard() : saved_(ThreadPool::Global().num_threads()) {}
+  ~PoolGuard() { ThreadPool::SetGlobalThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Leaves the global tracer disabled and drained on scope exit so trace
+/// tests never leak a capture into other tests.
+class TracerGuard {
+ public:
+  ~TracerGuard() {
+    obs::Tracer::Global().Disable();
+    obs::Tracer::Global().FlushJson();
+  }
+};
+
+TEST(ObsMetrics, ConcurrentCountersAndHistogramsAreExact) {
+  obs::MetricRegistry reg;
+  obs::StripedCounter& c = reg.counter("c");
+  obs::Histogram& h = reg.histogram("h");
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+        h.Record(i % 1000);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Total(), kThreads * kPerThread);
+  EXPECT_EQ(h.TotalCount(), kThreads * kPerThread);
+  EXPECT_GT(h.PercentileMicros(99.0), h.PercentileMicros(50.0));
+}
+
+TEST(ObsMetrics, GaugeAddAccumulatesConcurrently) {
+  obs::Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 1000; ++i) g.Add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), 4000.0);
+}
+
+TEST(ObsMetrics, RegistryJsonIsSortedAndStable) {
+  obs::MetricRegistry reg;
+  reg.counter("zeta").Add(3);
+  reg.counter("alpha").Add(1);
+  reg.gauge("mem").Set(2.5);
+  reg.histogram("lat").Record(100);
+  const std::string j = reg.ToJson();
+  // Sorted counter keys, fixed block order, one histogram snapshot.
+  EXPECT_NE(j.find("\"counters\":{\"alpha\":1,\"zeta\":3}"),
+            std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"gauges\":{\"mem\":2.500}"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"lat\":{\"count\":1"), std::string::npos) << j;
+  // Serialization is deterministic call-over-call.
+  EXPECT_EQ(j, reg.ToJson());
+  // Snapshot mirrors the same values.
+  const obs::MetricsSnapshot s = reg.Snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "alpha");
+  EXPECT_EQ(s.counters[1].second, 3);
+  reg.Reset();
+  EXPECT_EQ(reg.counter("zeta").Total(), 0);
+  EXPECT_EQ(reg.histogram("lat").TotalCount(), 0);
+}
+
+TEST(ObsMetrics, NameCollisionAcrossKindsThrows) {
+  obs::MetricRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), ConfigError);
+  EXPECT_THROW(reg.histogram("x"), ConfigError);
+  EXPECT_EQ(reg.FindGauge("x"), nullptr);
+  EXPECT_NE(reg.FindCounter("x"), nullptr);
+}
+
+TEST(ObsTrace, DisabledScopeRecordsNothing) {
+  TracerGuard guard;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  ASSERT_FALSE(tracer.enabled());
+  const int64_t before = tracer.buffered();
+  {
+    TTREC_TRACE_SCOPE("obs.test.disabled");
+  }
+  EXPECT_EQ(tracer.buffered(), before);
+}
+
+#if !defined(TTREC_NO_TRACING)
+TEST(ObsTrace, RingOverflowDropsOldest) {
+  TracerGuard guard;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Enable(/*events_per_thread=*/4);
+  for (int64_t i = 0; i < 10; ++i) {
+    tracer.Record("obs.test.evt", /*ts_us=*/i, /*dur_us=*/1);
+  }
+  tracer.Disable();
+  EXPECT_EQ(tracer.buffered(), 4);
+  EXPECT_EQ(tracer.dropped(), 6);
+  const std::string j = tracer.FlushJson();
+  // The surviving window is the four NEWEST events, ts 6..9.
+  for (int64_t ts : {6, 7, 8, 9}) {
+    EXPECT_NE(j.find("\"ts\":" + std::to_string(ts)), std::string::npos) << j;
+  }
+  EXPECT_EQ(j.find("\"ts\":5,"), std::string::npos) << j;
+  EXPECT_EQ(tracer.buffered(), 0);
+  EXPECT_EQ(tracer.dropped(), 0);
+}
+
+TEST(ObsTrace, ChromeJsonShape) {
+  TracerGuard guard;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Enable();
+  {
+    TTREC_TRACE_SCOPE("obs.test.outer");
+    TTREC_TRACE_SCOPE("obs.test.inner");
+  }
+  tracer.Disable();
+  EXPECT_EQ(tracer.buffered(), 2);
+  const std::string j = tracer.FlushJson();
+  EXPECT_NE(j.find("\"displayTimeUnit\":\"ms\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"traceEvents\":["), std::string::npos) << j;
+  EXPECT_NE(j.find("\"name\":\"obs.test.outer\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"name\":\"obs.test.inner\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos) << j;
+}
+
+TEST(ObsTrace, ConcurrentScopesAllSurvive) {
+  TracerGuard guard;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TTREC_TRACE_SCOPE("obs.test.mt");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  tracer.Disable();
+  EXPECT_EQ(tracer.buffered(), kThreads * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0);
+}
+#endif  // !defined(TTREC_NO_TRACING)
+
+TEST(ObsJson, WriterHandlesNestingEscapingAndNonFinite) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Kv("s", "a\"b\\c\n");
+  w.Kv("i", int64_t{-7});
+  w.Kv("d", 1.5, 2);
+  w.Kv("nan", std::nan(""), 3);
+  w.Key("arr").BeginArray().Value(1).Value(true).EndArray();
+  w.Key("o").BeginObject().EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"i\":-7,\"d\":1.50,\"nan\":null,"
+            "\"arr\":[1,true],\"o\":{}}");
+}
+
+TEST(ObsJson, BenchEnvelopeHeader) {
+  obs::JsonWriter w;
+  obs::BeginBenchEnvelope(w, "demo");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"schema_version\":1,\"bench\":\"demo\"}");
+}
+
+TEST(ObsReporter, WritesPeriodicAndFinalLines) {
+  std::ostringstream out;
+  std::atomic<int> calls{0};
+  {
+    obs::PeriodicReporter reporter(
+        [&calls] {
+          calls.fetch_add(1);
+          return std::string("{\"n\":1}");
+        },
+        std::chrono::milliseconds(5), out);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }  // destructor stops and writes the final line
+  EXPECT_GE(calls.load(), 1);
+  std::istringstream in(out.str());
+  std::string line;
+  int64_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line, "{\"n\":1}");
+    ++lines;
+  }
+  EXPECT_EQ(lines, calls.load());
+}
+
+TEST(ObsReporter, RejectsNonPositiveInterval) {
+  std::ostringstream out;
+  EXPECT_THROW(obs::PeriodicReporter([] { return std::string("{}"); },
+                                     std::chrono::milliseconds(0), out),
+               ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Regression contracts: instrumentation must not perturb results.
+
+TtEmbeddingConfig ObsTtConfig() {
+  TtEmbeddingConfig cfg;
+  cfg.shape = MakeTtShape(/*num_rows=*/60, /*emb_dim=*/8, /*num_cores=*/3,
+                          /*rank=*/4);
+  cfg.block_size = 7;  // many blocks even on small batches
+  return cfg;
+}
+
+CsrBatch ObsBatch() {
+  CsrBatch b;
+  Rng rng(42);
+  b.offsets.push_back(0);
+  for (int bag = 0; bag < 48; ++bag) {
+    const int64_t size = static_cast<int64_t>(rng.Uniform(0.0, 5.99));
+    for (int64_t i = 0; i < size; ++i) {
+      b.indices.push_back(static_cast<int64_t>(rng.Uniform(0.0, 59.99)));
+    }
+    b.offsets.push_back(static_cast<int64_t>(b.indices.size()));
+  }
+  return b;
+}
+
+/// Two train steps of the TT kernels at `threads`; returns forward output
+/// and final core parameters for bitwise comparison.
+std::vector<std::vector<float>> RunTtSteps(int threads, bool traced) {
+  ThreadPool::SetGlobalThreads(threads);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (traced) {
+    tracer.Enable();
+  } else {
+    tracer.Disable();
+  }
+  Rng rng(7);
+  TtEmbeddingBag emb(ObsTtConfig(), TtInit::kGaussian, rng);
+  const CsrBatch batch = ObsBatch();
+  std::vector<float> out(static_cast<size_t>(batch.num_bags() * 8));
+  std::vector<float> grad(out.size(), 0.5f);
+  std::vector<std::vector<float>> captured;
+  for (int step = 0; step < 2; ++step) {
+    emb.Forward(batch, out.data());
+    captured.push_back(out);
+    emb.Backward(batch, grad.data());
+    emb.ApplySgd(0.05f);
+  }
+  for (int c = 0; c < emb.cores().num_cores(); ++c) {
+    const Tensor& t = emb.cores().core(c);
+    captured.emplace_back(t.data(), t.data() + t.numel());
+  }
+  tracer.Disable();
+  tracer.FlushJson();
+  return captured;
+}
+
+TEST(ObsRegression, TracedTrainingIsBitwiseIdenticalAcrossThreads) {
+  PoolGuard pool_guard;
+  TracerGuard tracer_guard;
+  const std::vector<std::vector<float>> ref =
+      RunTtSteps(/*threads=*/1, /*traced=*/false);
+  for (const int threads : {1, 2, 8}) {
+    for (const bool traced : {false, true}) {
+      const std::vector<std::vector<float>> got = RunTtSteps(threads, traced);
+      ASSERT_EQ(got.size(), ref.size());
+      for (size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(got[i].size(), ref[i].size());
+        EXPECT_EQ(std::memcmp(got[i].data(), ref[i].data(),
+                              ref[i].size() * sizeof(float)),
+                  0)
+            << "threads=" << threads << " traced=" << traced
+            << " capture=" << i;
+      }
+    }
+  }
+}
+
+DlrmConfig ObsTinyConfig() {
+  DlrmConfig cfg;
+  cfg.emb_dim = 8;
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  return cfg;
+}
+
+SyntheticCriteoConfig ObsTinyData() {
+  SyntheticCriteoConfig cfg;
+  cfg.spec.name = "obs_tiny";
+  cfg.spec.table_rows = {200, 150, 120};
+  cfg.teacher_scale = 4.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+/// Mixed model with the dense table wrapped in a NaN-gradient injector.
+std::unique_ptr<DlrmModel> ObsFaultedModel(uint64_t seed,
+                                           int64_t fault_on_call) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<EmbeddingOp>> tables;
+  tables.push_back(std::make_unique<testing::NanGradInjector>(
+      std::make_unique<DenseEmbeddingBag>(200, 8, PoolingMode::kSum,
+                                          DenseEmbeddingInit::UniformScaled(),
+                                          rng),
+      fault_on_call));
+  TtEmbeddingConfig tcfg;
+  tcfg.shape = MakeTtShape(150, 8, 3, 4);
+  tables.push_back(
+      std::make_unique<TtEmbeddingAdapter>(tcfg, TtInit::kGaussian, rng));
+  CachedTtConfig ccfg;
+  ccfg.tt.shape = MakeTtShape(120, 8, 3, 4);
+  ccfg.cache_capacity = 8;
+  ccfg.warmup_iterations = 3;
+  ccfg.refresh_interval = 1;
+  tables.push_back(std::make_unique<CachedTtEmbeddingAdapter>(
+      ccfg, TtInit::kGaussian, rng));
+  return std::make_unique<DlrmModel>(ObsTinyConfig(), std::move(tables), rng);
+}
+
+TEST(ObsRegression, FaultCountersSurfaceInRegistry) {
+  std::unique_ptr<DlrmModel> model =
+      ObsFaultedModel(/*seed=*/3, /*fault_on_call=*/4);
+  SyntheticCriteo data(ObsTinyData());
+
+  obs::MetricRegistry reg;
+  TrainConfig tc;
+  tc.iterations = 12;
+  tc.batch_size = 16;
+  tc.eval_batches = 0;
+  tc.log_every = 0;
+  tc.fault.check_non_finite = true;
+  tc.metrics = &reg;
+  const TrainResult r = TrainDlrm(*model, data, tc);
+
+  ASSERT_GE(r.robustness.non_finite_grad_skips, 1);
+  const obs::StripedCounter* skips =
+      reg.FindCounter("train.non_finite_grad_skips");
+  ASSERT_NE(skips, nullptr);
+  EXPECT_EQ(skips->Total(), r.robustness.non_finite_grad_skips);
+  const obs::StripedCounter* iters = reg.FindCounter("train.iterations");
+  ASSERT_NE(iters, nullptr);
+  EXPECT_EQ(iters->Total(), tc.iterations);
+  const obs::Histogram* step_us = reg.FindHistogram("train.step_us");
+  ASSERT_NE(step_us, nullptr);
+  EXPECT_EQ(step_us->TotalCount(), tc.iterations);
+}
+
+TEST(ObsStats, CollectStatsAggregatesAcrossTables) {
+  std::unique_ptr<DlrmModel> model = ObsFaultedModel(/*seed=*/5, int64_t{1}
+                                                     << 40);
+  SyntheticCriteo data(ObsTinyData());
+  std::vector<float> logits(16);
+  for (int i = 0; i < 6; ++i) {
+    model->PredictLogits(data.NextBatch(16), logits.data());
+  }
+
+  obs::MetricRegistry reg;
+  for (int t = 0; t < model->num_tables(); ++t) {
+    model->table(t).CollectStats(reg);
+  }
+  // Every table reports through the base implementation... (the injector
+  // wrapper contributes the default-only stats for its dense inner op).
+  const obs::StripedCounter* tables = reg.FindCounter("emb.tables");
+  ASSERT_NE(tables, nullptr);
+  EXPECT_EQ(tables->Total(), model->num_tables());
+  const obs::Gauge* mem = reg.FindGauge("emb.memory_bytes");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_GT(mem->Value(), 0.0);
+  // ...and the cached-TT table surfaced its LFU cache counters.
+  ASSERT_NE(reg.FindCounter("cache.hits"), nullptr);
+  ASSERT_NE(reg.FindCounter("cache.misses"), nullptr);
+  const obs::StripedCounter* lookups = reg.FindCounter("tt.lookups");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_GT(lookups->Total(), 0);
+}
+
+}  // namespace
+}  // namespace ttrec

@@ -142,10 +142,7 @@ int main(int argc, char** argv) {
     }
     // Drop warm-up hit/miss counts so the snapshot reflects serving only.
     for (int t = 0; t < model->num_tables(); ++t) {
-      if (auto* cached =
-              dynamic_cast<CachedTtEmbeddingAdapter*>(&model->table(t))) {
-        cached->op().ResetStats();
-      }
+      model->table(t).ResetStats();
     }
 
     serve::InferenceServerConfig server_cfg;
