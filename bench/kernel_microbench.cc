@@ -1,17 +1,23 @@
 // google-benchmark microbenchmarks for the hot kernels: GEMM, batched GEMM,
 // TT-EmbeddingBag forward/backward, row materialization, cache probes, and
 // Zipf sampling. These are the building blocks behind Figures 7/8/11/12.
+// Compute kernels report achieved FLOP/s and bytes/s counters, not just
+// wall time.
 //
-// `--json out.json` switches to a machine-readable thread-count sweep of the
+// `--json out.json` switches to the machine-readable sweep behind the
+// BENCH_kernels.json artifact CI uploads: a thread-count sweep of the
 // block-parallel TT kernels (GFLOP/s and lookups/s per pool size, plus a
-// cross-thread determinism check) — the BENCH_kernels.json artifact CI
-// uploads so the perf trajectory populates. All other flags pass through to
-// google-benchmark.
+// cross-thread determinism check) and a SIMD-tier sweep (scalar vs AVX2 vs
+// AVX-512 on the TT GEMM chain and the fused vs staged lookup pipeline,
+// with speedups over the scalar tier and a fused==staged bitwise gate).
+// The envelope stamps the CPU model and dispatch tier so the numbers are
+// attributable. All other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +27,7 @@
 #include "data/csr_batch.h"
 #include "obs/json_writer.h"
 #include "tensor/batched_gemm.h"
+#include "tensor/cpu_features.h"
 #include "tensor/gemm.h"
 #include "tensor/parallel.h"
 #include "tensor/random.h"
@@ -28,6 +35,18 @@
 
 namespace ttrec {
 namespace {
+
+/// Attaches achieved-rate counters: google-benchmark divides kIsRate
+/// counters by wall time, so pass totals across all iterations.
+void SetRateCounters(benchmark::State& state, int64_t flops_per_iter,
+                     int64_t bytes_per_iter) {
+  state.counters["FLOP/s"] = benchmark::Counter(
+      static_cast<double>(flops_per_iter * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(bytes_per_iter * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
 
 void BM_Gemm(benchmark::State& state) {
   const int64_t m = state.range(0);
@@ -45,9 +64,12 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+  SetRateCounters(state, 2 * m * n * k,
+                  (m * k + k * n + m * n) * static_cast<int64_t>(4));
 }
 BENCHMARK(BM_Gemm)
-    ->Args({4, 64, 32})    // TT stage shape (prod-n x n*R, rank 32)
+    ->Args({2, 64, 32})    // TT stage 1 of a 3-core dim-16 rank-32 table
+    ->Args({4, 4, 32})     // TT stage 2 (ragged tail) of the same table
     ->Args({16, 128, 64})
     ->Args({64, 64, 64})
     ->Args({256, 256, 256});
@@ -79,6 +101,8 @@ void BM_BatchedGemmTtStage(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  SetRateCounters(state, batch * 2 * m * n * k,
+                  batch * (m * k + k * n + m * n) * static_cast<int64_t>(4));
 }
 BENCHMARK(BM_BatchedGemmTtStage)
     ->Args({512, 8})
@@ -86,9 +110,11 @@ BENCHMARK(BM_BatchedGemmTtStage)
     ->Args({512, 64})
     ->Args({4096, 32});
 
-TtEmbeddingBag MakeBenchEmbedding(int64_t rows, int64_t rank) {
+TtEmbeddingBag MakeBenchEmbedding(int64_t rows, int64_t rank,
+                                  bool fuse_lookup = true) {
   TtEmbeddingConfig cfg;
   cfg.shape = MakeTtShape(rows, 16, 3, rank);
+  cfg.fuse_lookup = fuse_lookup;
   Rng rng(3);
   return TtEmbeddingBag(cfg, TtInit::kSampledGaussian, rng);
 }
@@ -100,6 +126,17 @@ CsrBatch MakeLookupBatch(int64_t rows, int64_t batch) {
   return CsrBatch::FromIndices(std::move(idx));
 }
 
+/// Algorithmic memory traffic of one lookup: the core slices its digits
+/// select (read) plus the reconstructed row (write). Intermediates live in
+/// L1 under the fused kernel, so they are excluded on purpose.
+int64_t LookupBytes(const TtEmbeddingBag& emb) {
+  int64_t bytes = emb.emb_dim() * static_cast<int64_t>(sizeof(float));
+  for (int k = 0; k < emb.cores().num_cores(); ++k) {
+    bytes += emb.cores().SliceSize(k) * static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
 void BM_TtEmbeddingForward(benchmark::State& state) {
   const int64_t rows = 1000000;
   const int64_t rank = state.range(0);
@@ -107,11 +144,17 @@ void BM_TtEmbeddingForward(benchmark::State& state) {
   TtEmbeddingBag emb = MakeBenchEmbedding(rows, rank);
   CsrBatch lookup = MakeLookupBatch(rows, batch);
   std::vector<float> out(static_cast<size_t>(batch * 16));
+  const int64_t flops_before = emb.stats().forward_flops;
   for (auto _ : state) {
     emb.Forward(lookup, out.data());
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  const int64_t flops_per_iter =
+      state.iterations() > 0
+          ? (emb.stats().forward_flops - flops_before) / state.iterations()
+          : 0;
+  SetRateCounters(state, flops_per_iter, batch * LookupBytes(emb));
 }
 BENCHMARK(BM_TtEmbeddingForward)
     ->Args({8, 512})
@@ -128,11 +171,17 @@ void BM_TtEmbeddingBackwardSgd(benchmark::State& state) {
   std::vector<float> out(static_cast<size_t>(batch * 16));
   std::vector<float> grad(out.size(), 1.0f);
   emb.Forward(lookup, out.data());
+  const int64_t flops_before = emb.stats().backward_flops;
   for (auto _ : state) {
     emb.Backward(lookup, grad.data());
     emb.ApplySgd(0.01f);
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  const int64_t flops_per_iter =
+      state.iterations() > 0
+          ? (emb.stats().backward_flops - flops_before) / state.iterations()
+          : 0;
+  SetRateCounters(state, flops_per_iter, 2 * batch * LookupBytes(emb));
 }
 BENCHMARK(BM_TtEmbeddingBackwardSgd)->Arg(8)->Arg(32)->Arg(64);
 
@@ -145,6 +194,10 @@ void BM_MaterializeRow(benchmark::State& state) {
     i += 7919;
     benchmark::DoNotOptimize(row.data());
   }
+  state.counters["bytes/s"] =
+      benchmark::Counter(static_cast<double>(LookupBytes(emb)) *
+                             static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MaterializeRow)->Arg(8)->Arg(32)->Arg(64);
 
@@ -184,11 +237,24 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample)->Arg(10000)->Arg(10000000);
 
-// --json mode: a Criteo-shape thread-count sweep of the block-parallel TT
-// kernels. Times whole-table forward and forward+backward+SGD at pool sizes
-// {1, 2, 4, 8}, derives GFLOP/s from the operator's own FLOP counters, and
-// verifies the forward output is bitwise identical across all pool sizes
-// (the determinism contract of DESIGN.md "Kernel parallelism").
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// One SIMD tier's measurements at a fixed thread count: the raw TT GEMM
+// chain (LookupRows — decode + per-row GEMMs, no pooling), the fused
+// decode→chain→pool forward, and the staged (unfused) forward.
+struct TierRow {
+  SimdTier tier = SimdTier::kScalar;
+  double chain_ms = 0.0, chain_gflops = 0.0, chain_gbytes = 0.0;
+  double fused_ms = 0.0, fused_gflops = 0.0, fused_lookups_per_s = 0.0;
+  double unfused_ms = 0.0, unfused_gflops = 0.0;
+  bool fused_matches_unfused = true;
+};
+
+// --json mode: the Criteo-shape sweeps described in the file comment.
 int RunKernelJsonSweep(const std::string& path) {
   const int64_t rows = 1000000;
   const int64_t rank = 32;
@@ -206,11 +272,9 @@ int RunKernelJsonSweep(const std::string& path) {
   bool deterministic = true;
   int64_t block_size = 0;
 
-  using Clock = std::chrono::steady_clock;
-  auto ms_since = [](Clock::time_point t0) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
-        .count();
-  };
+  // The thread sweep runs on whatever tier dispatch resolved (including a
+  // TTREC_SIMD override) — that tier is stamped into the envelope.
+  const SimdTier sweep_tier = ActiveSimdTier();
 
   for (int threads : thread_counts) {
     ThreadPool::SetGlobalThreads(threads);
@@ -233,7 +297,7 @@ int RunKernelJsonSweep(const std::string& path) {
     const TtEmbeddingStats before_fwd = emb.stats();
     auto t0 = Clock::now();
     for (int i = 0; i < reps; ++i) emb.Forward(lookup, out.data());
-    row.fwd_ms = ms_since(t0) / reps;
+    row.fwd_ms = MsSince(t0) / reps;
     const int64_t fwd_flops =
         (emb.stats().forward_flops - before_fwd.forward_flops) / reps;
     row.fwd_gflops = static_cast<double>(fwd_flops) / (row.fwd_ms * 1e6);
@@ -246,7 +310,7 @@ int RunKernelJsonSweep(const std::string& path) {
       emb.Backward(lookup, grad.data());
       emb.ApplySgd(0.01f);
     }
-    row.fwdbwd_ms = ms_since(t0) / reps;
+    row.fwdbwd_ms = MsSince(t0) / reps;
     const int64_t step_flops =
         (emb.stats().forward_flops - before_bwd.forward_flops +
          emb.stats().backward_flops - before_bwd.backward_flops) /
@@ -263,10 +327,95 @@ int RunKernelJsonSweep(const std::string& path) {
         row.fwdbwd_gflops);
   }
 
+  // --- SIMD-tier sweep: single thread so kernel speedups are not masked by
+  // parallel scaling, and an L2-resident table (64K rows, ~350 KB of cores)
+  // so they are not masked by slice-fetch memory traffic either — the 1M-row
+  // thread sweep above already covers the memory-bound regime. min-of-reps
+  // timing rejects scheduler/turbo noise. The same cores (identical seed)
+  // serve every tier and both the fused and staged paths, so outputs are
+  // memcmp-comparable.
+  ThreadPool::SetGlobalThreads(1);
+  const int64_t tier_rows = 65536;
+  const int tier_reps = 20;
+  std::vector<TierRow> tiers;
+  bool fused_ok = true;
+  {
+    TtEmbeddingBag emb_fused = MakeBenchEmbedding(tier_rows, rank, true);
+    TtEmbeddingBag emb_staged = MakeBenchEmbedding(tier_rows, rank, false);
+    CsrBatch lookup = MakeLookupBatch(tier_rows, batch);
+    const std::vector<int64_t> indices(lookup.indices.begin(),
+                                       lookup.indices.end());
+    const int64_t chain_bytes = batch * LookupBytes(emb_fused);
+    std::vector<float> chain_out(static_cast<size_t>(batch * 16));
+    std::vector<float> out_f(static_cast<size_t>(batch * 16));
+    std::vector<float> out_s(static_cast<size_t>(batch * 16));
+
+    const auto min_ms = [&](auto&& fn) {
+      fn();  // warm-up: page in buffers, settle the dispatch tier
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < tier_reps; ++i) {
+        const auto t0 = Clock::now();
+        fn();
+        best = std::min(best, MsSince(t0));
+      }
+      return best;
+    };
+
+    const int detected = static_cast<int>(DetectedSimdTier());
+    for (int t = 0; t <= detected; ++t) {
+      const SimdTier tier = static_cast<SimdTier>(t);
+      SetSimdTier(tier);
+      TierRow row;
+      row.tier = tier;
+
+      const int64_t flops0 = emb_fused.stats().forward_flops;
+      emb_fused.LookupRows(indices, chain_out.data());
+      const int64_t chain_flops = emb_fused.stats().forward_flops - flops0;
+      row.chain_ms =
+          min_ms([&] { emb_fused.LookupRows(indices, chain_out.data()); });
+      row.chain_gflops =
+          static_cast<double>(chain_flops) / (row.chain_ms * 1e6);
+      row.chain_gbytes =
+          static_cast<double>(chain_bytes) / (row.chain_ms * 1e6);
+
+      row.fused_ms =
+          min_ms([&] { emb_fused.Forward(lookup, out_f.data()); });
+      // Forward runs the same per-lookup chain, so its FLOP count per call
+      // equals the LookupRows count (pooling adds are not counted).
+      row.fused_gflops =
+          static_cast<double>(chain_flops) / (row.fused_ms * 1e6);
+      row.fused_lookups_per_s =
+          static_cast<double>(batch) / (row.fused_ms * 1e-3);
+
+      row.unfused_ms =
+          min_ms([&] { emb_staged.Forward(lookup, out_s.data()); });
+      row.unfused_gflops =
+          static_cast<double>(chain_flops) / (row.unfused_ms * 1e6);
+
+      row.fused_matches_unfused =
+          std::memcmp(out_f.data(), out_s.data(),
+                      out_f.size() * sizeof(float)) == 0;
+      fused_ok = fused_ok && row.fused_matches_unfused;
+      tiers.push_back(row);
+
+      std::printf(
+          "tier=%-6s  chain %.2f ms (%.2f GFLOP/s, %.2f GB/s)  fused fwd "
+          "%.2f ms  staged fwd %.2f ms  fused==staged: %s\n",
+          SimdTierName(tier), row.chain_ms, row.chain_gflops,
+          row.chain_gbytes, row.fused_ms, row.unfused_ms,
+          row.fused_matches_unfused ? "yes" : "NO");
+    }
+    SetSimdTier(sweep_tier);  // restore whatever the process started with
+  }
+
   // Shared BENCH_*.json envelope (obs/json_writer.h); field names below are
-  // the stable contract CI consumers parse — only schema_version is new.
+  // the stable contract CI consumers parse. schema v2 adds cpu_model, the
+  // simd_tier_* stamps, and the tier_sweep block.
   obs::JsonWriter w;
   obs::BeginBenchEnvelope(w, "kernel_microbench");
+  w.Kv("cpu_model", CpuModelName());
+  w.Kv("simd_tier_detected", SimdTierName(DetectedSimdTier()));
+  w.Kv("simd_tier_active", SimdTierName(sweep_tier));
   w.Key("table").BeginObject();
   w.Kv("rows", rows).Kv("emb_dim", 16).Kv("num_cores", 3);
   w.Kv("rank", rank).Kv("batch", batch).Kv("block_size", block_size);
@@ -287,7 +436,34 @@ int RunKernelJsonSweep(const std::string& path) {
     w.Kv("fwdbwd_speedup_vs_1t", rowsout[0].fwdbwd_ms / r.fwdbwd_ms, 3);
     w.EndObject();
   }
+  w.EndArray();
+  w.Key("tier_sweep").BeginObject();
+  w.Kv("threads", 1);
+  w.Kv("rows", tier_rows);  // L2-resident table; see comment at the sweep
+  w.Kv("batch", batch);
+  w.Kv("timing", "min_of_reps");
+  w.Kv("reps", tier_reps);
+  w.Key("results").BeginArray();
+  for (const TierRow& r : tiers) {
+    w.BeginObject();
+    w.Kv("tier", SimdTierName(r.tier));
+    w.Kv("gemm_chain_ms", r.chain_ms, 4);
+    w.Kv("gemm_chain_gflops", r.chain_gflops, 4);
+    w.Kv("gemm_chain_gbytes_per_s", r.chain_gbytes, 4);
+    w.Kv("fused_forward_ms", r.fused_ms, 4);
+    w.Kv("fused_forward_gflops", r.fused_gflops, 4);
+    w.Kv("fused_lookups_per_s", r.fused_lookups_per_s, 1);
+    w.Kv("unfused_forward_ms", r.unfused_ms, 4);
+    w.Kv("unfused_forward_gflops", r.unfused_gflops, 4);
+    w.Kv("fused_matches_unfused", r.fused_matches_unfused);
+    w.Kv("gemm_chain_speedup_vs_scalar", tiers[0].chain_ms / r.chain_ms, 3);
+    w.Kv("fused_speedup_vs_scalar", tiers[0].fused_ms / r.fused_ms, 3);
+    w.Kv("unfused_speedup_vs_scalar", tiers[0].unfused_ms / r.unfused_ms, 3);
+    w.Kv("fused_speedup_vs_unfused", r.unfused_ms / r.fused_ms, 3);
+    w.EndObject();
+  }
   w.EndArray().EndObject();
+  w.EndObject();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -296,9 +472,12 @@ int RunKernelJsonSweep(const std::string& path) {
   std::fwrite(w.str().data(), 1, w.str().size(), f);
   std::fputc('\n', f);
   std::fclose(f);
-  std::printf("wrote %s (deterministic across threads: %s)\n", path.c_str(),
-              deterministic ? "yes" : "NO");
-  return deterministic ? 0 : 2;
+  std::printf(
+      "wrote %s (deterministic across threads: %s, fused==staged: %s)\n",
+      path.c_str(), deterministic ? "yes" : "NO", fused_ok ? "yes" : "NO");
+  if (!deterministic) return 2;
+  if (!fused_ok) return 3;
+  return 0;
 }
 
 }  // namespace

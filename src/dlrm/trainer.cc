@@ -9,6 +9,7 @@
 #include "obs/reporter.h"
 #include "obs/trace.h"
 #include "tensor/check.h"
+#include "tensor/cpu_features.h"
 #include "tensor/parallel.h"
 
 namespace ttrec {
@@ -119,6 +120,12 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
   const bool want_reporter =
       !config.report_path.empty() && config.report_interval_ms > 0;
   if (reg == nullptr && want_reporter) reg = &local_registry;
+  if (reg != nullptr) {
+    // Which SIMD kernel tier served this run (0=scalar, 1=avx2, 2=avx512);
+    // perf regressions are uninterpretable without it.
+    reg->gauge("kernel.simd_tier")
+        .Set(static_cast<double>(static_cast<int>(ActiveSimdTier())));
+  }
   const auto bump = [reg](const char* name, int64_t n = 1) {
     if (reg != nullptr && n != 0) reg->counter(name).Add(n);
   };

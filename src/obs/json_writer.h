@@ -63,13 +63,17 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
-/// Opens the shared bench-artifact envelope: `{"schema_version":1,
+/// Opens the shared bench-artifact envelope: `{"schema_version":2,
 /// "bench":"<name>",` — the caller then writes its config echo and metric
 /// blocks and closes the object. Every BENCH_*.json starts this way so CI
 /// consumers can dispatch on one stable header.
 void BeginBenchEnvelope(JsonWriter& w, std::string_view bench_name);
 
 /// Current bench-envelope schema version.
-inline constexpr int kBenchSchemaVersion = 1;
+/// v2: kernel bench artifacts stamp the machine (cpu_model) and SIMD
+/// dispatch tier (simd_tier_detected / simd_tier_active) and report
+/// achieved GFLOP/s / bytes/s per kernel, so perf numbers are attributable
+/// and the speedup claims are checkable from the artifact alone.
+inline constexpr int kBenchSchemaVersion = 2;
 
 }  // namespace ttrec::obs

@@ -1,6 +1,7 @@
 #include "serve/serve_metrics.h"
 
 #include "obs/json_writer.h"
+#include "tensor/cpu_features.h"
 
 namespace ttrec::serve {
 
@@ -11,7 +12,12 @@ ServeMetrics::ServeMetrics()
       samples_(registry_.counter("serve.samples")),
       batches_(registry_.counter("serve.batches")),
       latency_(registry_.histogram("serve.latency_us")),
-      queue_wait_(registry_.histogram("serve.queue_wait_us")) {}
+      queue_wait_(registry_.histogram("serve.queue_wait_us")) {
+  // Which SIMD kernel tier lookups dispatch on (0=scalar, 1=avx2,
+  // 2=avx512) — latency telemetry is only comparable within a tier.
+  registry_.gauge("kernel.simd_tier")
+      .Set(static_cast<double>(static_cast<int>(ActiveSimdTier())));
+}
 
 void ServeMetrics::RecordRequestOk(int64_t latency_us, int64_t queue_wait_us) {
   ok_.Add(1);

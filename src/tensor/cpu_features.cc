@@ -1,0 +1,176 @@
+#include "tensor/cpu_features.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TTREC_X86 1
+#include <cpuid.h>
+#endif
+
+namespace ttrec {
+
+namespace {
+
+#ifdef TTREC_X86
+
+// XCR0: which register state the OS saves/restores. AVX needs XMM+YMM
+// (bits 1-2); AVX-512 additionally opmask + ZMM_Hi256 + Hi16_ZMM
+// (bits 5-7). CPUID feature bits alone are not enough — a kernel that
+// doesn't context-switch ZMM state would corrupt it.
+uint64_t ReadXcr0() {
+  uint32_t eax, edx;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+SimdTier DetectHardware() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return SimdTier::kScalar;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  const bool avx = (ecx & bit_AVX) != 0;
+  const bool fma = (ecx & bit_FMA) != 0;
+  if (!osxsave || !avx || !fma) return SimdTier::kScalar;
+  const uint64_t xcr0 = ReadXcr0();
+  if ((xcr0 & 0x6) != 0x6) return SimdTier::kScalar;  // XMM+YMM not saved
+
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (!__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) {
+    return SimdTier::kScalar;
+  }
+  if ((ebx7 & bit_AVX2) == 0) return SimdTier::kScalar;
+
+  const bool zmm_state = (xcr0 & 0xe6) == 0xe6;
+  const bool avx512 = (ebx7 & bit_AVX512F) && (ebx7 & bit_AVX512BW) &&
+                      (ebx7 & bit_AVX512DQ) && (ebx7 & bit_AVX512VL);
+  if (zmm_state && avx512) return SimdTier::kAvx512;
+  return SimdTier::kAvx2;
+}
+
+#else  // !TTREC_X86
+
+SimdTier DetectHardware() { return SimdTier::kScalar; }
+
+#endif
+
+SimdTier ClampToCompiled(SimdTier t) {
+#ifndef TTREC_HAVE_AVX512
+  if (t == SimdTier::kAvx512) t = SimdTier::kAvx2;
+#endif
+#ifndef TTREC_HAVE_AVX2
+  if (t == SimdTier::kAvx2) t = SimdTier::kScalar;
+#endif
+  return t;
+}
+
+/// Parses a TTREC_SIMD value; returns false (leaving `out` untouched) on
+/// anything unrecognized.
+bool ParseTierName(const char* s, SimdTier* out) {
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = SimdTier::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    *out = SimdTier::kAvx2;
+    return true;
+  }
+  if (std::strcmp(s, "avx512") == 0) {
+    *out = SimdTier::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+SimdTier ResolveFromEnv() {
+  const SimdTier detected = DetectedSimdTier();
+  const char* env = std::getenv("TTREC_SIMD");
+  if (env == nullptr || env[0] == '\0') return detected;
+  SimdTier requested;
+  if (!ParseTierName(env, &requested)) {
+    std::fprintf(stderr,
+                 "ttrec: ignoring unknown TTREC_SIMD=%s "
+                 "(expected scalar|avx2|avx512)\n",
+                 env);
+    return detected;
+  }
+  if (static_cast<int>(requested) > static_cast<int>(detected)) {
+    std::fprintf(stderr,
+                 "ttrec: TTREC_SIMD=%s not available on this CPU/build; "
+                 "using %s\n",
+                 env, SimdTierName(detected));
+    return detected;
+  }
+  return requested;
+}
+
+// Active tier, -1 = not yet resolved. Lazily resolved on first use; a
+// racing double-resolve is benign (both writers store the same value).
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdTier DetectedSimdTier() {
+  static const SimdTier tier = ClampToCompiled(DetectHardware());
+  return tier;
+}
+
+SimdTier ActiveSimdTier() {
+  const int t = g_active_tier.load(std::memory_order_acquire);
+  if (t >= 0) return static_cast<SimdTier>(t);
+  const SimdTier resolved = ResolveFromEnv();
+  g_active_tier.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+void SetSimdTier(SimdTier tier) {
+  const SimdTier detected = DetectedSimdTier();
+  if (static_cast<int>(tier) > static_cast<int>(detected)) tier = detected;
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+}
+
+void ResetSimdTier() {
+  g_active_tier.store(-1, std::memory_order_release);
+}
+
+std::string CpuModelName() {
+#ifdef TTREC_X86
+  unsigned max_ext = __get_cpuid_max(0x80000000u, nullptr);
+  if (max_ext < 0x80000004u) return "unknown";
+  char brand[49] = {};
+  unsigned* words = reinterpret_cast<unsigned*>(brand);
+  for (unsigned leaf = 0; leaf < 3; ++leaf) {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(0x80000002u + leaf, &eax, &ebx, &ecx, &edx)) {
+      return "unknown";
+    }
+    words[leaf * 4 + 0] = eax;
+    words[leaf * 4 + 1] = ebx;
+    words[leaf * 4 + 2] = ecx;
+    words[leaf * 4 + 3] = edx;
+  }
+  brand[48] = '\0';
+  // CPUID pads the brand with leading spaces.
+  const char* p = brand;
+  while (*p == ' ') ++p;
+  return *p ? std::string(p) : "unknown";
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace ttrec

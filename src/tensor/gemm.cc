@@ -1,86 +1,33 @@
+// Argument validation + runtime SIMD dispatch for Gemm/Axpy. The per-tier
+// loop kernels live in gemm_scalar.cc / gemm_avx2.cc / gemm_avx512.cc.
 #include "tensor/gemm.h"
 
 #include "tensor/check.h"
+#include "tensor/cpu_features.h"
+#include "tensor/gemm_kernels.h"
 
 namespace ttrec {
 
+namespace internal {
+
+const GemmKernelTable& KernelTableFor(SimdTier tier) {
+  switch (tier) {
+#ifdef TTREC_HAVE_AVX512
+    case SimdTier::kAvx512:
+      return Avx512KernelTable();
+#endif
+#ifdef TTREC_HAVE_AVX2
+    case SimdTier::kAvx2:
+      return Avx2KernelTable();
+#endif
+    default:
+      return ScalarKernelTable();
+  }
+}
+
+}  // namespace internal
+
 namespace {
-
-// C (m x n) = alpha * A (m x k) * B (k x n) + beta * C. The i-k-j loop order
-// streams B and C rows, which GCC vectorizes; fine for the small blocky
-// matrices TT contraction produces.
-void GemmNN(int64_t m, int64_t n, int64_t k, float alpha,
-            const float* __restrict a, int64_t lda,
-            const float* __restrict b, int64_t ldb, float beta,
-            float* __restrict c, int64_t ldc) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * ldc;
-    if (beta == 0.0f) {
-      for (int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
-    }
-    const float* ai = a + i * lda;
-    for (int64_t p = 0; p < k; ++p) {
-      const float aip = alpha * ai[p];
-      const float* bp = b + p * ldb;
-      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
-  }
-}
-
-// C = alpha * A^T (m x k, stored k x m) * B (k x n) + beta * C.
-void GemmTN(int64_t m, int64_t n, int64_t k, float alpha,
-            const float* __restrict a, int64_t lda,
-            const float* __restrict b, int64_t ldb, float beta,
-            float* __restrict c, int64_t ldc) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * ldc;
-    if (beta == 0.0f) {
-      for (int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
-    }
-    for (int64_t p = 0; p < k; ++p) {
-      const float aip = alpha * a[p * lda + i];
-      const float* bp = b + p * ldb;
-      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
-  }
-}
-
-// C = alpha * A (m x k) * B^T (k x n, stored n x k) + beta * C.
-// Dot-product formulation: both A row and B row are streamed contiguously.
-void GemmNT(int64_t m, int64_t n, int64_t k, float alpha,
-            const float* __restrict a, int64_t lda,
-            const float* __restrict b, int64_t ldb, float beta,
-            float* __restrict c, int64_t ldc) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * lda;
-    float* ci = c + i * ldc;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * ldb;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
-    }
-  }
-}
-
-// C = alpha * A^T * B^T + beta * C.
-void GemmTT(int64_t m, int64_t n, int64_t k, float alpha,
-            const float* __restrict a, int64_t lda,
-            const float* __restrict b, int64_t ldb, float beta,
-            float* __restrict c, int64_t ldc) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * ldc;
-    for (int64_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
-      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
-    }
-  }
-}
 
 void CheckGemmArgs(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
                    int64_t lda, int64_t ldb, int64_t ldc) {
@@ -111,14 +58,16 @@ void Gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,
     }
     return;
   }
+  const internal::GemmKernelTable& t =
+      internal::KernelTableFor(ActiveSimdTier());
   if (ta == Trans::kNo && tb == Trans::kNo) {
-    GemmNN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    t.nn(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   } else if (ta == Trans::kYes && tb == Trans::kNo) {
-    GemmTN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    t.tn(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   } else if (ta == Trans::kNo && tb == Trans::kYes) {
-    GemmNT(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    t.nt(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   } else {
-    GemmTT(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    t.tt(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   }
 }
 
@@ -127,6 +76,12 @@ void Gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,
   const int64_t lda = (ta == Trans::kNo) ? k : m;
   const int64_t ldb = (tb == Trans::kNo) ? n : k;
   Gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  TTREC_CHECK_SHAPE(n >= 0, "Axpy length must be non-negative: n=", n);
+  if (n == 0 || alpha == 0.0f) return;
+  internal::KernelTableFor(ActiveSimdTier()).axpy(n, alpha, x, y);
 }
 
 void GemmRef(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,

@@ -2,9 +2,11 @@
 //
 // TT-Rec's lookup kernel is a chain of *small* matrix products (dims are
 // products of TT ranks <= 64 and column factors <= 8), so the implementation
-// favors low fixed overhead and good auto-vectorization over cache blocking
-// for huge matrices. A separate reference implementation exists purely as a
-// test oracle.
+// favors low fixed overhead and register-blocked microkernels over cache
+// blocking for huge matrices. Gemm/Axpy dispatch at runtime across SIMD
+// tiers (scalar / AVX2+FMA / AVX-512; see tensor/cpu_features.h for the
+// selection and determinism contract). A separate reference implementation
+// exists purely as a test oracle.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +28,12 @@ void Gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,
 /// Convenience overload for contiguous matrices (ld = row length).
 void Gemm(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c);
+
+/// y += alpha * x over n contiguous floats, dispatched like Gemm. Bitwise
+/// deterministic within a SIMD tier for any operand alignment; used for
+/// the pooling accumulation in the TT lookup kernels so the fused and
+/// staged paths share one reduction kernel.
+void Axpy(int64_t n, float alpha, const float* x, float* y);
 
 /// Naive triple-loop oracle with identical semantics; for tests only.
 void GemmRef(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, float alpha,

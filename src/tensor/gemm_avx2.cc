@@ -1,0 +1,237 @@
+// AVX2+FMA GEMM kernel tier. Compiled with -mavx2 -mfma (see
+// src/tensor/CMakeLists.txt); only reached when CPUID reports those
+// features, so no runtime guards here.
+//
+// Kernel shapes target TT-Rec's GEMM chain: A is one reconstructed-row
+// stage (m = 1..8 typical, up to a column-factor product), B is a core
+// slice with n = n_k * R_k (tens to a few hundred columns), k = R_{k-1}
+// (8..64). Register blocking is therefore MR=4 rows x (8 or 16) columns
+// with the full k loop in the accumulators — no cache blocking needed at
+// these sizes.
+//
+// Determinism: unaligned loads only, column/row tail handling is a pure
+// function of (m, n, k), and every reduction has a fixed order. alpha and
+// beta are applied once after the k loop (C = alpha*acc + beta*C), which
+// rounds differently from the scalar tier's per-term alpha — cross-tier
+// agreement is gated against GemmRef in tests, not bitwise.
+#include <immintrin.h>
+
+#include "tensor/gemm_kernels.h"
+
+namespace ttrec {
+namespace internal {
+namespace {
+
+// Fixed-shape horizontal sum: (lo+hi) pairwise then across the 128-bit
+// lane. Order never depends on data or alignment.
+inline float Hsum256(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+// One MR x (NV*8) tile of the broadcast (NN/TN) formulation. Row r of
+// op(A) has element p at a[r * a_row_stride + p * a_p_stride]; NN passes
+// (lda, 1), TN passes (1, lda), so both transposes share this kernel.
+template <int MR, int NV>
+inline void BroadcastTile(int64_t k, float alpha, const float* a,
+                          int64_t a_row_stride, int64_t a_p_stride,
+                          const float* b, int64_t ldb, float beta, float* c,
+                          int64_t ldc) {
+  __m256 acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_setzero_ps();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* bp = b + p * ldb;
+    __m256 bv[NV];
+    for (int v = 0; v < NV; ++v) bv[v] = _mm256_loadu_ps(bp + 8 * v);
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_set1_ps(a[r * a_row_stride + p * a_p_stride]);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm256_fmadd_ps(av, bv[v], acc[r][v]);
+    }
+  }
+  const __m256 va = _mm256_set1_ps(alpha);
+  for (int r = 0; r < MR; ++r) {
+    float* cr = c + r * ldc;
+    for (int v = 0; v < NV; ++v) {
+      __m256 out = _mm256_mul_ps(va, acc[r][v]);
+      if (beta != 0.0f) {
+        out = _mm256_add_ps(out, _mm256_mul_ps(_mm256_set1_ps(beta),
+                                               _mm256_loadu_ps(cr + 8 * v)));
+      }
+      _mm256_storeu_ps(cr + 8 * v, out);
+    }
+  }
+}
+
+// One MR x 4 tile using 128-bit vectors — covers the 4..7-column tail.
+// This is a hot shape, not a corner case: a TT chain's last stage has
+// n = n_{d-1} * R_d with R_d = 1, so n is a single small column factor
+// (2 or 4 for emb_dim 16) and never reaches the 8-wide panels.
+template <int MR>
+inline void BroadcastTile4(int64_t k, float alpha, const float* a,
+                           int64_t a_row_stride, int64_t a_p_stride,
+                           const float* b, int64_t ldb, float beta, float* c,
+                           int64_t ldc) {
+  __m128 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = _mm_setzero_ps();
+  for (int64_t p = 0; p < k; ++p) {
+    const __m128 bv = _mm_loadu_ps(b + p * ldb);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] = _mm_fmadd_ps(_mm_set1_ps(a[r * a_row_stride + p * a_p_stride]),
+                            bv, acc[r]);
+    }
+  }
+  const __m128 va = _mm_set1_ps(alpha);
+  for (int r = 0; r < MR; ++r) {
+    float* cr = c + r * ldc;
+    __m128 out = _mm_mul_ps(va, acc[r]);
+    if (beta != 0.0f) {
+      out = _mm_add_ps(out, _mm_mul_ps(_mm_set1_ps(beta), _mm_loadu_ps(cr)));
+    }
+    _mm_storeu_ps(cr, out);
+  }
+}
+
+// Scalar column tail (< 4 remaining columns) of the broadcast form.
+template <int MR>
+inline void BroadcastTail(int64_t n_rem, int64_t k, float alpha,
+                          const float* a, int64_t a_row_stride,
+                          int64_t a_p_stride, const float* b, int64_t ldb,
+                          float beta, float* c, int64_t ldc) {
+  for (int r = 0; r < MR; ++r) {
+    const float* ar = a + r * a_row_stride;
+    float* cr = c + r * ldc;
+    for (int64_t j = 0; j < n_rem; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += ar[p * a_p_stride] * b[p * ldb + j];
+      cr[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * cr[j]);
+    }
+  }
+}
+
+// Full column sweep for a fixed block of MR rows: 16-wide panels, then an
+// 8-wide panel, a 4-wide tile, then the scalar tail. Panel boundaries
+// depend only on n.
+template <int MR>
+inline void BroadcastRows(int64_t n, int64_t k, float alpha, const float* a,
+                          int64_t a_row_stride, int64_t a_p_stride,
+                          const float* b, int64_t ldb, float beta, float* c,
+                          int64_t ldc) {
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    BroadcastTile<MR, 2>(k, alpha, a, a_row_stride, a_p_stride, b + j, ldb,
+                         beta, c + j, ldc);
+  }
+  if (j + 8 <= n) {
+    BroadcastTile<MR, 1>(k, alpha, a, a_row_stride, a_p_stride, b + j, ldb,
+                         beta, c + j, ldc);
+    j += 8;
+  }
+  if (j + 4 <= n) {
+    BroadcastTile4<MR>(k, alpha, a, a_row_stride, a_p_stride, b + j, ldb, beta,
+                       c + j, ldc);
+    j += 4;
+  }
+  if (j < n) {
+    BroadcastTail<MR>(n - j, k, alpha, a, a_row_stride, a_p_stride, b + j, ldb,
+                      beta, c + j, ldc);
+  }
+}
+
+void GemmBroadcast(bool a_trans, int64_t m, int64_t n, int64_t k, float alpha,
+                   const float* a, int64_t lda, const float* b, int64_t ldb,
+                   float beta, float* c, int64_t ldc) {
+  const int64_t a_row_stride = a_trans ? 1 : lda;
+  const int64_t a_p_stride = a_trans ? lda : 1;
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    BroadcastRows<4>(n, k, alpha, a + (a_trans ? i : i * lda), a_row_stride,
+                     a_p_stride, b, ldb, beta, c + i * ldc, ldc);
+  }
+  const float* ai = a + (a_trans ? i : i * lda);
+  float* ci = c + i * ldc;
+  switch (m - i) {
+    case 3:
+      BroadcastRows<3>(n, k, alpha, ai, a_row_stride, a_p_stride, b, ldb, beta,
+                       ci, ldc);
+      break;
+    case 2:
+      BroadcastRows<2>(n, k, alpha, ai, a_row_stride, a_p_stride, b, ldb, beta,
+                       ci, ldc);
+      break;
+    case 1:
+      BroadcastRows<1>(n, k, alpha, ai, a_row_stride, a_p_stride, b, ldb, beta,
+                       ci, ldc);
+      break;
+    default:
+      break;
+  }
+}
+
+void GemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  GemmBroadcast(false, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void GemmTN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  GemmBroadcast(true, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+// Dot formulation for B^T: both operand rows are contiguous in k.
+inline float DotAvx2(const float* x, const float* y, int64_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t p = 0;
+  for (; p + 8 <= k; p += 8)
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + p), _mm256_loadu_ps(y + p), acc);
+  float s = Hsum256(acc);
+  for (; p < k; ++p) s += x[p] * y[p];
+  return s;
+}
+
+void GemmNT(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = DotAvx2(ai, b + j * ldb, k);
+      ci[j] = alpha * d + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+
+// A^T * B^T strides both operands; not on any hot path, so fall through to
+// the portable loops (still deterministic — it's a fixed kernel).
+void GemmTT(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  ScalarKernelTable().tt(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i,
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+const GemmKernelTable& Avx2KernelTable() {
+  static const GemmKernelTable table = {GemmNN, GemmTN, GemmNT, GemmTT, Axpy};
+  return table;
+}
+
+}  // namespace internal
+}  // namespace ttrec

@@ -1,0 +1,213 @@
+// AVX-512 GEMM kernel tier. Compiled with -mavx512f/bw/dq/vl (see
+// src/tensor/CMakeLists.txt); only reached when CPUID + XCR0 report full
+// ZMM state support.
+//
+// Same structure as the AVX2 tier — broadcast formulation for NN/TN, dot
+// formulation for NT — but 16-wide, and ragged column/k tails use masked
+// loads/stores instead of scalar loops: the mask is a pure function of the
+// remainder, so tails stay deterministic and branch-free.
+#include <immintrin.h>
+
+#include "tensor/gemm_kernels.h"
+
+namespace ttrec {
+namespace internal {
+namespace {
+
+// One MR x (NV*16) full tile of the broadcast (NN/TN) formulation; see
+// gemm_avx2.cc for the shared addressing scheme.
+template <int MR, int NV>
+inline void BroadcastTile(int64_t k, float alpha, const float* a,
+                          int64_t a_row_stride, int64_t a_p_stride,
+                          const float* b, int64_t ldb, float beta, float* c,
+                          int64_t ldc) {
+  __m512 acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm512_setzero_ps();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* bp = b + p * ldb;
+    __m512 bv[NV];
+    for (int v = 0; v < NV; ++v) bv[v] = _mm512_loadu_ps(bp + 16 * v);
+    for (int r = 0; r < MR; ++r) {
+      const __m512 av = _mm512_set1_ps(a[r * a_row_stride + p * a_p_stride]);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm512_fmadd_ps(av, bv[v], acc[r][v]);
+    }
+  }
+  const __m512 va = _mm512_set1_ps(alpha);
+  for (int r = 0; r < MR; ++r) {
+    float* cr = c + r * ldc;
+    for (int v = 0; v < NV; ++v) {
+      __m512 out = _mm512_mul_ps(va, acc[r][v]);
+      if (beta != 0.0f) {
+        out = _mm512_add_ps(out, _mm512_mul_ps(_mm512_set1_ps(beta),
+                                               _mm512_loadu_ps(cr + 16 * v)));
+      }
+      _mm512_storeu_ps(cr + 16 * v, out);
+    }
+  }
+}
+
+// Masked column tail: the final 1..15 columns as one predicated tile.
+template <int MR>
+inline void BroadcastTailMasked(int64_t n_rem, int64_t k, float alpha,
+                                const float* a, int64_t a_row_stride,
+                                int64_t a_p_stride, const float* b,
+                                int64_t ldb, float beta, float* c,
+                                int64_t ldc) {
+  const __mmask16 mask =
+      static_cast<__mmask16>((1u << static_cast<unsigned>(n_rem)) - 1u);
+  __m512 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = _mm512_setzero_ps();
+  for (int64_t p = 0; p < k; ++p) {
+    const __m512 bv = _mm512_maskz_loadu_ps(mask, b + p * ldb);
+    for (int r = 0; r < MR; ++r) {
+      const __m512 av = _mm512_set1_ps(a[r * a_row_stride + p * a_p_stride]);
+      acc[r] = _mm512_fmadd_ps(av, bv, acc[r]);
+    }
+  }
+  const __m512 va = _mm512_set1_ps(alpha);
+  for (int r = 0; r < MR; ++r) {
+    float* cr = c + r * ldc;
+    __m512 out = _mm512_mul_ps(va, acc[r]);
+    if (beta != 0.0f) {
+      out = _mm512_add_ps(out, _mm512_mul_ps(_mm512_set1_ps(beta),
+                                             _mm512_maskz_loadu_ps(mask, cr)));
+    }
+    _mm512_mask_storeu_ps(cr, mask, out);
+  }
+}
+
+template <int MR>
+inline void BroadcastRows(int64_t n, int64_t k, float alpha, const float* a,
+                          int64_t a_row_stride, int64_t a_p_stride,
+                          const float* b, int64_t ldb, float beta, float* c,
+                          int64_t ldc) {
+  int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    BroadcastTile<MR, 2>(k, alpha, a, a_row_stride, a_p_stride, b + j, ldb,
+                         beta, c + j, ldc);
+  }
+  if (j + 16 <= n) {
+    BroadcastTile<MR, 1>(k, alpha, a, a_row_stride, a_p_stride, b + j, ldb,
+                         beta, c + j, ldc);
+    j += 16;
+  }
+  if (j < n) {
+    BroadcastTailMasked<MR>(n - j, k, alpha, a, a_row_stride, a_p_stride,
+                            b + j, ldb, beta, c + j, ldc);
+  }
+}
+
+void GemmBroadcast(bool a_trans, int64_t m, int64_t n, int64_t k, float alpha,
+                   const float* a, int64_t lda, const float* b, int64_t ldb,
+                   float beta, float* c, int64_t ldc) {
+  const int64_t a_row_stride = a_trans ? 1 : lda;
+  const int64_t a_p_stride = a_trans ? lda : 1;
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    BroadcastRows<4>(n, k, alpha, a + (a_trans ? i : i * lda), a_row_stride,
+                     a_p_stride, b, ldb, beta, c + i * ldc, ldc);
+  }
+  const float* ai = a + (a_trans ? i : i * lda);
+  float* ci = c + i * ldc;
+  switch (m - i) {
+    case 3:
+      BroadcastRows<3>(n, k, alpha, ai, a_row_stride, a_p_stride, b, ldb, beta,
+                       ci, ldc);
+      break;
+    case 2:
+      BroadcastRows<2>(n, k, alpha, ai, a_row_stride, a_p_stride, b, ldb, beta,
+                       ci, ldc);
+      break;
+    case 1:
+      BroadcastRows<1>(n, k, alpha, ai, a_row_stride, a_p_stride, b, ldb, beta,
+                       ci, ldc);
+      break;
+    default:
+      break;
+  }
+}
+
+void GemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  GemmBroadcast(false, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void GemmTN(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  GemmBroadcast(true, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+// Dot over k with a masked k-tail. _mm512_reduce_add_ps lowers to a fixed
+// shuffle tree, so the reduction order is a constant of the binary.
+//
+// GCC 12 flags that lowering with a false-positive -Wmaybe-uninitialized:
+// the extract step passes _mm256_undefined_pd() as the (fully overwritten)
+// merge source of a mask builtin.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+inline float Dot512(const float* x, const float* y, int64_t k) {
+  __m512 acc = _mm512_setzero_ps();
+  int64_t p = 0;
+  for (; p + 16 <= k; p += 16)
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(x + p), _mm512_loadu_ps(y + p), acc);
+  if (p < k) {
+    const __mmask16 mask =
+        static_cast<__mmask16>((1u << static_cast<unsigned>(k - p)) - 1u);
+    acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(mask, x + p),
+                          _mm512_maskz_loadu_ps(mask, y + p), acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+void GemmNT(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = Dot512(ai, b + j * ldb, k);
+      ci[j] = alpha * d + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+#pragma GCC diagnostic pop
+
+// Off the hot path; reuse the portable loops.
+void GemmTT(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+            int64_t lda, const float* b, int64_t ldb, float beta, float* c,
+            int64_t ldc) {
+  ScalarKernelTable().tt(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        y + i,
+        _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask =
+        static_cast<__mmask16>((1u << static_cast<unsigned>(n - i)) - 1u);
+    const __m512 out =
+        _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(mask, x + i),
+                        _mm512_maskz_loadu_ps(mask, y + i));
+    _mm512_mask_storeu_ps(y + i, mask, out);
+  }
+}
+
+}  // namespace
+
+const GemmKernelTable& Avx512KernelTable() {
+  static const GemmKernelTable table = {GemmNN, GemmTN, GemmNT, GemmTT, Axpy};
+  return table;
+}
+
+}  // namespace internal
+}  // namespace ttrec

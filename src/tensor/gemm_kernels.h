@@ -1,0 +1,53 @@
+// Internal kernel table behind Gemm/Axpy runtime dispatch.
+//
+// Each SIMD tier (scalar, AVX2+FMA, AVX-512) lives in its own translation
+// unit compiled with per-file ISA flags and exports one GemmKernelTable.
+// The public Gemm/Axpy entry points in gemm.cc validate arguments, handle
+// degenerate shapes, then jump through the table for ActiveSimdTier().
+//
+// Kernel preconditions (established by the dispatcher, kernels may assume):
+// m > 0, n > 0, k > 0, alpha != 0, leading dims already validated. Kernels
+// must be bitwise deterministic for fixed (shape, inputs) regardless of
+// operand alignment — unaligned loads only, tail strategy a pure function
+// of the shape.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/cpu_features.h"
+
+namespace ttrec {
+namespace internal {
+
+/// One transpose case of C = alpha * op(A) * op(B) + beta * C (row-major).
+using GemmKernelFn = void (*)(int64_t m, int64_t n, int64_t k, float alpha,
+                              const float* a, int64_t lda, const float* b,
+                              int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// y += alpha * x over n contiguous floats.
+using AxpyFn = void (*)(int64_t n, float alpha, const float* x, float* y);
+
+struct GemmKernelTable {
+  GemmKernelFn nn;  // A, B both untransposed
+  GemmKernelFn tn;  // A transposed
+  GemmKernelFn nt;  // B transposed
+  GemmKernelFn tt;  // both transposed
+  AxpyFn axpy;
+};
+
+/// Portable tier; arithmetic identical to the pre-dispatch scalar GEMM.
+const GemmKernelTable& ScalarKernelTable();
+
+#ifdef TTREC_HAVE_AVX2
+const GemmKernelTable& Avx2KernelTable();
+#endif
+#ifdef TTREC_HAVE_AVX512
+const GemmKernelTable& Avx512KernelTable();
+#endif
+
+/// Table for a tier this binary was compiled with (callers only pass tiers
+/// at or below DetectedSimdTier(), which is already clamped to the build).
+const GemmKernelTable& KernelTableFor(SimdTier tier);
+
+}  // namespace internal
+}  // namespace ttrec

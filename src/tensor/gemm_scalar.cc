@@ -1,0 +1,108 @@
+// Scalar (portable) GEMM kernel tier.
+//
+// These loops are the original pre-dispatch implementation moved here
+// verbatim: the scalar tier must keep producing bitwise the same results
+// the project produced before SIMD dispatch existed, because it is both
+// the portable fallback and the reproducibility baseline CI pins with
+// TTREC_SIMD=scalar. This file is compiled with the project's default
+// flags only — no -mavx2/-mfma — so the compiler cannot contract these
+// loops differently from the seed build.
+#include "tensor/gemm_kernels.h"
+
+namespace ttrec {
+namespace internal {
+namespace {
+
+// C (m x n) = alpha * A (m x k) * B (k x n) + beta * C. The i-k-j loop order
+// streams B and C rows, which GCC vectorizes; fine for the small blocky
+// matrices TT contraction produces.
+void GemmNN(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    if (beta == 0.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const float* ai = a + i * lda;
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = alpha * ai[p];
+      const float* bp = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C = alpha * A^T (m x k, stored k x m) * B (k x n) + beta * C.
+void GemmTN(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    if (beta == 0.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = alpha * a[p * lda + i];
+      const float* bp = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C = alpha * A (m x k) * B^T (k x n, stored n x k) + beta * C.
+// Dot-product formulation: both A row and B row are streamed contiguously.
+void GemmNT(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+
+// C = alpha * A^T * B^T + beta * C.
+void GemmTT(int64_t m, int64_t n, int64_t k, float alpha,
+            const float* __restrict a, int64_t lda,
+            const float* __restrict b, int64_t ldb, float beta,
+            float* __restrict c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
+      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+
+// Matches the pooling loop TtEmbeddingBag used before Axpy existed
+// (dst[j] += w * src[j]), so staged pooling on the scalar tier is
+// arithmetically unchanged from the seed.
+void Axpy(int64_t n, float alpha, const float* __restrict x,
+          float* __restrict y) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+const GemmKernelTable& ScalarKernelTable() {
+  static const GemmKernelTable table = {GemmNN, GemmTN, GemmNT, GemmTT, Axpy};
+  return table;
+}
+
+}  // namespace internal
+}  // namespace ttrec

@@ -6,8 +6,10 @@
 #include <unordered_map>
 
 #include "obs/trace.h"
+#include "tensor/aligned.h"
 #include "tensor/batched_gemm.h"
 #include "tensor/check.h"
+#include "tensor/gemm.h"
 #include "tensor/parallel.h"
 
 namespace ttrec {
@@ -75,21 +77,23 @@ uint64_t HashIndices(std::span<const int64_t> indices) {
 
 struct TtEmbeddingBag::BlockBuffers {
   // inter[c] holds the stage-c outputs for the block, c = 1..d-2 (the final
-  // stage writes to the caller's row buffer). Strides in floats.
-  std::vector<std::vector<float>> inter;
+  // stage writes to the caller's row buffer). Strides in floats. All float
+  // scratch that feeds GEMM operands is 64-byte aligned (tensor/aligned.h)
+  // so the SIMD kernels stream cache-line-clean memory.
+  std::vector<AlignedVec<float>> inter;
   std::vector<int64_t> digits;  // [l * d + c]
   std::vector<const float*> a_ptrs;
   std::vector<const float*> b_ptrs;
   std::vector<float*> c_ptrs;
   // Backward-only scratch.
-  std::vector<float> d_cur;
-  std::vector<float> d_next;
-  std::vector<float> slice_grads;
-  std::vector<float> scratch_rows;  // recompute / dedup-expanded rows
+  AlignedVec<float> d_cur;
+  AlignedVec<float> d_next;
+  AlignedVec<float> slice_grads;
+  AlignedVec<float> scratch_rows;  // recompute / dedup-expanded rows
   // Dedup scratch (config.deduplicate).
   std::vector<int64_t> unique;
   std::vector<int32_t> lookup_to_unique;
-  std::vector<float> unique_rows;
+  AlignedVec<float> unique_rows;
   std::unordered_map<int64_t, int32_t> dedup_map;
 };
 
@@ -140,6 +144,7 @@ TtEmbeddingBag::TtEmbeddingBag(TtEmbeddingConfig config, TtCores cores)
     fwd_flops_per_lookup_ += 2 * m * kk * nn;
     // Backward: slice-grad GEMM + propagation GEMM, same volumes.
     bwd_flops_per_lookup_ += 4 * m * kk * nn;
+    max_stage_floats_ = std::max(max_stage_floats_, m * nn);
   }
   if (!config_.stash_intermediates) {
     bwd_flops_per_lookup_ += fwd_flops_per_lookup_;  // recompute cost
@@ -263,24 +268,29 @@ int64_t TtEmbeddingBag::WorkspaceBytes(int num_threads) const {
   }
 
   // --- Per concurrently running block task (one BlockBuffers each). ---
-  int64_t per_block_floats = 0;
-  // Forward stage intermediates, stages 1..d-2.
+  // Every float buffer is a separate 64-byte-aligned allocation now, so
+  // each one is accounted rounded up to the allocation granularity instead
+  // of assuming buffers pack densely.
+  constexpr int64_t kF = static_cast<int64_t>(sizeof(float));
+  int64_t per_block_bytes = 0;
+  // Forward stage intermediates, stages 1..d-2 (one allocation per stage).
   for (int c = 1; c <= d - 2; ++c) {
-    per_block_floats += B * prodn_[static_cast<size_t>(c)] *
-                        s.ranks[static_cast<size_t>(c) + 1];
+    per_block_bytes += AlignedBytes(B * prodn_[static_cast<size_t>(c)] *
+                                    s.ranks[static_cast<size_t>(c) + 1] * kF);
   }
   // Backward: D_c ping-pong buffers, per-unit slice gradients, and the
   // recompute (or dedup-expanded) row scratch.
-  per_block_floats += 2 * B * max_d_stride + B * max_slice + B * N;
+  per_block_bytes += 2 * AlignedBytes(B * max_d_stride * kF) +
+                     AlignedBytes(B * max_slice * kF) +
+                     AlignedBytes(B * N * kF);
   // Block-local gradient accumulators: at most min(B, m_k) distinct slices
   // per core can be touched by one block.
   for (int k = 0; k < d; ++k) {
-    per_block_floats +=
+    per_block_bytes += AlignedBytes(
         std::min(B, s.row_factors[static_cast<size_t>(k)]) *
-        cores_.SliceSize(k);
+        cores_.SliceSize(k) * kF);
   }
-  int64_t per_block_bytes =
-      per_block_floats * static_cast<int64_t>(sizeof(float)) +
+  per_block_bytes +=
       B * d * static_cast<int64_t>(sizeof(int64_t)) +  // digits
       3 * B * static_cast<int64_t>(sizeof(void*));     // a/b/c pointer arrays
   if (config_.deduplicate) {
@@ -288,14 +298,23 @@ int64_t TtEmbeddingBag::WorkspaceBytes(int num_threads) const {
     // (~3 words per entry at typical open-addressing load factors).
     per_block_bytes += B * static_cast<int64_t>(sizeof(int64_t)) +
                        B * static_cast<int64_t>(sizeof(int32_t)) +
-                       B * N * static_cast<int64_t>(sizeof(float)) +
+                       AlignedBytes(B * N * kF) +
                        3 * B * static_cast<int64_t>(sizeof(void*));
   }
+  if (config_.fuse_lookup) {
+    // Fused chain scratch per task: ping/pong stage buffers, the current
+    // row, and the double-buffered digit decode.
+    per_block_bytes += 2 * AlignedBytes(max_stage_floats_ * kF) +
+                       AlignedBytes(N * kF) +
+                       2 * d * static_cast<int64_t>(sizeof(int64_t));
+  }
 
-  // --- Shared per-call buffer: one round's reconstructed rows, which the
-  // pooling phase reads (kRoundBlocksPerThread blocks per worker).
-  const int64_t round_rows_bytes = kRoundBlocksPerThread * threads * B * N *
-                                   static_cast<int64_t>(sizeof(float));
+  // --- Shared per-call buffer: one round's reconstructed rows
+  // (kRoundBlocksPerThread blocks per worker). The staged pooling phase
+  // reads it; the fused path's boundary side-rows are bounded by the same
+  // footprint in the worst case (every bag crossing a block edge).
+  const int64_t round_rows_bytes =
+      AlignedBytes(kRoundBlocksPerThread * threads * B * N * kF);
 
   return threads * per_block_bytes + round_rows_bytes;
 }
@@ -327,8 +346,7 @@ void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
   {
     TTREC_TRACE_SCOPE("tt.decode");
     for (int64_t l = 0; l < L; ++l) {
-      const std::vector<int64_t> dg = s.RowDigits(indices[begin + l]);
-      std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+      s.RowDigitsInto(indices[begin + l], buf.digits.data() + l * d);
     }
   }
 
@@ -385,10 +403,46 @@ void TtEmbeddingBag::ForwardBlock(std::span<const int64_t> indices,
   }
 }
 
-void TtEmbeddingBag::PooledForward(const CsrBatch& batch,
-                                   std::span<const int64_t> bags,
-                                   std::span<const float> w, float* output,
-                                   Stash* stash, bool dedup) const {
+void TtEmbeddingBag::ReconstructRow(const int64_t* dg,
+                                    const int64_t* prefetch_dg,
+                                    float* row_out, float* ping,
+                                    float* pong) const {
+  const TtShape& s = cores_.shape();
+  const int d = s.num_cores();
+  if (prefetch_dg != nullptr) {
+    // Pull the next lookup's core slices toward L1/L2 while this lookup's
+    // chain computes. Two lines per slice cover a rank-32 stage row; deeper
+    // slices stream in behind the leading lines.
+    for (int k = 0; k < d; ++k) {
+      const float* next = cores_.Slice(k, prefetch_dg[k]);
+      __builtin_prefetch(next, 0, 3);
+      __builtin_prefetch(next + 16, 0, 3);
+    }
+  }
+  // Stage c: (prodn_[c-1] x R_c) * slice_c (R_c x n_c*R_{c+1}), exactly the
+  // BatchedGemm problem the staged path runs for this lookup — same
+  // operands, same leading dims, same kernel — so each stage output is
+  // bitwise identical to the staged intermediate.
+  const float* cur = cores_.Slice(0, dg[0]);
+  float* out = ping;
+  for (int c = 1; c < d; ++c) {
+    const int64_t m = prodn_[static_cast<size_t>(c - 1)];
+    const int64_t kk = s.ranks[static_cast<size_t>(c)];
+    const int64_t nn = cores_.SliceCols(c);
+    float* dst = (c == d - 1) ? row_out : out;
+    Gemm(Trans::kNo, Trans::kNo, m, nn, kk, 1.0f, cur, kk,
+         cores_.Slice(c, dg[c]), nn, 0.0f, dst, nn);
+    cur = dst;
+    out = (out == ping) ? pong : ping;
+  }
+}
+
+void TtEmbeddingBag::FusedPooledForward(const CsrBatch& batch,
+                                        std::span<const int64_t> bags,
+                                        std::span<const float> w,
+                                        float* output) const {
+  const TtShape& s = cores_.shape();
+  const int d = s.num_cores();
   const int64_t N = emb_dim();
   const int64_t n_lookups = batch.num_lookups();
   if (n_lookups == 0) return;
@@ -399,8 +453,104 @@ void TtEmbeddingBag::PooledForward(const CsrBatch& batch,
       1, kRoundBlocksPerThread * static_cast<int64_t>(pool.num_threads()));
   const int64_t round_lookups = round_blocks * bs;
 
+  // Rows of bags that span a block boundary, staged per block and merged
+  // sequentially in block order after each round. A bag is "interior" to a
+  // block iff all its lookups fall inside that block — a function of block
+  // boundaries only, never of scheduling — so every bag either accumulates
+  // entirely inside one block task (race-free: that task owns the bag) or
+  // entirely through this ordered merge. Both orders are lookup order, the
+  // same order the staged pooling phase uses.
+  struct BlockSide {
+    std::vector<int64_t> lookups;
+    AlignedVec<float> rows;  // lookups.size() * N floats
+  };
+  std::vector<BlockSide> sides(static_cast<size_t>(round_blocks));
+
+  for (int64_t r0 = 0; r0 < n_lookups; r0 += round_lookups) {
+    const int64_t r1 = std::min(n_lookups, r0 + round_lookups);
+    const int64_t blocks = (r1 - r0 + bs - 1) / bs;
+
+    pool.ParallelFor(blocks, 1, [&](int64_t c0, int64_t c1) {
+      TTREC_TRACE_SCOPE("tt.fused_lookup");
+      // Per-task chain scratch: two ping-pong stage buffers plus the
+      // current row. All L1-sized for TT-typical shapes, so an entire
+      // lookup runs out of cache instead of round-tripping the shared
+      // round buffer.
+      AlignedVec<float> ping(static_cast<size_t>(max_stage_floats_));
+      AlignedVec<float> pong(static_cast<size_t>(max_stage_floats_));
+      AlignedVec<float> row(static_cast<size_t>(N));
+      std::vector<int64_t> digits(static_cast<size_t>(2 * d));
+      for (int64_t blk = c0; blk < c1; ++blk) {
+        const int64_t begin = r0 + blk * bs;
+        const int64_t end = std::min(r1, begin + bs);
+        BlockSide& side = sides[static_cast<size_t>(blk)];
+        side.lookups.clear();
+        side.rows.clear();
+        int64_t* cur_dg = digits.data();
+        int64_t* next_dg = digits.data() + d;
+        s.RowDigitsInto(batch.indices[static_cast<size_t>(begin)], cur_dg);
+        for (int64_t l = begin; l < end; ++l) {
+          const int64_t* pf = nullptr;
+          if (l + 1 < end) {
+            s.RowDigitsInto(batch.indices[static_cast<size_t>(l + 1)],
+                            next_dg);
+            pf = next_dg;
+          }
+          ReconstructRow(cur_dg, pf, row.data(), ping.data(), pong.data());
+          const int64_t bag = bags[static_cast<size_t>(l)];
+          const bool interior =
+              batch.offsets[static_cast<size_t>(bag)] >= begin &&
+              batch.offsets[static_cast<size_t>(bag) + 1] <= end;
+          if (interior) {
+            Axpy(N, w[static_cast<size_t>(l)], row.data(), output + bag * N);
+          } else {
+            side.lookups.push_back(l);
+            side.rows.insert(side.rows.end(), row.begin(), row.end());
+          }
+          std::swap(cur_dg, next_dg);
+        }
+      }
+    });
+
+    // Ordered merge of boundary-bag rows. Cheap: only bags crossing block
+    // boundaries land here (O(blocks) bags for contiguous CSR batches).
+    TTREC_TRACE_SCOPE("tt.fused_merge");
+    for (int64_t blk = 0; blk < blocks; ++blk) {
+      const BlockSide& side = sides[static_cast<size_t>(blk)];
+      for (size_t i = 0; i < side.lookups.size(); ++i) {
+        const int64_t l = side.lookups[i];
+        const int64_t bag = bags[static_cast<size_t>(l)];
+        Axpy(N, w[static_cast<size_t>(l)],
+             side.rows.data() + static_cast<int64_t>(i) * N, output + bag * N);
+      }
+    }
+  }
+}
+
+void TtEmbeddingBag::PooledForward(const CsrBatch& batch,
+                                   std::span<const int64_t> bags,
+                                   std::span<const float> w, float* output,
+                                   Stash* stash, bool dedup) const {
+  const int64_t N = emb_dim();
+  const int64_t n_lookups = batch.num_lookups();
+  if (n_lookups == 0) return;
+
+  // The fused path covers the plain forward; stashing needs block-wide
+  // per-lookup intermediates and dedup reconstructs per distinct row, so
+  // both keep the staged kernels.
+  if (config_.fuse_lookup && stash == nullptr && !dedup) {
+    FusedPooledForward(batch, bags, w, output);
+    return;
+  }
+
+  const int64_t bs = config_.block_size;
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t round_blocks = std::max<int64_t>(
+      1, kRoundBlocksPerThread * static_cast<int64_t>(pool.num_threads()));
+  const int64_t round_lookups = round_blocks * bs;
+
   // Reconstructed rows for one round, indexed by (lookup - round_begin).
-  std::vector<float> rows(
+  AlignedVec<float> rows(
       static_cast<size_t>(std::min(n_lookups, round_lookups) * N));
 
   for (int64_t r0 = 0; r0 < n_lookups; r0 += round_lookups) {
@@ -452,9 +602,9 @@ void TtEmbeddingBag::PooledForward(const CsrBatch& batch,
             std::min(r1, batch.offsets[static_cast<size_t>(bag) + 1]);
         float* dst = output + bag * N;
         for (int64_t l = lo; l < hi; ++l) {
-          const float wl = w[static_cast<size_t>(l)];
-          const float* src = rows.data() + (l - r0) * N;
-          for (int64_t j = 0; j < N; ++j) dst[j] += wl * src[j];
+          // Same Axpy kernel as the fused path's pooling, so the two paths
+          // stay bitwise identical within a SIMD tier.
+          Axpy(N, w[static_cast<size_t>(l)], rows.data() + (l - r0) * N, dst);
         }
       }
     });
@@ -526,15 +676,42 @@ void TtEmbeddingBag::LookupRows(std::span<const int64_t> indices, float* out) {
   const int64_t bs = config_.block_size;
   const int64_t blocks = (n + bs - 1) / bs;
   const int64_t N = emb_dim();
+  const int d = cores_.num_cores();
+  const TtShape& s = cores_.shape();
   // Blocks write disjoint output ranges and there is no accumulation, so
-  // this is trivially deterministic.
+  // this is trivially deterministic. The fused per-row chain produces
+  // bitwise the same rows as the staged block kernel (see ReconstructRow),
+  // so the config switch never changes results within a tier.
   ThreadPool::Global().ParallelFor(blocks, 1, [&](int64_t c0, int64_t c1) {
-    BlockBuffers buf;
-    for (int64_t blk = c0; blk < c1; ++blk) {
-      const int64_t begin = blk * bs;
-      const int64_t end = std::min(n, begin + bs);
-      ForwardBlock(indices, begin, end, out + begin * N, buf,
-                   /*stash=*/nullptr);
+    if (config_.fuse_lookup) {
+      TTREC_TRACE_SCOPE("tt.fused_lookup");
+      AlignedVec<float> ping(static_cast<size_t>(max_stage_floats_));
+      AlignedVec<float> pong(static_cast<size_t>(max_stage_floats_));
+      std::vector<int64_t> digits(static_cast<size_t>(2 * d));
+      for (int64_t blk = c0; blk < c1; ++blk) {
+        const int64_t begin = blk * bs;
+        const int64_t end = std::min(n, begin + bs);
+        int64_t* cur_dg = digits.data();
+        int64_t* next_dg = digits.data() + d;
+        s.RowDigitsInto(indices[static_cast<size_t>(begin)], cur_dg);
+        for (int64_t l = begin; l < end; ++l) {
+          const int64_t* pf = nullptr;
+          if (l + 1 < end) {
+            s.RowDigitsInto(indices[static_cast<size_t>(l + 1)], next_dg);
+            pf = next_dg;
+          }
+          ReconstructRow(cur_dg, pf, out + l * N, ping.data(), pong.data());
+          std::swap(cur_dg, next_dg);
+        }
+      }
+    } else {
+      BlockBuffers buf;
+      for (int64_t blk = c0; blk < c1; ++blk) {
+        const int64_t begin = blk * bs;
+        const int64_t end = std::min(n, begin + bs);
+        ForwardBlock(indices, begin, end, out + begin * N, buf,
+                     /*stash=*/nullptr);
+      }
     }
   });
   stats_.lookups += n;
@@ -570,8 +747,7 @@ void TtEmbeddingBag::BackwardBlock(const CsrBatch& batch,
     // Digits are still needed for slice addressing.
     buf.digits.resize(static_cast<size_t>(L * d));
     for (int64_t l = 0; l < L; ++l) {
-      const std::vector<int64_t> dg = s.RowDigits(batch.indices[begin + l]);
-      std::copy(dg.begin(), dg.end(), buf.digits.begin() + l * d);
+      s.RowDigitsInto(batch.indices[begin + l], buf.digits.data() + l * d);
     }
   } else {
     // Recompute intermediates (Algorithm 2 line 3). We only need stages

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "data/csr_batch.h"
+#include "tensor/aligned.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"
 #include "tt/tt_cores.h"
@@ -58,6 +59,15 @@ struct TtEmbeddingConfig {
   /// traffic is Zipf-hot. Mutually exclusive with stash_intermediates
   /// (the stash layout is per-lookup).
   bool deduplicate = false;
+  /// Fuse decode→GEMM-chain→pool per lookup: each row's stage
+  /// intermediates stay in a thread-private L1-sized ping-pong buffer and
+  /// pooling accumulates the row immediately, instead of staging every
+  /// reconstructed row through the shared round buffer. Bitwise identical
+  /// to the staged path within a SIMD dispatch tier (same Gemm/Axpy kernel
+  /// sequence per row, same per-bag accumulation order). Applies to the
+  /// plain forward path only — stashing and dedup always use the staged
+  /// kernels, whose layouts are inherently block-wide.
+  bool fuse_lookup = true;
 };
 
 /// Counters for the memory/compute accounting of Figures 8 and 11.
@@ -169,9 +179,31 @@ class TtEmbeddingBag {
   /// Shared engine of Forward / ForwardInference: reconstructs rows block-
   /// parallel, then pools them into `output` with per-bag ownership. Rounds
   /// of blocks bound the row buffer; round boundaries never change results.
+  /// Routes to FusedPooledForward when config_.fuse_lookup applies (no
+  /// stash, no dedup).
   void PooledForward(const CsrBatch& batch, std::span<const int64_t> bags,
                      std::span<const float> w, float* output, Stash* stash,
                      bool dedup) const;
+
+  /// Fused per-row forward: decode, GEMM chain, and pooling of one lookup
+  /// complete before the next lookup starts, with software prefetch of the
+  /// next lookup's core slices. Bags interior to a block accumulate
+  /// directly (each such bag is owned by exactly one block task); bags
+  /// spanning a block boundary stage their rows per block and are merged
+  /// sequentially in block order after each round — per-bag accumulation
+  /// order is lookup order either way, exactly like the staged path.
+  void FusedPooledForward(const CsrBatch& batch, std::span<const int64_t> bags,
+                          std::span<const float> w, float* output) const;
+
+  /// Runs one lookup's TT GEMM chain: digits `dg` select the core slices,
+  /// the final stage writes the emb_dim row to `row_out`, earlier stages
+  /// ping-pong between `ping`/`pong` (each max_stage_floats_ floats). When
+  /// `prefetch_dg` is non-null, the next lookup's core slices are
+  /// prefetched before the chain runs. Per-stage Gemm calls are identical
+  /// to the BatchedGemm problems of the staged path, so rows are bitwise
+  /// equal within a SIMD tier.
+  void ReconstructRow(const int64_t* dg, const int64_t* prefetch_dg,
+                      float* row_out, float* ping, float* pong) const;
 
   /// Backward for lookups [begin, end): runs the per-block Algorithm 2
   /// chain and scatter-adds slice gradients into the block-local `local`
@@ -217,13 +249,16 @@ class TtEmbeddingBag {
     int64_t num_lookups = 0;
     uint64_t fingerprint = 0;     // hash of the forward batch's indices
     int64_t forward_serial = -1;  // which Forward call wrote this stash
-    std::vector<std::vector<float>> stage;  // stage[c]: intermediates c=1..d-2
+    std::vector<AlignedVec<float>> stage;  // stage[c]: intermediates c=1..d-2
   };
   Stash stash_;
   int64_t forward_serial_ = 0;  // incremented by every Forward
 
   int64_t fwd_flops_per_lookup_ = 0;
   int64_t bwd_flops_per_lookup_ = 0;
+  // Largest per-lookup stage output (>= emb_dim); sizes the fused path's
+  // ping-pong buffers.
+  int64_t max_stage_floats_ = 0;
 };
 
 }  // namespace ttrec

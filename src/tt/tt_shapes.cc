@@ -27,16 +27,19 @@ double TtShape::CompressionRatio() const {
 }
 
 std::vector<int64_t> TtShape::RowDigits(int64_t row) const {
+  std::vector<int64_t> digits(static_cast<size_t>(num_cores()));
+  RowDigitsInto(row, digits.data());
+  return digits;
+}
+
+void TtShape::RowDigitsInto(int64_t row, int64_t* out) const {
   TTREC_CHECK_INDEX(row >= 0 && row < num_rows, "row ", row,
                     " out of range [0, ", num_rows, ")");
-  const int d = num_cores();
-  std::vector<int64_t> digits(static_cast<size_t>(d));
-  for (int k = d - 1; k >= 0; --k) {
+  for (int k = num_cores() - 1; k >= 0; --k) {
     const int64_t f = row_factors[static_cast<size_t>(k)];
-    digits[static_cast<size_t>(k)] = row % f;
+    out[k] = row % f;
     row /= f;
   }
-  return digits;
 }
 
 int64_t TtShape::RowFromDigits(const std::vector<int64_t>& digits) const {

@@ -40,6 +40,11 @@ struct TtShape {
   /// factors, most-significant digit first — the index mapping of Eq. (3).
   std::vector<int64_t> RowDigits(int64_t row) const;
 
+  /// Allocation-free RowDigits: writes num_cores() digits into `out`. The
+  /// lookup hot path decodes one row per reconstructed embedding, so it
+  /// must not allocate.
+  void RowDigitsInto(int64_t row, int64_t* out) const;
+
   /// Inverse of RowDigits.
   int64_t RowFromDigits(const std::vector<int64_t>& digits) const;
 

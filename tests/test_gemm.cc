@@ -1,12 +1,21 @@
 // GEMM / batched-GEMM correctness against the reference oracle, across a
-// parameterized sweep of shapes and transpose combinations.
+// parameterized sweep of shapes and transpose combinations, plus the
+// per-SIMD-tier conformance sweeps: every dispatch tier this machine can
+// run (scalar always; AVX2/AVX-512 when detected) is forced in turn and
+// checked against GemmRef over exhaustive ragged-tail shapes — the tiers
+// differ bitwise (vector kernels apply alpha/beta after the k loop), so
+// agreement is gated by tolerance against the oracle, never tier-vs-tier.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "tensor/batched_gemm.h"
 #include "tensor/check.h"
+#include "tensor/cpu_features.h"
 #include "tensor/gemm.h"
 #include "tensor/random.h"
 
@@ -159,6 +168,199 @@ TEST(StridedBatchedGemm, MatchesPointerVersion) {
             b.data() + i * k * n, n, 0.0f, c_ref.data() + i * m * n, n);
   }
   for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], c_ref[i], 1e-5f);
+}
+
+// Restores the forced dispatch tier on scope exit, so a failing test can't
+// leak its tier into the rest of the binary.
+class TierGuard {
+ public:
+  TierGuard() : saved_(ActiveSimdTier()) {}
+  ~TierGuard() { SetSimdTier(saved_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  SimdTier saved_;
+};
+
+// Every tier this machine can actually execute: scalar is always present,
+// vector tiers only when CPUID reports them (SetSimdTier would clamp an
+// unsupported request anyway, which would silently re-test a lower tier).
+std::vector<SimdTier> TestableTiers() {
+  std::vector<SimdTier> tiers;
+  for (int t = 0; t <= static_cast<int>(DetectedSimdTier()); ++t) {
+    tiers.push_back(static_cast<SimdTier>(t));
+  }
+  return tiers;
+}
+
+// Exhaustive small-shape conformance of the dispatched kernels against
+// GemmRef: every m,n,k in 1..17 hits every panel width and ragged tail of
+// every tier (16/8/4/scalar columns for AVX2, masked 16-wide for AVX-512,
+// row blocks of 4 plus 3/2/1 remainders), crossed with all transpose
+// combinations and the alpha/beta special cases the kernels branch on
+// (alpha 0 short-circuits in the front-end; beta 0 skips the C load).
+TEST(GemmTierConformance, ExhaustiveSmallShapesMatchReference) {
+  constexpr int kMaxDim = 17;
+  const float kAlphas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  const float kBetas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  Rng rng(4242);
+  // One shared random pool, large enough for any operand below.
+  const std::vector<float> pool = RandomVec(rng, 2 * kMaxDim * kMaxDim);
+  std::vector<float> c_base = RandomVec(rng, kMaxDim * kMaxDim);
+
+  TierGuard guard;
+  for (SimdTier tier : TestableTiers()) {
+    SetSimdTier(tier);
+    int64_t cases = 0, bad = 0;
+    for (int m = 1; m <= kMaxDim; ++m) {
+      for (int n = 1; n <= kMaxDim; ++n) {
+        for (int k = 1; k <= kMaxDim; ++k) {
+          for (int tai = 0; tai < 2; ++tai) {
+            for (int tbi = 0; tbi < 2; ++tbi) {
+              const Trans ta = tai ? Trans::kYes : Trans::kNo;
+              const Trans tb = tbi ? Trans::kYes : Trans::kNo;
+              const int64_t lda = tai ? m : k;
+              const int64_t ldb = tbi ? k : n;
+              for (float alpha : kAlphas) {
+                for (float beta : kBetas) {
+                  std::vector<float> c(c_base.begin(),
+                                       c_base.begin() + m * n);
+                  std::vector<float> c_ref = c;
+                  Gemm(ta, tb, m, n, k, alpha, pool.data(), lda,
+                       pool.data() + kMaxDim * kMaxDim, ldb, beta, c.data(),
+                       n);
+                  GemmRef(ta, tb, m, n, k, alpha, pool.data(), lda,
+                          pool.data() + kMaxDim * kMaxDim, ldb, beta,
+                          c_ref.data(), n);
+                  ++cases;
+                  for (int i = 0; i < m * n; ++i) {
+                    const float tol =
+                        1e-4f * (std::abs(c_ref[static_cast<size_t>(i)]) +
+                                 1.0f);
+                    if (std::abs(c[static_cast<size_t>(i)] -
+                                 c_ref[static_cast<size_t>(i)]) > tol) {
+                      if (bad < 5) {
+                        ADD_FAILURE()
+                            << "tier=" << SimdTierName(tier) << " m=" << m
+                            << " n=" << n << " k=" << k << " ta=" << tai
+                            << " tb=" << tbi << " alpha=" << alpha
+                            << " beta=" << beta << " elem " << i << ": got "
+                            << c[static_cast<size_t>(i)] << " want "
+                            << c_ref[static_cast<size_t>(i)];
+                      }
+                      ++bad;
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    EXPECT_EQ(bad, 0) << "tier=" << SimdTierName(tier) << ": " << bad
+                      << " mismatched elements across " << cases << " cases";
+  }
+}
+
+// The same kernel must produce bitwise-identical output regardless of
+// operand alignment: tails are chosen by shape, never by pointer value, so
+// shifting every operand off 64-byte alignment cannot change a single bit.
+TEST(GemmTierConformance, AlignmentInvariantBitwise) {
+  const int64_t m = 7, n = 13, k = 9;
+  Rng rng(77);
+  const std::vector<float> a = RandomVec(rng, m * k + 1);
+  const std::vector<float> b = RandomVec(rng, k * n + 1);
+  const std::vector<float> c0 = RandomVec(rng, m * n + 1);
+
+  TierGuard guard;
+  for (SimdTier tier : TestableTiers()) {
+    SetSimdTier(tier);
+    std::vector<float> c_aligned(c0.begin(), c0.begin() + m * n);
+    Gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), k, b.data(), n,
+         0.5f, c_aligned.data(), n);
+
+    // Shift every operand by one float (4 bytes) — guaranteed misaligned
+    // for 32/64-byte vectors.
+    std::vector<float> a_off(a.begin(), a.end());
+    std::vector<float> b_off(b.begin(), b.end());
+    std::vector<float> c_off(c0.begin(), c0.end());
+    std::copy(a.begin(), a.end() - 1, a_off.begin() + 1);
+    std::copy(b.begin(), b.end() - 1, b_off.begin() + 1);
+    std::copy(c0.begin(), c0.end() - 1, c_off.begin() + 1);
+    Gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a_off.data() + 1, k,
+         b_off.data() + 1, n, 0.5f, c_off.data() + 1, n);
+
+    EXPECT_EQ(std::memcmp(c_aligned.data(), c_off.data() + 1,
+                          static_cast<size_t>(m * n) * sizeof(float)),
+              0)
+        << "tier=" << SimdTierName(tier)
+        << ": result depends on operand alignment";
+  }
+}
+
+// Axpy is the shared pooling kernel (both the fused and staged TT forward
+// accumulate through it), so each tier's version is checked against the
+// plain loop. Vector tiers use FMA, which rounds differently from
+// mul-then-add — tolerance, not bitwise.
+TEST(GemmTierConformance, AxpyMatchesScalarLoop) {
+  Rng rng(55);
+  TierGuard guard;
+  for (SimdTier tier : TestableTiers()) {
+    SetSimdTier(tier);
+    for (int64_t n : {0, 1, 3, 7, 8, 15, 16, 17, 33, 100}) {
+      for (float alpha : {0.0f, 1.0f, -1.0f, 0.5f}) {
+        const std::vector<float> x = RandomVec(rng, n);
+        std::vector<float> y = RandomVec(rng, n);
+        std::vector<float> y_ref = y;
+        Axpy(n, alpha, x.data(), y.data());
+        for (int64_t i = 0; i < n; ++i) {
+          y_ref[static_cast<size_t>(i)] +=
+              alpha * x[static_cast<size_t>(i)];
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          EXPECT_NEAR(y[static_cast<size_t>(i)],
+                      y_ref[static_cast<size_t>(i)], 1e-5f)
+              << "tier=" << SimdTierName(tier) << " n=" << n
+              << " alpha=" << alpha << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// TTREC_SIMD resolves on the next (re-)resolution: a recognized name forces
+// that tier (clamped to what the CPU supports), garbage falls back to the
+// detected tier with a warning.
+TEST(SimdDispatch, EnvOverrideSelectsTier) {
+  const SimdTier detected = DetectedSimdTier();
+  TierGuard guard;
+
+  ASSERT_EQ(setenv("TTREC_SIMD", "scalar", 1), 0);
+  ResetSimdTier();
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+
+  ASSERT_EQ(setenv("TTREC_SIMD", "definitely-not-a-tier", 1), 0);
+  ResetSimdTier();
+  EXPECT_EQ(ActiveSimdTier(), detected);
+
+  // Requesting above what the CPU supports clamps to detected (a no-op
+  // when the machine already supports avx512).
+  ASSERT_EQ(setenv("TTREC_SIMD", "avx512", 1), 0);
+  ResetSimdTier();
+  EXPECT_LE(static_cast<int>(ActiveSimdTier()), static_cast<int>(detected));
+
+  ASSERT_EQ(unsetenv("TTREC_SIMD"), 0);
+  ResetSimdTier();
+  EXPECT_EQ(ActiveSimdTier(), detected);
+}
+
+TEST(SimdDispatch, ReportsNamesAndCpuModel) {
+  EXPECT_STREQ(SimdTierName(SimdTier::kScalar), "scalar");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx2), "avx2");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx512), "avx512");
+  EXPECT_FALSE(std::string(CpuModelName()).empty());
 }
 
 }  // namespace

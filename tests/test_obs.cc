@@ -212,7 +212,7 @@ TEST(ObsJson, BenchEnvelopeHeader) {
   obs::JsonWriter w;
   obs::BeginBenchEnvelope(w, "demo");
   w.EndObject();
-  EXPECT_EQ(w.str(), "{\"schema_version\":1,\"bench\":\"demo\"}");
+  EXPECT_EQ(w.str(), "{\"schema_version\":2,\"bench\":\"demo\"}");
 }
 
 TEST(ObsReporter, WritesPeriodicAndFinalLines) {

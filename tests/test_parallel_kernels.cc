@@ -14,6 +14,7 @@
 
 #include "data/csr_batch.h"
 #include "tensor/check.h"
+#include "tensor/cpu_features.h"
 #include "tensor/parallel.h"
 #include "tt/tt_embedding.h"
 
@@ -302,6 +303,91 @@ TEST(TtEmbeddingStashRegression, MatchingBatchStillUsesStashCorrectly) {
                           static_cast<size_t>(gs.numel()) * sizeof(float)),
               0)
         << "core " << k << ": stash and recompute paths diverged";
+  }
+}
+
+/// Restores the forced SIMD dispatch tier on scope exit.
+class TierGuard {
+ public:
+  TierGuard() : saved_(ActiveSimdTier()) {}
+  ~TierGuard() { SetSimdTier(saved_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  SimdTier saved_;
+};
+
+std::vector<SimdTier> TestableTiers() {
+  std::vector<SimdTier> tiers;
+  for (int t = 0; t <= static_cast<int>(DetectedSimdTier()); ++t) {
+    tiers.push_back(static_cast<SimdTier>(t));
+  }
+  return tiers;
+}
+
+TEST(TtEmbeddingParallelTiers, PipelineBitwiseIdenticalAcrossThreadsInEveryTier) {
+  // The thread-count determinism contract holds PER dispatch tier: force
+  // each tier this machine supports and re-run the full pipeline sweep.
+  // (Different tiers legitimately differ bitwise from each other — that
+  // cross-tier gap is gated against GemmRef in test_gemm, not here.)
+  PoolGuard pool_guard;
+  TierGuard tier_guard;
+  TtEmbeddingConfig cfg = BaseConfig();
+  for (SimdTier tier : TestableTiers()) {
+    SetSimdTier(tier);
+    const PipelineResult ref = RunPipeline(cfg, /*threads=*/1,
+                                           /*adagrad=*/false,
+                                           /*with_weights=*/true);
+    for (int threads : {2, 8}) {
+      const PipelineResult got =
+          RunPipeline(cfg, threads, /*adagrad=*/false, /*with_weights=*/true);
+      SCOPED_TRACE(std::string("tier=") + SimdTierName(tier));
+      ExpectSamePipeline(ref, got, threads);
+    }
+  }
+}
+
+TEST(TtEmbeddingParallelTiers, FusedMatchesStagedBitwiseInEveryTier) {
+  // Within a tier the fused decode→GEMM-chain→pool pipeline must be
+  // bitwise interchangeable with the staged round-buffer path: identical
+  // per-row Gemm sequence, identical per-bag Axpy accumulation order.
+  PoolGuard pool_guard;
+  TierGuard tier_guard;
+  CsrBatch batch = BigBatch(/*with_weights=*/true);
+  std::vector<int64_t> idx;
+  Rng idx_rng(13);
+  for (int i = 0; i < 150; ++i) {
+    idx.push_back(static_cast<int64_t>(idx_rng.Uniform(0.0, 59.99)));
+  }
+  for (SimdTier tier : TestableTiers()) {
+    SetSimdTier(tier);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalThreads(threads);
+      TtEmbeddingConfig fused_cfg = BaseConfig();
+      fused_cfg.fuse_lookup = true;
+      TtEmbeddingConfig staged_cfg = BaseConfig();
+      staged_cfg.fuse_lookup = false;
+      Rng rng1(314), rng2(314);
+      TtEmbeddingBag fused(fused_cfg, TtInit::kGaussian, rng1);
+      TtEmbeddingBag staged(staged_cfg, TtInit::kGaussian, rng2);
+
+      const int64_t N = fused.emb_dim();
+      std::vector<float> out_f(static_cast<size_t>(batch.num_bags() * N));
+      std::vector<float> out_s(out_f.size());
+      fused.Forward(batch, out_f.data());
+      staged.Forward(batch, out_s.data());
+      SCOPED_TRACE(std::string("tier=") + SimdTierName(tier) +
+                   " threads=" + std::to_string(threads));
+      ExpectBitwiseEqual(out_f, out_s, "fused vs staged Forward", threads);
+
+      std::vector<float> rows_f(idx.size() * static_cast<size_t>(N));
+      std::vector<float> rows_s(rows_f.size());
+      fused.LookupRows(idx, rows_f.data());
+      staged.LookupRows(idx, rows_s.data());
+      ExpectBitwiseEqual(rows_f, rows_s, "fused vs staged LookupRows",
+                         threads);
+    }
   }
 }
 
