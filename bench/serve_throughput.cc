@@ -8,9 +8,17 @@
 // sequential single-request InferenceSession run — micro-batching must
 // change throughput, never results.
 //
-// `--json out.json` additionally writes the sweep in the shared BENCH_*.json
-// envelope (schema_version + config echo + per-point metrics) for the perf
-// trajectory.
+// A second, open-loop sweep measures overload behaviour: producers submit
+// their whole stripe without waiting for results against a small queue with
+// reject-when-full admission, a live load governor, and per-request
+// deadlines. Each offered-load point reports QPS, shed rate, and deadline
+// miss rate — the degradation curve the overload policy is supposed to
+// shape (typed rejections instead of unbounded queueing).
+//
+// `--json out.json` additionally writes both sweeps in the shared
+// BENCH_*.json envelope (schema_version + config echo + per-point metrics)
+// for the perf trajectory.
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +33,7 @@
 #include "obs/json_writer.h"
 #include "serve/inference_server.h"
 #include "serve/inference_session.h"
+#include "serve/serve_errors.h"
 
 using namespace ttrec;
 using namespace ttrec::bench;
@@ -78,6 +87,93 @@ SweepPoint RunPoint(const DlrmModel& model,
   pt.p95_us = s.latency_p95_us;
   pt.p99_us = s.latency_p99_us;
   pt.mean_batch = s.mean_batch_size;
+  return pt;
+}
+
+struct OverloadPoint {
+  int producers = 0;
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t deadline_missed = 0;
+  int64_t failed = 0;
+  double qps = 0.0;
+  int64_t queue_high_water = 0;
+  int64_t to_degraded = 0;
+  int64_t to_shedding = 0;
+
+  double shed_rate() const {
+    return submitted > 0 ? static_cast<double>(shed) / submitted : 0.0;
+  }
+  double miss_rate() const {
+    return submitted > 0 ? static_cast<double>(deadline_missed) / submitted
+                         : 0.0;
+  }
+};
+
+OverloadPoint RunOverloadPoint(
+    const DlrmModel& model,
+    const std::vector<serve::InferenceRequest>& requests, int producers,
+    std::chrono::microseconds deadline_budget) {
+  serve::InferenceServerConfig cfg;
+  cfg.max_batch_size = 32;
+  cfg.max_wait = std::chrono::microseconds(25);
+  // Small queue + fail-fast admission: offered load beyond capacity turns
+  // into typed ServerOverloaded rejections instead of unbounded queueing.
+  cfg.queue_capacity = 128;
+  cfg.admission = serve::AdmissionPolicy::kRejectWhenFull;
+  cfg.governor.tick = std::chrono::milliseconds(1);
+  serve::InferenceServer server(model, cfg);
+
+  const size_t n = requests.size();
+  std::vector<std::vector<std::future<serve::InferenceResult>>> futures(
+      static_cast<size_t>(producers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    futures[static_cast<size_t>(p)].reserve(n / static_cast<size_t>(producers) +
+                                            1);
+    threads.emplace_back([&, p] {
+      // Open loop: submit the whole stripe without waiting for results, so
+      // offered load scales with the producer count rather than being
+      // throttled to the service rate.
+      for (size_t i = static_cast<size_t>(p); i < n;
+           i += static_cast<size_t>(producers)) {
+        serve::InferenceRequest r;
+        r.dense = requests[i].dense;
+        r.sparse = requests[i].sparse;
+        r.deadline = std::chrono::steady_clock::now() + deadline_budget;
+        futures[static_cast<size_t>(p)].push_back(server.Submit(std::move(r)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  OverloadPoint pt;
+  pt.producers = producers;
+  for (auto& stripe : futures) {
+    for (std::future<serve::InferenceResult>& f : stripe) {
+      ++pt.submitted;
+      try {
+        f.get();
+        ++pt.ok;
+      } catch (const serve::ServerOverloaded&) {
+        ++pt.shed;
+      } catch (const serve::DeadlineExceeded&) {
+        ++pt.deadline_missed;
+      } catch (...) {
+        ++pt.failed;
+      }
+    }
+  }
+
+  const serve::ServeMetricsSnapshot s = server.metrics().Snapshot();
+  pt.qps = s.qps;
+  pt.queue_high_water = static_cast<int64_t>(server.queue_high_water());
+  pt.to_degraded =
+      s.health_transitions[static_cast<int>(serve::HealthState::kDegraded)];
+  pt.to_shedding =
+      s.health_transitions[static_cast<int>(serve::HealthState::kShedding)];
   return pt;
 }
 
@@ -182,6 +278,33 @@ int main(int argc, char** argv) {
   std::printf("\nmicro-batching speedup over one-at-a-time: %.2fx\n",
               speedup);
 
+  // Overload sweep: open-loop offered load vs graceful degradation. Every
+  // submitted request resolves — as logits, a typed ServerOverloaded shed,
+  // or a typed DeadlineExceeded miss — and "other" failures must be zero.
+  const auto deadline_budget = std::chrono::milliseconds(env.full ? 100 : 50);
+  std::printf("\noverload sweep (open-loop, queue capacity 128, "
+              "reject-when-full, %lld ms deadline):\n",
+              static_cast<long long>(deadline_budget.count()));
+  std::printf("%-10s %10s %10s %10s %10s %12s %12s\n", "producers", "qps",
+              "ok", "shed", "missed", "shed_rate", "miss_rate");
+  std::vector<OverloadPoint> overload_points;
+  bool overload_clean = true;
+  for (const int producers_at : {2, 8, 32}) {
+    const OverloadPoint pt = RunOverloadPoint(
+        *model, requests, producers_at,
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline_budget));
+    overload_points.push_back(pt);
+    overload_clean = overload_clean && pt.failed == 0 &&
+                     pt.ok + pt.shed + pt.deadline_missed == pt.submitted;
+    std::printf("%-10d %10.0f %10" PRId64 " %10" PRId64 " %10" PRId64
+                " %11.1f%% %11.1f%%\n",
+                pt.producers, pt.qps, pt.ok, pt.shed, pt.deadline_missed,
+                100.0 * pt.shed_rate(), 100.0 * pt.miss_rate());
+  }
+  std::printf("every rejection typed (no untyped failures) -> %s\n",
+              overload_clean ? "OK" : "FAILED");
+  if (!overload_clean) return 1;
+
   if (!json_path.empty()) {
     obs::JsonWriter w;
     obs::BeginBenchEnvelope(w, "serve_throughput");
@@ -204,6 +327,30 @@ int main(int argc, char** argv) {
     }
     w.EndArray();
     w.Kv("speedup_vs_unbatched", speedup, 3);
+    w.Key("overload").BeginObject();
+    w.Key("config").BeginObject();
+    w.Kv("queue_capacity", static_cast<int64_t>(128));
+    w.Kv("admission", "reject_when_full");
+    w.Kv("deadline_budget_ms", static_cast<int64_t>(deadline_budget.count()));
+    w.EndObject();
+    w.Key("points").BeginArray();
+    for (const OverloadPoint& pt : overload_points) {
+      w.BeginObject();
+      w.Kv("producers", static_cast<int64_t>(pt.producers));
+      w.Kv("submitted", pt.submitted);
+      w.Kv("ok", pt.ok);
+      w.Kv("shed", pt.shed);
+      w.Kv("deadline_missed", pt.deadline_missed);
+      w.Kv("qps", pt.qps, 1);
+      w.Kv("shed_rate", pt.shed_rate(), 4);
+      w.Kv("deadline_miss_rate", pt.miss_rate(), 4);
+      w.Kv("queue_high_water", pt.queue_high_water);
+      w.Kv("to_degraded", pt.to_degraded);
+      w.Kv("to_shedding", pt.to_shedding);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
     w.EndObject();
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <utility>
 
 #include "tensor/atomic_file.h"
@@ -126,6 +128,48 @@ SnapshotVerifyResult VerifySnapshotFile(const std::string& path) {
   } catch (const TtRecError& e) {
     res.error = e.what();
   }
+  return res;
+}
+
+CheckpointFileStatus VerifyModelCheckpointFile(const std::string& path) {
+  // Mirrors DlrmModel::SaveCheckpoint's framing: u32 magic "DLRM",
+  // u32 version, payload, u64 FNV-1a trailer over everything before it.
+  constexpr uint32_t kDlrmMagic = 0x4D524C44;
+  constexpr uint32_t kDlrmVersion = 1;
+  CheckpointFileStatus res;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    res.error = "cannot open " + path;
+    return res;
+  }
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                                std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(uint32_t) * 2 + sizeof(uint64_t)) {
+    res.error =
+        "truncated checkpoint (" + std::to_string(bytes.size()) + " bytes)";
+    return res;
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  if (magic != kDlrmMagic) {
+    res.error = "bad magic (not a DLRM checkpoint)";
+    return res;
+  }
+  std::memcpy(&res.version, bytes.data() + sizeof(magic),
+              sizeof(res.version));
+  if (res.version != kDlrmVersion) {
+    res.error =
+        "unsupported checkpoint version " + std::to_string(res.version);
+    return res;
+  }
+  const size_t payload = bytes.size() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + payload, sizeof(stored));
+  if (stored != Fnv1a(bytes.data(), payload)) {
+    res.error = "checksum mismatch (file corrupt or truncated)";
+    return res;
+  }
+  res.ok = true;
   return res;
 }
 

@@ -80,6 +80,22 @@ struct SnapshotVerifyResult {
 /// tensors into a model. Never throws; failures land in `error`.
 SnapshotVerifyResult VerifySnapshotFile(const std::string& path);
 
+/// Verdict on a model-parameter checkpoint file ("DLRM" format, written by
+/// DlrmModel::SaveCheckpointToFile — not the "TTSN" training snapshot).
+struct CheckpointFileStatus {
+  bool ok = false;
+  uint32_t version = 0;
+  std::string error;  // empty when ok
+};
+
+/// Structurally validates a model checkpoint — magic, version, and the
+/// whole-file FNV-1a trailer — without constructing a model or parsing a
+/// single tensor. Never throws. This is the gate
+/// serve::InferenceServer::SwapModel(path) runs before loading a standby:
+/// a truncated or bit-flipped file is rejected before deserialization can
+/// misinterpret a corrupt length as a multi-gigabyte allocation.
+CheckpointFileStatus VerifyModelCheckpointFile(const std::string& path);
+
 struct CheckpointManagerConfig {
   /// Directory snapshots live in; created if missing.
   std::string directory;

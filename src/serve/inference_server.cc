@@ -1,8 +1,10 @@
 #include "serve/inference_server.h"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
+#include "dlrm/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/inference_session.h"
@@ -10,20 +12,61 @@
 
 namespace ttrec::serve {
 
-InferenceServer::InferenceServer(const DlrmModel& model,
+namespace {
+
+const DlrmModel& Deref(const std::shared_ptr<const DlrmModel>& model) {
+  TTREC_CHECK_CONFIG(model != nullptr,
+                     "InferenceServer: model must be non-null");
+  return *model;
+}
+
+int64_t Micros(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(std::shared_ptr<const DlrmModel> model,
                                  InferenceServerConfig config)
-    : model_(model),
-      config_(config),
-      queue_(config.queue_capacity),
-      batcher_(model.num_tables(), model.config().num_dense) {
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      batcher_(Deref(model).num_tables(), model->config().num_dense),
+      effective_max_batch_(config_.max_batch_size),
+      effective_max_wait_us_(config_.max_wait.count()) {
   TTREC_CHECK_CONFIG(config_.max_batch_size >= 1,
                      "InferenceServer: max_batch_size must be >= 1");
   TTREC_CHECK_CONFIG(config_.num_consumers >= 1,
                      "InferenceServer: num_consumers must be >= 1");
+  auto slot = std::make_shared<ModelSlot>();
+  slot->model = std::move(model);
+  slot->generation = 1;
+  slot_ = std::move(slot);
+  governor_ = std::make_unique<LoadGovernor>(
+      config_.governor,
+      [this]() -> LoadGovernor::Signals {
+        return LoadGovernor::Signals{queue_.size(), queue_.capacity(),
+                                     metrics_.WindowLatencyP95AndReset()};
+      },
+      [this](HealthState from, HealthState to) {
+        OnHealthTransition(from, to);
+      });
+  StartServing();
+}
+
+InferenceServer::InferenceServer(const DlrmModel& model,
+                                 InferenceServerConfig config)
+    // Aliasing a null owner makes a non-owning shared_ptr: the caller keeps
+    // the model alive, as the ctor contract requires.
+    : InferenceServer(std::shared_ptr<const DlrmModel>(
+                          std::shared_ptr<const DlrmModel>(), &model),
+                      std::move(config)) {}
+
+void InferenceServer::StartServing() {
   consumers_.reserve(static_cast<size_t>(config_.num_consumers));
   for (int i = 0; i < config_.num_consumers; ++i) {
     consumers_.emplace_back([this] { ConsumerLoop(); });
   }
+  governor_->Start();
   if (!config_.report_path.empty() && config_.report_interval.count() > 0) {
     reporter_ = std::make_unique<obs::PeriodicReporter>(
         [this] { return MetricsJson(); }, config_.report_interval,
@@ -33,8 +76,12 @@ InferenceServer::InferenceServer(const DlrmModel& model,
 
 InferenceServer::~InferenceServer() { Shutdown(); }
 
+void InferenceServer::BeginDrain() { governor_->ForceDrain(); }
+
 void InferenceServer::Shutdown() {
   if (shut_down_.exchange(true)) return;
+  governor_->ForceDrain();  // records the transition; Submit now rejects
+  governor_->Stop();
   queue_.Close();
   for (std::thread& t : consumers_) {
     if (t.joinable()) t.join();
@@ -42,63 +89,290 @@ void InferenceServer::Shutdown() {
   if (reporter_ != nullptr) reporter_->Stop();  // final line post-drain
 }
 
-void InferenceServer::ValidateRequest(const InferenceRequest& r) const {
+std::shared_ptr<const InferenceServer::ModelSlot>
+InferenceServer::CurrentSlot() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_;
+}
+
+uint64_t InferenceServer::generation() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_->generation;
+}
+
+void InferenceServer::ValidateRequest(const InferenceRequest& r,
+                                      const DlrmModel& model) const {
   const int64_t S = r.num_samples();
   TTREC_CHECK_SHAPE(r.dense.ndim() == 2 && S >= 1 &&
-                        r.dense.dim(1) == model_.config().num_dense,
+                        r.dense.dim(1) == model.config().num_dense,
                     "InferenceRequest: dense must be (num_samples x ",
-                    model_.config().num_dense, ")");
+                    model.config().num_dense, ")");
   TTREC_CHECK_SHAPE(
-      static_cast<int>(r.sparse.size()) == model_.num_tables(),
+      static_cast<int>(r.sparse.size()) == model.num_tables(),
       "InferenceRequest: has ", r.sparse.size(),
-      " sparse features, model has ", model_.num_tables(), " tables");
-  const bool strict =
-      model_.config().index_policy == IndexPolicy::kThrow;
-  for (int t = 0; t < model_.num_tables(); ++t) {
+      " sparse features, model has ", model.num_tables(), " tables");
+  const bool strict = model.config().index_policy == IndexPolicy::kThrow;
+  for (int t = 0; t < model.num_tables(); ++t) {
     const CsrBatch& cb = r.sparse[static_cast<size_t>(t)];
     TTREC_CHECK_SHAPE(cb.num_bags() == S, "InferenceRequest: table ", t,
                       " has ", cb.num_bags(), " bags for ", S, " samples");
     // Index-range errors fail this request alone, here at Submit time —
-    // under kClampToZero the forward pass absorbs them instead.
+    // under kClampToZero the forward pass absorbs them instead. Validity
+    // survives a swap between here and execution: SwapModel only admits
+    // models with identical table row counts.
     if (strict) {
-      cb.Validate(model_.table(t).num_rows());
+      cb.Validate(model.table(t).num_rows());
     } else {
       cb.ValidateStructure();
     }
   }
 }
 
+void InferenceServer::ValidateSwapCompatible(const DlrmModel& incumbent,
+                                             const DlrmModel& next) const {
+  // Identical architecture keeps every in-flight artifact valid across the
+  // swap: the MicroBatcher's table/dense counts, indices validated against
+  // generation G but executed on G+1, and consumers' scratch shapes.
+  TTREC_CHECK_CONFIG(next.num_tables() == incumbent.num_tables(),
+                     "SwapModel: table count mismatch (incumbent ",
+                     incumbent.num_tables(), ", next ", next.num_tables(),
+                     ")");
+  TTREC_CHECK_CONFIG(
+      next.config().num_dense == incumbent.config().num_dense,
+      "SwapModel: num_dense mismatch (incumbent ",
+      incumbent.config().num_dense, ", next ", next.config().num_dense, ")");
+  TTREC_CHECK_CONFIG(next.config().emb_dim == incumbent.config().emb_dim,
+                     "SwapModel: emb_dim mismatch (incumbent ",
+                     incumbent.config().emb_dim, ", next ",
+                     next.config().emb_dim, ")");
+  TTREC_CHECK_CONFIG(
+      next.config().index_policy == incumbent.config().index_policy,
+      "SwapModel: index_policy mismatch — admission validation semantics "
+      "must not change under a live swap");
+  for (int t = 0; t < incumbent.num_tables(); ++t) {
+    TTREC_CHECK_CONFIG(
+        next.table(t).num_rows() == incumbent.table(t).num_rows(),
+        "SwapModel: table ", t, " row count mismatch (incumbent ",
+        incumbent.table(t).num_rows(), ", next ", next.table(t).num_rows(),
+        ")");
+  }
+}
+
+uint64_t InferenceServer::SwapModel(std::shared_ptr<const DlrmModel> next) {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  try {
+    TTREC_CHECK_CONFIG(next != nullptr, "SwapModel: model must be non-null");
+    ValidateSwapCompatible(*slot_->model, *next);
+  } catch (...) {
+    metrics_.RecordSwapRejected();
+    throw;
+  }
+  auto fresh = std::make_shared<ModelSlot>();
+  fresh->model = std::move(next);
+  fresh->generation = slot_->generation + 1;
+  slot_ = std::move(fresh);
+  metrics_.RecordSwapOk(slot_->generation);
+  return slot_->generation;
+}
+
+uint64_t InferenceServer::SwapModel(const std::string& checkpoint_path) {
+  std::shared_ptr<const DlrmModel> standby;
+  try {
+    TTREC_CHECK_CONFIG(config_.model_factory != nullptr,
+                       "SwapModel(path): config.model_factory is unset — "
+                       "the server cannot build a standby model");
+    // Structural pre-check (magic, version, checksum trailer) before any
+    // parsing: a corrupt file must not even reach deserialization.
+    const CheckpointFileStatus v = VerifyModelCheckpointFile(checkpoint_path);
+    TTREC_CHECK_CONFIG(v.ok, "SwapModel: rejecting checkpoint '",
+                       checkpoint_path, "': ", v.error);
+    std::unique_ptr<DlrmModel> loaded = config_.model_factory();
+    TTREC_CHECK_CONFIG(loaded != nullptr,
+                       "SwapModel: model_factory returned null");
+    loaded->LoadCheckpointFromFile(checkpoint_path);
+    standby = std::shared_ptr<const DlrmModel>(std::move(loaded));
+  } catch (...) {
+    // Anything wrong with the candidate is counted here; the publish step
+    // below counts its own (compatibility) rejections.
+    metrics_.RecordSwapRejected();
+    throw;
+  }
+  return SwapModel(std::move(standby));
+}
+
 std::future<InferenceResult> InferenceServer::Submit(
     InferenceRequest request) {
   std::promise<InferenceResult> promise;
   std::future<InferenceResult> future = promise.get_future();
+  const auto reject = [&](std::exception_ptr err) {
+    promise.set_exception(std::move(err));
+    return std::move(future);
+  };
+  if (shut_down_.load(std::memory_order_acquire)) {
+    metrics_.RecordRequestFailed();
+    return reject(std::make_exception_ptr(
+        ServerShutdown("Submit: server is shut down")));
+  }
+  switch (health()) {
+    case HealthState::kDraining:
+      metrics_.RecordRequestFailed();
+      return reject(std::make_exception_ptr(
+          ServerShutdown("Submit: server is draining")));
+    case HealthState::kShedding:
+      metrics_.RecordShed();
+      return reject(std::make_exception_ptr(
+          ServerOverloaded("Submit: shedding load",
+                           config_.governor.retry_after)));
+    case HealthState::kHealthy:
+    case HealthState::kDegraded:
+      break;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (request.expired(now)) {
+    metrics_.RecordDeadlineMissed();
+    return reject(std::make_exception_ptr(
+        DeadlineExceeded("Submit: deadline already passed at admission")));
+  }
   try {
-    ValidateRequest(request);
+    const std::shared_ptr<const ModelSlot> slot = CurrentSlot();
+    ValidateRequest(request, *slot->model);
   } catch (...) {
     metrics_.RecordRequestFailed();
-    promise.set_exception(std::current_exception());
-    return future;
+    return reject(std::current_exception());
   }
+
   PendingRequest item;
   item.request = std::move(request);
   item.promise = std::move(promise);
-  item.enqueued_at = std::chrono::steady_clock::now();
-  if (!queue_.Push(std::move(item))) {
-    metrics_.RecordRequestFailed();  // Push already failed the promise
+  item.enqueued_at = now;
+
+  // How long admission may block: the policy's budget, further clipped by
+  // the request's own deadline (never wait for space past the point where
+  // the answer is useless).
+  auto admission_deadline = kNoDeadline;
+  switch (config_.admission) {
+    case AdmissionPolicy::kBlock:
+      break;
+    case AdmissionPolicy::kBlockWithTimeout:
+      admission_deadline = now + config_.admission_timeout;
+      break;
+    case AdmissionPolicy::kRejectWhenFull:
+      admission_deadline = std::chrono::steady_clock::time_point::min();
+      break;
+  }
+  admission_deadline = std::min(admission_deadline, item.request.deadline);
+
+  switch (queue_.PushUntil(item, admission_deadline)) {
+    case RequestQueue::PushResult::kOk:
+      break;
+    case RequestQueue::PushResult::kClosed:
+      metrics_.RecordRequestFailed();
+      item.promise.set_exception(std::make_exception_ptr(
+          ServerShutdown("Submit: server shut down during admission")));
+      break;
+    case RequestQueue::PushResult::kTimedOut:
+      if (item.request.expired(std::chrono::steady_clock::now())) {
+        metrics_.RecordDeadlineMissed();
+        item.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+            "Submit: deadline passed while waiting for queue space")));
+      } else {
+        metrics_.RecordShed();
+        item.promise.set_exception(std::make_exception_ptr(
+            ServerOverloaded("Submit: queue full",
+                             config_.governor.retry_after)));
+      }
+      break;
   }
   return future;
 }
 
+void InferenceServer::OnHealthTransition(HealthState /*from*/,
+                                         HealthState to) {
+  metrics_.RecordHealthTransition(to);
+  switch (to) {
+    case HealthState::kHealthy:
+    case HealthState::kDraining:
+      // Nominal knobs; a drain also wants them — empty the queue at full
+      // batching throughput.
+      effective_max_batch_.store(config_.max_batch_size,
+                                 std::memory_order_relaxed);
+      effective_max_wait_us_.store(config_.max_wait.count(),
+                                   std::memory_order_relaxed);
+      break;
+    case HealthState::kDegraded:
+    case HealthState::kShedding: {
+      // Latency-first: close batches early and keep them small, so queued
+      // requests start executing sooner.
+      const int64_t cap =
+          config_.governor.degraded_max_batch > 0
+              ? config_.governor.degraded_max_batch
+              : std::max<int64_t>(1, config_.max_batch_size / 4);
+      effective_max_batch_.store(std::min(config_.max_batch_size, cap),
+                                 std::memory_order_relaxed);
+      effective_max_wait_us_.store(
+          config_.governor.degraded_max_wait.count(),
+          std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
 void InferenceServer::ConsumerLoop() {
-  InferenceSession session(model_);
+  std::shared_ptr<const ModelSlot> slot = CurrentSlot();
+  auto session = std::make_unique<InferenceSession>(*slot->model);
+  // Generation-labeled metrics are looked up once per generation change
+  // (registry mutex) and recorded through raw pointers after.
+  ServeMetrics::GenerationMetrics gen_metrics =
+      metrics_.Generation(slot->generation);
+  obs::StripedCounter* gen_ok = &gen_metrics.ok;
+  obs::Histogram* gen_latency = &gen_metrics.latency;
   std::vector<float> logits;
   for (;;) {
     std::vector<PendingRequest> items;
     {
       TTREC_TRACE_SCOPE("serve.queue_wait");
-      items = queue_.PopBatch(config_.max_batch_size, config_.max_wait);
+      items = queue_.PopBatch(
+          effective_max_batch_.load(std::memory_order_relaxed),
+          std::chrono::microseconds(
+              effective_max_wait_us_.load(std::memory_order_relaxed)));
     }
     if (items.empty()) return;  // closed and drained
+
+    // Deadline triage before any forward work: computing logits nobody is
+    // waiting for is exactly the waste that deepens an overload.
+    {
+      const auto now = std::chrono::steady_clock::now();
+      size_t kept = 0;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].request.expired(now)) {
+          // Count before failing the promise: a waiter released by
+          // set_exception must already see this miss in a snapshot.
+          metrics_.RecordDeadlineMissed();
+          items[i].promise.set_exception(std::make_exception_ptr(
+              DeadlineExceeded("deadline passed while queued")));
+        } else {
+          if (kept != i) items[kept] = std::move(items[i]);
+          ++kept;
+        }
+      }
+      if (kept < items.size()) {
+        items.resize(kept);
+        if (items.empty()) continue;
+      }
+    }
+
+    // Pin one generation for the whole micro-batch: every sample in it is
+    // served by exactly this model, and holding the slot's shared_ptr keeps
+    // the model alive even if a swap retires it mid-batch.
+    if (std::shared_ptr<const ModelSlot> cur = CurrentSlot();
+        cur->generation != slot->generation) {
+      slot = std::move(cur);
+      session = std::make_unique<InferenceSession>(*slot->model);
+      ServeMetrics::GenerationMetrics fresh =
+          metrics_.Generation(slot->generation);
+      gen_ok = &fresh.ok;
+      gen_latency = &fresh.latency;
+    }
 
     const auto batch_start = std::chrono::steady_clock::now();
     MicroBatch mb = [&] {
@@ -110,7 +384,7 @@ void InferenceServer::ConsumerLoop() {
     logits.assign(static_cast<size_t>(B), 0.0f);
     try {
       TTREC_TRACE_SCOPE("serve.inference");
-      session.Run(mb.batch, logits.data());
+      session->Run(mb.batch, logits.data());
     } catch (...) {
       const std::exception_ptr err = std::current_exception();
       metrics_.RecordRequestFailed(
@@ -124,15 +398,14 @@ void InferenceServer::ConsumerLoop() {
       PendingRequest& pr = mb.requests[r];
       InferenceResult result;
       result.micro_batch_size = B;
-      result.logits.assign(
-          logits.begin() + mb.sample_offsets[r],
-          logits.begin() + mb.sample_offsets[r + 1]);
-      const auto us = [](auto d) {
-        return std::chrono::duration_cast<std::chrono::microseconds>(d)
-            .count();
-      };
-      metrics_.RecordRequestOk(us(done - pr.enqueued_at),
-                               us(batch_start - pr.enqueued_at));
+      result.model_generation = slot->generation;
+      result.logits.assign(logits.begin() + mb.sample_offsets[r],
+                           logits.begin() + mb.sample_offsets[r + 1]);
+      const int64_t latency_us = Micros(done - pr.enqueued_at);
+      metrics_.RecordRequestOk(latency_us,
+                               Micros(batch_start - pr.enqueued_at));
+      gen_ok->Add(1);
+      gen_latency->Record(latency_us);
       pr.promise.set_value(std::move(result));
     }
   }
@@ -140,12 +413,16 @@ void InferenceServer::ConsumerLoop() {
 
 ServeMetricsSnapshot InferenceServer::SnapshotWithCacheStats() const {
   ServeMetricsSnapshot s = metrics_.Snapshot();
+  s.queue_depth_high_water = static_cast<int64_t>(queue_.high_water());
+  s.health = health();
+  const std::shared_ptr<const ModelSlot> slot = CurrentSlot();
+  const DlrmModel& model = *slot->model;
   // Collect every table into a fresh registry: cached tables Add() into the
   // shared cache.* names, so per-model totals fall out of the registry
   // semantics — no dynamic_cast on concrete adapter types.
   obs::MetricRegistry stats;
-  for (int t = 0; t < model_.num_tables(); ++t) {
-    model_.table(t).CollectStats(stats);
+  for (int t = 0; t < model.num_tables(); ++t) {
+    model.table(t).CollectStats(stats);
   }
   if (const obs::StripedCounter* hits = stats.FindCounter("cache.hits")) {
     s.has_cache = true;

@@ -4,19 +4,39 @@
 // recording batch sizes, queue waits, and end-to-end latency.
 //
 //   producers ──Submit──▶ RequestQueue ──PopBatch──▶ consumer threads
-//                                                    │  MicroBatcher
-//                                                    │  InferenceSession
+//        ▲                     ▲                     │  MicroBatcher
+//        │ typed rejections    │ LoadGovernor        │  InferenceSession
+//        │ (shed/deadline/     │ (healthy→degraded   │  (pins one model
+//        │  shutdown)          │  →shedding)         │   generation)
 //                                                    ▼
 //                                        promises fulfilled, ServeMetrics
 //
-// Thread-safety: Submit may be called from any number of threads. The model
-// must stay frozen (no training / checkpoint loads / table swaps) for the
-// server's lifetime — the const forward contract in dlrm/model.h.
+// Overload safety: requests carry deadlines (expired work is failed with
+// DeadlineExceeded before the forward pass, at admission or by the
+// consumer), admission is bounded (block / block-with-timeout / reject-
+// immediately), and a LoadGovernor walks the server through
+// healthy → degraded → shedding → draining as queue depth and windowed p95
+// latency move (serve/load_governor.h).
+//
+// Model lifecycle: the server holds a generation-tagged
+// shared_ptr<const DlrmModel>. SwapModel publishes a new generation under
+// live traffic — consumers pin the generation for the lifetime of one
+// micro-batch, so no request ever sees a torn mix of models, and the old
+// generation is freed once the last consumer moves on. Checkpoint swaps
+// load into a standby model first; a corrupt or mismatched checkpoint is
+// rejected while the incumbent generation keeps serving.
+//
+// Thread-safety: Submit and SwapModel may be called from any number of
+// threads. The model behind any published shared_ptr must stay frozen (no
+// training / checkpoint loads / table swaps) — the const forward contract
+// in dlrm/model.h; replacing the model is done by publishing a *new*
+// DlrmModel via SwapModel, never by mutating a live one.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -25,29 +45,51 @@
 
 #include "dlrm/model.h"
 #include "obs/reporter.h"
+#include "serve/load_governor.h"
 #include "serve/micro_batcher.h"
 #include "serve/request_queue.h"
+#include "serve/serve_errors.h"
 #include "serve/serve_metrics.h"
 
 namespace ttrec::serve {
+
+/// What Submit does when the queue is full.
+enum class AdmissionPolicy {
+  /// Block until space (bounded by the request's own deadline, if any) —
+  /// classic backpressure, the historical behavior.
+  kBlock,
+  /// Block up to admission_timeout, then fail with ServerOverloaded.
+  kBlockWithTimeout,
+  /// Fail with ServerOverloaded immediately — the client owns the retry.
+  kRejectWhenFull,
+};
 
 struct InferenceServerConfig {
   /// Micro-batch cap in requests: a consumer closes its batch as soon as
   /// it has gathered this many (equals samples for the common
   /// one-sample-per-request client). 1 disables batching — the
-  /// one-request-at-a-time baseline in bench/serve_throughput.
+  /// one-request-at-a-time baseline in bench/serve_throughput. In the
+  /// degraded health state the effective cap shrinks (see governor).
   int64_t max_batch_size = 32;
   /// How long a consumer holds an under-full batch open waiting for
   /// stragglers. Larger values raise batch sizes (and throughput) at the
-  /// cost of per-request latency.
+  /// cost of per-request latency. Shrunk while degraded.
   std::chrono::microseconds max_wait{200};
-  /// Queue bound; producers block when serving falls behind (backpressure
-  /// instead of unbounded memory growth).
+  /// Queue bound; what happens when it fills is `admission`'s call.
   size_t queue_capacity = 1024;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Wait budget under kBlockWithTimeout (a request's earlier deadline
+  /// still wins).
+  std::chrono::microseconds admission_timeout{5000};
   /// Consumer threads, each with its own InferenceSession. One is usually
   /// right when the forward pass itself shards across the ThreadPool; more
   /// helps when batches are small and per-batch overhead dominates.
   int num_consumers = 1;
+  /// Health-state machine knobs; governor.enabled = false pins kHealthy.
+  LoadGovernorConfig governor;
+  /// Builds an architecture-matched empty model for SwapModel(path) to
+  /// load a checkpoint into. Unset: checkpoint swaps are rejected.
+  std::function<std::unique_ptr<DlrmModel>()> model_factory;
   /// When non-empty and report_interval > 0, a PeriodicReporter appends one
   /// MetricsJson() line per interval to this file for the server's
   /// lifetime (plus a final line at shutdown).
@@ -57,7 +99,14 @@ struct InferenceServerConfig {
 
 class InferenceServer {
  public:
-  /// The server holds a reference: `model` must outlive it and stay frozen.
+  /// The server shares ownership: the model lives at least until the last
+  /// micro-batch pinned to its generation completes. It starts as
+  /// generation 1.
+  InferenceServer(std::shared_ptr<const DlrmModel> model,
+                  InferenceServerConfig config);
+  /// Non-owning convenience for callers with a stack- or member-owned
+  /// model: `model` must outlive the server AND every generation swap
+  /// (the server cannot extend its lifetime).
   InferenceServer(const DlrmModel& model, InferenceServerConfig config);
   ~InferenceServer();
 
@@ -65,35 +114,82 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Validates and enqueues `request`; the future resolves with its logits
-  /// once a consumer has run its micro-batch. A malformed request (shape
-  /// mismatch, or out-of-range index under IndexPolicy::kThrow) fails only
-  /// its own future, at Submit time, and never poisons a micro-batch.
-  /// Blocks while the queue is full; fails fast after Shutdown.
+  /// once a consumer has run its micro-batch. Failures are always
+  /// delivered through the future, typed (serve/serve_errors.h):
+  /// ShapeError/IndexError for malformed requests (which fail alone and
+  /// never poison a micro-batch), DeadlineExceeded when request.deadline
+  /// passes before the forward pass, ServerOverloaded when shedding or
+  /// when admission times out, ServerShutdown after BeginDrain/Shutdown.
   std::future<InferenceResult> Submit(InferenceRequest request);
 
-  /// Closes the queue, drains in-flight work, joins consumers. Idempotent;
-  /// the destructor calls it.
+  /// Atomically publishes `next` as the new serving generation under live
+  /// traffic; in-flight micro-batches finish on the generation they
+  /// pinned. Returns the new generation. Throws ConfigError (and counts a
+  /// rejected swap) when `next` is architecturally incompatible with the
+  /// incumbent — the old generation keeps serving.
+  uint64_t SwapModel(std::shared_ptr<const DlrmModel> next);
+
+  /// Loads `checkpoint_path` into a standby model built by
+  /// config.model_factory, then publishes it. Verification-first: a
+  /// corrupt, truncated, or mismatched checkpoint throws (counted as a
+  /// rejected swap) before anything is published — the incumbent
+  /// generation is never disturbed.
+  uint64_t SwapModel(const std::string& checkpoint_path);
+
+  /// Generation currently being published to new micro-batches.
+  uint64_t generation() const;
+
+  /// Stops admission for good (Submit fails with ServerShutdown) while
+  /// consumers finish everything already queued — the graceful half of
+  /// shutdown, usable long before Shutdown() joins the threads.
+  void BeginDrain();
+
+  /// BeginDrain + closes the queue, drains in-flight work, joins
+  /// consumers. Idempotent; the destructor calls it.
   void Shutdown();
+
+  HealthState health() const { return governor_->state(); }
 
   const ServeMetrics& metrics() const { return metrics_; }
 
-  /// Snapshot + cache hit stats from the model's cached-TT tables (summed
-  /// across tables; absent when no table carries an LFU cache).
+  /// Snapshot + queue high-water + cache hit stats from the model's
+  /// cached-TT tables (summed across tables; absent when no table carries
+  /// an LFU cache).
   ServeMetricsSnapshot SnapshotWithCacheStats() const;
   std::string MetricsJson() const;
 
   const InferenceServerConfig& config() const { return config_; }
   size_t queue_depth() const { return queue_.size(); }
+  size_t queue_high_water() const { return queue_.high_water(); }
 
  private:
-  void ConsumerLoop();
-  void ValidateRequest(const InferenceRequest& request) const;
+  /// One published model: consumers pin a slot per micro-batch, so a swap
+  /// frees the old model only after its last batch completes.
+  struct ModelSlot {
+    std::shared_ptr<const DlrmModel> model;
+    uint64_t generation = 1;
+  };
 
-  const DlrmModel& model_;
+  std::shared_ptr<const ModelSlot> CurrentSlot() const;
+  void ConsumerLoop();
+  void ValidateRequest(const InferenceRequest& request,
+                       const DlrmModel& model) const;
+  void ValidateSwapCompatible(const DlrmModel& incumbent,
+                              const DlrmModel& next) const;
+  void OnHealthTransition(HealthState from, HealthState to);
+  void StartServing();
+
   InferenceServerConfig config_;
+  mutable std::mutex model_mu_;          // guards slot_ publication
+  std::shared_ptr<const ModelSlot> slot_;
   RequestQueue queue_;
   MicroBatcher batcher_;
   ServeMetrics metrics_;
+  /// Batching knobs consumers actually use; the governor rewrites them on
+  /// health transitions.
+  std::atomic<int64_t> effective_max_batch_;
+  std::atomic<int64_t> effective_max_wait_us_;
+  std::unique_ptr<LoadGovernor> governor_;
   std::vector<std::thread> consumers_;
   std::unique_ptr<obs::PeriodicReporter> reporter_;
   std::atomic<bool> shut_down_{false};

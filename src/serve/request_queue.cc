@@ -1,8 +1,8 @@
 #include "serve/request_queue.h"
 
-#include <stdexcept>
 #include <utility>
 
+#include "serve/serve_errors.h"
 #include "tensor/check.h"
 
 namespace ttrec::serve {
@@ -11,20 +11,39 @@ RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
   TTREC_CHECK_CONFIG(capacity >= 1, "RequestQueue: capacity must be >= 1");
 }
 
-bool RequestQueue::Push(PendingRequest item) {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (!closed_) {
-      items_.push_back(std::move(item));
-      lock.unlock();
-      not_empty_.notify_one();
-      return true;
-    }
+RequestQueue::PushResult RequestQueue::PushUntil(
+    PendingRequest& item, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto admissible = [this] {
+    return closed_ || items_.size() < capacity_;
+  };
+  if (deadline == kNoDeadline) {
+    // wait_until with time_point::max() overflows on some libstdc++
+    // versions, so the unbounded mode takes the plain wait.
+    not_full_.wait(lock, admissible);
+  } else if (!not_full_.wait_until(lock, deadline, admissible)) {
+    return PushResult::kTimedOut;
   }
+  // The wake reasons are checked in a fixed priority order under the lock:
+  // a producer that raced Close() always observes kClosed here (never
+  // enqueues onto a closed queue), and the caller — the only owner of the
+  // item — fails the promise exactly once.
+  if (closed_) return PushResult::kClosed;
+  items_.push_back(std::move(item));
+  if (items_.size() > high_water_) high_water_ = items_.size();
+  lock.unlock();
+  not_empty_.notify_one();
+  return PushResult::kOk;
+}
+
+RequestQueue::PushResult RequestQueue::TryPush(PendingRequest& item) {
+  return PushUntil(item, std::chrono::steady_clock::time_point::min());
+}
+
+bool RequestQueue::Push(PendingRequest item) {
+  if (PushUntil(item, kNoDeadline) == PushResult::kOk) return true;
   item.promise.set_exception(std::make_exception_ptr(
-      std::runtime_error("InferenceServer: shut down, request rejected")));
+      ServerShutdown("InferenceServer: shut down, request rejected")));
   return false;
 }
 
@@ -44,14 +63,18 @@ std::vector<PendingRequest> RequestQueue::PopBatch(
       items_.pop_front();
     }
     if (static_cast<int64_t>(out.size()) >= max_items || closed_) break;
-    // Batch not full: wait (up to the deadline) for stragglers to coalesce.
-    if (not_empty_.wait_until(lock, deadline, [this] {
+    // Batch not full: wake any producers blocked on the space just freed
+    // before waiting for stragglers to coalesce — a full-queue producer
+    // must not stall behind this consumer's coalescing window.
+    lock.unlock();
+    not_full_.notify_all();
+    lock.lock();
+    if (!not_empty_.wait_until(lock, deadline, [this] {
           return closed_ || !items_.empty();
         })) {
-      if (items_.empty()) break;  // woken by Close with nothing left
-      continue;
+      break;  // deadline passed
     }
-    break;  // deadline passed
+    if (items_.empty()) break;  // woken by Close with nothing left
   }
   lock.unlock();
   not_full_.notify_all();
@@ -75,6 +98,11 @@ bool RequestQueue::closed() const {
 size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return items_.size();
+}
+
+size_t RequestQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
 }
 
 }  // namespace ttrec::serve

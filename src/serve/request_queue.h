@@ -21,6 +21,10 @@
 
 namespace ttrec::serve {
 
+/// Sentinel deadline: the request is willing to wait forever.
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
 /// One inference request: `dense` is (num_samples x num_dense) and `sparse`
 /// holds one CsrBatch per table with num_samples bags each. Most clients
 /// send a single sample; multi-sample requests ride through unchanged and
@@ -28,9 +32,19 @@ namespace ttrec::serve {
 struct InferenceRequest {
   Tensor dense;
   std::vector<CsrBatch> sparse;
+  /// Absolute deadline: once it passes, the server fails the future with
+  /// DeadlineExceeded instead of computing logits nobody is waiting for —
+  /// checked at admission, and again by the consumer before the forward
+  /// pass. kNoDeadline (the default) opts out.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
 
   int64_t num_samples() const {
     return dense.ndim() == 2 ? dense.dim(0) : 0;
+  }
+
+  bool has_deadline() const { return deadline != kNoDeadline; }
+  bool expired(std::chrono::steady_clock::time_point now) const {
+    return has_deadline() && now >= deadline;
   }
 };
 
@@ -39,6 +53,11 @@ struct InferenceResult {
   /// Size of the micro-batch this request was folded into — telemetry for
   /// the client; the logits themselves are batching-invariant.
   int64_t micro_batch_size = 0;
+  /// Generation of the model that served this request (1 for the model the
+  /// server started with, +1 per successful SwapModel). Every sample of a
+  /// request is computed by exactly this generation — micro-batches never
+  /// mix generations.
+  uint64_t model_generation = 0;
 };
 
 /// A request plus its delivery machinery, as stored on the queue.
@@ -51,10 +70,27 @@ struct PendingRequest {
 /// Bounded FIFO between producers (Submit) and batching consumers.
 class RequestQueue {
  public:
+  /// Why a push did not enqueue. On kOk the item has been consumed; on
+  /// kClosed / kTimedOut the item (promise included) stays with the
+  /// caller, which owns the failure: exactly one party ever touches the
+  /// promise, so a producer racing Close() cannot double-fail it.
+  enum class PushResult { kOk, kClosed, kTimedOut };
+
   explicit RequestQueue(size_t capacity);
 
-  /// Blocks while the queue is full. If the queue is (or becomes) closed,
-  /// fails the item's promise with a shutdown error and returns false.
+  /// Admission primitive with a bounded wait: blocks until space, the
+  /// queue closes, or `deadline` passes — whichever comes first.
+  /// kNoDeadline blocks indefinitely (the classic backpressure mode); a
+  /// deadline already in the past is a try-push.
+  PushResult PushUntil(PendingRequest& item,
+                       std::chrono::steady_clock::time_point deadline);
+
+  /// Non-blocking admission: enqueue only if space is free right now.
+  PushResult TryPush(PendingRequest& item);
+
+  /// Legacy convenience: blocks while the queue is full. If the queue is
+  /// (or becomes) closed, fails the item's promise with ServerShutdown and
+  /// returns false.
   bool Push(PendingRequest item);
 
   /// Takes up to `max_items` requests. Blocks until at least one is
@@ -66,12 +102,17 @@ class RequestQueue {
   std::vector<PendingRequest> PopBatch(int64_t max_items,
                                        std::chrono::microseconds max_wait);
 
-  /// Closes the queue: subsequent Push calls fail, blocked pushers wake and
-  /// fail, consumers drain what remains and then get empty batches.
+  /// Closes the queue: subsequent pushes fail with kClosed, pushers
+  /// blocked in PushUntil wake promptly, consumers drain what remains and
+  /// then get empty batches.
   void Close();
 
   bool closed() const;
   size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Deepest the queue has ever been — the overload post-mortem figure
+  /// exported as queue_depth_high_water in the metrics snapshot.
+  size_t high_water() const;
 
  private:
   const size_t capacity_;
@@ -79,6 +120,7 @@ class RequestQueue {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<PendingRequest> items_;
+  size_t high_water_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,58 @@
+// Typed rejections of the serving layer. Every way the server can refuse
+// or abandon a request maps to one subclass, so clients can branch on the
+// failure kind (retry elsewhere, drop, or surface a bug) instead of
+// string-matching what():
+//
+//   ServerShutdown    the server is draining or gone — do not retry here.
+//   DeadlineExceeded  the request's deadline passed before its logits were
+//                     computed (at admission or in the queue) — the work
+//                     was never run, retrying is safe.
+//   ServerOverloaded  load shedding at admission; carries a retry-after
+//                     hint sized by the load governor.
+//
+// All derive from TtRecError (and therefore std::runtime_error), so
+// pre-existing catch sites keep working.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "tensor/check.h"
+
+namespace ttrec::serve {
+
+/// Base of every serving-layer rejection.
+class ServeError : public TtRecError {
+ public:
+  using TtRecError::TtRecError;
+};
+
+/// The server is shut down or draining: admission is closed for good.
+class ServerShutdown : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// The request's deadline expired before the forward pass ran. The logits
+/// were never computed — a retry cannot observe a duplicate side effect.
+class DeadlineExceeded : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// Rejected at admission by load shedding (queue full under the
+/// reject-when-full policy, or the governor in the shedding state).
+/// `retry_after()` is the server's backoff hint.
+class ServerOverloaded : public ServeError {
+ public:
+  ServerOverloaded(const std::string& what,
+                   std::chrono::milliseconds retry_after)
+      : ServeError(what), retry_after_(retry_after) {}
+
+  std::chrono::milliseconds retry_after() const { return retry_after_; }
+
+ private:
+  std::chrono::milliseconds retry_after_;
+};
+
+}  // namespace ttrec::serve

@@ -1,31 +1,67 @@
 #include "serve/serve_metrics.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
 #include "obs/json_writer.h"
 #include "tensor/cpu_features.h"
 
 namespace ttrec::serve {
 
+const char* ToString(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
+    case HealthState::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
 ServeMetrics::ServeMetrics()
     : start_(std::chrono::steady_clock::now()),
       ok_(registry_.counter("serve.requests_ok")),
       failed_(registry_.counter("serve.requests_failed")),
+      shed_(registry_.counter("serve.requests_shed")),
+      deadline_missed_(registry_.counter("serve.requests_deadline_missed")),
       samples_(registry_.counter("serve.samples")),
       batches_(registry_.counter("serve.batches")),
       latency_(registry_.histogram("serve.latency_us")),
-      queue_wait_(registry_.histogram("serve.queue_wait_us")) {
+      queue_wait_(registry_.histogram("serve.queue_wait_us")),
+      transitions_{&registry_.counter("serve.health.to_healthy"),
+                   &registry_.counter("serve.health.to_degraded"),
+                   &registry_.counter("serve.health.to_shedding"),
+                   &registry_.counter("serve.health.to_draining")},
+      health_state_(registry_.gauge("serve.health_state")),
+      model_generation_(registry_.gauge("serve.model_generation")),
+      swaps_ok_(registry_.counter("serve.swaps_ok")),
+      swaps_rejected_(registry_.counter("serve.swaps_rejected")) {
   // Which SIMD kernel tier lookups dispatch on (0=scalar, 1=avx2,
   // 2=avx512) — latency telemetry is only comparable within a tier.
   registry_.gauge("kernel.simd_tier")
       .Set(static_cast<double>(static_cast<int>(ActiveSimdTier())));
+  model_generation_.Set(1.0);
 }
 
 void ServeMetrics::RecordRequestOk(int64_t latency_us, int64_t queue_wait_us) {
   ok_.Add(1);
   latency_.Record(latency_us);
   queue_wait_.Record(queue_wait_us);
+  window_latency_.Record(latency_us);
 }
 
 void ServeMetrics::RecordRequestFailed(int64_t n) { failed_.Add(n); }
+
+void ServeMetrics::RecordShed(int64_t n) { shed_.Add(n); }
+
+void ServeMetrics::RecordDeadlineMissed(int64_t n) {
+  deadline_missed_.Add(n);
+}
 
 void ServeMetrics::RecordBatch(int64_t batch_size) {
   batches_.Add(1);
@@ -39,12 +75,68 @@ void ServeMetrics::RecordBatch(int64_t batch_size) {
       1, std::memory_order_relaxed);
 }
 
+void ServeMetrics::RecordHealthTransition(HealthState to) {
+  transitions_[static_cast<size_t>(to)]->Add(1);
+  health_state_.Set(static_cast<double>(static_cast<int>(to)));
+}
+
+void ServeMetrics::RecordSwapOk(uint64_t new_generation) {
+  swaps_ok_.Add(1);
+  model_generation_.Set(static_cast<double>(new_generation));
+}
+
+void ServeMetrics::RecordSwapRejected() { swaps_rejected_.Add(1); }
+
+ServeMetrics::GenerationMetrics ServeMetrics::Generation(
+    uint64_t generation) {
+  const std::string prefix = "serve.gen." + std::to_string(generation);
+  return GenerationMetrics{registry_.counter(prefix + ".requests_ok"),
+                           registry_.histogram(prefix + ".latency_us")};
+}
+
+double ServeMetrics::WindowLatencyP95AndReset() {
+  const double p95 =
+      window_latency_.TotalCount() > 0 ? window_latency_.PercentileMicros(95.0)
+                                       : 0.0;
+  window_latency_.Reset();
+  return p95;
+}
+
+namespace {
+
+/// Parses "serve.gen.<g>.<leaf>" into (g, leaf); false for other names.
+bool ParseGenMetric(std::string_view name, uint64_t* gen,
+                    std::string_view* leaf) {
+  constexpr std::string_view kPrefix = "serve.gen.";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  name.remove_prefix(kPrefix.size());
+  const size_t dot = name.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  *gen = std::strtoull(std::string(name.substr(0, dot)).c_str(), nullptr, 10);
+  *leaf = name.substr(dot + 1);
+  return true;
+}
+
+GenerationSnapshot& GenEntry(std::vector<GenerationSnapshot>& gens,
+                             uint64_t gen) {
+  for (GenerationSnapshot& g : gens) {
+    if (g.generation == gen) return g;
+  }
+  gens.push_back(GenerationSnapshot{});
+  gens.back().generation = gen;
+  return gens.back();
+}
+
+}  // namespace
+
 ServeMetricsSnapshot ServeMetrics::Snapshot() const {
   ServeMetricsSnapshot s;
   const auto now = std::chrono::steady_clock::now();
   s.uptime_seconds = std::chrono::duration<double>(now - start_).count();
   s.requests_ok = ok_.Total();
   s.requests_failed = failed_.Total();
+  s.requests_shed = shed_.Total();
+  s.requests_deadline_missed = deadline_missed_.Total();
   s.samples = samples_.Total();
   s.batches = batches_.Total();
   s.qps = s.uptime_seconds > 0.0
@@ -68,24 +160,56 @@ ServeMetricsSnapshot ServeMetrics::Snapshot() const {
         batch_size_hist_[static_cast<size_t>(i)].load(
             std::memory_order_relaxed);
   }
+  s.health = static_cast<HealthState>(
+      static_cast<int>(health_state_.Value()));
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    s.health_transitions[i] = transitions_[i]->Total();
+  }
+  s.model_generation = static_cast<uint64_t>(model_generation_.Value());
+  s.swaps_ok = swaps_ok_.Total();
+  s.swaps_rejected = swaps_rejected_.Total();
+
+  // Per-generation blocks are named metrics; one registry snapshot yields
+  // all of them.
+  const obs::MetricsSnapshot reg = registry_.Snapshot();
+  uint64_t gen = 0;
+  std::string_view leaf;
+  for (const auto& [name, total] : reg.counters) {
+    if (ParseGenMetric(name, &gen, &leaf) && leaf == "requests_ok") {
+      GenEntry(s.generations, gen).requests_ok = total;
+    }
+  }
+  for (const auto& [name, hist] : reg.histograms) {
+    if (ParseGenMetric(name, &gen, &leaf) && leaf == "latency_us") {
+      GenEntry(s.generations, gen).latency_p95_us = hist.p95;
+    }
+  }
+  std::sort(s.generations.begin(), s.generations.end(),
+            [](const GenerationSnapshot& a, const GenerationSnapshot& b) {
+              return a.generation < b.generation;
+            });
   return s;
 }
 
 void ServeMetrics::Reset() {
   start_ = std::chrono::steady_clock::now();
   registry_.Reset();
+  window_latency_.Reset();
+  model_generation_.Set(1.0);
   for (auto& c : batch_size_hist_) c.store(0, std::memory_order_relaxed);
 }
 
 std::string ToJson(const ServeMetricsSnapshot& s) {
-  // Byte-compatible with the pre-obs hand-rolled serializer: same key
-  // order, %.3f doubles, zero batch-size buckets skipped, `cache` block
-  // only when a cache exists.
+  // Pre-overload-safety keys keep their order and formats (%.3f doubles,
+  // zero batch-size buckets skipped, `cache` block only when a cache
+  // exists); the health/swap additions are appended before `cache`.
   obs::JsonWriter w;
   w.BeginObject();
   w.Kv("uptime_seconds", s.uptime_seconds);
   w.Kv("requests_ok", s.requests_ok);
   w.Kv("requests_failed", s.requests_failed);
+  w.Kv("requests_shed", s.requests_shed);
+  w.Kv("requests_deadline_missed", s.requests_deadline_missed);
   w.Kv("samples", s.samples);
   w.Kv("batches", s.batches);
   w.Kv("qps", s.qps);
@@ -106,6 +230,29 @@ std::string ToJson(const ServeMetricsSnapshot& s) {
   for (size_t i = 0; i < s.batch_size_hist.size(); ++i) {
     if (s.batch_size_hist[i] == 0) continue;
     w.Kv(std::to_string(int64_t{1} << i), s.batch_size_hist[i]);
+  }
+  w.EndObject();
+  w.Key("health").BeginObject();
+  w.Kv("state", ToString(s.health));
+  w.Key("transitions").BeginObject();
+  for (int i = 0; i < 4; ++i) {
+    w.Kv(ToString(static_cast<HealthState>(i)),
+         s.health_transitions[static_cast<size_t>(i)]);
+  }
+  w.EndObject();
+  w.EndObject();
+  w.Kv("queue_depth_high_water", s.queue_depth_high_water);
+  w.Key("model").BeginObject();
+  w.Kv("generation", s.model_generation);
+  w.Kv("swaps_ok", s.swaps_ok);
+  w.Kv("swaps_rejected", s.swaps_rejected);
+  w.EndObject();
+  w.Key("generations").BeginObject();
+  for (const GenerationSnapshot& g : s.generations) {
+    w.Key(std::to_string(g.generation)).BeginObject();
+    w.Kv("requests_ok", g.requests_ok);
+    w.Kv("latency_p95_us", g.latency_p95_us);
+    w.EndObject();
   }
   w.EndObject();
   if (s.has_cache) {

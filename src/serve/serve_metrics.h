@@ -5,8 +5,10 @@
 // live here are now obs::StripedCounter / obs::Histogram (bit-identical
 // bucket bounds, so percentiles are unchanged), and ServeMetrics records
 // into a private obs::MetricRegistry. The snapshot struct and ToJson()
-// output are byte-compatible with the pre-migration format — `ttrec_serve`
-// and `bench/serve_throughput` consumers parse the same keys.
+// output keep the pre-migration keys in the same order — `ttrec_serve`
+// and `bench/serve_throughput` consumers parse the same fields — with the
+// overload-safety additions (shed/deadline counters, health state and
+// transition counts, queue high-water, per-generation blocks) appended.
 //
 // Hot-path properties are inherited from obs: Record* methods are
 // lock-free, and Snapshot()/ToJson() read without stopping the world, so a
@@ -29,6 +31,25 @@ namespace ttrec::serve {
 using StripedCounter = obs::StripedCounter;
 using LatencyHistogram = obs::Histogram;
 
+/// The server's overload posture, walked by the load governor (and forced
+/// to kDraining by BeginDrain/Shutdown). Ordered by severity.
+enum class HealthState {
+  kHealthy = 0,   // nominal: configured batching knobs
+  kDegraded = 1,  // latency-first: shrunken max_wait, capped micro-batches
+  kShedding = 2,  // admission rejects with ServerOverloaded + retry-after
+  kDraining = 3,  // admission closed for good; in-flight work finishes
+};
+
+const char* ToString(HealthState s);
+
+/// Per-model-generation slice of the snapshot — the canary-vs-incumbent
+/// comparison a hot-swap rollout watches.
+struct GenerationSnapshot {
+  uint64_t generation = 0;
+  int64_t requests_ok = 0;
+  double latency_p95_us = 0.0;
+};
+
 /// A point-in-time read of ServeMetrics, plus the cache stats the server
 /// fills in from the model's cached-TT tables (has_cache == false when the
 /// model serves without an LFU cache).
@@ -36,6 +57,11 @@ struct ServeMetricsSnapshot {
   double uptime_seconds = 0.0;
   int64_t requests_ok = 0;
   int64_t requests_failed = 0;
+  /// Typed-rejection counts, disjoint from requests_failed: shed at
+  /// admission (ServerOverloaded) and expired before the forward pass
+  /// (DeadlineExceeded).
+  int64_t requests_shed = 0;
+  int64_t requests_deadline_missed = 0;
   int64_t samples = 0;
   int64_t batches = 0;
   double qps = 0.0;              // completed requests / uptime
@@ -54,6 +80,18 @@ struct ServeMetricsSnapshot {
   /// batch_size_hist[i] = batches whose size fell in [2^i, 2^(i+1)).
   std::vector<int64_t> batch_size_hist;
 
+  HealthState health = HealthState::kHealthy;
+  /// health_transitions[s] = times the server entered state s.
+  std::array<int64_t, 4> health_transitions{};
+  /// Filled by InferenceServer from RequestQueue::high_water().
+  int64_t queue_depth_high_water = 0;
+
+  uint64_t model_generation = 0;  // currently serving generation
+  int64_t swaps_ok = 0;
+  int64_t swaps_rejected = 0;
+  /// Ascending by generation; empty until the first request completes.
+  std::vector<GenerationSnapshot> generations;
+
   bool has_cache = false;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
@@ -68,22 +106,55 @@ std::string ToJson(const ServeMetricsSnapshot& s);
 /// lock-free; Snapshot() may run concurrently with recording.
 class ServeMetrics {
  public:
+  /// Stable references into the registry for one model generation —
+  /// consumers look these up once per generation change (a mutex) and
+  /// record lock-free for the batches that follow.
+  struct GenerationMetrics {
+    obs::StripedCounter& ok;
+    obs::Histogram& latency;
+  };
+
   ServeMetrics();
 
   /// A request completed: end-to-end latency (Submit -> result set) and the
   /// time it spent queued before its micro-batch started executing.
   void RecordRequestOk(int64_t latency_us, int64_t queue_wait_us);
   void RecordRequestFailed(int64_t n = 1);
+  /// Load shedding rejected a request at admission (ServerOverloaded).
+  void RecordShed(int64_t n = 1);
+  /// A request's deadline expired before its forward pass ran.
+  void RecordDeadlineMissed(int64_t n = 1);
   /// A micro-batch of `batch_size` samples began executing.
   void RecordBatch(int64_t batch_size);
+
+  /// The server entered `to`: bumps the per-state transition counter and
+  /// the serve.health_state gauge.
+  void RecordHealthTransition(HealthState to);
+  /// SwapModel verdicts; on success `new_generation` becomes the gauge
+  /// value reported as model_generation.
+  void RecordSwapOk(uint64_t new_generation);
+  void RecordSwapRejected();
+
+  /// Creates (first use) and returns gen-labeled metrics:
+  /// serve.gen.<g>.requests_ok and serve.gen.<g>.latency_us.
+  GenerationMetrics Generation(uint64_t generation);
+
+  /// p95 of request latency since the previous call, then starts a new
+  /// window — the governor's fresh-latency signal (the lifetime histogram
+  /// above is too sluggish to detect an overload onset). Single consumer:
+  /// the governor thread.
+  double WindowLatencyP95AndReset();
 
   ServeMetricsSnapshot Snapshot() const;
   void Reset();
 
   /// The backing registry, for callers that want the raw named metrics
   /// (e.g. a PeriodicReporter producer). Names: serve.requests_ok,
-  /// serve.requests_failed, serve.samples, serve.batches,
-  /// serve.latency_us, serve.queue_wait_us.
+  /// serve.requests_failed, serve.requests_shed,
+  /// serve.requests_deadline_missed, serve.samples, serve.batches,
+  /// serve.latency_us, serve.queue_wait_us, serve.health_state,
+  /// serve.health.to_*, serve.model_generation, serve.swaps_ok,
+  /// serve.swaps_rejected, serve.gen.<g>.*.
   const obs::MetricRegistry& registry() const { return registry_; }
 
  private:
@@ -93,10 +164,20 @@ class ServeMetrics {
   std::chrono::steady_clock::time_point start_;
   obs::StripedCounter& ok_;
   obs::StripedCounter& failed_;
+  obs::StripedCounter& shed_;
+  obs::StripedCounter& deadline_missed_;
   obs::StripedCounter& samples_;
   obs::StripedCounter& batches_;
   obs::Histogram& latency_;
   obs::Histogram& queue_wait_;
+  std::array<obs::StripedCounter*, 4> transitions_;
+  obs::Gauge& health_state_;
+  obs::Gauge& model_generation_;
+  obs::StripedCounter& swaps_ok_;
+  obs::StripedCounter& swaps_rejected_;
+  /// Governor window; lives outside the registry so the lifetime
+  /// serve.latency_us percentiles stay monotone-sample.
+  obs::Histogram window_latency_;
   // Linear power-of-two batch-size buckets; a geometric obs::Histogram
   // would blur the exact power-of-two keys ToJson() reports.
   std::array<std::atomic<int64_t>, kBatchSizeBuckets> batch_size_hist_{};

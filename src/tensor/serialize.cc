@@ -15,12 +15,7 @@ constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr uint64_t kFnvPrime = 0x100000001b3ull;
 
 uint64_t FnvUpdate(uint64_t h, const void* data, size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
+  return Fnv1a(data, bytes, h);
 }
 
 std::array<uint32_t, 256> MakeCrc32Table() {
@@ -35,6 +30,15 @@ std::array<uint32_t, 256> MakeCrc32Table() {
   return table;
 }
 }  // namespace
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
 
 uint32_t Crc32(const void* data, size_t bytes, uint32_t crc) {
   static const std::array<uint32_t, 256> table = MakeCrc32Table();

@@ -24,6 +24,15 @@ namespace ttrec {
 /// return value as `crc` to continue over multiple buffers; start with 0.
 uint32_t Crc32(const void* data, size_t bytes, uint32_t crc = 0);
 
+/// FNV-1a offset basis — the seed for Fnv1a, and the value the
+/// BinaryWriter/BinaryReader whole-file trailers start from.
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+
+/// Running 64-bit FNV-1a. Pass the previous return value as `h` to continue
+/// over multiple buffers. External verifiers (dlrm/checkpoint.h) use this
+/// to recompute a file's trailer without a BinaryReader.
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h = kFnv1aOffset);
+
 /// Streaming writer with a running FNV-1a checksum.
 class BinaryWriter {
  public:

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -157,6 +158,77 @@ TEST(RequestQueue, CloseFailsPushAndDrainsPops) {
   EXPECT_FLOAT_EQ(batch[0].request.dense[0], 7.0f);
   // ...then empty-batch is the consumer's exit signal.
   EXPECT_TRUE(q.PopBatch(10, std::chrono::microseconds(0)).empty());
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducersExactlyOnce) {
+  // Regression: producers blocked in Push on a full queue must observe
+  // Close() promptly, and each must fail its promise exactly once (the
+  // queue never touches a promise it did not accept). A double-set would
+  // throw std::future_error from Push; a missed wake-up would hang the
+  // join below.
+  serve::RequestQueue q(2);
+  ASSERT_TRUE(q.Push(MakePending(0)));
+  ASSERT_TRUE(q.Push(MakePending(1)));  // full from here on
+
+  constexpr int kProducers = 8;
+  std::vector<std::future<InferenceResult>> futures;
+  std::vector<std::thread> producers;
+  std::atomic<int> push_failed{0};
+  std::atomic<int> push_ok{0};
+  std::mutex futures_mu;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      PendingRequest pr = MakePending(100 + p);
+      std::future<InferenceResult> f = pr.promise.get_future();
+      {
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(f));
+      }
+      if (q.Push(std::move(pr))) {
+        push_ok.fetch_add(1);
+      } else {
+        push_failed.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(push_failed.load() + push_ok.load(), kProducers);
+  EXPECT_EQ(push_failed.load(), kProducers);  // queue stayed full throughout
+
+  // Every blocked producer's future fails with the typed shutdown error —
+  // none hang, none are left unset.
+  for (auto& f : futures) {
+    EXPECT_THROW(f.get(), serve::ServerShutdown);
+  }
+
+  // The two accepted items still drain.
+  auto batch = q.PopBatch(10, std::chrono::microseconds(0));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(q.PopBatch(10, std::chrono::microseconds(0)).empty());
+}
+
+TEST(RequestQueue, PushUntilTimesOutAndLeavesItemWithCaller) {
+  serve::RequestQueue q(1);
+  PendingRequest first = MakePending(0);
+  ASSERT_EQ(q.PushUntil(first, serve::kNoDeadline),
+            serve::RequestQueue::PushResult::kOk);
+
+  PendingRequest second = MakePending(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PushUntil(second, t0 + std::chrono::milliseconds(5)),
+            serve::RequestQueue::PushResult::kTimedOut);
+  // The item (promise included) stays with the caller: its future is still
+  // pending, proving the queue never touched it.
+  std::future<InferenceResult> f = second.promise.get_future();
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+
+  EXPECT_EQ(q.TryPush(second), serve::RequestQueue::PushResult::kTimedOut);
+  q.PopBatch(1, std::chrono::microseconds(0));
+  EXPECT_EQ(q.TryPush(second), serve::RequestQueue::PushResult::kOk);
+  EXPECT_EQ(q.high_water(), 1u);
 }
 
 TEST(RequestQueue, CloseWakesBlockedConsumer) {

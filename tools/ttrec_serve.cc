@@ -3,8 +3,14 @@
 // trace, then serves a closed-loop request stream through the micro-batching
 // InferenceServer and prints the telemetry snapshot as JSON.
 //
+// SIGINT/SIGTERM trigger a graceful drain: producers stop submitting, the
+// server finishes everything in flight, and one final MetricsJson line is
+// printed before exit — the snapshot is never torn by the signal.
+//
 //   $ ttrec_serve [--tables N] [--rows R] [--requests N] [--producers P]
 //                 [--max-batch B] [--max-wait-us W] [--consumers C]
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +31,12 @@
 using namespace ttrec;
 
 namespace {
+
+// Signal flag: lock-free atomic stores are async-signal-safe. Producers
+// poll it between requests; main turns it into a server drain.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int /*sig*/) { g_stop.store(true); }
 
 struct Options {
   int tables = 8;
@@ -151,6 +163,9 @@ int main(int argc, char** argv) {
     server_cfg.num_consumers = opt.consumers;
     serve::InferenceServer server(*model, server_cfg);
 
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+
     // Closed-loop producers: each thread submits its share one request at a
     // time, waiting for the logit before sending the next.
     const int64_t per_producer = opt.requests / opt.producers;
@@ -165,18 +180,33 @@ int main(int argc, char** argv) {
         SyntheticCriteo stream(data_cfg);
         uint64_t eval_seed = opt.seed + 1000 + static_cast<uint64_t>(p);
         int64_t sent = 0;
-        while (sent < per_producer) {
+        while (sent < per_producer && !g_stop.load()) {
           const int64_t chunk = std::min<int64_t>(64, per_producer - sent);
           std::vector<serve::InferenceRequest> reqs =
               serve::SplitSamples(stream.EvalBatch(chunk, eval_seed++));
           for (auto& r : reqs) {
-            server.Submit(std::move(r)).get();
+            if (g_stop.load()) break;
+            try {
+              server.Submit(std::move(r)).get();
+            } catch (const serve::ServerShutdown&) {
+              return;  // drain began under us — stop cleanly
+            }
             ++sent;
           }
         }
       });
     }
     for (std::thread& t : producers) t.join();
+
+    if (g_stop.load()) {
+      std::fprintf(stderr,
+                   "signal received: draining (admission closed, in-flight "
+                   "requests finishing)...\n");
+    }
+    // Graceful either way: stop admission, finish everything queued, join
+    // the consumers — then snapshot, so the final line is never torn.
+    server.BeginDrain();
+    server.Shutdown();
 
     const serve::ServeMetricsSnapshot snap = server.SnapshotWithCacheStats();
     std::printf("\n%s\n\n", serve::ToJson(snap).c_str());
@@ -189,7 +219,6 @@ int main(int argc, char** argv) {
       std::printf("LFU cache hit rate during serving: %.1f%%\n",
                   100.0 * snap.cache_hit_rate);
     }
-    server.Shutdown();
     return 0;
   } catch (const TtRecError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
