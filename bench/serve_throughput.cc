@@ -15,7 +15,14 @@
 // miss rate — the degradation curve the overload policy is supposed to
 // shape (typed rejections instead of unbounded queueing).
 //
-// `--json out.json` additionally writes both sweeps in the shared
+// A third sweep measures shard scaling: an embedding-bound model (one
+// large uncached TT table, high pooling factor) is served with the
+// consumer's lookups fanned out across {1, 2, 4} row-range embedding
+// shards. Before the sweep, a second correctness gate checks the
+// ShardRouter's fan-out/join logits bitwise against the single-process
+// forward for every partition strategy x shard count combination.
+//
+// `--json out.json` additionally writes all sweeps in the shared
 // BENCH_*.json envelope (schema_version + config echo + per-point metrics)
 // for the perf trajectory.
 #include <chrono>
@@ -34,6 +41,9 @@
 #include "serve/inference_server.h"
 #include "serve/inference_session.h"
 #include "serve/serve_errors.h"
+#include "shard/shard_plan.h"
+#include "shard/shard_router.h"
+#include "tensor/parallel.h"
 
 using namespace ttrec;
 using namespace ttrec::bench;
@@ -49,6 +59,28 @@ struct SweepPoint {
   double mean_batch = 0.0;
 };
 
+// Closed loop: each producer replays its stripe one request at a time,
+// waiting for the logits before submitting the next.
+void ReplayClosedLoop(serve::InferenceServer& server,
+                      const std::vector<serve::InferenceRequest>& requests,
+                      int producers) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(producers));
+  const size_t n = requests.size();
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t i = static_cast<size_t>(p); i < n;
+           i += static_cast<size_t>(producers)) {
+        serve::InferenceRequest r;
+        r.dense = requests[i].dense;
+        r.sparse = requests[i].sparse;
+        server.Submit(std::move(r)).get();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
 SweepPoint RunPoint(const DlrmModel& model,
                     const std::vector<serve::InferenceRequest>& requests,
                     int64_t max_batch, int producers) {
@@ -60,24 +92,7 @@ SweepPoint RunPoint(const DlrmModel& model,
   // greedily drains whatever queued while the previous batch was running.
   cfg.max_wait = std::chrono::microseconds(max_batch == 1 ? 0 : 25);
   serve::InferenceServer server(model, cfg);
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(producers));
-  const size_t n = requests.size();
-  for (int p = 0; p < producers; ++p) {
-    threads.emplace_back([&, p] {
-      // Closed loop: each producer replays its stripe one request at a
-      // time, waiting for the logits before submitting the next.
-      for (size_t i = static_cast<size_t>(p); i < n;
-           i += static_cast<size_t>(producers)) {
-        serve::InferenceRequest r;
-        r.dense = requests[i].dense;
-        r.sparse = requests[i].sparse;
-        server.Submit(std::move(r)).get();
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  ReplayClosedLoop(server, requests, producers);
 
   const serve::ServeMetricsSnapshot s = server.metrics().Snapshot();
   SweepPoint pt;
@@ -87,6 +102,44 @@ SweepPoint RunPoint(const DlrmModel& model,
   pt.p95_us = s.latency_p95_us;
   pt.p99_us = s.latency_p99_us;
   pt.mean_batch = s.mean_batch_size;
+  return pt;
+}
+
+struct ShardPoint {
+  int num_shards = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+};
+
+ShardPoint RunShardPoint(const DlrmModel& model,
+                         const std::vector<serve::InferenceRequest>& requests,
+                         int num_shards, int producers) {
+  // One pool worker per shard: each shard models a fixed-compute node. On a
+  // single host the nested TT kernel would otherwise grab every idle core
+  // no matter the shard count and flatten the curve, so the sweep would
+  // measure the machine, not the router — with per-shard compute pinned,
+  // near-linear QPS means the split/fan-out/join overhead is small and the
+  // row-range slices are balanced.
+  ThreadPool::SetGlobalThreads(num_shards);
+  ShardPoint pt;
+  pt.num_shards = num_shards;
+  {
+    serve::InferenceServerConfig cfg;
+    cfg.max_batch_size = 32;
+    cfg.max_wait = std::chrono::microseconds(25);
+    cfg.num_shards = num_shards;
+    cfg.partition = shard::PartitionStrategy::kTable;
+    serve::InferenceServer server(model, cfg);
+    ReplayClosedLoop(server, requests, producers);
+
+    const serve::ServeMetricsSnapshot s = server.metrics().Snapshot();
+    pt.qps = s.qps;
+    pt.p50_us = s.latency_p50_us;
+    pt.p95_us = s.latency_p95_us;
+  }
+  ThreadPool::SetGlobalThreads(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
   return pt;
 }
 
@@ -197,7 +250,9 @@ int main(int argc, char** argv) {
   cfg.use_cache = true;
   cfg.dlrm = BenchDlrmConfig(env);
   Rng rng(17);
-  std::unique_ptr<DlrmModel> model = BuildSweepModel(cfg, rng);
+  // Shared (not unique) ownership so the ShardRouter gate below can pin the
+  // model the same way the sharded server does.
+  std::shared_ptr<DlrmModel> model = BuildSweepModel(cfg, rng);
 
   SyntheticCriteoConfig data_cfg = BenchDataConfig(cfg.spec, /*seed=*/23);
   SyntheticCriteo data(data_cfg);
@@ -210,6 +265,7 @@ int main(int argc, char** argv) {
 
   const int64_t num_requests = env.full ? 4096 : 768;
   std::vector<serve::InferenceRequest> requests;
+  std::vector<float> reference(static_cast<size_t>(num_requests));
   {
     const MiniBatch trace = data.EvalBatch(num_requests, /*eval_seed=*/5);
     requests = serve::SplitSamples(trace);
@@ -217,7 +273,6 @@ int main(int argc, char** argv) {
     // Correctness gate: serve the whole trace through a batching server and
     // compare every logit bitwise against a sequential session.
     serve::InferenceSession sequential(*model);
-    std::vector<float> reference(static_cast<size_t>(num_requests));
     for (size_t i = 0; i < requests.size(); ++i) {
       MiniBatch one;
       one.dense = requests[i].dense;
@@ -251,6 +306,36 @@ int main(int argc, char** argv) {
                 " mismatches vs sequential (largest micro-batch %.0f) -> %s\n\n",
                 num_requests, mismatches, max_batch_seen,
                 mismatches == 0 ? "OK" : "FAILED");
+    if (mismatches != 0) return 1;
+  }
+
+  // Sharded correctness gate: the router's fan-out/join must reproduce the
+  // single-process logits bitwise for every partition strategy and shard
+  // count — same trace, same sequential reference as the gate above.
+  {
+    const std::shared_ptr<const DlrmModel> cmodel = model;
+    const MiniBatch trace = data.EvalBatch(num_requests, /*eval_seed=*/5);
+    int64_t mismatches = 0;
+    for (const shard::PartitionStrategy strategy :
+         {shard::PartitionStrategy::kTable,
+          shard::PartitionStrategy::kRowRange}) {
+      for (const int num_shards : {1, 2, 4}) {
+        auto plan = std::make_shared<const shard::ShardPlan>(
+            shard::MakeShardPlanForModel(*cmodel, strategy, num_shards));
+        shard::ShardRouter router(cmodel, plan,
+                                  shard::BuildShards(cmodel, plan));
+        std::vector<float> out(static_cast<size_t>(num_requests));
+        router.Run(trace, out.data());
+        for (size_t i = 0; i < out.size(); ++i) {
+          if (std::memcmp(&out[i], &reference[i], sizeof(float)) != 0) {
+            ++mismatches;
+          }
+        }
+      }
+    }
+    std::printf("sharded bitwise check: strategies {table,row} x shards "
+                "{1,2,4}, %" PRId64 " mismatches vs single-process -> %s\n\n",
+                mismatches, mismatches == 0 ? "OK" : "FAILED");
     if (mismatches != 0) return 1;
   }
 
@@ -305,6 +390,56 @@ int main(int argc, char** argv) {
               overload_clean ? "OK" : "FAILED");
   if (!overload_clean) return 1;
 
+  // Shard scaling sweep. Four equal uncached TT tables with a high pooling
+  // factor make the workload embedding-bound, and table partitioning keeps
+  // every bag on the single-owner fast path — each shard runs the
+  // unmodified pooled kernel on its own tables, so the sweep isolates the
+  // router's split/fan-out/join cost. (Row-range sharding of bags that span
+  // the whole table is the all-to-all worst case — every bag pays a raw-row
+  // fetch and a router-side join — and is covered by the correctness gate,
+  // not chased for throughput here.)
+  SweepModelConfig shard_cfg;
+  shard_cfg.spec.name = "shard_sweep";
+  shard_cfg.spec.table_rows.assign(4, env.full ? 250000 : 100000);
+  shard_cfg.num_tt_tables = 4;
+  shard_cfg.tt_rank = 32;
+  shard_cfg.use_cache = false;
+  shard_cfg.dlrm = BenchDlrmConfig(env);
+  Rng shard_rng(29);
+  const std::unique_ptr<DlrmModel> shard_model =
+      BuildSweepModel(shard_cfg, shard_rng);
+  const int64_t shard_pooling = 256;
+  SyntheticCriteo shard_data(
+      BenchDataConfig(shard_cfg.spec, /*seed=*/31, shard_pooling));
+  const int64_t num_shard_requests = env.full ? 1024 : 256;
+  const std::vector<serve::InferenceRequest> shard_requests =
+      serve::SplitSamples(shard_data.EvalBatch(num_shard_requests,
+                                               /*eval_seed=*/7));
+  const int host_cpus =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("\nshard sweep (table partition, 4 x %lld-row TT tables, "
+              "pooling factor %lld, one pool worker per shard):\n",
+              static_cast<long long>(shard_cfg.spec.table_rows[0]),
+              static_cast<long long>(shard_pooling));
+  if (host_cpus < 4) {
+    std::printf("note: host has %d CPU(s); shard speedups are capped by the "
+                "host, expect a flat curve below %d shards' worth of cores\n",
+                host_cpus, host_cpus);
+  }
+  std::printf("%-10s %10s %10s %10s %10s\n", "shards", "qps", "p50_us",
+              "p95_us", "speedup");
+  std::vector<ShardPoint> shard_points;
+  double qps_one_shard = 0.0;
+  for (const int num_shards : {1, 2, 4}) {
+    const ShardPoint pt =
+        RunShardPoint(*shard_model, shard_requests, num_shards, producers);
+    if (num_shards == 1) qps_one_shard = pt.qps;
+    shard_points.push_back(pt);
+    std::printf("%-10d %10.0f %10.0f %10.0f %9.2fx\n", pt.num_shards, pt.qps,
+                pt.p50_us, pt.p95_us,
+                qps_one_shard > 0.0 ? pt.qps / qps_one_shard : 0.0);
+  }
+
   if (!json_path.empty()) {
     obs::JsonWriter w;
     obs::BeginBenchEnvelope(w, "serve_throughput");
@@ -347,6 +482,35 @@ int main(int argc, char** argv) {
       w.Kv("queue_high_water", pt.queue_high_water);
       w.Kv("to_degraded", pt.to_degraded);
       w.Kv("to_shedding", pt.to_shedding);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    w.Key("shards").BeginObject();
+    w.Key("config").BeginObject();
+    w.Kv("num_tables", static_cast<int64_t>(shard_cfg.spec.num_tables()));
+    w.Kv("table_rows", shard_cfg.spec.table_rows[0]);
+    w.Kv("tt_rank", shard_cfg.tt_rank);
+    w.Kv("pooling_factor", shard_pooling);
+    w.Kv("partition", "table");
+    w.Kv("workers_per_shard", static_cast<int64_t>(1));
+    // Speedup is capped by min(num_shards, host_cpus); emit the cap so the
+    // perf trajectory can tell a small host from a sharding regression.
+    w.Kv("host_cpus", static_cast<int64_t>(host_cpus));
+    w.Kv("num_requests", num_shard_requests);
+    w.EndObject();
+    // The sharded-vs-single bitwise gate ran before the sweeps; reaching
+    // this writer means it passed for every strategy x shard count combo.
+    w.Kv("identity_ok", true);
+    w.Key("points").BeginArray();
+    for (const ShardPoint& pt : shard_points) {
+      w.BeginObject();
+      w.Kv("num_shards", static_cast<int64_t>(pt.num_shards));
+      w.Kv("qps", pt.qps, 1);
+      w.Kv("p50_us", pt.p50_us, 1);
+      w.Kv("p95_us", pt.p95_us, 1);
+      w.Kv("speedup_vs_one_shard",
+           qps_one_shard > 0.0 ? pt.qps / qps_one_shard : 0.0, 3);
       w.EndObject();
     }
     w.EndArray();

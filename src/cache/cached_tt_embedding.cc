@@ -4,6 +4,7 @@
 
 #include "obs/trace.h"
 #include "tensor/check.h"
+#include "tensor/gemm.h"
 #include "tt/tt_io.h"
 
 namespace ttrec {
@@ -160,6 +161,55 @@ void CachedTtEmbeddingBag::ForwardInference(const CsrBatch& batch,
   for (const CacheHit& hit : hits) {
     float* dst = output + hit.bag * N;
     for (int64_t j = 0; j < N; ++j) dst[j] += hit.weight * hit.vec[j];
+  }
+}
+
+void CachedTtEmbeddingBag::PoolPrefetchedRows(const CsrBatch& batch,
+                                              const float* rows,
+                                              float* output) const {
+  batch.Validate(num_rows());
+  const int64_t N = emb_dim();
+  const int64_t n_bags = batch.num_bags();
+
+  // Same hit/miss classification and weight arithmetic as Partition, but
+  // keeping each lookup's original position so the row data can come from
+  // `rows` instead of the cache/TT chain.
+  struct Pooled {
+    int64_t bag;
+    float weight;
+    int64_t lookup;
+  };
+  std::vector<Pooled> hits;
+  std::vector<Pooled> misses;
+  for (int64_t b = 0; b < n_bags; ++b) {
+    const int64_t begin = batch.offsets[static_cast<size_t>(b)];
+    const int64_t end = batch.offsets[static_cast<size_t>(b) + 1];
+    const int64_t bag_size = end - begin;
+    for (int64_t l = begin; l < end; ++l) {
+      const int64_t row = batch.indices[static_cast<size_t>(l)];
+      float w = batch.weights.empty() ? 1.0f
+                                      : batch.weights[static_cast<size_t>(l)];
+      if (config_.tt.pooling == PoolingMode::kMean && bag_size > 0) {
+        w /= static_cast<float>(bag_size);
+      }
+      if (cache_.Find(row) != nullptr) {
+        hits.push_back(Pooled{b, w, l});
+      } else {
+        misses.push_back(Pooled{b, w, l});
+      }
+    }
+  }
+
+  // ForwardInference's accumulation order: the inner TT op zero-fills and
+  // Axpy's the misses in lookup order, then the hit fold runs on top.
+  std::fill(output, output + n_bags * N, 0.0f);
+  for (const Pooled& m : misses) {
+    Axpy(N, m.weight, rows + m.lookup * N, output + m.bag * N);
+  }
+  for (const Pooled& h : hits) {
+    float* dst = output + h.bag * N;
+    const float* src = rows + h.lookup * N;
+    for (int64_t j = 0; j < N; ++j) dst[j] += h.weight * src[j];
   }
 }
 

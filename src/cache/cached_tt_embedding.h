@@ -82,6 +82,16 @@ class CachedTtEmbeddingBag {
   /// same operator require external phasing.
   void ForwardInference(const CsrBatch& batch, float* output) const;
 
+  /// Pools pre-fetched rows (one per lookup of `batch`, lookup order) with
+  /// exactly ForwardInference's hit/miss split and accumulation order:
+  /// misses Axpy first in lookup order, then cache hits fold on top. The
+  /// indices must be the global row ids (the hit/miss split keys on them);
+  /// the row data comes from `rows` — for hits those bytes equal the cached
+  /// vector, for misses the TT-decoded row, so results are bitwise equal to
+  /// a local ForwardInference. Const, safe for concurrent callers.
+  void PoolPrefetchedRows(const CsrBatch& batch, const float* rows,
+                          float* output) const;
+
   /// Accumulates gradients: cached rows into the cache's gradient slots,
   /// missed rows into the TT core gradients. Must be called with the same
   /// batch as the preceding Forward (standard autograd pairing) — the

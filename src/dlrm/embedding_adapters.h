@@ -27,6 +27,10 @@ class TtEmbeddingAdapter : public EmbeddingOp {
   void ForwardInference(const CsrBatch& batch, float* output) const override {
     tt_.ForwardInference(batch, output);
   }
+  void PoolPrefetchedRows(const CsrBatch& batch, const float* rows,
+                          float* output) const override {
+    tt_.PoolPrefetchedRows(batch, rows, output);
+  }
   void Backward(const CsrBatch& batch, const float* grad_output) override {
     tt_.Backward(batch, grad_output);
   }
@@ -94,6 +98,10 @@ class CachedTtEmbeddingAdapter : public EmbeddingOp {
   }
   void ForwardInference(const CsrBatch& batch, float* output) const override {
     op_.ForwardInference(batch, output);
+  }
+  void PoolPrefetchedRows(const CsrBatch& batch, const float* rows,
+                          float* output) const override {
+    op_.PoolPrefetchedRows(batch, rows, output);
   }
   void Backward(const CsrBatch& batch, const float* grad_output) override {
     op_.Backward(batch, grad_output);

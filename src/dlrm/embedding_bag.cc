@@ -87,6 +87,30 @@ void DenseEmbeddingBag::ForwardInference(const CsrBatch& batch,
   }
 }
 
+void DenseEmbeddingBag::PoolPrefetchedRows(const CsrBatch& batch,
+                                           const float* rows,
+                                           float* output) const {
+  batch.Validate(num_rows());
+  const int64_t N = emb_dim();
+  const int64_t n_bags = batch.num_bags();
+  std::fill(output, output + n_bags * N, 0.0f);
+  for (int64_t b = 0; b < n_bags; ++b) {
+    const int64_t begin = batch.offsets[static_cast<size_t>(b)];
+    const int64_t end = batch.offsets[static_cast<size_t>(b) + 1];
+    const int64_t bag_size = end - begin;
+    float* dst = output + b * N;
+    for (int64_t l = begin; l < end; ++l) {
+      float w = batch.weights.empty() ? 1.0f
+                                      : batch.weights[static_cast<size_t>(l)];
+      if (pooling_ == PoolingMode::kMean && bag_size > 0) {
+        w /= static_cast<float>(bag_size);
+      }
+      const float* src = rows + l * N;
+      for (int64_t j = 0; j < N; ++j) dst[j] += w * src[j];
+    }
+  }
+}
+
 void DenseEmbeddingBag::Backward(const CsrBatch& batch,
                                  const float* grad_output) {
   batch.Validate(num_rows());

@@ -48,6 +48,11 @@ class DenseEmbeddingBag : public EmbeddingOp {
   /// path is the same loop, const. Safe for concurrent readers as long as
   /// no thread mutates the table (ApplySgd/ApplyUpdate/LoadState).
   void ForwardInference(const CsrBatch& batch, float* output) const override;
+  /// Same pooling loop as ForwardInference with the row data taken from
+  /// `rows` (lookup-ordered) instead of the table — bitwise identical, so
+  /// the shard router can pool remotely-fetched rows (see EmbeddingOp).
+  void PoolPrefetchedRows(const CsrBatch& batch, const float* rows,
+                          float* output) const override;
   void Backward(const CsrBatch& batch, const float* grad_output) override;
   void ApplySgd(float lr) override;
 

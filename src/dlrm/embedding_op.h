@@ -36,6 +36,22 @@ class EmbeddingOp {
     throw ConfigError(Name() + " does not implement ForwardInference");
   }
 
+  /// Pools pre-fetched rows: `rows` holds one already-decoded emb_dim row
+  /// per lookup of `batch`, laid out in lookup order (row l at
+  /// rows + l*emb_dim). Writes num_bags x emb_dim into `output`
+  /// (overwritten), applying exactly the same weighting/accumulation
+  /// arithmetic — in the same order — as ForwardInference would, so pooling
+  /// rows fetched remotely (the shard router's split bags, src/shard/) is
+  /// bitwise identical to pooling locally. batch.indices are still the
+  /// GLOBAL row ids (cached operators key their hit path on them); only the
+  /// row DATA comes from `rows`. Const and thread-safe like
+  /// ForwardInference; the default rejects.
+  virtual void PoolPrefetchedRows(const CsrBatch& /*batch*/,
+                                  const float* /*rows*/,
+                                  float* /*output*/) const {
+    throw ConfigError(Name() + " does not implement PoolPrefetchedRows");
+  }
+
   /// Accumulates parameter gradients given dL/d(output).
   virtual void Backward(const CsrBatch& batch, const float* grad_output) = 0;
 

@@ -123,6 +123,13 @@ void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits) {
 
 void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits,
                               InferenceScratch& s) const {
+  ForwardDenseInference(batch, s);
+  ForwardEmbeddingsInference(batch, s);
+  ForwardTailInference(batch.batch_size(), logits, s);
+}
+
+void DlrmModel::ForwardDenseInference(const MiniBatch& batch,
+                                      InferenceScratch& s) const {
   TTREC_CHECK_SHAPE(static_cast<int>(batch.sparse.size()) == num_tables(),
                     "MiniBatch has ", batch.sparse.size(),
                     " sparse features, model has ", num_tables(), " tables");
@@ -136,10 +143,9 @@ void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits,
   bottom_.ForwardInference(batch.dense.data(), B, s.bottom_out.data(),
                            s.bottom_act);
 
-  // Sanitization happens serially up front so the parallel region below
+  // Sanitization happens serially up front so the parallel embedding stage
   // only reads.
-  const bool clamp = config_.index_policy == IndexPolicy::kClampToZero;
-  if (clamp) {
+  if (config_.index_policy == IndexPolicy::kClampToZero) {
     s.sanitized_sparse.assign(batch.sparse.begin(), batch.sparse.end());
     for (int t = 0; t < num_tables(); ++t) {
       s.clamped_lookups +=
@@ -149,7 +155,12 @@ void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits,
               tables_[static_cast<size_t>(t)]->Name());
     }
   }
+}
 
+void DlrmModel::ForwardEmbeddingsInference(const MiniBatch& batch,
+                                           InferenceScratch& s) const {
+  const int64_t B = batch.batch_size();
+  const int64_t d = config_.emb_dim;
   // Shard the table lookups across the pool, one table per chunk. Inner
   // kernels (BatchedGemm) also call ParallelFor; those nested calls run
   // inline on the worker, so a 26-table model keeps every core busy on
@@ -159,9 +170,8 @@ void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits,
       num_tables(),
       [&](int64_t t_begin, int64_t t_end) {
         for (int64_t t = t_begin; t < t_end; ++t) {
-          const CsrBatch& cb = clamp
-                                   ? s.sanitized_sparse[static_cast<size_t>(t)]
-                                   : batch.sparse[static_cast<size_t>(t)];
+          const CsrBatch& cb =
+              SparseForInference(batch, static_cast<int>(t), s);
           TTREC_CHECK_SHAPE(cb.num_bags() == B, "table ", t, " has ",
                             cb.num_bags(), " bags for batch size ", B);
           auto& out = s.emb_out[static_cast<size_t>(t)];
@@ -178,7 +188,11 @@ void DlrmModel::PredictLogits(const MiniBatch& batch, float* logits,
         }
       },
       /*grain=*/1);
+}
 
+void DlrmModel::ForwardTailInference(int64_t batch_size, float* logits,
+                                     InferenceScratch& s) const {
+  const int64_t B = batch_size;
   std::vector<const float*> features;
   features.reserve(tables_.size() + 1);
   features.push_back(s.bottom_out.data());

@@ -115,6 +115,36 @@ class DlrmModel {
   void PredictLogits(const MiniBatch& batch, float* logits,
                      InferenceScratch& scratch) const;
 
+  // Staged const forward — PredictLogits(const) split at the embedding
+  // boundary so the shard router (src/shard/) can substitute its fan-out/
+  // join for the local table loop while reusing the dense tower, the
+  // sanitize pass, and the interaction/top tower unchanged. Calling the
+  // three stages in order on one scratch is bitwise identical to
+  // PredictLogits(const).
+
+  /// Stage 1: shape checks, bottom MLP into scratch.bottom_out, and (under
+  /// kClampToZero) the serial sanitize pass into scratch.sanitized_sparse.
+  void ForwardDenseInference(const MiniBatch& batch,
+                             InferenceScratch& scratch) const;
+  /// Stage 2: the table-parallel embedding loop into scratch.emb_out.
+  /// Reads scratch.sanitized_sparse when the model clamps (stage 1 must
+  /// have run on this scratch).
+  void ForwardEmbeddingsInference(const MiniBatch& batch,
+                                  InferenceScratch& scratch) const;
+  /// Stage 3: dot interaction + top MLP from scratch.{bottom_out,emb_out}.
+  void ForwardTailInference(int64_t batch_size, float* logits,
+                            InferenceScratch& scratch) const;
+
+  /// The lookup batch table `t` sees in the staged const forward: the
+  /// sanitized copy in `scratch` when the model clamps, `batch.sparse[t]`
+  /// otherwise. Valid after ForwardDenseInference.
+  const CsrBatch& SparseForInference(const MiniBatch& batch, int t,
+                                     const InferenceScratch& scratch) const {
+    return config_.index_policy == IndexPolicy::kClampToZero
+               ? scratch.sanitized_sparse[static_cast<size_t>(t)]
+               : batch.sparse[static_cast<size_t>(t)];
+  }
+
   /// Forward + backward + SGD step; returns the batch BCE loss.
   double TrainStep(const MiniBatch& batch, float lr);
 

@@ -37,9 +37,29 @@ InferenceServer::InferenceServer(std::shared_ptr<const DlrmModel> model,
                      "InferenceServer: max_batch_size must be >= 1");
   TTREC_CHECK_CONFIG(config_.num_consumers >= 1,
                      "InferenceServer: num_consumers must be >= 1");
+  TTREC_CHECK_CONFIG(config_.num_shards >= 0,
+                     "InferenceServer: num_shards must be >= 0");
+  TTREC_CHECK_CONFIG(config_.keep_generation_metrics >= 0,
+                     "InferenceServer: keep_generation_metrics must be >= 0");
+  metrics_.SetGenerationRetention(config_.keep_generation_metrics);
   auto slot = std::make_shared<ModelSlot>();
   slot->model = std::move(model);
   slot->generation = 1;
+  if (config_.num_shards >= 1) {
+    // The plan is computed once, from the incumbent model's actual table
+    // footprints, and kept for the server's lifetime: swaps only admit
+    // row-compatible models, so the same plan stays valid across them.
+    slot->plan = std::make_shared<const shard::ShardPlan>(
+        shard::MakeShardPlanForModel(*slot->model, config_.partition,
+                                     config_.num_shards));
+    slot->shards = shard::BuildShards(slot->model, slot->plan);
+    shard_telemetry_.reserve(static_cast<size_t>(config_.num_shards));
+    for (int s = 0; s < config_.num_shards; ++s) {
+      const ServeMetrics::ShardMetrics m = metrics_.Shard(s);
+      shard_telemetry_.push_back(
+          shard::ShardTelemetry{&m.queries, &m.lookups, &m.latency_us});
+    }
+  }
   slot_ = std::move(slot);
   governor_ = std::make_unique<LoadGovernor>(
       config_.governor,
@@ -98,6 +118,11 @@ InferenceServer::CurrentSlot() const {
 uint64_t InferenceServer::generation() const {
   std::lock_guard<std::mutex> lock(model_mu_);
   return slot_->generation;
+}
+
+std::shared_ptr<const shard::ShardPlan> InferenceServer::shard_plan() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_->plan;
 }
 
 void InferenceServer::ValidateRequest(const InferenceRequest& r,
@@ -160,16 +185,30 @@ void InferenceServer::ValidateSwapCompatible(const DlrmModel& incumbent,
 
 uint64_t InferenceServer::SwapModel(std::shared_ptr<const DlrmModel> next) {
   std::lock_guard<std::mutex> lock(model_mu_);
+  std::vector<std::shared_ptr<const shard::EmbeddingShard>> standby;
   try {
     TTREC_CHECK_CONFIG(next != nullptr, "SwapModel: model must be non-null");
     ValidateSwapCompatible(*slot_->model, *next);
+    if (slot_->plan != nullptr) {
+      // Prepare: construct the ENTIRE standby shard fleet against the
+      // incumbent plan before anything publishes. Either every shard
+      // validates, or the incumbent fleet keeps serving untouched — a
+      // micro-batch can never fan out over a mixed-generation fleet.
+      standby = shard::BuildShards(next, slot_->plan);
+    }
   } catch (...) {
     metrics_.RecordSwapRejected();
     throw;
   }
+  for (size_t s = 0; s < standby.size(); ++s) {
+    metrics_.Shard(static_cast<int>(s)).swaps_prepared.Add(1);
+  }
+  // Commit: one pointer store publishes model + fleet atomically.
   auto fresh = std::make_shared<ModelSlot>();
   fresh->model = std::move(next);
   fresh->generation = slot_->generation + 1;
+  fresh->plan = slot_->plan;
+  fresh->shards = std::move(standby);
   slot_ = std::move(fresh);
   metrics_.RecordSwapOk(slot_->generation);
   return slot_->generation;
@@ -319,13 +358,26 @@ void InferenceServer::OnHealthTransition(HealthState /*from*/,
 
 void InferenceServer::ConsumerLoop() {
   std::shared_ptr<const ModelSlot> slot = CurrentSlot();
-  auto session = std::make_unique<InferenceSession>(*slot->model);
+  // A sharded slot serves through a per-consumer ShardRouter (fan-out/join
+  // over the slot's fleet); an unsharded one through an InferenceSession.
+  // The topology is fixed at construction, so exactly one is ever built.
+  const bool sharded = !slot->shards.empty();
+  std::unique_ptr<InferenceSession> session;
+  std::unique_ptr<shard::ShardRouter> router;
+  const auto rebuild = [&](const std::shared_ptr<const ModelSlot>& s) {
+    if (sharded) {
+      router = std::make_unique<shard::ShardRouter>(s->model, s->plan,
+                                                    s->shards,
+                                                    shard_telemetry_);
+    } else {
+      session = std::make_unique<InferenceSession>(*s->model);
+    }
+  };
+  rebuild(slot);
   // Generation-labeled metrics are looked up once per generation change
-  // (registry mutex) and recorded through raw pointers after.
-  ServeMetrics::GenerationMetrics gen_metrics =
+  // (a mutex) and recorded lock-free after.
+  std::shared_ptr<ServeMetrics::GenerationBlock> gen =
       metrics_.Generation(slot->generation);
-  obs::StripedCounter* gen_ok = &gen_metrics.ok;
-  obs::Histogram* gen_latency = &gen_metrics.latency;
   std::vector<float> logits;
   for (;;) {
     std::vector<PendingRequest> items;
@@ -339,10 +391,16 @@ void InferenceServer::ConsumerLoop() {
     if (items.empty()) return;  // closed and drained
 
     // Deadline triage before any forward work: computing logits nobody is
-    // waiting for is exactly the waste that deepens an overload.
+    // waiting for is exactly the waste that deepens an overload. The most
+    // lenient surviving deadline also becomes the fan-out deadline a
+    // sharded batch carries: a shard refuses work only once EVERY member
+    // is already expired (tighter members keep the existing semantics —
+    // admitted at triage, answered even if they lapse mid-forward).
+    auto batch_deadline = kNoDeadline;
     {
       const auto now = std::chrono::steady_clock::now();
       size_t kept = 0;
+      auto latest = std::chrono::steady_clock::time_point::min();
       for (size_t i = 0; i < items.size(); ++i) {
         if (items[i].request.expired(now)) {
           // Count before failing the promise: a waiter released by
@@ -351,6 +409,7 @@ void InferenceServer::ConsumerLoop() {
           items[i].promise.set_exception(std::make_exception_ptr(
               DeadlineExceeded("deadline passed while queued")));
         } else {
+          latest = std::max(latest, items[i].request.deadline);
           if (kept != i) items[kept] = std::move(items[i]);
           ++kept;
         }
@@ -359,6 +418,7 @@ void InferenceServer::ConsumerLoop() {
         items.resize(kept);
         if (items.empty()) continue;
       }
+      batch_deadline = latest;
     }
 
     // Pin one generation for the whole micro-batch: every sample in it is
@@ -367,11 +427,8 @@ void InferenceServer::ConsumerLoop() {
     if (std::shared_ptr<const ModelSlot> cur = CurrentSlot();
         cur->generation != slot->generation) {
       slot = std::move(cur);
-      session = std::make_unique<InferenceSession>(*slot->model);
-      ServeMetrics::GenerationMetrics fresh =
-          metrics_.Generation(slot->generation);
-      gen_ok = &fresh.ok;
-      gen_latency = &fresh.latency;
+      rebuild(slot);
+      gen = metrics_.Generation(slot->generation);
     }
 
     const auto batch_start = std::chrono::steady_clock::now();
@@ -384,7 +441,18 @@ void InferenceServer::ConsumerLoop() {
     logits.assign(static_cast<size_t>(B), 0.0f);
     try {
       TTREC_TRACE_SCOPE("serve.inference");
-      session->Run(mb.batch, logits.data());
+      if (sharded) {
+        router->Run(mb.batch, logits.data(), batch_deadline);
+      } else {
+        session->Run(mb.batch, logits.data());
+      }
+    } catch (const DeadlineExceeded&) {
+      // A shard refused the fan-out because every member had expired:
+      // typed deadline misses, never untyped drops.
+      const std::exception_ptr err = std::current_exception();
+      metrics_.RecordDeadlineMissed(static_cast<int64_t>(mb.requests.size()));
+      for (PendingRequest& pr : mb.requests) pr.promise.set_exception(err);
+      continue;
     } catch (...) {
       const std::exception_ptr err = std::current_exception();
       metrics_.RecordRequestFailed(
@@ -404,8 +472,8 @@ void InferenceServer::ConsumerLoop() {
       const int64_t latency_us = Micros(done - pr.enqueued_at);
       metrics_.RecordRequestOk(latency_us,
                                Micros(batch_start - pr.enqueued_at));
-      gen_ok->Add(1);
-      gen_latency->Record(latency_us);
+      gen->ok.Add(1);
+      gen->latency.Record(latency_us);
       pr.promise.set_value(std::move(result));
     }
   }
@@ -416,6 +484,10 @@ ServeMetricsSnapshot InferenceServer::SnapshotWithCacheStats() const {
   s.queue_depth_high_water = static_cast<int64_t>(queue_.high_water());
   s.health = health();
   const std::shared_ptr<const ModelSlot> slot = CurrentSlot();
+  if (slot->plan != nullptr) {
+    s.num_shards = slot->plan->num_shards();
+    s.partition = shard::ToString(slot->plan->strategy());
+  }
   const DlrmModel& model = *slot->model;
   // Collect every table into a fresh registry: cached tables Add() into the
   // shared cache.* names, so per-model totals fall out of the registry

@@ -50,6 +50,9 @@
 #include "serve/request_queue.h"
 #include "serve/serve_errors.h"
 #include "serve/serve_metrics.h"
+#include "shard/embedding_shard.h"
+#include "shard/shard_plan.h"
+#include "shard/shard_router.h"
 
 namespace ttrec::serve {
 
@@ -95,6 +98,16 @@ struct InferenceServerConfig {
   /// lifetime (plus a final line at shutdown).
   std::string report_path;
   std::chrono::milliseconds report_interval{0};
+  /// Embedding shards per consumer's router. 0 (default) serves the
+  /// classic single-process path; >= 1 partitions the tables per
+  /// `partition` and fans each micro-batch's lookups out over the shards
+  /// (bitwise identical logits — see shard/shard_router.h).
+  int num_shards = 0;
+  shard::PartitionStrategy partition = shard::PartitionStrategy::kRowRange;
+  /// Per-generation metric blocks kept behind the newest swap; 0 keeps
+  /// every generation forever (the pre-pruning behavior — canary analysis
+  /// that partitions requests_ok across all generations needs this).
+  int64_t keep_generation_metrics = 0;
 };
 
 class InferenceServer {
@@ -162,12 +175,21 @@ class InferenceServer {
   size_t queue_depth() const { return queue_.size(); }
   size_t queue_high_water() const { return queue_.high_water(); }
 
+  /// The partition plan a sharded server routes by (fixed for the server's
+  /// lifetime — swaps revalidate against it); nullptr when unsharded.
+  std::shared_ptr<const shard::ShardPlan> shard_plan() const;
+
  private:
   /// One published model: consumers pin a slot per micro-batch, so a swap
-  /// frees the old model only after its last batch completes.
+  /// frees the old model only after its last batch completes. On a sharded
+  /// server the slot also carries the full shard fleet for its generation —
+  /// built ("prepared") before the slot publishes ("commits"), so no
+  /// micro-batch ever runs on a torn mixed-generation fleet.
   struct ModelSlot {
     std::shared_ptr<const DlrmModel> model;
     uint64_t generation = 1;
+    std::shared_ptr<const shard::ShardPlan> plan;  // null when unsharded
+    std::vector<std::shared_ptr<const shard::EmbeddingShard>> shards;
   };
 
   std::shared_ptr<const ModelSlot> CurrentSlot() const;
@@ -190,6 +212,9 @@ class InferenceServer {
   std::atomic<int64_t> effective_max_batch_;
   std::atomic<int64_t> effective_max_wait_us_;
   std::unique_ptr<LoadGovernor> governor_;
+  /// serve.shard.<s>.* hooks handed to every consumer's router (stable
+  /// registry references; one entry per shard, empty when unsharded).
+  std::vector<shard::ShardTelemetry> shard_telemetry_;
   std::vector<std::thread> consumers_;
   std::unique_ptr<obs::PeriodicReporter> reporter_;
   std::atomic<bool> shut_down_{false};

@@ -83,15 +83,41 @@ void ServeMetrics::RecordHealthTransition(HealthState to) {
 void ServeMetrics::RecordSwapOk(uint64_t new_generation) {
   swaps_ok_.Add(1);
   model_generation_.Set(static_cast<double>(new_generation));
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  if (gen_retention_ > 0 &&
+      new_generation >= static_cast<uint64_t>(gen_retention_)) {
+    // Keep the newest `gen_retention_` generations: prune every block at
+    // least that far behind the generation just published. Consumers still
+    // holding a pruned block's shared_ptr record into it harmlessly; it
+    // just stops appearing in snapshots.
+    const uint64_t oldest_kept =
+        new_generation - static_cast<uint64_t>(gen_retention_) + 1;
+    gen_blocks_.erase(gen_blocks_.begin(),
+                      gen_blocks_.lower_bound(oldest_kept));
+  }
 }
 
 void ServeMetrics::RecordSwapRejected() { swaps_rejected_.Add(1); }
 
-ServeMetrics::GenerationMetrics ServeMetrics::Generation(
+std::shared_ptr<ServeMetrics::GenerationBlock> ServeMetrics::Generation(
     uint64_t generation) {
-  const std::string prefix = "serve.gen." + std::to_string(generation);
-  return GenerationMetrics{registry_.counter(prefix + ".requests_ok"),
-                           registry_.histogram(prefix + ".latency_us")};
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  std::shared_ptr<GenerationBlock>& block = gen_blocks_[generation];
+  if (block == nullptr) block = std::make_shared<GenerationBlock>();
+  return block;
+}
+
+void ServeMetrics::SetGenerationRetention(int64_t keep) {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  gen_retention_ = keep;
+}
+
+ServeMetrics::ShardMetrics ServeMetrics::Shard(int shard) {
+  const std::string prefix = "serve.shard." + std::to_string(shard);
+  return ShardMetrics{registry_.counter(prefix + ".queries"),
+                      registry_.counter(prefix + ".lookups"),
+                      registry_.histogram(prefix + ".latency_us"),
+                      registry_.counter(prefix + ".swaps_prepared")};
 }
 
 double ServeMetrics::WindowLatencyP95AndReset() {
@@ -104,27 +130,27 @@ double ServeMetrics::WindowLatencyP95AndReset() {
 
 namespace {
 
-/// Parses "serve.gen.<g>.<leaf>" into (g, leaf); false for other names.
-bool ParseGenMetric(std::string_view name, uint64_t* gen,
-                    std::string_view* leaf) {
-  constexpr std::string_view kPrefix = "serve.gen.";
+/// Parses "serve.shard.<s>.<leaf>" into (s, leaf); false for other names.
+bool ParseShardMetric(std::string_view name, int* shard,
+                      std::string_view* leaf) {
+  constexpr std::string_view kPrefix = "serve.shard.";
   if (name.substr(0, kPrefix.size()) != kPrefix) return false;
   name.remove_prefix(kPrefix.size());
   const size_t dot = name.find('.');
   if (dot == std::string_view::npos || dot == 0) return false;
-  *gen = std::strtoull(std::string(name.substr(0, dot)).c_str(), nullptr, 10);
+  *shard = static_cast<int>(
+      std::strtol(std::string(name.substr(0, dot)).c_str(), nullptr, 10));
   *leaf = name.substr(dot + 1);
   return true;
 }
 
-GenerationSnapshot& GenEntry(std::vector<GenerationSnapshot>& gens,
-                             uint64_t gen) {
-  for (GenerationSnapshot& g : gens) {
-    if (g.generation == gen) return g;
+ShardSnapshot& ShardEntry(std::vector<ShardSnapshot>& shards, int shard) {
+  for (ShardSnapshot& s : shards) {
+    if (s.shard == shard) return s;
   }
-  gens.push_back(GenerationSnapshot{});
-  gens.back().generation = gen;
-  return gens.back();
+  shards.push_back(ShardSnapshot{});
+  shards.back().shard = shard;
+  return shards.back();
 }
 
 }  // namespace
@@ -169,24 +195,48 @@ ServeMetricsSnapshot ServeMetrics::Snapshot() const {
   s.swaps_ok = swaps_ok_.Total();
   s.swaps_rejected = swaps_rejected_.Total();
 
-  // Per-generation blocks are named metrics; one registry snapshot yields
-  // all of them.
+  // Per-generation blocks: copy the shared_ptrs under the lock, read the
+  // lock-free metrics outside it. The map is ordered, so the snapshot is
+  // ascending by generation without a sort.
+  std::vector<std::pair<uint64_t, std::shared_ptr<GenerationBlock>>> blocks;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    blocks.assign(gen_blocks_.begin(), gen_blocks_.end());
+  }
+  s.generations.reserve(blocks.size());
+  for (const auto& [gen, block] : blocks) {
+    GenerationSnapshot g;
+    g.generation = gen;
+    g.requests_ok = block->ok.Total();
+    g.latency_p95_us = block->latency.TotalCount() > 0
+                           ? block->latency.PercentileMicros(95.0)
+                           : 0.0;
+    s.generations.push_back(g);
+  }
+
+  // Per-shard metrics are registry-named (shards are never pruned); one
+  // registry snapshot yields all of them.
   const obs::MetricsSnapshot reg = registry_.Snapshot();
-  uint64_t gen = 0;
+  int shard = 0;
   std::string_view leaf;
   for (const auto& [name, total] : reg.counters) {
-    if (ParseGenMetric(name, &gen, &leaf) && leaf == "requests_ok") {
-      GenEntry(s.generations, gen).requests_ok = total;
+    if (!ParseShardMetric(name, &shard, &leaf)) continue;
+    if (leaf == "queries") {
+      ShardEntry(s.shards, shard).queries = total;
+    } else if (leaf == "lookups") {
+      ShardEntry(s.shards, shard).lookups = total;
+    } else if (leaf == "swaps_prepared") {
+      ShardEntry(s.shards, shard).swaps_prepared = total;
     }
   }
   for (const auto& [name, hist] : reg.histograms) {
-    if (ParseGenMetric(name, &gen, &leaf) && leaf == "latency_us") {
-      GenEntry(s.generations, gen).latency_p95_us = hist.p95;
+    if (ParseShardMetric(name, &shard, &leaf) && leaf == "latency_us") {
+      ShardEntry(s.shards, shard).latency_p95_us = hist.p95;
     }
   }
-  std::sort(s.generations.begin(), s.generations.end(),
-            [](const GenerationSnapshot& a, const GenerationSnapshot& b) {
-              return a.generation < b.generation;
+  std::sort(s.shards.begin(), s.shards.end(),
+            [](const ShardSnapshot& a, const ShardSnapshot& b) {
+              return a.shard < b.shard;
             });
   return s;
 }
@@ -197,6 +247,8 @@ void ServeMetrics::Reset() {
   window_latency_.Reset();
   model_generation_.Set(1.0);
   for (auto& c : batch_size_hist_) c.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  gen_blocks_.clear();
 }
 
 std::string ToJson(const ServeMetricsSnapshot& s) {
@@ -255,6 +307,22 @@ std::string ToJson(const ServeMetricsSnapshot& s) {
     w.EndObject();
   }
   w.EndObject();
+  if (s.num_shards > 0) {
+    w.Key("sharding").BeginObject();
+    w.Kv("num_shards", static_cast<int64_t>(s.num_shards));
+    w.Kv("partition", s.partition);
+    w.Key("shards").BeginObject();
+    for (const ShardSnapshot& sh : s.shards) {
+      w.Key(std::to_string(sh.shard)).BeginObject();
+      w.Kv("queries", sh.queries);
+      w.Kv("lookups", sh.lookups);
+      w.Kv("latency_p95_us", sh.latency_p95_us);
+      w.Kv("swaps_prepared", sh.swaps_prepared);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
   if (s.has_cache) {
     w.Key("cache").BeginObject();
     w.Kv("hits", s.cache_hits);

@@ -20,6 +20,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +51,16 @@ struct GenerationSnapshot {
   uint64_t generation = 0;
   int64_t requests_ok = 0;
   double latency_p95_us = 0.0;
+};
+
+/// Per-shard slice of the snapshot (sharded servers only): how much work
+/// the router sent shard `shard` and how long its partial lookups took.
+struct ShardSnapshot {
+  int shard = 0;
+  int64_t queries = 0;   // partial-lookup calls
+  int64_t lookups = 0;   // embedding lookups routed here
+  double latency_p95_us = 0.0;
+  int64_t swaps_prepared = 0;  // standby shards built for a two-phase swap
 };
 
 /// A point-in-time read of ServeMetrics, plus the cache stats the server
@@ -90,7 +103,16 @@ struct ServeMetricsSnapshot {
   int64_t swaps_ok = 0;
   int64_t swaps_rejected = 0;
   /// Ascending by generation; empty until the first request completes.
+  /// Retired generations disappear once pruned (SetGenerationRetention).
   std::vector<GenerationSnapshot> generations;
+
+  /// Sharding topology, filled by the server (0 = unsharded; the JSON
+  /// `sharding` block is emitted only when num_shards > 0, so unsharded
+  /// output is byte-identical to the pre-sharding format).
+  int num_shards = 0;
+  std::string partition;
+  /// Ascending by shard id; empty on unsharded servers.
+  std::vector<ShardSnapshot> shards;
 
   bool has_cache = false;
   int64_t cache_hits = 0;
@@ -106,12 +128,23 @@ std::string ToJson(const ServeMetricsSnapshot& s);
 /// lock-free; Snapshot() may run concurrently with recording.
 class ServeMetrics {
  public:
-  /// Stable references into the registry for one model generation —
-  /// consumers look these up once per generation change (a mutex) and
-  /// record lock-free for the batches that follow.
-  struct GenerationMetrics {
-    obs::StripedCounter& ok;
-    obs::Histogram& latency;
+  /// One model generation's metrics. Lives OUTSIDE the registry (which has
+  /// no removal API) so retired generations can be pruned; consumers hold
+  /// the shared_ptr for the generation they serve, so a block they still
+  /// record into survives its own pruning and simply stops being reported.
+  struct GenerationBlock {
+    obs::StripedCounter ok;
+    obs::Histogram latency;
+  };
+
+  /// Stable registry references for one shard's serve.shard.<s>.* metrics —
+  /// looked up once at server construction (shard count never changes) and
+  /// recorded through lock-free thereafter.
+  struct ShardMetrics {
+    obs::StripedCounter& queries;
+    obs::StripedCounter& lookups;
+    obs::Histogram& latency_us;
+    obs::StripedCounter& swaps_prepared;
   };
 
   ServeMetrics();
@@ -135,9 +168,22 @@ class ServeMetrics {
   void RecordSwapOk(uint64_t new_generation);
   void RecordSwapRejected();
 
-  /// Creates (first use) and returns gen-labeled metrics:
-  /// serve.gen.<g>.requests_ok and serve.gen.<g>.latency_us.
-  GenerationMetrics Generation(uint64_t generation);
+  /// Creates (first use) and returns generation `generation`'s block.
+  /// Consumers cache the returned pointer per generation change (a mutex
+  /// here) and record lock-free for the batches that follow.
+  std::shared_ptr<GenerationBlock> Generation(uint64_t generation);
+
+  /// Keep per-generation blocks for at most `keep` generations behind the
+  /// newest successful swap; older blocks are pruned by RecordSwapOk so a
+  /// long-lived server with frequent swaps doesn't grow MetricsJson()
+  /// unboundedly. 0 (the default) keeps every generation forever — the
+  /// pre-pruning behavior, which some consumers rely on to partition
+  /// requests_ok exactly across generations.
+  void SetGenerationRetention(int64_t keep);
+
+  /// Creates (first use) and returns shard-labeled metrics:
+  /// serve.shard.<s>.{queries,lookups,latency_us,swaps_prepared}.
+  ShardMetrics Shard(int shard);
 
   /// p95 of request latency since the previous call, then starts a new
   /// window — the governor's fresh-latency signal (the lifetime histogram
@@ -154,7 +200,8 @@ class ServeMetrics {
   /// serve.requests_deadline_missed, serve.samples, serve.batches,
   /// serve.latency_us, serve.queue_wait_us, serve.health_state,
   /// serve.health.to_*, serve.model_generation, serve.swaps_ok,
-  /// serve.swaps_rejected, serve.gen.<g>.*.
+  /// serve.swaps_rejected, serve.shard.<s>.*. Per-generation blocks live
+  /// outside the registry (prunable) and appear only in Snapshot().
   const obs::MetricRegistry& registry() const { return registry_; }
 
  private:
@@ -178,6 +225,12 @@ class ServeMetrics {
   /// Governor window; lives outside the registry so the lifetime
   /// serve.latency_us percentiles stay monotone-sample.
   obs::Histogram window_latency_;
+  /// Per-generation blocks, keyed by generation, pruned by RecordSwapOk
+  /// when a retention is set. shared_ptr so a consumer mid-batch on a
+  /// pruned generation keeps recording into a live (unreported) block.
+  mutable std::mutex gen_mu_;
+  std::map<uint64_t, std::shared_ptr<GenerationBlock>> gen_blocks_;
+  int64_t gen_retention_ = 0;  // 0 = keep every generation
   // Linear power-of-two batch-size buckets; a geometric obs::Histogram
   // would blur the exact power-of-two keys ToJson() reports.
   std::array<std::atomic<int64_t>, kBatchSizeBuckets> batch_size_hist_{};

@@ -1,0 +1,129 @@
+#include "shard/embedding_shard.h"
+
+#include "dlrm/model.h"
+#include "serve/serve_errors.h"
+#include "tensor/check.h"
+
+namespace ttrec::shard {
+
+EmbeddingShard::EmbeddingShard(std::shared_ptr<const DlrmModel> model,
+                               std::shared_ptr<const ShardPlan> plan,
+                               int shard_id)
+    : model_(std::move(model)), plan_(std::move(plan)), shard_id_(shard_id) {
+  TTREC_CHECK_CONFIG(model_ != nullptr, "EmbeddingShard: null model");
+  TTREC_CHECK_CONFIG(plan_ != nullptr, "EmbeddingShard: null plan");
+  TTREC_CHECK_CONFIG(shard_id_ >= 0 && shard_id_ < plan_->num_shards(),
+                     "EmbeddingShard: shard id ", shard_id_,
+                     " outside plan's [0, ", plan_->num_shards(), ")");
+  TTREC_CHECK_CONFIG(
+      plan_->num_tables() == model_->num_tables(),
+      "EmbeddingShard: plan has ", plan_->num_tables(), " tables, model has ",
+      model_->num_tables());
+  piece_by_table_.assign(static_cast<size_t>(model_->num_tables()), nullptr);
+  for (int t = 0; t < model_->num_tables(); ++t) {
+    const int64_t rows = model_->table(t).num_rows();
+    TTREC_CHECK_CONFIG(plan_->table_rows(t) == rows, "EmbeddingShard: plan "
+                       "sizes table ", t, " at ", plan_->table_rows(t),
+                       " rows, model has ", rows);
+    for (const ShardPiece& p : plan_->table_pieces(t)) {
+      TTREC_CHECK_CONFIG(p.row_end <= rows, "EmbeddingShard: piece [",
+                         p.row_begin, ", ", p.row_end, ") of table ", t,
+                         " exceeds its ", rows, " rows");
+      if (p.shard == shard_id_) {
+        piece_by_table_[static_cast<size_t>(t)] = &p;
+      }
+    }
+  }
+}
+
+int64_t EmbeddingShard::QueryLookups(const ShardQuery& query) {
+  int64_t n = 0;
+  for (const ShardTableQuery& tq : query.tables) {
+    n += tq.whole_batch != nullptr ? tq.whole_batch->num_lookups()
+                                   : tq.pooled.num_lookups();
+    n += static_cast<int64_t>(tq.fetch.size());
+  }
+  return n;
+}
+
+void EmbeddingShard::PartialLookup(const ShardQuery& query,
+                                   ShardReply& reply) const {
+  if (std::chrono::steady_clock::now() > query.deadline) {
+    throw serve::DeadlineExceeded("shard " + std::to_string(shard_id_) +
+                                  ": deadline expired before partial lookup");
+  }
+  reply.tables.resize(query.tables.size());
+  const int64_t d = model_->config().emb_dim;
+
+  for (size_t i = 0; i < query.tables.size(); ++i) {
+    const ShardTableQuery& tq = query.tables[i];
+    ShardTableReply& tr = reply.tables[static_cast<size_t>(i)];
+    const int t = tq.table;
+    TTREC_CHECK_CONFIG(t >= 0 && t < model_->num_tables(),
+                       "shard ", shard_id_, ": query names table ", t);
+    const ShardPiece* p = piece_by_table_[static_cast<size_t>(t)];
+    TTREC_CHECK_CONFIG(p != nullptr, "shard ", shard_id_,
+                       ": query names table ", t, " but this shard owns no "
+                       "piece of it");
+    const EmbeddingOp& op = model_->table(t);
+
+    if (tq.whole_batch != nullptr) {
+      // Single-owner fast path: the op validates and pools the router's
+      // batch directly — identical to the unsharded table loop.
+      tr.pooled_out.assign(
+          static_cast<size_t>(tq.whole_batch->num_bags() * d), 0.0f);
+      op.ForwardInference(*tq.whole_batch, tr.pooled_out.data());
+    } else if (tq.pooled.num_bags() > 0) {
+      // Interior bags: rewrite local ids back to global and pool the
+      // compacted sub-batch on the full operator. Batching invariance makes
+      // each bag's pooled vector bitwise equal to its unsharded value.
+      tr.remapped.offsets = tq.pooled.offsets;
+      tr.remapped.weights = tq.pooled.weights;
+      tr.remapped.indices.resize(tq.pooled.indices.size());
+      for (size_t l = 0; l < tq.pooled.indices.size(); ++l) {
+        const int64_t local = tq.pooled.indices[l];
+        TTREC_CHECK_INDEX(local >= 0 && local < p->rows(), "shard ",
+                          shard_id_, ", table ", t, ": local row ", local,
+                          " outside piece of ", p->rows(), " rows");
+        tr.remapped.indices[l] = local + p->row_begin;
+      }
+      tr.pooled_out.assign(static_cast<size_t>(tq.pooled.num_bags() * d),
+                           0.0f);
+      op.ForwardInference(tr.remapped, tr.pooled_out.data());
+    } else {
+      tr.pooled_out.clear();
+    }
+
+    if (!tq.fetch.empty()) {
+      // Split bags: decode raw rows (single unweighted lookups reproduce
+      // exact row bits on every op); the router pools them.
+      tr.fetch_global.resize(tq.fetch.size());
+      for (size_t l = 0; l < tq.fetch.size(); ++l) {
+        const int64_t local = tq.fetch[l];
+        TTREC_CHECK_INDEX(local >= 0 && local < p->rows(), "shard ",
+                          shard_id_, ", table ", t, ": local fetch row ",
+                          local, " outside piece of ", p->rows(), " rows");
+        tr.fetch_global[l] = local + p->row_begin;
+      }
+      tr.fetch_out.assign(tq.fetch.size() * static_cast<size_t>(d), 0.0f);
+      op.ForwardInference(CsrBatch::FromIndices(tr.fetch_global),
+                          tr.fetch_out.data());
+    } else {
+      tr.fetch_out.clear();
+    }
+  }
+}
+
+std::vector<std::shared_ptr<const EmbeddingShard>> BuildShards(
+    std::shared_ptr<const DlrmModel> model,
+    std::shared_ptr<const ShardPlan> plan) {
+  TTREC_CHECK_CONFIG(plan != nullptr, "BuildShards: null plan");
+  std::vector<std::shared_ptr<const EmbeddingShard>> shards;
+  shards.reserve(static_cast<size_t>(plan->num_shards()));
+  for (int s = 0; s < plan->num_shards(); ++s) {
+    shards.push_back(std::make_shared<const EmbeddingShard>(model, plan, s));
+  }
+  return shards;
+}
+
+}  // namespace ttrec::shard

@@ -1,0 +1,116 @@
+// EmbeddingShard: one in-process serving shard. It holds a shared_ptr to
+// the full (immutable, generation-pinned) DlrmModel but answers lookups
+// only for the pieces a ShardPlan assigns it — the process-local stand-in
+// for a remote embedding server in the BagPipe-style disaggregated
+// topology. Everything it runs goes through the const ForwardInference
+// path, so any number of shards (and routers) share one model with zero
+// copies and full thread safety.
+//
+// The shard answers two kinds of partial work per table:
+//   pooled   whole bags whose lookups all land on this shard — pooled here,
+//            in a compacted sub-batch (valid because the const forward path
+//            is batching-invariant: a bag's pooled vector is bitwise the
+//            same however bags are grouped into batches).
+//   fetch    individual rows of bags that straddle shards — decoded here
+//            and returned raw; the ROUTER pools them in original lookup
+//            order (EmbeddingOp::PoolPrefetchedRows) so floating-point
+//            accumulation order never depends on the shard topology.
+//
+// Construction validates the plan against the model (table count, row
+// ranges) — this is the "prepare" half of the two-phase coordinated swap:
+// the server builds a full standby set of shards for the incoming model
+// and only publishes ("commit") once every one constructed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/csr_batch.h"
+#include "shard/shard_plan.h"
+
+namespace ttrec {
+class DlrmModel;
+}
+
+namespace ttrec::shard {
+
+/// The per-table slice of work a router sends one shard.
+struct ShardTableQuery {
+  int table = 0;
+  /// Fast path: the shard owns this whole table and every bag goes to it —
+  /// points at the router's (already sanitized) CsrBatch, no copy/remap.
+  const CsrBatch* whole_batch = nullptr;
+  /// Bags fully owned by this shard, compacted, with LOCAL row ids
+  /// (global - row_begin). weights carries the original per-lookup weights
+  /// of those bags (or empty for all-ones).
+  CsrBatch pooled;
+  /// Original bag index of each `pooled` bag (for the router's join).
+  std::vector<int64_t> pooled_bags;
+  /// LOCAL row ids to decode raw, in the order the router will pool them.
+  std::vector<int64_t> fetch;
+};
+
+struct ShardQuery {
+  std::vector<ShardTableQuery> tables;
+  /// Absolute deadline; serve::kNoDeadline (time_point::max()) disables.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Per-table results, parallel to ShardQuery::tables. Buffers are owned by
+/// the reply and reused across calls (router keeps one per shard).
+struct ShardTableReply {
+  std::vector<float> pooled_out;  // pooled bags (or whole batch) x emb_dim
+  std::vector<float> fetch_out;   // fetch.size() x emb_dim
+  CsrBatch remapped;              // scratch: local -> global rewrite
+  std::vector<int64_t> fetch_global;  // scratch
+};
+
+struct ShardReply {
+  std::vector<ShardTableReply> tables;
+};
+
+class EmbeddingShard {
+ public:
+  /// Validates this shard's pieces against the model: every piece's table
+  /// exists and its row range lies within the table. Throws ConfigError on
+  /// mismatch (the swap-prepare failure path).
+  EmbeddingShard(std::shared_ptr<const DlrmModel> model,
+                 std::shared_ptr<const ShardPlan> plan, int shard_id);
+
+  int shard_id() const { return shard_id_; }
+  const ShardPlan& plan() const { return *plan_; }
+  const DlrmModel& model() const { return *model_; }
+  /// This shard's piece of table `t`, or nullptr when it owns none of it.
+  const ShardPiece* piece(int t) const {
+    return piece_by_table_[static_cast<size_t>(t)];
+  }
+
+  /// Answers `query` into `reply` (resized to match). Checks the deadline
+  /// once at entry and throws serve::DeadlineExceeded if it already passed
+  /// — a late shard fails the whole request typed instead of silently
+  /// serving stale work. Throws ConfigError if a table query names a table
+  /// this shard owns no piece of, IndexError on local ids outside the
+  /// piece. Const and safe for concurrent callers (distinct replies).
+  void PartialLookup(const ShardQuery& query, ShardReply& reply) const;
+
+  /// Total lookups (pooled + fetch) a query carries — telemetry helper.
+  static int64_t QueryLookups(const ShardQuery& query);
+
+ private:
+  std::shared_ptr<const DlrmModel> model_;
+  std::shared_ptr<const ShardPlan> plan_;
+  int shard_id_;
+  std::vector<const ShardPiece*> piece_by_table_;
+};
+
+/// One shard per plan slot, all over `model`. Throws (ConfigError) if any
+/// shard fails validation — the atomic "prepare" of a coordinated swap:
+/// either the full standby fleet constructs, or nothing is published.
+std::vector<std::shared_ptr<const EmbeddingShard>> BuildShards(
+    std::shared_ptr<const DlrmModel> model,
+    std::shared_ptr<const ShardPlan> plan);
+
+}  // namespace ttrec::shard

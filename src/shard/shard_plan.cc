@@ -1,0 +1,261 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "dlrm/capacity_planner.h"
+#include "dlrm/model.h"
+#include "tensor/check.h"
+
+namespace ttrec::shard {
+
+const char* ToString(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kTable:
+      return "table";
+    case PartitionStrategy::kRowRange:
+      return "row";
+  }
+  return "unknown";
+}
+
+bool ParsePartitionStrategy(const std::string& text, PartitionStrategy* out) {
+  if (text == "table") {
+    *out = PartitionStrategy::kTable;
+    return true;
+  }
+  if (text == "row" || text == "row_range") {
+    *out = PartitionStrategy::kRowRange;
+    return true;
+  }
+  return false;
+}
+
+ShardPlan::ShardPlan(PartitionStrategy strategy, int num_shards,
+                     std::vector<ShardPiece> pieces,
+                     std::vector<int64_t> table_rows)
+    : strategy_(strategy),
+      num_shards_(num_shards),
+      pieces_(std::move(pieces)),
+      table_rows_(std::move(table_rows)) {
+  TTREC_CHECK_CONFIG(num_shards_ >= 1, "ShardPlan: num_shards must be >= 1");
+  TTREC_CHECK_CONFIG(!table_rows_.empty(), "ShardPlan: no tables");
+  std::sort(pieces_.begin(), pieces_.end(),
+            [](const ShardPiece& a, const ShardPiece& b) {
+              return a.table != b.table ? a.table < b.table
+                                        : a.row_begin < b.row_begin;
+            });
+  const int T = num_tables();
+  table_begin_.assign(static_cast<size_t>(T) + 1, 0);
+  shard_bytes_.assign(static_cast<size_t>(num_shards_), 0);
+  size_t i = 0;
+  for (int t = 0; t < T; ++t) {
+    table_begin_[static_cast<size_t>(t)] = i;
+    int64_t expect = 0;
+    std::vector<bool> shard_seen(static_cast<size_t>(num_shards_), false);
+    while (i < pieces_.size() && pieces_[i].table == t) {
+      const ShardPiece& p = pieces_[i];
+      TTREC_CHECK_CONFIG(p.shard >= 0 && p.shard < num_shards_,
+                         "ShardPlan: piece of table ", t, " names shard ",
+                         p.shard, " outside [0, ", num_shards_, ")");
+      TTREC_CHECK_CONFIG(p.row_begin == expect && p.row_end > p.row_begin,
+                         "ShardPlan: table ", t,
+                         " pieces must partition the row space; got [",
+                         p.row_begin, ", ", p.row_end, ") after row ", expect);
+      TTREC_CHECK_CONFIG(!shard_seen[static_cast<size_t>(p.shard)],
+                         "ShardPlan: table ", t,
+                         " assigns two pieces to shard ", p.shard);
+      shard_seen[static_cast<size_t>(p.shard)] = true;
+      shard_bytes_[static_cast<size_t>(p.shard)] += p.bytes;
+      expect = p.row_end;
+      ++i;
+    }
+    TTREC_CHECK_CONFIG(expect == table_rows_[static_cast<size_t>(t)],
+                       "ShardPlan: table ", t, " pieces cover [0, ", expect,
+                       ") but the table has ",
+                       table_rows_[static_cast<size_t>(t)], " rows");
+  }
+  TTREC_CHECK_CONFIG(i == pieces_.size(),
+                     "ShardPlan: piece references table ", pieces_[i].table,
+                     " outside [0, ", T, ")");
+  table_begin_[static_cast<size_t>(T)] = i;
+}
+
+std::span<const ShardPiece> ShardPlan::table_pieces(int t) const {
+  TTREC_CHECK_INDEX(t >= 0 && t < num_tables(), "ShardPlan: table ", t,
+                    " out of range");
+  const size_t b = table_begin_[static_cast<size_t>(t)];
+  const size_t e = table_begin_[static_cast<size_t>(t) + 1];
+  return {pieces_.data() + b, e - b};
+}
+
+const ShardPiece& ShardPlan::PieceFor(int t, int64_t row) const {
+  const std::span<const ShardPiece> ps = table_pieces(t);
+  TTREC_CHECK_INDEX(row >= 0 && row < table_rows(t), "ShardPlan: row ", row,
+                    " outside table ", t, " range [0, ", table_rows(t), ")");
+  // Last piece with row_begin <= row. Piece counts are tiny (<= num_shards),
+  // but keep it logarithmic for fat fleets.
+  auto it = std::upper_bound(
+      ps.begin(), ps.end(), row,
+      [](int64_t r, const ShardPiece& p) { return r < p.row_begin; });
+  return *(it - 1);
+}
+
+void ShardPlan::Save(BinaryWriter& w) const {
+  w.WriteU32(0x53504C4E);  // "SPLN"
+  w.WriteU32(1);           // version
+  w.WriteU32(static_cast<uint32_t>(strategy_));
+  w.WriteI64(num_shards_);
+  w.WriteI64Vec(table_rows_);
+  w.WriteI64(static_cast<int64_t>(pieces_.size()));
+  for (const ShardPiece& p : pieces_) {
+    w.WriteI64(p.table);
+    w.WriteI64(p.shard);
+    w.WriteI64(p.row_begin);
+    w.WriteI64(p.row_end);
+    w.WriteI64(p.bytes);
+  }
+}
+
+ShardPlan ShardPlan::Load(BinaryReader& r) {
+  TTREC_CHECK_CONFIG(r.ReadU32() == 0x53504C4E,
+                     "ShardPlan::Load: bad magic (not a shard plan)");
+  const uint32_t version = r.ReadU32();
+  TTREC_CHECK_CONFIG(version == 1, "ShardPlan::Load: unsupported version ",
+                     version);
+  const auto strategy = static_cast<PartitionStrategy>(r.ReadU32());
+  const int num_shards = static_cast<int>(r.ReadI64());
+  std::vector<int64_t> table_rows = r.ReadI64Vec();
+  const int64_t n = r.ReadI64();
+  TTREC_CHECK_CONFIG(n >= 0, "ShardPlan::Load: negative piece count");
+  std::vector<ShardPiece> pieces(static_cast<size_t>(n));
+  for (ShardPiece& p : pieces) {
+    p.table = static_cast<int>(r.ReadI64());
+    p.shard = static_cast<int>(r.ReadI64());
+    p.row_begin = r.ReadI64();
+    p.row_end = r.ReadI64();
+    p.bytes = r.ReadI64();
+  }
+  // The constructor re-validates every invariant, so a corrupted file that
+  // survives the checksum still cannot produce an inconsistent plan.
+  return ShardPlan(strategy, num_shards, std::move(pieces),
+                   std::move(table_rows));
+}
+
+std::string ShardPlan::ToString() const {
+  std::ostringstream os;
+  os << "shard plan: " << shard::ToString(strategy_) << " partition, "
+     << num_shards_ << " shard(s), " << num_tables() << " table(s)\n";
+  for (int s = 0; s < num_shards_; ++s) {
+    os << "  shard " << s << ": " << shard_bytes(s) << " bytes";
+    int64_t rows = 0;
+    int tables = 0;
+    for (const ShardPiece& p : pieces_) {
+      if (p.shard != s) continue;
+      ++tables;
+      rows += p.rows();
+    }
+    os << ", " << tables << " piece(s), " << rows << " rows [";
+    bool first = true;
+    for (const ShardPiece& p : pieces_) {
+      if (p.shard != s) continue;
+      if (!first) os << " ";
+      first = false;
+      os << "t" << p.table;
+      if (p.row_begin != 0 || p.row_end != table_rows(p.table)) {
+        os << ":" << p.row_begin << "-" << p.row_end;
+      }
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+ShardPlan MakeShardPlan(const std::vector<int64_t>& table_rows,
+                        const std::vector<int64_t>& table_bytes,
+                        PartitionStrategy strategy, int num_shards) {
+  TTREC_CHECK_CONFIG(num_shards >= 1,
+                     "MakeShardPlan: num_shards must be >= 1");
+  TTREC_CHECK_CONFIG(table_bytes.size() == table_rows.size(),
+                     "MakeShardPlan: table_bytes/table_rows size mismatch");
+  const int T = static_cast<int>(table_rows.size());
+  std::vector<ShardPiece> pieces;
+  switch (strategy) {
+    case PartitionStrategy::kTable: {
+      // LPT greedy bin-packing: biggest table first onto the least-loaded
+      // shard. Ties break toward the lower table index / lower shard id, so
+      // the assignment is a pure function of the inputs.
+      std::vector<int> order(static_cast<size_t>(T));
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const int64_t ba = table_bytes[static_cast<size_t>(a)];
+        const int64_t bb = table_bytes[static_cast<size_t>(b)];
+        return ba != bb ? ba > bb : a < b;
+      });
+      std::vector<int64_t> load(static_cast<size_t>(num_shards), 0);
+      for (int t : order) {
+        int best = 0;
+        for (int s = 1; s < num_shards; ++s) {
+          if (load[static_cast<size_t>(s)] < load[static_cast<size_t>(best)]) {
+            best = s;
+          }
+        }
+        load[static_cast<size_t>(best)] += table_bytes[static_cast<size_t>(t)];
+        pieces.push_back(ShardPiece{t, best, 0,
+                                    table_rows[static_cast<size_t>(t)],
+                                    table_bytes[static_cast<size_t>(t)]});
+      }
+      break;
+    }
+    case PartitionStrategy::kRowRange: {
+      for (int t = 0; t < T; ++t) {
+        const int64_t R = table_rows[static_cast<size_t>(t)];
+        const int64_t B = table_bytes[static_cast<size_t>(t)];
+        for (int s = 0; s < num_shards; ++s) {
+          const int64_t lo = R * s / num_shards;
+          const int64_t hi = R * (s + 1) / num_shards;
+          if (hi <= lo) continue;  // more shards than rows: skip empty slices
+          // Prorate the byte estimate by slice length (exact for dense
+          // tables; for TT the cores are shared, so this is the planner's
+          // amortized view).
+          pieces.push_back(
+              ShardPiece{t, s, lo, hi, B * (hi - lo) / std::max<int64_t>(R, 1)});
+        }
+      }
+      break;
+    }
+  }
+  return ShardPlan(strategy, num_shards, std::move(pieces), table_rows);
+}
+
+ShardPlan MakeShardPlanForModel(const DlrmModel& model,
+                                PartitionStrategy strategy, int num_shards) {
+  std::vector<int64_t> rows;
+  std::vector<int64_t> bytes;
+  rows.reserve(static_cast<size_t>(model.num_tables()));
+  bytes.reserve(static_cast<size_t>(model.num_tables()));
+  for (int t = 0; t < model.num_tables(); ++t) {
+    rows.push_back(model.table(t).num_rows());
+    bytes.push_back(model.table(t).MemoryBytes());
+  }
+  return MakeShardPlan(rows, bytes, strategy, num_shards);
+}
+
+ShardPlan MakeShardPlanFromCapacity(const DatasetSpec& spec, int64_t emb_dim,
+                                    int64_t budget_bytes,
+                                    PartitionStrategy strategy, int num_shards,
+                                    const PlannerOptions& options) {
+  const CapacityPlan cap = PlanCapacity(spec, emb_dim, budget_bytes, options);
+  std::vector<int64_t> rows;
+  std::vector<int64_t> bytes;
+  rows.reserve(cap.tables.size());
+  bytes.reserve(cap.tables.size());
+  for (const TablePlan& t : cap.tables) {
+    rows.push_back(t.rows);
+    bytes.push_back(t.bytes);
+  }
+  return MakeShardPlan(rows, bytes, strategy, num_shards);
+}
+
+}  // namespace ttrec::shard

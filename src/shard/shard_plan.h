@@ -1,0 +1,136 @@
+// Deterministic partitioning of a DLRM's embedding tables across serving
+// shards — the assignment half of the multi-shard router (ROADMAP item 1,
+// BagPipe-style disaggregated embedding serving).
+//
+// Two strategies:
+//   kTable    whole tables packed onto shards by LPT greedy bin-packing
+//             over per-table parameter bytes (largest table first, onto the
+//             least-loaded shard) — zero per-lookup routing cost, but the
+//             biggest table bounds one shard's load.
+//   kRowRange every table's row space [0, rows) is cut into num_shards
+//             contiguous ranges (floor(s*R/N) boundaries), so each shard
+//             serves a slice of EVERY table — per-lookup routing, but
+//             lookups of even a single giant table spread across the fleet.
+//
+// A plan is a pure function of (table_rows, table_bytes, strategy,
+// num_shards): same inputs, same assignment, on every replica — which is
+// what lets a router and a remote shard agree on ownership without a
+// coordination service. Plans serialize through BinaryWriter/BinaryReader
+// so a deployment can pin the assignment in an artifact.
+//
+// Byte estimates come from the live model (EmbeddingOp::MemoryBytes) or
+// from the capacity planner (dlrm/capacity_planner.h), so TT-rank memory
+// planning drives placement: a TT-compressed 10M-row table packs onto a
+// shard by its compressed footprint, not its logical row count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.h"
+
+namespace ttrec {
+class DlrmModel;
+struct DatasetSpec;
+struct PlannerOptions;
+}  // namespace ttrec
+
+namespace ttrec::shard {
+
+enum class PartitionStrategy : uint8_t {
+  kTable = 0,
+  kRowRange = 1,
+};
+
+const char* ToString(PartitionStrategy s);
+/// Parses "table" / "row" (also accepts "row_range"); false on anything else.
+bool ParsePartitionStrategy(const std::string& text, PartitionStrategy* out);
+
+/// One contiguous slice of one table, owned by one shard. Row ids are
+/// global; a shard addresses the slice locally as [0, rows()).
+struct ShardPiece {
+  int table = 0;
+  int shard = 0;
+  int64_t row_begin = 0;
+  int64_t row_end = 0;  // exclusive
+  /// Estimated parameter bytes of this slice (drives LPT packing and the
+  /// per-shard memory totals of the topology dump).
+  int64_t bytes = 0;
+
+  int64_t rows() const { return row_end - row_begin; }
+};
+
+/// The full, validated assignment. Immutable once built; shards and routers
+/// share it by const reference (or shared_ptr) across model generations —
+/// a swap replaces parameters, never the topology.
+class ShardPlan {
+ public:
+  /// Validates and adopts `pieces`: for every table they must exactly
+  /// partition [0, table_rows[t]) with at most one piece per (table, shard)
+  /// pair, and every shard id must be in [0, num_shards). Pieces are
+  /// re-sorted by (table, row_begin). Throws ConfigError on violation.
+  ShardPlan(PartitionStrategy strategy, int num_shards,
+            std::vector<ShardPiece> pieces, std::vector<int64_t> table_rows);
+
+  PartitionStrategy strategy() const { return strategy_; }
+  int num_shards() const { return num_shards_; }
+  int num_tables() const { return static_cast<int>(table_rows_.size()); }
+  int64_t table_rows(int t) const {
+    return table_rows_[static_cast<size_t>(t)];
+  }
+
+  /// All pieces, sorted by (table, row_begin).
+  const std::vector<ShardPiece>& pieces() const { return pieces_; }
+  /// The pieces of one table, ascending row_begin.
+  std::span<const ShardPiece> table_pieces(int t) const;
+  /// True when one shard owns the whole table (always under kTable).
+  bool single_owner(int t) const { return table_pieces(t).size() == 1; }
+  /// The piece owning (table, row). Throws IndexError when `row` is outside
+  /// [0, table_rows(t)).
+  const ShardPiece& PieceFor(int t, int64_t row) const;
+
+  /// Estimated parameter bytes resident on `s` (sum of its pieces).
+  int64_t shard_bytes(int s) const {
+    return shard_bytes_[static_cast<size_t>(s)];
+  }
+
+  void Save(BinaryWriter& w) const;
+  static ShardPlan Load(BinaryReader& r);
+
+  /// Human-readable topology dump — one line per shard plus a header; what
+  /// `ttrec_serve --shards N` prints at startup.
+  std::string ToString() const;
+
+ private:
+  PartitionStrategy strategy_;
+  int num_shards_;
+  std::vector<ShardPiece> pieces_;     // sorted by (table, row_begin)
+  std::vector<int64_t> table_rows_;
+  std::vector<size_t> table_begin_;    // pieces_ slice per table, size T+1
+  std::vector<int64_t> shard_bytes_;
+};
+
+/// Builds a plan from raw table geometry. `table_bytes` supplies the
+/// per-table parameter estimates (same length as `table_rows`); kRowRange
+/// prorates them by slice length.
+ShardPlan MakeShardPlan(const std::vector<int64_t>& table_rows,
+                        const std::vector<int64_t>& table_bytes,
+                        PartitionStrategy strategy, int num_shards);
+
+/// Plan for a live model, using each table's actual MemoryBytes() — a
+/// TT-compressed table packs by its compressed footprint.
+ShardPlan MakeShardPlanForModel(const DlrmModel& model,
+                                PartitionStrategy strategy, int num_shards);
+
+/// Plan straight from the capacity planner: PlanCapacity picks per-table
+/// compression (dense vs TT at some rank) for `budget_bytes`, and the
+/// resulting per-table byte estimates drive placement — TT-rank selection
+/// and shard packing co-decided before any model exists.
+ShardPlan MakeShardPlanFromCapacity(const DatasetSpec& spec, int64_t emb_dim,
+                                    int64_t budget_bytes,
+                                    PartitionStrategy strategy, int num_shards,
+                                    const PlannerOptions& options);
+
+}  // namespace ttrec::shard

@@ -1,0 +1,256 @@
+#include "shard/shard_router.h"
+
+#include <cstring>
+
+#include "tensor/check.h"
+#include "tensor/parallel.h"
+
+namespace ttrec::shard {
+
+ShardRouter::ShardRouter(
+    std::shared_ptr<const DlrmModel> model,
+    std::shared_ptr<const ShardPlan> plan,
+    std::vector<std::shared_ptr<const EmbeddingShard>> shards,
+    std::vector<ShardTelemetry> telemetry)
+    : model_(std::move(model)),
+      plan_(std::move(plan)),
+      shards_(std::move(shards)),
+      telemetry_(std::move(telemetry)) {
+  TTREC_CHECK_CONFIG(model_ != nullptr, "ShardRouter: null model");
+  TTREC_CHECK_CONFIG(plan_ != nullptr, "ShardRouter: null plan");
+  TTREC_CHECK_CONFIG(
+      static_cast<int>(shards_.size()) == plan_->num_shards(),
+      "ShardRouter: plan wants ", plan_->num_shards(), " shards, got ",
+      shards_.size());
+  for (int s = 0; s < num_shards(); ++s) {
+    TTREC_CHECK_CONFIG(shards_[static_cast<size_t>(s)] != nullptr,
+                       "ShardRouter: null shard ", s);
+    TTREC_CHECK_CONFIG(shards_[static_cast<size_t>(s)]->shard_id() == s,
+                       "ShardRouter: shard at index ", s, " reports id ",
+                       shards_[static_cast<size_t>(s)]->shard_id());
+  }
+  TTREC_CHECK_CONFIG(
+      telemetry_.empty() ||
+          static_cast<int>(telemetry_.size()) == num_shards(),
+      "ShardRouter: telemetry must be empty or one entry per shard");
+  queries_.resize(static_cast<size_t>(num_shards()));
+  replies_.resize(static_cast<size_t>(num_shards()));
+  splits_.resize(static_cast<size_t>(model_->num_tables()));
+}
+
+void ShardRouter::Run(const MiniBatch& batch, float* logits,
+                      std::chrono::steady_clock::time_point deadline) {
+  model_->ForwardDenseInference(batch, scratch_);
+  SplitBatch(batch);
+  FanOut(deadline);
+  JoinEmbeddings(batch, batch.batch_size());
+  model_->ForwardTailInference(batch.batch_size(), logits, scratch_);
+}
+
+void ShardRouter::SplitBatch(const MiniBatch& batch) {
+  const int T = model_->num_tables();
+  const int S = num_shards();
+  const int64_t B = batch.batch_size();
+
+  for (int s = 0; s < S; ++s) queries_[static_cast<size_t>(s)].tables.clear();
+  table_slot_.assign(static_cast<size_t>(S) * static_cast<size_t>(T), -1);
+  last_shard_lookups_.assign(static_cast<size_t>(S), 0);
+
+  auto slot = [&](int s, int t) -> ShardTableQuery& {
+    int& idx = table_slot_[static_cast<size_t>(s) * static_cast<size_t>(T) +
+                           static_cast<size_t>(t)];
+    if (idx < 0) {
+      idx = static_cast<int>(queries_[static_cast<size_t>(s)].tables.size());
+      ShardTableQuery tq;
+      tq.table = t;
+      tq.pooled.offsets.push_back(0);
+      queries_[static_cast<size_t>(s)].tables.push_back(std::move(tq));
+    }
+    return queries_[static_cast<size_t>(s)].tables[static_cast<size_t>(idx)];
+  };
+
+  for (int t = 0; t < T; ++t) {
+    const CsrBatch& cb = model_->SparseForInference(batch, t, scratch_);
+    TTREC_CHECK_SHAPE(cb.num_bags() == B, "table ", t, " has ", cb.num_bags(),
+                      " bags for batch size ", B);
+    TableSplits& sp = splits_[static_cast<size_t>(t)];
+    sp.bags.clear();
+    sp.locs.clear();
+    sp.pool_batch.indices.clear();
+    sp.pool_batch.weights.clear();
+    sp.pool_batch.offsets.assign(1, 0);
+
+    if (plan_->single_owner(t)) {
+      const int owner = plan_->table_pieces(t)[0].shard;
+      slot(owner, t).whole_batch = &cb;
+      last_shard_lookups_[static_cast<size_t>(owner)] += cb.num_lookups();
+      continue;
+    }
+
+    for (int64_t b = 0; b < B; ++b) {
+      const int64_t begin = cb.offsets[static_cast<size_t>(b)];
+      const int64_t end = cb.offsets[static_cast<size_t>(b) + 1];
+      if (begin == end) continue;  // empty bag: joins as zeros, like pooling
+
+      const ShardPiece& first =
+          plan_->PieceFor(t, cb.indices[static_cast<size_t>(begin)]);
+      bool interior = true;
+      for (int64_t l = begin + 1; l < end; ++l) {
+        if (plan_->PieceFor(t, cb.indices[static_cast<size_t>(l)]).shard !=
+            first.shard) {
+          interior = false;
+          break;
+        }
+      }
+
+      if (interior) {
+        // One shard owns the whole bag (a shard has at most one piece per
+        // table, so `first` covers every lookup): compact it into that
+        // shard's pooled sub-batch with rebased ids.
+        ShardTableQuery& tq = slot(first.shard, t);
+        for (int64_t l = begin; l < end; ++l) {
+          tq.pooled.indices.push_back(cb.indices[static_cast<size_t>(l)] -
+                                      first.row_begin);
+        }
+        if (!cb.weights.empty()) {
+          tq.pooled.weights.insert(
+              tq.pooled.weights.end(),
+              cb.weights.begin() + static_cast<int64_t>(begin),
+              cb.weights.begin() + static_cast<int64_t>(end));
+        }
+        tq.pooled.offsets.push_back(
+            static_cast<int64_t>(tq.pooled.indices.size()));
+        tq.pooled_bags.push_back(b);
+        last_shard_lookups_[static_cast<size_t>(first.shard)] += end - begin;
+      } else {
+        // Straddling bag: every lookup becomes a raw-row fetch on its
+        // owner; the join pools them in this original order.
+        sp.bags.push_back(b);
+        for (int64_t l = begin; l < end; ++l) {
+          const int64_t row = cb.indices[static_cast<size_t>(l)];
+          const ShardPiece& p = plan_->PieceFor(t, row);
+          ShardTableQuery& tq = slot(p.shard, t);
+          sp.locs.push_back(
+              SplitLoc{p.shard, static_cast<int64_t>(tq.fetch.size())});
+          tq.fetch.push_back(row - p.row_begin);
+          sp.pool_batch.indices.push_back(row);
+          ++last_shard_lookups_[static_cast<size_t>(p.shard)];
+        }
+        if (!cb.weights.empty()) {
+          sp.pool_batch.weights.insert(
+              sp.pool_batch.weights.end(),
+              cb.weights.begin() + static_cast<int64_t>(begin),
+              cb.weights.begin() + static_cast<int64_t>(end));
+        }
+        sp.pool_batch.offsets.push_back(
+            static_cast<int64_t>(sp.pool_batch.indices.size()));
+      }
+    }
+  }
+}
+
+void ShardRouter::FanOut(std::chrono::steady_clock::time_point deadline) {
+  const int S = num_shards();
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(S));
+  ParallelFor(
+      S,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          ShardQuery& q = queries_[static_cast<size_t>(s)];
+          if (q.tables.empty()) continue;
+          q.deadline = deadline;
+          const auto t0 = std::chrono::steady_clock::now();
+          try {
+            shards_[static_cast<size_t>(s)]->PartialLookup(
+                q, replies_[static_cast<size_t>(s)]);
+          } catch (...) {
+            errors[static_cast<size_t>(s)] = std::current_exception();
+          }
+          if (!telemetry_.empty()) {
+            const ShardTelemetry& tm = telemetry_[static_cast<size_t>(s)];
+            const auto us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (tm.queries != nullptr) tm.queries->Add(1);
+            if (tm.lookups != nullptr) {
+              tm.lookups->Add(last_shard_lookups_[static_cast<size_t>(s)]);
+            }
+            if (tm.latency_us != nullptr) tm.latency_us->Record(us);
+          }
+        }
+      },
+      /*grain=*/1);
+  // Deterministic error selection: the lowest failing shard id wins, not
+  // whichever task lost the scheduling race.
+  for (int s = 0; s < S; ++s) {
+    if (errors[static_cast<size_t>(s)]) {
+      std::rethrow_exception(errors[static_cast<size_t>(s)]);
+    }
+  }
+}
+
+void ShardRouter::JoinEmbeddings(const MiniBatch& batch, int64_t B) {
+  const int T = model_->num_tables();
+  const int S = num_shards();
+  const int64_t d = model_->config().emb_dim;
+  const size_t row_bytes = static_cast<size_t>(d) * sizeof(float);
+
+  scratch_.emb_out.resize(static_cast<size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    scratch_.emb_out[static_cast<size_t>(t)].assign(
+        static_cast<size_t>(B * d), 0.0f);
+  }
+
+  // Pooled results: whole-table blocks and interior bags copy straight in
+  // (each bag written by exactly one shard).
+  for (int s = 0; s < S; ++s) {
+    const ShardQuery& q = queries_[static_cast<size_t>(s)];
+    const ShardReply& r = replies_[static_cast<size_t>(s)];
+    for (size_t i = 0; i < q.tables.size(); ++i) {
+      const ShardTableQuery& tq = q.tables[i];
+      const ShardTableReply& tr = r.tables[i];
+      float* out = scratch_.emb_out[static_cast<size_t>(tq.table)].data();
+      if (tq.whole_batch != nullptr) {
+        std::memcpy(out, tr.pooled_out.data(),
+                    static_cast<size_t>(B) * row_bytes);
+      } else {
+        for (size_t k = 0; k < tq.pooled_bags.size(); ++k) {
+          std::memcpy(out + tq.pooled_bags[k] * d,
+                      tr.pooled_out.data() + static_cast<int64_t>(k) * d,
+                      row_bytes);
+        }
+      }
+    }
+  }
+
+  // Split bags: gather each table's fetched rows back into original lookup
+  // order and pool them through the table's own kernel.
+  (void)batch;
+  for (int t = 0; t < T; ++t) {
+    TableSplits& sp = splits_[static_cast<size_t>(t)];
+    if (sp.bags.empty()) continue;
+    sp.gathered.resize(sp.locs.size() * static_cast<size_t>(d));
+    for (size_t k = 0; k < sp.locs.size(); ++k) {
+      const SplitLoc& loc = sp.locs[k];
+      const int slot = table_slot_[static_cast<size_t>(loc.shard) *
+                                       static_cast<size_t>(T) +
+                                   static_cast<size_t>(t)];
+      const ShardTableReply& tr =
+          replies_[static_cast<size_t>(loc.shard)]
+              .tables[static_cast<size_t>(slot)];
+      std::memcpy(sp.gathered.data() + static_cast<int64_t>(k) * d,
+                  tr.fetch_out.data() + loc.pos * d, row_bytes);
+    }
+    sp.pooled.assign(sp.bags.size() * static_cast<size_t>(d), 0.0f);
+    model_->table(t).PoolPrefetchedRows(sp.pool_batch, sp.gathered.data(),
+                                        sp.pooled.data());
+    float* out = scratch_.emb_out[static_cast<size_t>(t)].data();
+    for (size_t k = 0; k < sp.bags.size(); ++k) {
+      std::memcpy(out + sp.bags[k] * d,
+                  sp.pooled.data() + static_cast<int64_t>(k) * d, row_bytes);
+    }
+  }
+}
+
+}  // namespace ttrec::shard

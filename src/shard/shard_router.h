@@ -1,0 +1,121 @@
+// ShardRouter: fans one micro-batch's embedding lookups out to N
+// EmbeddingShards and joins the partial results bitwise identically to the
+// single-process forward. The dense tower, sanitize pass, interaction, and
+// top tower stay on the router (the "dense compute" node of the BagPipe
+// topology); only the embedding stage is distributed.
+//
+// Split, per table:
+//   single owner   the whole (sanitized) CsrBatch goes to the owning shard
+//                  by pointer — zero copies, the shard runs the exact
+//                  unsharded table lookup.
+//   interior bag   all of a bag's lookups land on one shard: the bag joins
+//                  that shard's compacted `pooled` sub-batch (ids rebased
+//                  to the piece). Batching invariance of the const forward
+//                  path makes the pooled vector bitwise equal.
+//   split bag      lookups straddle shards: each shard decodes its rows raw
+//                  (`fetch`), and the router pools them in ORIGINAL lookup
+//                  order through the table op's PoolPrefetchedRows — the
+//                  same weights, the same accumulation kernel, the same
+//                  order as the unsharded lookup, so float non-
+//                  associativity never leaks into the logits.
+//
+// Join order is deterministic (ascending shard id, then original bag
+// order); all shard outputs land in disjoint emb_out regions, so the
+// result is independent of fan-out scheduling. Errors: the first failing
+// shard (lowest id) rethrows on the caller — shard deadline misses arrive
+// as serve::DeadlineExceeded and flow through the PR 7 typed-error path.
+//
+// A router instance is single-consumer (owns its scratch); make one per
+// consumer thread. Shards are shared and immutable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/criteo_synth.h"
+#include "dlrm/model.h"
+#include "obs/metrics.h"
+#include "shard/embedding_shard.h"
+#include "shard/shard_plan.h"
+
+namespace ttrec::shard {
+
+/// Per-shard observability hooks (serve.shard.<s>.* in the server's
+/// registry). All pointers optional; the router never owns them.
+struct ShardTelemetry {
+  obs::StripedCounter* queries = nullptr;  // partial-lookup calls
+  obs::StripedCounter* lookups = nullptr;  // lookups routed to the shard
+  obs::Histogram* latency_us = nullptr;    // per-query shard latency
+};
+
+class ShardRouter {
+ public:
+  /// `shards` must be plan->num_shards() instances, one per shard id, all
+  /// built against `model` and `plan`. `telemetry` is optional — empty, or
+  /// one entry per shard.
+  ShardRouter(std::shared_ptr<const DlrmModel> model,
+              std::shared_ptr<const ShardPlan> plan,
+              std::vector<std::shared_ptr<const EmbeddingShard>> shards,
+              std::vector<ShardTelemetry> telemetry = {});
+
+  const ShardPlan& plan() const { return *plan_; }
+  const DlrmModel& model() const { return *model_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Full forward over the fan-out/join path: logits are bitwise identical
+  /// to model().PredictLogits(batch, logits, scratch) const. Throws what
+  /// the single-process path throws (ShapeError/IndexError/ConfigError),
+  /// plus serve::DeadlineExceeded when `deadline` expires before a shard
+  /// runs its partial lookup.
+  void Run(const MiniBatch& batch, float* logits,
+           std::chrono::steady_clock::time_point deadline =
+               std::chrono::steady_clock::time_point::max());
+
+  /// Lookups routed to each shard by the last Run (telemetry/tests).
+  const std::vector<int64_t>& last_shard_lookups() const {
+    return last_shard_lookups_;
+  }
+
+ private:
+  /// Splits `batch` (post-sanitize) into queries_[s]; fills the split-bag
+  /// bookkeeping consumed by JoinEmbeddings.
+  void SplitBatch(const MiniBatch& batch);
+  /// Runs queries_[s] on every shard with work, in parallel.
+  void FanOut(std::chrono::steady_clock::time_point deadline);
+  /// Assembles scratch_.emb_out from the shard replies.
+  void JoinEmbeddings(const MiniBatch& batch, int64_t B);
+
+  std::shared_ptr<const DlrmModel> model_;
+  std::shared_ptr<const ShardPlan> plan_;
+  std::vector<std::shared_ptr<const EmbeddingShard>> shards_;
+  std::vector<ShardTelemetry> telemetry_;
+
+  InferenceScratch scratch_;
+
+  // Reused per Run.
+  std::vector<ShardQuery> queries_;
+  std::vector<ShardReply> replies_;
+  std::vector<int64_t> last_shard_lookups_;
+
+  // Per (shard, table): index into queries_[s].tables, or -1.
+  std::vector<int> table_slot_;  // num_shards x num_tables
+
+  struct SplitLoc {
+    int shard;
+    int64_t pos;  // index into that shard's fetch list for this table slot
+  };
+  // Per table: the bags that straddle shards and where each of their
+  // lookups went, in original lookup order.
+  struct TableSplits {
+    std::vector<int64_t> bags;
+    std::vector<SplitLoc> locs;
+    CsrBatch pool_batch;            // global ids, full bags, sliced weights
+    std::vector<float> gathered;    // locs.size() x emb_dim
+    std::vector<float> pooled;      // bags.size() x emb_dim
+  };
+  std::vector<TableSplits> splits_;
+};
+
+}  // namespace ttrec::shard

@@ -667,6 +667,27 @@ void TtEmbeddingBag::ForwardInference(const CsrBatch& batch,
   PooledForward(batch, bags, w, output, /*stash=*/nullptr, /*dedup=*/false);
 }
 
+void TtEmbeddingBag::PoolPrefetchedRows(const CsrBatch& batch,
+                                        const float* rows,
+                                        float* output) const {
+  batch.Validate(num_rows());
+  const int64_t N = emb_dim();
+  const int64_t n_bags = batch.num_bags();
+
+  std::fill(output, output + n_bags * N, 0.0f);
+
+  const std::vector<int64_t> bags = LookupBags(batch);
+  const std::vector<float> w = EffectiveWeights(batch, config_.pooling, bags);
+
+  // Lookup order, same Axpy kernel as PooledForward's pooling phase — each
+  // bag's lookups are contiguous, so this serial sweep accumulates every
+  // bag in exactly the order the block-parallel phase-2 scatter would.
+  for (int64_t l = 0; l < batch.num_lookups(); ++l) {
+    Axpy(N, w[static_cast<size_t>(l)], rows + l * N,
+         output + bags[static_cast<size_t>(l)] * N);
+  }
+}
+
 void TtEmbeddingBag::LookupRows(std::span<const int64_t> indices, float* out) {
   for (int64_t idx : indices) {
     TTREC_CHECK_INDEX(idx >= 0 && idx < num_rows(), "LookupRows: index ", idx,

@@ -108,6 +108,14 @@ class TtEmbeddingBag {
   /// touched. Serving telemetry lives in serve/ServeMetrics instead.
   void ForwardInference(const CsrBatch& batch, float* output) const;
 
+  /// Pools pre-decoded rows (one emb_dim row per lookup of `batch`, lookup
+  /// order) into `output` with exactly ForwardInference's weighting and
+  /// Axpy accumulation order — the decode is skipped, the pooling phase is
+  /// bit-for-bit the same. Lets the shard router pool rows fetched from
+  /// remote shards identically to a local lookup.
+  void PoolPrefetchedRows(const CsrBatch& batch, const float* rows,
+                          float* output) const;
+
   /// Reconstructs individual rows without pooling into `out`
   /// (indices.size() x emb_dim). Uses the same batched kernel; blocks run
   /// concurrently (disjoint output ranges, no accumulation).

@@ -9,6 +9,7 @@
 //
 //   $ ttrec_serve [--tables N] [--rows R] [--requests N] [--producers P]
 //                 [--max-batch B] [--max-wait-us W] [--consumers C]
+//                 [--shards S] [--partition table|row]
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -49,6 +50,8 @@ struct Options {
   int64_t max_batch = 32;
   int64_t max_wait_us = 200;
   int consumers = 1;
+  int shards = 0;
+  shard::PartitionStrategy partition = shard::PartitionStrategy::kRowRange;
   uint64_t seed = 42;
 };
 
@@ -64,6 +67,10 @@ int Usage(const char* prog) {
       "  --max-batch B    micro-batch cap (default 32; 1 = no batching)\n"
       "  --max-wait-us W  batch hold time in microseconds (default 200)\n"
       "  --consumers C    batching consumer threads (default 1)\n"
+      "  --shards S       embedding shards per consumer's router (default 0 ="
+      " unsharded)\n"
+      "  --partition P    shard partition strategy: table | row (default"
+      " row)\n"
       "  --seed S         trace seed (default 42)\n",
       prog);
   return 2;
@@ -122,6 +129,12 @@ int main(int argc, char** argv) {
                next_i64(&opt.max_wait_us)) {
     } else if (std::strcmp(a, "--consumers") == 0 && next_i64(&v)) {
       opt.consumers = static_cast<int>(v);
+    } else if (std::strcmp(a, "--shards") == 0 && next_i64(&v)) {
+      opt.shards = static_cast<int>(v);
+    } else if (std::strcmp(a, "--partition") == 0 && i + 1 < argc) {
+      if (!shard::ParsePartitionStrategy(argv[++i], &opt.partition)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(a, "--seed") == 0 && next_i64(&v)) {
       opt.seed = static_cast<uint64_t>(v);
     } else {
@@ -161,7 +174,12 @@ int main(int argc, char** argv) {
     server_cfg.max_batch_size = opt.max_batch;
     server_cfg.max_wait = std::chrono::microseconds(opt.max_wait_us);
     server_cfg.num_consumers = opt.consumers;
+    server_cfg.num_shards = opt.shards;
+    server_cfg.partition = opt.partition;
     serve::InferenceServer server(*model, server_cfg);
+    if (const auto plan = server.shard_plan()) {
+      std::printf("%s", plan->ToString().c_str());
+    }
 
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
