@@ -1,0 +1,252 @@
+// Global cache autotuning under skew shift: does MRC-driven budget
+// re-apportionment (src/cache/cache_manager.h) beat static splits?
+//
+// Four TT-compressed tables of different sizes and Zipf exponents share one
+// lookup stream whose traffic concentration rotates across tables every
+// phase, and whose hot sets reshuffle at each boundary (data/skew_shift.h).
+// Three capacity policies run the identical stream with the identical
+// per-table cache budget total and identical content-refresh cadence —
+// only the SPLIT of the byte budget across tables differs:
+//
+//   equal      every table gets budget/num_tables bytes;
+//   fig10b     bytes proportional to table rows — the paper's "cache
+//              0.01% of each table" heuristic normalized to the budget;
+//   autotuned  starts equal, then a CacheManager re-apportions the budget
+//              from live miss-ratio curves every retune interval.
+//
+// The run FAILS (exit 1) unless the autotuned policy's aggregate miss rate
+// is strictly below both static baselines — this is the acceptance gate
+// for the autotuner, recorded in BENCH_cache.json (--json <path>).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "cache/cached_tt_embedding.h"
+#include "cache/lfu_cache.h"
+#include "data/skew_shift.h"
+#include "harness.h"
+#include "obs/json_writer.h"
+#include "tt/tt_shapes.h"
+
+using namespace ttrec;
+using namespace ttrec::bench;
+
+namespace {
+
+struct Workload {
+  std::vector<int64_t> rows = {16384, 6144, 3072, 2048};
+  std::vector<double> zipf = {1.05, 1.25, 1.35, 1.15};
+  std::vector<double> shares = {8.0, 1.0, 1.0, 1.0};
+  int64_t emb_dim = 16;
+  int64_t lookups_per_iteration = 512;
+  int64_t phase_length = 80;
+  int64_t iterations = 240;  // 3 phases
+  int64_t budget_bytes = 0;  // filled in main
+  int64_t retune_interval = 20;
+};
+
+SkewShiftConfig ScenarioConfig(const Workload& w) {
+  SkewShiftConfig sc;
+  for (size_t t = 0; t < w.rows.size(); ++t) {
+    SkewShiftTableConfig tc;
+    tc.rows = w.rows[t];
+    tc.zipf_exponent = w.zipf[t];
+    tc.traffic_share = w.shares[t];
+    sc.tables.push_back(tc);
+  }
+  sc.lookups_per_iteration = w.lookups_per_iteration;
+  sc.phase_length = w.phase_length;
+  sc.seed = 0xCAFE;
+  return sc;
+}
+
+std::vector<std::unique_ptr<CachedTtEmbeddingBag>> BuildTables(
+    const Workload& w, const std::vector<int64_t>& capacities) {
+  std::vector<std::unique_ptr<CachedTtEmbeddingBag>> tables;
+  Rng rng(0xA11C);  // same TT init for every policy
+  for (size_t t = 0; t < w.rows.size(); ++t) {
+    CachedTtConfig cfg;
+    cfg.tt.shape = MakeTtShape(w.rows[t], w.emb_dim, 3, 8);
+    cfg.cache_capacity = capacities[t];
+    // Identical content-refresh machinery across policies: warm up fast,
+    // keep tracking, periodically decay + re-warm so the resident set
+    // follows the phase. Only the capacity split differs.
+    cfg.warmup_iterations = 20;
+    cfg.refresh_interval = 10;
+    cfg.track_after_warmup = true;
+    cfg.rewarm_period = 30;
+    tables.push_back(
+        std::make_unique<CachedTtEmbeddingBag>(cfg, TtInit::kGaussian, rng));
+  }
+  return tables;
+}
+
+struct PolicyResult {
+  std::string name;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t retunes = 0;
+  std::vector<int64_t> final_rows;
+  double miss_rate() const {
+    const int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+PolicyResult RunPolicy(const Workload& w, const std::string& name,
+                       const std::vector<int64_t>& capacities,
+                       bool autotune) {
+  std::vector<std::unique_ptr<CachedTtEmbeddingBag>> tables =
+      BuildTables(w, capacities);
+  std::unique_ptr<CacheManager> mgr;
+  if (autotune) {
+    CacheManagerConfig mc;
+    mc.budget_bytes = w.budget_bytes;
+    mgr = std::make_unique<CacheManager>(mc);
+    for (size_t t = 0; t < tables.size(); ++t) {
+      mgr->RegisterTable(static_cast<int>(t), tables[t].get());
+    }
+  }
+
+  SkewShiftScenario scenario(ScenarioConfig(w));
+  std::vector<float> output;
+  for (int64_t it = 0; it < w.iterations; ++it) {
+    const std::vector<CsrBatch> batches = scenario.NextBatch();
+    for (size_t t = 0; t < tables.size(); ++t) {
+      output.resize(static_cast<size_t>(batches[t].num_bags() * w.emb_dim));
+      tables[t]->Forward(batches[t], output.data());
+    }
+    if (mgr != nullptr && (it + 1) % w.retune_interval == 0) {
+      mgr->Retune();
+    }
+  }
+
+  PolicyResult r;
+  r.name = name;
+  for (const auto& table : tables) {
+    r.hits += table->cache().hits();
+    r.misses += table->cache().misses();
+    r.final_rows.push_back(table->cache().capacity());
+  }
+  if (mgr != nullptr) r.retunes = mgr->retunes();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("cache_autotune",
+              "Global cache-budget autotuning from miss-ratio curves vs "
+              "static splits under skew-shifted traffic",
+              env);
+
+  Workload w;
+  if (env.full) {
+    w.iterations *= 3;
+    w.lookups_per_iteration *= 2;
+  }
+  const int64_t bytes_per_row = LfuRowCache::BytesPerRow(w.emb_dim);
+  const int64_t budget_rows = 1200;
+  w.budget_bytes = budget_rows * bytes_per_row;
+  const size_t n = w.rows.size();
+
+  // Static splits.
+  std::vector<int64_t> equal_rows(n, budget_rows / static_cast<int64_t>(n));
+  int64_t total_table_rows = 0;
+  for (const int64_t r : w.rows) total_table_rows += r;
+  std::vector<int64_t> fig10b_rows(n, 1);
+  for (size_t t = 0; t < n; ++t) {
+    fig10b_rows[t] = std::max<int64_t>(
+        1, budget_rows * w.rows[t] / total_table_rows);
+  }
+
+  std::printf("budget: %lld rows (%s) across %zu tables, %lld iterations, "
+              "phase length %lld\n\n",
+              static_cast<long long>(budget_rows),
+              FormatBytes(w.budget_bytes).c_str(), n,
+              static_cast<long long>(w.iterations),
+              static_cast<long long>(w.phase_length));
+
+  std::vector<PolicyResult> results;
+  results.push_back(RunPolicy(w, "equal", equal_rows, false));
+  results.push_back(RunPolicy(w, "fig10b_static", fig10b_rows, false));
+  results.push_back(RunPolicy(w, "autotuned", equal_rows, true));
+
+  std::printf("%-16s %12s %12s %12s %8s   final rows/table\n", "policy",
+              "hits", "misses", "miss_rate", "retunes");
+  for (const PolicyResult& r : results) {
+    std::string rows_str;
+    for (const int64_t c : r.final_rows) {
+      rows_str += std::to_string(c) + " ";
+    }
+    std::printf("%-16s %12lld %12lld %12.4f %8lld   %s\n", r.name.c_str(),
+                static_cast<long long>(r.hits),
+                static_cast<long long>(r.misses), r.miss_rate(),
+                static_cast<long long>(r.retunes), rows_str.c_str());
+  }
+
+  const PolicyResult& equal = results[0];
+  const PolicyResult& fig10b = results[1];
+  const PolicyResult& autotuned = results[2];
+  const bool wins = autotuned.miss_rate() < equal.miss_rate() &&
+                    autotuned.miss_rate() < fig10b.miss_rate();
+  std::printf("\nautotuned %s both static baselines (%.4f vs equal %.4f / "
+              "fig10b %.4f)\n",
+              wins ? "beats" : "DOES NOT BEAT", autotuned.miss_rate(),
+              equal.miss_rate(), fig10b.miss_rate());
+
+  if (!json_path.empty()) {
+    obs::JsonWriter jw;
+    obs::BeginBenchEnvelope(jw, "cache_autotune");
+    jw.Key("config").BeginObject();
+    jw.Kv("num_tables", static_cast<int64_t>(n));
+    jw.Kv("budget_rows", budget_rows);
+    jw.Kv("budget_bytes", w.budget_bytes);
+    jw.Kv("iterations", w.iterations);
+    jw.Kv("phase_length", w.phase_length);
+    jw.Kv("lookups_per_iteration", w.lookups_per_iteration);
+    jw.Kv("retune_interval", w.retune_interval);
+    jw.Kv("emb_dim", w.emb_dim);
+    jw.EndObject();
+    jw.Key("policies").BeginArray();
+    for (const PolicyResult& r : results) {
+      jw.BeginObject();
+      jw.Kv("name", r.name);
+      jw.Kv("hits", r.hits);
+      jw.Kv("misses", r.misses);
+      jw.Kv("miss_rate", r.miss_rate(), 5);
+      jw.Kv("retunes", r.retunes);
+      jw.Key("final_rows").BeginArray();
+      for (const int64_t c : r.final_rows) jw.Value(c);
+      jw.EndArray();
+      jw.EndObject();
+    }
+    jw.EndArray();
+    jw.Kv("autotune_wins", wins);
+    jw.EndObject();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(jw.str().data(), 1, jw.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return wins ? 0 : 1;
+}

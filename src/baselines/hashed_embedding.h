@@ -32,10 +32,11 @@ class HashedEmbeddingBag : public EmbeddingOp {
   int64_t MemoryBytes() const override { return inner_.MemoryBytes(); }
   void CollectStats(obs::MetricRegistry& reg) const override {
     EmbeddingOp::CollectStats(reg);
-    reg.gauge("hashed.buckets").Add(static_cast<double>(num_buckets()));
-    reg.gauge("hashed.compression")
-        .Add(static_cast<double>(num_rows()) /
-             static_cast<double>(num_buckets()));
+    stats_publisher().Gauge(reg, "hashed.buckets",
+                            static_cast<double>(num_buckets()));
+    stats_publisher().Gauge(reg, "hashed.compression",
+                            static_cast<double>(num_rows()) /
+                                static_cast<double>(num_buckets()));
   }
   std::string Name() const override { return "hashed_embedding_bag"; }
 

@@ -36,7 +36,8 @@ class LowRankEmbeddingBag : public EmbeddingOp {
   }
   void CollectStats(obs::MetricRegistry& reg) const override {
     EmbeddingOp::CollectStats(reg);
-    reg.gauge("lowrank.rank").Add(static_cast<double>(rank()));
+    stats_publisher().Gauge(reg, "lowrank.rank",
+                            static_cast<double>(rank()));
   }
   std::string Name() const override { return "lowrank_embedding_bag"; }
 

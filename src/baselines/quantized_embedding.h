@@ -36,7 +36,8 @@ class QuantizedEmbeddingBag : public EmbeddingOp {
   int64_t MemoryBytes() const override;
   void CollectStats(obs::MetricRegistry& reg) const override {
     EmbeddingOp::CollectStats(reg);
-    reg.gauge("quantized.bits").Add(static_cast<double>(bits()));
+    stats_publisher().Gauge(reg, "quantized.bits",
+                            static_cast<double>(bits()));
   }
   std::string Name() const override { return "quantized_embedding_bag"; }
 

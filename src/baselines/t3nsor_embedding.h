@@ -42,8 +42,8 @@ class T3nsorEmbeddingBag : public EmbeddingOp {
   int64_t MemoryBytes() const override { return tt_.MemoryBytes(); }
   void CollectStats(obs::MetricRegistry& reg) const override {
     EmbeddingOp::CollectStats(reg);
-    reg.gauge("t3nsor.working_set_bytes")
-        .Add(static_cast<double>(WorkingSetBytes()));
+    stats_publisher().Gauge(reg, "t3nsor.working_set_bytes",
+                            static_cast<double>(WorkingSetBytes()));
   }
   std::string Name() const override { return "t3nsor_embedding"; }
 

@@ -82,19 +82,75 @@ void CachedTtEmbeddingBag::RefreshCache() {
 }
 
 void CachedTtEmbeddingBag::CollectStats(obs::MetricRegistry& reg) const {
-  reg.counter("cache.hits").Add(cache_.hits());
-  reg.counter("cache.misses").Add(cache_.misses());
-  reg.counter("cache.evictions").Add(cache_.evictions());
-  reg.counter("cache.populates").Add(cache_.populates());
-  reg.counter("cache.refreshes").Add(refreshes_);
-  reg.counter("cache.decay_rebuilds").Add(tracker_.decay_rebuilds());
-  reg.gauge("cache.rows_resident").Add(static_cast<double>(cache_.size()));
-  reg.gauge("cache.rows_capacity").Add(static_cast<double>(cache_.capacity()));
+  // Published through StatPublisher so repeated collections into the same
+  // registry are idempotent: the sources below are cumulative totals, and a
+  // plain counter Add would double-count every collection after the first.
+  const obs::StatPublisher& p = stats_publisher_;
+  p.Counter(reg, "cache.hits", cache_.hits());
+  p.Counter(reg, "cache.misses", cache_.misses());
+  p.Counter(reg, "cache.evictions", cache_.evictions());
+  p.Counter(reg, "cache.populates", cache_.populates());
+  p.Counter(reg, "cache.refreshes", refreshes_);
+  p.Counter(reg, "cache.decay_rebuilds", tracker_.decay_rebuilds());
+  p.Counter(reg, "cache.resizes", resizes_);
+  p.Gauge(reg, "cache.rows_resident", static_cast<double>(cache_.size()));
+  p.Gauge(reg, "cache.rows_capacity", static_cast<double>(cache_.capacity()));
   const TtEmbeddingStats& tt = tt_.stats();
-  reg.counter("tt.forward_calls").Add(tt.forward_calls);
-  reg.counter("tt.lookups").Add(tt.lookups);
-  reg.counter("tt.forward_flops").Add(tt.forward_flops);
-  reg.counter("tt.backward_flops").Add(tt.backward_flops);
+  p.Counter(reg, "tt.forward_calls", tt.forward_calls);
+  p.Counter(reg, "tt.lookups", tt.lookups);
+  p.Counter(reg, "tt.forward_flops", tt.forward_flops);
+  p.Counter(reg, "tt.backward_flops", tt.backward_flops);
+}
+
+void CachedTtEmbeddingBag::ResizeCache(int64_t new_capacity) {
+  TTREC_CHECK_CONFIG(new_capacity >= 1,
+                     "CachedTtEmbeddingBag::ResizeCache: capacity must be "
+                     ">= 1");
+  TTREC_CHECK_CONFIG(new_capacity <= num_rows(),
+                     "CachedTtEmbeddingBag::ResizeCache: capacity ",
+                     new_capacity, " exceeds table rows ", num_rows());
+  if (new_capacity == cache_.capacity()) return;
+  TTREC_TRACE_SCOPE("cache.resize");
+
+  // Pick the new hot set: the tracker's current view when it has counts,
+  // otherwise the resident rows hottest-first is the best available guess
+  // (a frozen post-warm-up cache with tracking off still resizes sensibly —
+  // growth keeps everything, shrinkage keeps the head of the old top-K,
+  // which Populate stored in descending-frequency order).
+  std::vector<int64_t> keep = tracker_.TopK(new_capacity);
+  if (keep.empty()) {
+    keep = cache_.CachedRows();
+    if (static_cast<int64_t>(keep.size()) > new_capacity) {
+      keep.resize(static_cast<size_t>(new_capacity));
+    }
+  }
+
+  // Carry learned uncompressed values across the resize; only rows new to
+  // the set fall back to TT materialization. Peek keeps HitRate() honest.
+  const int64_t N = emb_dim();
+  std::vector<float> values(keep.size() * static_cast<size_t>(N));
+  std::vector<int64_t> missing;
+  std::vector<size_t> missing_pos;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (const float* vec = cache_.Peek(keep[i])) {
+      std::copy(vec, vec + N, values.data() + i * static_cast<size_t>(N));
+    } else {
+      missing.push_back(keep[i]);
+      missing_pos.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    const Tensor fresh = tt_.cores().MaterializeRows(missing);
+    for (size_t m = 0; m < missing.size(); ++m) {
+      const float* src = fresh.data() + m * static_cast<size_t>(N);
+      std::copy(src, src + N,
+                values.data() + missing_pos[m] * static_cast<size_t>(N));
+    }
+  }
+
+  cache_.Resize(new_capacity, keep, values.data());
+  config_.cache_capacity = new_capacity;
+  ++resizes_;
 }
 
 void CachedTtEmbeddingBag::Forward(const CsrBatch& batch, float* output) {
@@ -238,7 +294,8 @@ void CachedTtEmbeddingBag::SaveState(BinaryWriter& w) const {
   w.WriteI64Vec(rows);
   const int64_t N = emb_dim();
   for (int64_t row : rows) {
-    const float* vec = cache_.Find(row);
+    // Peek, not Find: checkpointing must not inflate the hit statistics.
+    const float* vec = cache_.Peek(row);
     TTREC_CHECK_INTERNAL(vec != nullptr, "cached row disappeared");
     w.WriteFloats(vec, static_cast<size_t>(N));
   }

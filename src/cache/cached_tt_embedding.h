@@ -122,6 +122,21 @@ class CachedTtEmbeddingBag {
   /// materialized from the TT cores). Normally driven by Forward.
   void RefreshCache();
 
+  /// Changes the cache capacity in place — the CacheManager's global
+  /// re-apportionment path. The new row set is the frequency tracker's
+  /// top-`new_capacity` (falling back to the currently resident rows,
+  /// hottest-first, when the tracker is empty — e.g. frozen post-warm-up
+  /// with track_after_warmup off). Rows that survive keep their *learned*
+  /// uncompressed values (read via Peek, so stats stay honest); rows that
+  /// are new to the set are materialized from the TT cores. Shrinking drops
+  /// the coldest rows (counted as evictions). Adagrad state for the cached
+  /// rows is reset at the new size — checkpoints of optimizer state pair
+  /// with a same-capacity construction. No-op when new_capacity matches.
+  void ResizeCache(int64_t new_capacity);
+
+  /// ResizeCache calls that actually changed the capacity.
+  int64_t resizes() const { return resizes_; }
+
   /// Serializes TT cores + cached rows/values + the iteration counter.
   /// Frequency counts are NOT persisted: after a load inside the warm-up
   /// window the tracker rebuilds; after warm-up the restored cache set is
@@ -138,8 +153,12 @@ class CachedTtEmbeddingBag {
 
   /// Adds cache and TT statistics into `reg` under the shared names
   /// (cache.hits / cache.misses / cache.evictions / cache.refreshes /
-  /// cache.decay_rebuilds, tt.* — see TtEmbeddingStats) so totals across
-  /// several cached tables sum naturally in one registry.
+  /// cache.decay_rebuilds / cache.resizes, tt.* — see TtEmbeddingStats) so
+  /// totals across several cached tables sum naturally in one registry.
+  /// Collection is idempotent per registry: repeated calls publish only the
+  /// delta since this operator's last collection into that registry, so a
+  /// long-lived registry stays exact, while a fresh registry (the serving
+  /// snapshot pattern) receives the full cumulative totals.
   void CollectStats(obs::MetricRegistry& reg) const;
 
   /// Parameter memory: TT cores + cache storage.
@@ -175,6 +194,8 @@ class CachedTtEmbeddingBag {
   int64_t iteration_ = 0;
   int64_t rewarm_until_ = -1;  // end of the current re-warm window
   int64_t refreshes_ = 0;
+  int64_t resizes_ = 0;
+  obs::StatPublisher stats_publisher_;
   std::vector<CacheHit> hit_scratch_;
 };
 

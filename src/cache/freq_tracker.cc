@@ -48,15 +48,21 @@ void FreqTracker::Grow() {
 void FreqTracker::Increment(int64_t key, int64_t delta) {
   TTREC_CHECK_INDEX(key >= 0, "FreqTracker: keys must be non-negative, got ",
                     key);
-  TTREC_CHECK_CONFIG(delta >= 0, "FreqTracker: delta must be non-negative");
   const size_t i = ProbeFor(key);
   if (slots_[i].key == kEmpty) {
+    TTREC_CHECK_CONFIG(delta >= 0, "FreqTracker: decrementing key ", key,
+                       " by ", -delta,
+                       " would make its count negative (count is 0)");
     slots_[i].key = key;
     ++size_;
     if (10 * size_ >= 7 * static_cast<int64_t>(slots_.size())) Grow();
     // Grow moved the slot; re-probe for the count update below.
     slots_[ProbeFor(key)].count += delta;
   } else {
+    TTREC_CHECK_CONFIG(slots_[i].count + delta >= 0,
+                       "FreqTracker: decrementing key ", key, " by ", -delta,
+                       " would make its count negative (count is ",
+                       slots_[i].count, ")");
     slots_[i].count += delta;
   }
   total_ += delta;

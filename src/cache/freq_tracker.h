@@ -18,7 +18,12 @@ class FreqTracker {
   /// `initial_capacity` is rounded up to a power of two (min 16).
   explicit FreqTracker(int64_t initial_capacity = 1024);
 
-  /// Adds `delta` to the count of `key` (key must be >= 0).
+  /// Adds `delta` to the count of `key` (key must be >= 0). Negative
+  /// deltas are allowed (count corrections from untrusted cadence config,
+  /// e.g. an MRC profiler unwinding a speculative window) but throw
+  /// ConfigError when the resulting count would go negative — the key's
+  /// count is left unchanged. A key decremented to exactly 0 stays in the
+  /// table with count 0 until the next Decay() or Clear() drops it.
   void Increment(int64_t key, int64_t delta = 1);
 
   /// Current count of `key` (0 if never seen).

@@ -62,47 +62,69 @@ const float* LfuRowCache::Find(int64_t row) const {
   return values_.data() + slot * emb_dim_;
 }
 
+const float* LfuRowCache::Peek(int64_t row) const {
+  const int64_t slot = SlotOf(row);
+  return slot < 0 ? nullptr : values_.data() + slot * emb_dim_;
+}
+
 float* LfuRowCache::GradFor(int64_t row) {
   const int64_t slot = SlotOf(row);
   return slot < 0 ? nullptr : grads_.data() + slot * emb_dim_;
 }
 
-void LfuRowCache::Rebuild() {
-  std::fill(map_keys_.begin(), map_keys_.end(), -1);
-  const size_t mask = map_keys_.size() - 1;
-  for (size_t slot = 0; slot < rows_.size(); ++slot) {
-    const int64_t row = rows_[slot];
-    TTREC_CHECK_INDEX(row >= 0, "LfuRowCache: negative row id ", row);
-    size_t i = static_cast<size_t>(HashKey(row)) & mask;
-    while (map_keys_[i] != -1) {
-      // Duplicate row ids would silently shadow each other in the map.
-      TTREC_CHECK_CONFIG(map_keys_[i] != row,
-                         "LfuRowCache::Populate: duplicate row id ", row);
-      i = (i + 1) & mask;
-    }
-    map_keys_[i] = row;
-    map_slots_[i] = static_cast<int64_t>(slot);
-  }
-}
-
-void LfuRowCache::Populate(std::span<const int64_t> rows,
-                           const float* values) {
+void LfuRowCache::PopulateImpl(int64_t new_capacity,
+                               std::span<const int64_t> rows,
+                               const float* values) {
   // Refuse oversized row sets outright. Truncating here would zero the
   // hit/miss stats as if the full hot set were resident while silently
   // serving a smaller one — a capacity-planning bug that surfaces only as
   // mysteriously low hit rates.
   TTREC_CHECK_CONFIG(
-      rows.size() <= static_cast<size_t>(capacity_),
+      rows.size() <= static_cast<size_t>(new_capacity),
       "LfuRowCache::Populate: ", rows.size(), " rows exceed capacity ",
-      capacity_, "; pass at most `capacity()` rows");
+      new_capacity, "; pass at most `capacity()` rows");
+  // Build the replacement id map first: every validation failure (negative
+  // id, duplicate id) throws before a single member is touched, so the
+  // previous contents stay fully servable. Duplicates used to be detected
+  // only mid-rebuild, after rows/values were already overwritten — the
+  // caller caught ConfigError against a cache whose map was half-built and
+  // whose duplicate rows burned slots.
+  const uint64_t map_cap = std::bit_ceil(
+      static_cast<uint64_t>(std::max<int64_t>(16, 2 * new_capacity)));
+  std::vector<int64_t> new_keys(static_cast<size_t>(map_cap), -1);
+  std::vector<int64_t> new_slots(static_cast<size_t>(map_cap), -1);
+  const size_t mask = static_cast<size_t>(map_cap) - 1;
+  for (size_t slot = 0; slot < rows.size(); ++slot) {
+    const int64_t row = rows[slot];
+    TTREC_CHECK_INDEX(row >= 0, "LfuRowCache: negative row id ", row);
+    size_t i = static_cast<size_t>(HashKey(row)) & mask;
+    while (new_keys[i] != -1) {
+      // Duplicate row ids would silently shadow each other in the map.
+      TTREC_CHECK_CONFIG(new_keys[i] != row,
+                         "LfuRowCache::Populate: duplicate row id ", row);
+      i = (i + 1) & mask;
+    }
+    new_keys[i] = row;
+    new_slots[i] = static_cast<int64_t>(slot);
+  }
+
+  // Commit.
   const size_t n = rows.size();
   std::vector<int64_t> previous = std::move(rows_);
   rows_.assign(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(n));
+  if (new_capacity != capacity_) {
+    capacity_ = new_capacity;
+    values_.assign(static_cast<size_t>(new_capacity * emb_dim_), 0.0f);
+    grads_.assign(static_cast<size_t>(new_capacity * emb_dim_), 0.0f);
+    if (!adagrad_.empty()) adagrad_.assign(values_.size(), 0.0f);
+  } else {
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+    std::fill(adagrad_.begin(), adagrad_.end(), 0.0f);
+  }
   std::memcpy(values_.data(), values, n * static_cast<size_t>(emb_dim_) *
                                            sizeof(float));
-  std::fill(grads_.begin(), grads_.end(), 0.0f);
-  std::fill(adagrad_.begin(), adagrad_.end(), 0.0f);
-  Rebuild();
+  map_keys_ = std::move(new_keys);
+  map_slots_ = std::move(new_slots);
   // Count the rows that did not survive the repopulation — their learned
   // weights are gone (the streaming-decomposition gap the paper leaves
   // open), which is exactly what an operator watching `cache.evictions`
@@ -111,6 +133,18 @@ void LfuRowCache::Populate(std::span<const int64_t> rows,
     if (SlotOf(row) < 0) ++evictions_;
   }
   ++populates_;
+}
+
+void LfuRowCache::Populate(std::span<const int64_t> rows,
+                           const float* values) {
+  PopulateImpl(capacity_, rows, values);
+}
+
+void LfuRowCache::Resize(int64_t new_capacity, std::span<const int64_t> rows,
+                         const float* values) {
+  TTREC_CHECK_CONFIG(new_capacity >= 1,
+                     "LfuRowCache::Resize: capacity must be >= 1");
+  PopulateImpl(new_capacity, rows, values);
 }
 
 void LfuRowCache::ApplyAdagrad(float lr, float eps) {

@@ -42,16 +42,42 @@ class LfuRowCache {
   float* Find(int64_t row);
   const float* Find(int64_t row) const;
 
+  /// Find without touching the hit/miss statistics — for control-plane
+  /// reads (resize row carry-over, checkpointing) that must not skew
+  /// HitRate(). Same concurrency contract as Find const.
+  const float* Peek(int64_t row) const;
+
   /// Gradient accumulator slot paired with a cached row; nullptr on miss.
   float* GradFor(int64_t row);
 
   /// Replaces the cache contents with `rows` and their vectors from
   /// `values` (rows.size() x emb_dim). Throws ConfigError if rows.size()
   /// exceeds `capacity` — truncating would silently serve a smaller hot set
-  /// while resetting stats as if fully populated. Gradients are zeroed.
-  /// Previously cached rows keep nothing — eviction discards learned
-  /// weights by design.
+  /// while resetting stats as if fully populated — or if `rows` contains a
+  /// duplicate or negative id. All validation happens before any state is
+  /// touched: a throwing Populate leaves the previous contents fully
+  /// servable. Gradients are zeroed. Previously cached rows keep nothing —
+  /// eviction discards learned weights by design.
   void Populate(std::span<const int64_t> rows, const float* values);
+
+  /// Changes the capacity and atomically repopulates with `rows`/`values`
+  /// (rows.size() <= new_capacity) — the CacheManager's re-apportionment
+  /// path. Same validation-before-mutation contract as Populate.
+  /// Hit/miss/eviction/populate statistics are preserved across the
+  /// resize; previously resident rows absent from the new set count as
+  /// evictions. Gradients and Adagrad state are reset at the new size.
+  void Resize(int64_t new_capacity, std::span<const int64_t> rows,
+              const float* values);
+
+  /// Planning cost model: the bytes one capacity row costs at `emb_dim` —
+  /// value + gradient vectors plus the 2x-provisioned id-map slots and the
+  /// slot->row entry. MemoryBytes() of a populated cache tracks
+  /// capacity * BytesPerRow(emb_dim) up to the map's power-of-two rounding.
+  static int64_t BytesPerRow(int64_t emb_dim) {
+    return static_cast<int64_t>(2 * static_cast<uint64_t>(emb_dim) *
+                                sizeof(float)) +
+           static_cast<int64_t>(5 * sizeof(int64_t));
+  }
 
   /// Applies w -= lr * grad to every cached row and clears gradients.
   void ApplySgd(float lr);
@@ -94,7 +120,10 @@ class LfuRowCache {
 
  private:
   int64_t SlotOf(int64_t row) const;  // -1 if absent
-  void Rebuild();
+  /// Shared Populate/Resize tail: validates, then commits the new capacity,
+  /// row set, and id map in one shot.
+  void PopulateImpl(int64_t new_capacity, std::span<const int64_t> rows,
+                    const float* values);
 
   int64_t capacity_;
   int64_t emb_dim_;

@@ -1,8 +1,11 @@
 #include "dlrm/capacity_planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "cache/cache_manager.h"
+#include "cache/lfu_cache.h"
 #include "tensor/check.h"
 
 namespace ttrec {
@@ -108,6 +111,122 @@ CapacityPlan PlanCapacity(const DatasetSpec& spec, int64_t emb_dim,
 
   plan.fits = plan.total_bytes <= budget_bytes;
   return plan;
+}
+
+std::string CacheAwarePlan::ToString() const {
+  std::ostringstream os;
+  os << "cache-aware plan: " << cache_budget_bytes << " cache bytes ("
+     << cache_fraction << " of budget), predicted hit rate "
+     << predicted_hit_rate << "\n";
+  os << tt.ToString();
+  for (size_t t = 0; t < cache_rows.size(); ++t) {
+    if (cache_rows[t] > 0) {
+      os << "  table " << t << ": cache " << cache_rows[t] << " rows\n";
+    }
+  }
+  return os.str();
+}
+
+CacheAwarePlan PlanCapacityWithCache(const DatasetSpec& spec, int64_t emb_dim,
+                                     int64_t budget_bytes,
+                                     std::span<const MissRatioCurve> mrcs,
+                                     const CachePlannerOptions& options) {
+  TTREC_CHECK_CONFIG(
+      static_cast<int>(mrcs.size()) == spec.num_tables(),
+      "PlanCapacityWithCache: need one MRC per table (got ", mrcs.size(),
+      " for ", spec.num_tables(), " tables)");
+  TTREC_CHECK_CONFIG(!options.cache_fractions.empty(),
+                     "PlanCapacityWithCache: need candidate fractions");
+  TTREC_CHECK_CONFIG(
+      std::find(options.cache_fractions.begin(),
+                options.cache_fractions.end(),
+                0.0) != options.cache_fractions.end(),
+      "PlanCapacityWithCache: cache_fractions must include 0 (pure-TT "
+      "fallback)");
+
+  const int64_t bytes_per_row = LfuRowCache::BytesPerRow(emb_dim);
+  CacheAwarePlan best;
+  bool have_best = false;
+
+  for (const double frac : options.cache_fractions) {
+    TTREC_CHECK_CONFIG(frac >= 0.0 && frac < 1.0,
+                       "PlanCapacityWithCache: cache fraction ", frac,
+                       " must be in [0, 1)");
+    int64_t cache_budget =
+        static_cast<int64_t>(std::floor(static_cast<double>(budget_bytes) *
+                                        frac));
+    const int64_t tt_budget = budget_bytes - cache_budget;
+    if (tt_budget <= 0) continue;
+    CapacityPlan tt = PlanCapacity(spec, emb_dim, tt_budget, options.tt);
+    // A TT plan that came in under its slice frees the slack for caching.
+    // Fraction 0 stays genuinely cache-free — it is the pure-TT fallback
+    // the caller compares against, not "cache whatever is left over".
+    if (tt.fits && frac > 0.0) {
+      cache_budget = budget_bytes - tt.total_bytes;
+    } else if (frac == 0.0) {
+      cache_budget = 0;
+    }
+
+    // Caches apply only to compressed tables; dense tables already hold
+    // every row uncompressed.
+    std::vector<size_t> compressed;
+    std::vector<CacheApportionInput> inputs;
+    for (size_t t = 0; t < tt.tables.size(); ++t) {
+      if (!tt.tables[t].compress) continue;
+      CacheApportionInput in;
+      in.mrc = mrcs[t];
+      in.max_rows = tt.tables[t].rows;
+      in.bytes_per_row = bytes_per_row;
+      compressed.push_back(t);
+      inputs.push_back(std::move(in));
+    }
+
+    CacheAwarePlan candidate;
+    candidate.tt = std::move(tt);
+    candidate.cache_fraction = frac;
+    candidate.cache_rows.assign(static_cast<size_t>(spec.num_tables()), 0);
+    if (!compressed.empty() &&
+        cache_budget >= static_cast<int64_t>(compressed.size()) *
+                            options.min_cache_rows * bytes_per_row) {
+      const std::vector<int64_t> rows = ApportionCacheRows(
+          inputs, cache_budget, options.min_cache_rows, /*chunk_rows=*/0);
+      double total_traffic = 0.0;
+      for (const CacheApportionInput& in : inputs) {
+        total_traffic += static_cast<double>(in.mrc.total_accesses());
+      }
+      int64_t used = 0;
+      double weighted_hit = 0.0;
+      for (size_t i = 0; i < compressed.size(); ++i) {
+        candidate.cache_rows[compressed[i]] = rows[i];
+        used += rows[i] * bytes_per_row;
+        if (total_traffic > 0.0) {
+          weighted_hit +=
+              static_cast<double>(inputs[i].mrc.total_accesses()) /
+              total_traffic * inputs[i].mrc.HitRateAt(rows[i]);
+        }
+      }
+      candidate.cache_budget_bytes = used;
+      candidate.predicted_hit_rate = weighted_hit;
+    }
+
+    // Prefer: fitting plans, then higher predicted hit rate, then the
+    // smaller cache slice (leave headroom when the hit rate ties).
+    const auto better = [&]() {
+      if (!have_best) return true;
+      if (candidate.tt.fits != best.tt.fits) return candidate.tt.fits;
+      if (candidate.predicted_hit_rate != best.predicted_hit_rate) {
+        return candidate.predicted_hit_rate > best.predicted_hit_rate;
+      }
+      return candidate.cache_fraction < best.cache_fraction;
+    };
+    if (better()) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  TTREC_CHECK_INTERNAL(have_best,
+                       "PlanCapacityWithCache: no candidate evaluated");
+  return best;
 }
 
 }  // namespace ttrec

@@ -73,10 +73,11 @@ class TtEmbeddingAdapter : public EmbeddingOp {
   void CollectStats(obs::MetricRegistry& reg) const override {
     EmbeddingOp::CollectStats(reg);
     const TtEmbeddingStats& st = tt_.stats();
-    reg.counter("tt.forward_calls").Add(st.forward_calls);
-    reg.counter("tt.lookups").Add(st.lookups);
-    reg.counter("tt.forward_flops").Add(st.forward_flops);
-    reg.counter("tt.backward_flops").Add(st.backward_flops);
+    const obs::StatPublisher& p = stats_publisher();
+    p.Counter(reg, "tt.forward_calls", st.forward_calls);
+    p.Counter(reg, "tt.lookups", st.lookups);
+    p.Counter(reg, "tt.forward_flops", st.forward_flops);
+    p.Counter(reg, "tt.backward_flops", st.backward_flops);
   }
   std::string Name() const override { return "tt_embedding"; }
 
@@ -135,6 +136,7 @@ class CachedTtEmbeddingAdapter : public EmbeddingOp {
     op_.CollectStats(reg);
   }
   void ResetStats() override { op_.ResetStats(); }
+  CachedTtEmbeddingBag* cached_bag() override { return &op_; }
   std::string Name() const override { return "cached_tt_embedding"; }
 
   CachedTtEmbeddingBag& op() { return op_; }

@@ -77,9 +77,10 @@ class DenseEmbeddingBag : public EmbeddingOp {
   }
   void CollectStats(obs::MetricRegistry& reg) const override {
     EmbeddingOp::CollectStats(reg);
-    reg.gauge("dense.rows").Add(static_cast<double>(num_rows()));
-    reg.gauge("dense.grad_rows_pending")
-        .Add(static_cast<double>(grads_.size()));
+    stats_publisher().Gauge(reg, "dense.rows",
+                            static_cast<double>(num_rows()));
+    stats_publisher().Gauge(reg, "dense.grad_rows_pending",
+                            static_cast<double>(grads_.size()));
   }
   std::string Name() const override { return "dense_embedding_bag"; }
 

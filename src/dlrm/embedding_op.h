@@ -17,6 +17,8 @@
 
 namespace ttrec {
 
+class CachedTtEmbeddingBag;
+
 class EmbeddingOp {
  public:
   virtual ~EmbeddingOp() = default;
@@ -113,15 +115,20 @@ class EmbeddingOp {
   }
 
   /// Adds this operator's lifetime statistics into `reg`. Implementations
-  /// Add() into shared metric names ("cache.hits", "tt.lookups", ...), so
+  /// publish into shared metric names ("cache.hits", "tt.lookups", ...), so
   /// collecting a whole model into one registry sums per-table totals for
   /// free; callers that want a point-in-time view collect into a fresh
-  /// registry per snapshot. The default records what every operator has —
-  /// its parameter memory and its presence. Overrides should extend, not
-  /// replace: call EmbeddingOp::CollectStats(reg) first.
+  /// registry per snapshot. Collection must be idempotent: repeated calls
+  /// against the same registry leave every counter at the exact cumulative
+  /// total, never double-counted — publish through stats_publisher() (which
+  /// tracks a per-registry baseline and adds only the delta) rather than
+  /// raw counter().Add of a cumulative value. The default records what
+  /// every operator has — its parameter memory and its presence. Overrides
+  /// should extend, not replace: call EmbeddingOp::CollectStats(reg) first.
   virtual void CollectStats(obs::MetricRegistry& reg) const {
-    reg.counter("emb.tables").Add(1);
-    reg.gauge("emb.memory_bytes").Add(static_cast<double>(MemoryBytes()));
+    stats_publisher_.Counter(reg, "emb.tables", 1);
+    stats_publisher_.Gauge(reg, "emb.memory_bytes",
+                           static_cast<double>(MemoryBytes()));
   }
 
   /// Zeroes the resettable statistics CollectStats reports (cache hit/miss
@@ -143,7 +150,22 @@ class EmbeddingOp {
   /// into the caller's output.
   virtual int64_t WorkspaceBytes(int /*num_threads*/ = 0) const { return 0; }
 
+  /// The cached-TT bag backing this operator, when it has one — the hook
+  /// the trainer uses to register tables with the CacheManager for global
+  /// cache autotuning. Default nullptr: not cache-backed.
+  virtual CachedTtEmbeddingBag* cached_bag() { return nullptr; }
+
   virtual std::string Name() const = 0;
+
+ protected:
+  /// Per-operator publisher for idempotent stat collection (see
+  /// CollectStats). Shared by the base default and overrides.
+  const obs::StatPublisher& stats_publisher() const {
+    return stats_publisher_;
+  }
+
+ private:
+  obs::StatPublisher stats_publisher_;
 };
 
 }  // namespace ttrec

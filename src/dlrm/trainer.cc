@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "cache/cache_manager.h"
 #include "dlrm/checkpoint.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"
@@ -69,6 +70,10 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
       "rollback fault policy requires checkpointing (checkpoint_every > 0)");
   TTREC_CHECK_CONFIG(config.num_threads >= 0,
                      "num_threads must be >= 0 (0 = leave the pool as-is)");
+  TTREC_CHECK_CONFIG(
+      (config.cache_budget_bytes > 0) == (config.cache_retune_interval > 0),
+      "cache autotuning needs both cache_budget_bytes and "
+      "cache_retune_interval set (or neither)");
   if (config.num_threads > 0) {
     ThreadPool::SetGlobalThreads(config.num_threads);
   }
@@ -101,6 +106,21 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
       result.start_iteration = meta.iteration;
     }
     result.checkpoint_seconds += Seconds(t0, Clock::now());
+  }
+
+  // Global cache autotuning: one byte budget waterfilled across every
+  // cache-backed table, re-apportioned on a fixed cadence.
+  std::unique_ptr<CacheManager> cache_mgr;
+  if (config.cache_budget_bytes > 0) {
+    CacheManagerConfig mc;
+    mc.budget_bytes = config.cache_budget_bytes;
+    auto mgr = std::make_unique<CacheManager>(mc);
+    for (int t = 0; t < model.num_tables(); ++t) {
+      if (CachedTtEmbeddingBag* bag = model.table(t).cached_bag()) {
+        mgr->RegisterTable(t, bag);
+      }
+    }
+    if (mgr->num_tables() > 0) cache_mgr = std::move(mgr);
   }
 
   StepGuard guard;
@@ -209,6 +229,14 @@ TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
 
     if (config.log_every > 0 && it % config.log_every == 0) {
       result.loss_history.push_back(o.loss);
+    }
+
+    if (cache_mgr != nullptr &&
+        (it + 1) % config.cache_retune_interval == 0) {
+      TTREC_TRACE_SCOPE("train.cache_retune");
+      cache_mgr->Retune();
+      bump("train.cache_retunes");
+      if (reg != nullptr) cache_mgr->CollectStats(*reg);
     }
 
     if (ckpt != nullptr && config.checkpoint_every > 0 &&

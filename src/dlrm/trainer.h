@@ -61,6 +61,18 @@ struct TrainConfig {
   /// this is purely a throughput knob; results are bitwise identical.
   int num_threads = 0;
 
+  /// Global cache autotuning (src/cache/cache_manager.h): when both knobs
+  /// are > 0 the trainer builds a CacheManager over every cache-backed
+  /// table (EmbeddingOp::cached_bag()) and every `cache_retune_interval`
+  /// iterations re-apportions `cache_budget_bytes` across their caches by
+  /// marginal miss reduction from the live miss-ratio curves, resizing the
+  /// caches in place. Tables keep their learned hot rows across retunes.
+  /// Set both or neither; a model with no cache-backed tables ignores the
+  /// knobs. Retune activity is published into `metrics` (cache.mgr.*,
+  /// cache.<t>.*) when set.
+  int64_t cache_budget_bytes = 0;
+  int64_t cache_retune_interval = 0;
+
   /// Snapshot the full training state every N iterations (0 = never);
   /// requires checkpoint_dir.
   int64_t checkpoint_every = 0;

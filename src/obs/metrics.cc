@@ -225,6 +225,58 @@ void MetricRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+  counter_baselines_.clear();
+  gauge_baselines_.clear();
+}
+
+namespace {
+
+std::string BaselineKey(std::string_view name, uint64_t publisher_id) {
+  std::string key(name);
+  key.push_back('\x1f');
+  key += std::to_string(publisher_id);
+  return key;
+}
+
+}  // namespace
+
+int64_t MetricRegistry::ExchangeCounterBaseline(uint64_t publisher_id,
+                                                std::string_view name,
+                                                int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t& slot = counter_baselines_[BaselineKey(name, publisher_id)];
+  const int64_t prev = slot;
+  slot = value;
+  return prev;
+}
+
+double MetricRegistry::ExchangeGaugeBaseline(uint64_t publisher_id,
+                                             std::string_view name,
+                                             double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double& slot = gauge_baselines_[BaselineKey(name, publisher_id)];
+  const double prev = slot;
+  slot = value;
+  return prev;
+}
+
+StatPublisher::StatPublisher() {
+  static std::atomic<uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatPublisher::Counter(MetricRegistry& reg, std::string_view name,
+                            int64_t cumulative) const {
+  StripedCounter& c = reg.counter(name);  // exists even at a zero delta
+  const int64_t prev = reg.ExchangeCounterBaseline(id_, name, cumulative);
+  if (cumulative != prev) c.Add(cumulative - prev);
+}
+
+void StatPublisher::Gauge(MetricRegistry& reg, std::string_view name,
+                          double value) const {
+  class Gauge& g = reg.gauge(name);
+  const double prev = reg.ExchangeGaugeBaseline(id_, name, value);
+  if (value != prev) g.Add(value - prev);
 }
 
 }  // namespace ttrec::obs

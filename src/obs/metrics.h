@@ -134,8 +134,19 @@ class MetricRegistry {
   MetricsSnapshot Snapshot() const;
   std::string ToJson() const { return Snapshot().ToJson(); }
 
-  /// Zeroes every registered metric (the metrics stay registered).
+  /// Zeroes every registered metric (the metrics stay registered) and
+  /// forgets all publication baselines (see StatPublisher), so the next
+  /// publication after a Reset contributes full cumulative values again.
   void Reset();
+
+  // Publication-baseline side channel used by StatPublisher. Returns the
+  // value this (publisher, name) pair last stored in this registry (0 / 0.0
+  // when it never published here) and records `value` as the new baseline.
+  // Baselines live outside Snapshot()/ToJson().
+  int64_t ExchangeCounterBaseline(uint64_t publisher_id, std::string_view name,
+                                  int64_t value);
+  double ExchangeGaugeBaseline(uint64_t publisher_id, std::string_view name,
+                               double value);
 
  private:
   mutable std::mutex mu_;
@@ -145,6 +156,44 @@ class MetricRegistry {
       counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Keyed "name\x1f<publisher id>". Bounded by publishers x names, and a
+  // registry that dies takes its baselines with it — no cross-registry
+  // state.
+  std::map<std::string, int64_t, std::less<>> counter_baselines_;
+  std::map<std::string, double, std::less<>> gauge_baselines_;
+};
+
+/// Idempotent metric publication for objects that re-export *cumulative*
+/// internal statistics (EmbeddingOp::CollectStats and friends). Publishing
+/// a total with plain counter(name).Add(total) double-counts on the second
+/// call; StatPublisher instead records, per (publisher, registry, name),
+/// the value last published and adds only the delta. A fresh registry has
+/// no baseline, so one-shot "collect into a throwaway registry" snapshots
+/// still receive full totals, while repeated collection into a long-lived
+/// registry stays exact. Each instance carries a process-unique id so
+/// several publishers can share one metric name and their contributions
+/// sum.
+class StatPublisher {
+ public:
+  StatPublisher();
+  /// Copies get a fresh id: a copied object publishes its own totals and
+  /// must not inherit the original's baselines.
+  StatPublisher(const StatPublisher&) : StatPublisher() {}
+  StatPublisher& operator=(const StatPublisher&) { return *this; }
+
+  /// reg.counter(name) ends up at exactly `cumulative` worth of this
+  /// publisher's contribution (plus other publishers'), no matter how many
+  /// times this is called. The counter is created even when the delta is 0.
+  void Counter(MetricRegistry& reg, std::string_view name,
+               int64_t cumulative) const;
+  /// Same contract for gauges: this publisher's contribution to the summed
+  /// gauge tracks `value` instead of accumulating per call.
+  void Gauge(MetricRegistry& reg, std::string_view name, double value) const;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_;
 };
 
 }  // namespace ttrec::obs

@@ -421,5 +421,123 @@ TEST(CachedTtEmbeddingBag, MemoryIncludesCacheAndCores) {
   EXPECT_GT(emb.MemoryBytes(), emb.tt().MemoryBytes());
 }
 
+TEST(FreqTracker, RejectsBadDecayFactors) {
+  FreqTracker t;
+  t.Increment(1, 10);
+  EXPECT_THROW(t.Decay(-0.5), ConfigError);
+  EXPECT_THROW(t.Decay(1.0), ConfigError);
+  EXPECT_THROW(t.Decay(2.0), ConfigError);
+  // A rejected decay neither touches the counts nor counts as a rebuild.
+  EXPECT_EQ(t.Count(1), 10);
+  EXPECT_EQ(t.decay_rebuilds(), 0);
+  t.Decay(0.0);
+  EXPECT_EQ(t.decay_rebuilds(), 1);
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(FreqTracker, NegativeDeltasValidateBeforeMutating) {
+  FreqTracker t;
+  t.Increment(5, 3);
+  // Underflowing decrement: rejected, count untouched.
+  EXPECT_THROW(t.Increment(5, -4), ConfigError);
+  EXPECT_EQ(t.Count(5), 3);
+  EXPECT_EQ(t.total(), 3);
+  // Inserting a new key with a negative count is equally invalid.
+  EXPECT_THROW(t.Increment(7, -1), ConfigError);
+  EXPECT_EQ(t.Count(7), 0);
+  EXPECT_EQ(t.size(), 1);
+  // Decrement to exactly zero: the key stays (count 0) until Decay drops it.
+  t.Increment(5, -3);
+  EXPECT_EQ(t.Count(5), 0);
+  EXPECT_EQ(t.total(), 0);
+  EXPECT_EQ(t.size(), 1);
+  t.Decay(0.5);
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(LfuRowCache, ThrowingPopulateLeavesCacheServable) {
+  // Strong exception guarantee: a Populate that throws (duplicate or
+  // negative row id) must leave the previous contents fully intact — the
+  // serving path may still be reading them.
+  LfuRowCache cache(4, 2);
+  std::vector<float> vals = {1, 1, 2, 2};
+  cache.Populate(std::vector<int64_t>{10, 20}, vals.data());
+  const int64_t evictions_before = cache.evictions();
+  const int64_t populates_before = cache.populates();
+
+  std::vector<float> bad_vals = {9, 9, 8, 8};
+  EXPECT_THROW(cache.Populate(std::vector<int64_t>{30, 30}, bad_vals.data()),
+               ConfigError);
+  EXPECT_THROW(cache.Populate(std::vector<int64_t>{30, -1}, bad_vals.data()),
+               IndexError);
+
+  // Old contents, capacity, and bookkeeping all unchanged.
+  EXPECT_EQ(cache.size(), 2);
+  ASSERT_NE(cache.Peek(10), nullptr);
+  EXPECT_FLOAT_EQ(cache.Peek(10)[0], 1.0f);
+  ASSERT_NE(cache.Peek(20), nullptr);
+  EXPECT_FLOAT_EQ(cache.Peek(20)[0], 2.0f);
+  EXPECT_EQ(cache.Peek(30), nullptr);
+  EXPECT_EQ(cache.evictions(), evictions_before);
+  EXPECT_EQ(cache.populates(), populates_before);
+
+  // And a valid Populate afterwards still works.
+  cache.Populate(std::vector<int64_t>{30, 40}, bad_vals.data());
+  EXPECT_EQ(cache.size(), 2);
+  ASSERT_NE(cache.Peek(30), nullptr);
+}
+
+TEST(CachedTtEmbeddingBag, RewarmWithUnalignedWarmupAndTrackingModes) {
+  // warmup_iterations (5) deliberately NOT divisible by refresh_interval
+  // (2): the freeze refresh at the warm-up boundary must still happen, and
+  // the periodic re-warm cadence anchors on the warm-up end, not on a
+  // refresh multiple. Exercised with tracking both frozen and continuous
+  // after warm-up — the re-warm window must adopt the new phase either way.
+  struct Outcome {
+    int64_t refreshes;
+    int64_t decay_rebuilds;
+    std::set<int64_t> cached;
+  };
+  auto run = [](bool track_after_warmup) {
+    Rng rng(29);
+    CachedTtConfig cfg = SmallCachedConfig(/*capacity=*/4, /*warmup=*/5,
+                                           /*refresh=*/2);
+    cfg.rewarm_period = 7;
+    cfg.track_after_warmup = track_after_warmup;
+    CachedTtEmbeddingBag emb(cfg, TtInit::kGaussian, rng);
+    std::vector<float> out(static_cast<size_t>(8 * 8));
+    auto phase_batch = [](int64_t base) {
+      std::vector<int64_t> idx;
+      for (int64_t i = 0; i < 8; ++i) idx.push_back(base + i % 4);
+      return CsrBatch::FromIndices(std::move(idx));
+    };
+    // Phase 1 (iterations 0..5): refreshes at it 2 and 4 (cadence), then
+    // the freeze at it 5 even though 5 % 2 != 0.
+    for (int it = 0; it < 6; ++it) emb.Forward(phase_batch(0), out.data());
+    EXPECT_TRUE(emb.warmed_up());
+    EXPECT_EQ(emb.refreshes(), 3);
+    {
+      const auto rows = emb.cache().CachedRows();
+      const std::set<int64_t> set(rows.begin(), rows.end());
+      EXPECT_EQ(set, (std::set<int64_t>{0, 1, 2, 3}));
+    }
+    // Phase 2 (iterations 6..30): decays at it 12, 19, 26 (every 7 past
+    // the warm-up end), re-warm refreshes when the re-tracking windows
+    // close at it 17 and 24 (the 31 window never completes).
+    for (int it = 0; it < 25; ++it) emb.Forward(phase_batch(50), out.data());
+    const auto rows = emb.cache().CachedRows();
+    return Outcome{emb.refreshes(), emb.tracker().decay_rebuilds(),
+                   std::set<int64_t>(rows.begin(), rows.end())};
+  };
+
+  for (const bool track : {false, true}) {
+    const Outcome o = run(track);
+    EXPECT_EQ(o.refreshes, 5) << "track_after_warmup=" << track;
+    EXPECT_EQ(o.decay_rebuilds, 3) << "track_after_warmup=" << track;
+    EXPECT_EQ(o.cached, (std::set<int64_t>{50, 51, 52, 53}))
+        << "track_after_warmup=" << track;
+  }
+}
+
 }  // namespace
 }  // namespace ttrec
