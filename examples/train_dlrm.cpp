@@ -2,10 +2,14 @@
 // baseline against TT-Rec and cached TT-Rec — the end-to-end workflow of
 // the paper's evaluation.
 //
-//   $ ./train_dlrm [iterations] [scale_div]
+//   $ ./train_dlrm [iterations] [scale_div] [lookahead]
 //     iterations  SGD steps (default 300)
 //     scale_div   divisor applied to the real Kaggle cardinalities
 //                 (default 256; 1 = paper scale, slow on CPU)
+//     lookahead   pipeline depth (default 0 = legacy inline loop; >= 1
+//                 stages batches on a producer thread and prefetches the
+//                 cached tables' rows ahead of the consumer — the stream,
+//                 losses, and final model are bitwise identical per depth)
 #include <cstdio>
 #include <cstdlib>
 
@@ -60,6 +64,7 @@ std::unique_ptr<DlrmModel> BuildModel(Mode mode, const DatasetSpec& spec,
 int main(int argc, char** argv) {
   const int64_t iterations = argc > 1 ? std::atoll(argv[1]) : 300;
   const int64_t scale_div = argc > 2 ? std::atoll(argv[2]) : 256;
+  const int64_t lookahead = argc > 3 ? std::atoll(argv[3]) : 0;
 
   const DatasetSpec spec = KaggleSpec().Scaled(scale_div);
   DlrmConfig dlrm;
@@ -79,6 +84,8 @@ int main(int argc, char** argv) {
   // identical to an unguarded run.
   tc.fault.check_non_finite = true;
   tc.fault.grad_clip_norm = 100.0f;
+  tc.lookahead_depth = lookahead;
+  tc.lookahead_threaded = lookahead > 0;
 
   std::printf("DLRM on synthetic Criteo-Kaggle (tables / %lld), %lld iters\n\n",
               static_cast<long long>(scale_div),
@@ -114,6 +121,13 @@ int main(int argc, char** argv) {
                   static_cast<long long>(rb.clipped_steps),
                   static_cast<long long>(rb.rollbacks),
                   static_cast<long long>(rb.clamped_lookups));
+    }
+    if (r.prefetched_rows > 0) {
+      std::printf("%-12s   lookahead %lld: %lld rows prefetched, %.1f ms "
+                  "prefetch time\n",
+                  "", static_cast<long long>(lookahead),
+                  static_cast<long long>(r.prefetched_rows),
+                  1000.0 * r.prefetch_seconds);
     }
     if (rb.checkpoints_written > 0) {
       std::printf("%-12s   checkpoints: %lld written, %.1f ms overhead "

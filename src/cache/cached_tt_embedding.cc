@@ -1,6 +1,8 @@
 #include "cache/cached_tt_embedding.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "obs/trace.h"
 #include "tensor/check.h"
@@ -81,6 +83,64 @@ void CachedTtEmbeddingBag::RefreshCache() {
   ++refreshes_;
 }
 
+int64_t CachedTtEmbeddingBag::PrefetchRows(std::span<const int64_t> rows) {
+  TTREC_TRACE_SCOPE("cache.prefetch");
+  ++prefetch_calls_;
+  // Validate and dedup into sorted order before any mutation.
+  std::vector<int64_t> wanted(rows.begin(), rows.end());
+  std::sort(wanted.begin(), wanted.end());
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+  for (const int64_t row : wanted) {
+    TTREC_CHECK_INDEX(row >= 0 && row < num_rows(),
+                      "CachedTtEmbeddingBag::PrefetchRows: row ", row,
+                      " out of range [0, ", num_rows(), ")");
+  }
+
+  std::vector<int64_t> missing;
+  for (const int64_t row : wanted) {
+    if (!cache_.Contains(row)) missing.push_back(row);
+  }
+  if (missing.empty()) return 0;
+
+  // Make room by evicting the coldest residents that the plan does not
+  // want. (count, row) ordering makes the victim set deterministic; a
+  // frozen post-warm-up tracker gives every resident count 0, so victims
+  // fall back to ascending row id — still deterministic, still rows the
+  // upcoming batch will not touch.
+  const int64_t free_slots = cache_.capacity() - cache_.size();
+  int64_t need = static_cast<int64_t>(missing.size()) - free_slots;
+  if (need > 0) {
+    std::vector<std::pair<int64_t, int64_t>> victims;  // (count, row)
+    for (const int64_t row : cache_.CachedRows()) {
+      if (!std::binary_search(wanted.begin(), wanted.end(), row)) {
+        victims.emplace_back(tracker_.Count(row), row);
+      }
+    }
+    std::sort(victims.begin(), victims.end());
+    const size_t evict = std::min(static_cast<size_t>(need), victims.size());
+    for (size_t v = 0; v < evict; ++v) {
+      cache_.Erase(victims[v].second);
+      ++prefetch_evictions_;
+    }
+  }
+
+  // Admit whatever now fits, hottest-independent (sorted row order — the
+  // plan is a set, not a ranking). A plan larger than the whole cache
+  // simply fills it; the overflow keeps going through the TT path.
+  int64_t budget = cache_.capacity() - cache_.size();
+  if (budget <= 0) return 0;
+  if (static_cast<int64_t>(missing.size()) > budget) {
+    missing.resize(static_cast<size_t>(budget));
+  }
+  const Tensor values = tt_.cores().MaterializeRows(missing);
+  const int64_t N = emb_dim();
+  for (size_t i = 0; i < missing.size(); ++i) {
+    cache_.Insert(missing[i], values.data() + static_cast<int64_t>(i) * N);
+  }
+  prefetch_inserts_ += static_cast<int64_t>(missing.size());
+  return static_cast<int64_t>(missing.size());
+}
+
 void CachedTtEmbeddingBag::CollectStats(obs::MetricRegistry& reg) const {
   // Published through StatPublisher so repeated collections into the same
   // registry are idempotent: the sources below are cumulative totals, and a
@@ -93,6 +153,9 @@ void CachedTtEmbeddingBag::CollectStats(obs::MetricRegistry& reg) const {
   p.Counter(reg, "cache.refreshes", refreshes_);
   p.Counter(reg, "cache.decay_rebuilds", tracker_.decay_rebuilds());
   p.Counter(reg, "cache.resizes", resizes_);
+  p.Counter(reg, "cache.prefetch_calls", prefetch_calls_);
+  p.Counter(reg, "cache.prefetch_inserts", prefetch_inserts_);
+  p.Counter(reg, "cache.prefetch_evictions", prefetch_evictions_);
   p.Gauge(reg, "cache.rows_resident", static_cast<double>(cache_.size()));
   p.Gauge(reg, "cache.rows_capacity", static_cast<double>(cache_.capacity()));
   const TtEmbeddingStats& tt = tt_.stats();

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "cache/freq_tracker.h"
 #include "cache/lfu_cache.h"
@@ -122,6 +123,32 @@ class CachedTtEmbeddingBag {
   /// materialized from the TT cores). Normally driven by Forward.
   void RefreshCache();
 
+  /// Lookahead admission (BagPipe-style; the DeepRec add_to_prefetch_list
+  /// shape): makes the given rows resident ahead of the batch that will
+  /// touch them, so that batch's lookups hit instead of decoding TT chains.
+  /// Rows already resident are left exactly as they are (learned values
+  /// intact). Missing rows are materialized from the TT cores in one batch
+  /// and admitted into free slots; when the cache is full, the coldest
+  /// resident rows *not in `rows`* (by tracker count, ties on smaller row
+  /// id — fully deterministic) are evicted to make room, never more than
+  /// needed. Rows the victim scan cannot make room for are skipped. The
+  /// tracker is NOT fed here — prefetch is a hint about the future, not an
+  /// observed access. Returns the number of rows admitted.
+  ///
+  /// Determinism: given the same cache/tracker state and the same `rows`,
+  /// the resulting resident set and values are identical — the pipelined
+  /// trainer calls this at fixed schedule points on the compute thread, so
+  /// results stay bitwise reproducible at any thread count.
+  /// Must be called between steps (exclusive access, no pending gradients
+  /// on the evicted rows' slots — in TrainDlrm that is any step boundary).
+  /// Throws IndexError (before any mutation) if a row is out of range.
+  int64_t PrefetchRows(std::span<const int64_t> rows);
+
+  /// PrefetchRows calls / rows admitted / rows evicted to make room.
+  int64_t prefetch_calls() const { return prefetch_calls_; }
+  int64_t prefetch_inserts() const { return prefetch_inserts_; }
+  int64_t prefetch_evictions() const { return prefetch_evictions_; }
+
   /// Changes the cache capacity in place — the CacheManager's global
   /// re-apportionment path. The new row set is the frequency tracker's
   /// top-`new_capacity` (falling back to the currently resident rows,
@@ -195,6 +222,9 @@ class CachedTtEmbeddingBag {
   int64_t rewarm_until_ = -1;  // end of the current re-warm window
   int64_t refreshes_ = 0;
   int64_t resizes_ = 0;
+  int64_t prefetch_calls_ = 0;
+  int64_t prefetch_inserts_ = 0;
+  int64_t prefetch_evictions_ = 0;
   obs::StatPublisher stats_publisher_;
   std::vector<CacheHit> hit_scratch_;
 };

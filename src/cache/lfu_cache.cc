@@ -140,6 +140,88 @@ void LfuRowCache::Populate(std::span<const int64_t> rows,
   PopulateImpl(capacity_, rows, values);
 }
 
+void LfuRowCache::Insert(int64_t row, const float* value) {
+  TTREC_CHECK_INDEX(row >= 0, "LfuRowCache::Insert: negative row id ", row);
+  TTREC_CHECK_CONFIG(size() < capacity_,
+                     "LfuRowCache::Insert: cache full (", capacity_,
+                     " rows); Erase one first");
+  TTREC_CHECK_CONFIG(SlotOf(row) < 0, "LfuRowCache::Insert: row ", row,
+                     " already resident");
+  const int64_t slot = static_cast<int64_t>(rows_.size());
+  rows_.push_back(row);
+  std::memcpy(values_.data() + slot * emb_dim_, value,
+              static_cast<size_t>(emb_dim_) * sizeof(float));
+  std::fill_n(grads_.data() + slot * emb_dim_, emb_dim_, 0.0f);
+  if (!adagrad_.empty()) {
+    std::fill_n(adagrad_.data() + slot * emb_dim_, emb_dim_, 0.0f);
+  }
+  const size_t mask = map_keys_.size() - 1;
+  size_t i = static_cast<size_t>(HashKey(row)) & mask;
+  while (map_keys_[i] != -1) i = (i + 1) & mask;
+  map_keys_[i] = row;
+  map_slots_[i] = slot;
+}
+
+void LfuRowCache::Erase(int64_t row) {
+  const size_t mask = map_keys_.size() - 1;
+  size_t i = static_cast<size_t>(HashKey(row)) & mask;
+  while (map_keys_[i] != row) {
+    TTREC_CHECK_CONFIG(map_keys_[i] != -1, "LfuRowCache::Erase: row ", row,
+                       " not resident");
+    i = (i + 1) & mask;
+  }
+  const int64_t slot = map_slots_[i];
+  const int64_t last = static_cast<int64_t>(rows_.size()) - 1;
+
+  // Backward-shift deletion (Knuth 6.4R): refill the hole so linear
+  // probing never crosses a tombstone — the map stays tombstone-free, which
+  // SlotOf's termination condition (first empty cell) depends on.
+  size_t hole = i;
+  size_t j = i;
+  while (true) {
+    map_keys_[hole] = -1;
+    map_slots_[hole] = -1;
+    while (true) {
+      j = (j + 1) & mask;
+      if (map_keys_[j] == -1) goto map_done;
+      const size_t ideal = static_cast<size_t>(HashKey(map_keys_[j])) & mask;
+      // Move j's entry back iff the hole lies cyclically within
+      // [ideal, j) — i.e. the probe from its ideal cell would hit the hole
+      // before reaching j.
+      const bool hole_in_range = hole <= j ? (ideal <= hole || ideal > j)
+                                           : (ideal <= hole && ideal > j);
+      if (hole_in_range) break;
+    }
+    map_keys_[hole] = map_keys_[j];
+    map_slots_[hole] = map_slots_[j];
+    hole = j;
+  }
+map_done:
+
+  // Compact the slot arrays: move the last slot's row into the vacated
+  // slot (carrying its value, gradient, and Adagrad state), then shrink.
+  if (slot != last) {
+    const int64_t moved_row = rows_[static_cast<size_t>(last)];
+    rows_[static_cast<size_t>(slot)] = moved_row;
+    std::memcpy(values_.data() + slot * emb_dim_,
+                values_.data() + last * emb_dim_,
+                static_cast<size_t>(emb_dim_) * sizeof(float));
+    std::memcpy(grads_.data() + slot * emb_dim_,
+                grads_.data() + last * emb_dim_,
+                static_cast<size_t>(emb_dim_) * sizeof(float));
+    if (!adagrad_.empty()) {
+      std::memcpy(adagrad_.data() + slot * emb_dim_,
+                  adagrad_.data() + last * emb_dim_,
+                  static_cast<size_t>(emb_dim_) * sizeof(float));
+    }
+    size_t m = static_cast<size_t>(HashKey(moved_row)) & mask;
+    while (map_keys_[m] != moved_row) m = (m + 1) & mask;
+    map_slots_[m] = slot;
+  }
+  rows_.pop_back();
+  ++evictions_;
+}
+
 void LfuRowCache::Resize(int64_t new_capacity, std::span<const int64_t> rows,
                          const float* values) {
   TTREC_CHECK_CONFIG(new_capacity >= 1,

@@ -60,6 +60,24 @@ class LfuRowCache {
   /// eviction discards learned weights by design.
   void Populate(std::span<const int64_t> rows, const float* values);
 
+  /// Incrementally admits one row with its vector (`emb_dim` floats) into a
+  /// free slot — the lookahead-prefetch path, where repopulating the whole
+  /// cache per plan would reset every resident row's gradients and Adagrad
+  /// state. The new row's gradient (and Adagrad, when active) slot is
+  /// zeroed; every other slot is untouched. Throws ConfigError when the
+  /// cache is full or the row is already resident, IndexError on a negative
+  /// id — all before any state changes. Exclusive-access phase only.
+  void Insert(int64_t row, const float* value);
+
+  /// Incrementally evicts one resident row, discarding its learned weights
+  /// (counted in evictions()). Other rows keep values, gradients, and
+  /// Adagrad state. Throws ConfigError when the row is not resident.
+  /// Exclusive-access phase only.
+  void Erase(int64_t row);
+
+  /// Whether `row` is resident, without touching the hit/miss statistics.
+  bool Contains(int64_t row) const { return SlotOf(row) >= 0; }
+
   /// Changes the capacity and atomically repopulates with `rows`/`values`
   /// (rows.size() <= new_capacity) — the CacheManager's re-apportionment
   /// path. Same validation-before-mutation contract as Populate.

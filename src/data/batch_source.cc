@@ -1,0 +1,108 @@
+#include "data/batch_source.h"
+
+#include <utility>
+
+#include "tensor/check.h"
+#include "tensor/serialize.h"
+
+namespace ttrec {
+
+TraceReplaySource::TraceReplaySource(std::vector<MiniBatch> train,
+                                     std::vector<MiniBatch> eval, bool loop)
+    : train_(std::move(train)), eval_(std::move(eval)), loop_(loop) {
+  TTREC_CHECK_CONFIG(!train_.empty(),
+                     "TraceReplaySource: need at least one recorded batch");
+  const size_t tables = train_.front().sparse.size();
+  TTREC_CHECK_CONFIG(tables > 0,
+                     "TraceReplaySource: recorded batches have no tables");
+  for (const MiniBatch& b : train_) {
+    TTREC_CHECK_CONFIG(b.sparse.size() == tables,
+                       "TraceReplaySource: inconsistent table count across "
+                       "recorded batches (", b.sparse.size(), " vs ", tables,
+                       ")");
+  }
+  for (const MiniBatch& b : eval_) {
+    TTREC_CHECK_CONFIG(b.sparse.size() == tables,
+                       "TraceReplaySource: eval batch table count ",
+                       b.sparse.size(), " does not match trace (", tables,
+                       ")");
+  }
+}
+
+TraceReplaySource TraceReplaySource::Record(BatchSource& source,
+                                            int64_t train_batches,
+                                            int64_t train_batch_size,
+                                            int64_t eval_batches,
+                                            int64_t eval_batch_size) {
+  TTREC_CHECK_CONFIG(train_batches >= 1,
+                     "TraceReplaySource::Record: need >= 1 training batch");
+  TTREC_CHECK_CONFIG(eval_batches >= 0,
+                     "TraceReplaySource::Record: eval_batches must be >= 0");
+  std::vector<MiniBatch> train;
+  train.reserve(static_cast<size_t>(train_batches));
+  for (int64_t i = 0; i < train_batches; ++i) {
+    train.push_back(source.NextBatch(train_batch_size));
+  }
+  std::vector<MiniBatch> eval;
+  eval.reserve(static_cast<size_t>(eval_batches));
+  for (int64_t i = 0; i < eval_batches; ++i) {
+    eval.push_back(
+        source.EvalBatch(eval_batch_size, static_cast<uint64_t>(i + 1)));
+  }
+  return TraceReplaySource(std::move(train), std::move(eval));
+}
+
+int TraceReplaySource::num_tables() const {
+  return static_cast<int>(train_.front().sparse.size());
+}
+
+MiniBatch TraceReplaySource::NextBatch(int64_t batch_size) {
+  if (cursor_ >= static_cast<int64_t>(train_.size())) {
+    TTREC_CHECK_CONFIG(loop_, "TraceReplaySource: trace exhausted after ",
+                       train_.size(),
+                       " batches (construct with loop=true to wrap)");
+    cursor_ = 0;
+  }
+  const MiniBatch& rec = train_[static_cast<size_t>(cursor_)];
+  TTREC_CHECK_CONFIG(rec.batch_size() == batch_size,
+                     "TraceReplaySource: requested batch size ", batch_size,
+                     " but batch ", cursor_, " was recorded with ",
+                     rec.batch_size());
+  ++cursor_;
+  MiniBatch out;
+  out.dense = rec.dense;
+  out.sparse = rec.sparse;
+  out.labels = rec.labels;
+  return out;
+}
+
+MiniBatch TraceReplaySource::EvalBatch(int64_t /*batch_size*/,
+                                       uint64_t eval_seed) const {
+  TTREC_CHECK_CONFIG(!eval_.empty(),
+                     "TraceReplaySource: no eval batches were recorded");
+  // Record() stores the batch for eval_seed s at slot s-1 (MakeEvalSet uses
+  // seeds 1..N), so seed s maps back to its own recording; other seeds wrap.
+  const size_t n = eval_.size();
+  const MiniBatch& rec =
+      eval_[static_cast<size_t>((eval_seed + n - 1) % n)];
+  MiniBatch out;
+  out.dense = rec.dense;
+  out.sparse = rec.sparse;
+  out.labels = rec.labels;
+  return out;
+}
+
+void TraceReplaySource::SaveState(BinaryWriter& w) const {
+  w.WriteI64(cursor_);
+}
+
+void TraceReplaySource::LoadState(BinaryReader& r) {
+  const int64_t cursor = r.ReadI64();
+  TTREC_CHECK_CONFIG(
+      cursor >= 0 && cursor <= static_cast<int64_t>(train_.size()),
+      "TraceReplaySource::LoadState: cursor ", cursor,
+      " outside recorded trace of ", train_.size(), " batches");
+  cursor_ = cursor;
+}
+
+}  // namespace ttrec

@@ -1,0 +1,105 @@
+// BatchSource: the one contract every batch producer speaks.
+//
+// The trainer used to be hard-wired to SyntheticCriteo&. That worked until
+// there were three producers — the synthetic Criteo stream, the skew-shift
+// scenario, and recorded-trace replay — and a pipelined trainer that needs
+// a single point to look ahead in (dlrm/train_stages.h). BatchSource is
+// that point: a stateful training stream (NextBatch), a deterministic
+// held-out stream (EvalBatch), and a serializable cursor (SaveState /
+// LoadState) so checkpoint-resume replays the exact batches an
+// uninterrupted run would have produced.
+//
+// Contract:
+//  - NextBatch advances the stream; two sources constructed identically
+//    and stepped identically produce bitwise-identical batches. Generation
+//    must not depend on model or cache state (the lookahead stage may call
+//    it K batches early, possibly from its own thread — but never
+//    concurrently with other calls on the same source).
+//  - EvalBatch is const and derived from `eval_seed` only: calling it any
+//    number of times, at any point, never perturbs the training stream.
+//  - SaveState/LoadState (de)serialize the training cursor only. The
+//    restoring process constructs the source with the same config; the
+//    payload is whatever the source needs to resume the stream exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/csr_batch.h"
+#include "tensor/tensor.h"
+
+namespace ttrec {
+
+class BinaryWriter;
+class BinaryReader;
+
+/// One minibatch: dense features, per-table index bags, labels in {0,1}.
+struct MiniBatch {
+  Tensor dense;                  // batch x num_dense
+  std::vector<CsrBatch> sparse;  // one CsrBatch per table, batch bags each
+  std::vector<float> labels;     // batch
+  int64_t batch_size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  virtual int num_tables() const = 0;
+
+  /// Generates the next training minibatch (stateful stream).
+  virtual MiniBatch NextBatch(int64_t batch_size) = 0;
+
+  /// Generates a held-out evaluation batch; deterministic per `eval_seed`,
+  /// disjoint from (and side-effect-free on) the training stream.
+  virtual MiniBatch EvalBatch(int64_t batch_size,
+                              uint64_t eval_seed = 1) const = 0;
+
+  /// Serializes / restores the training-stream cursor (see the contract
+  /// above). Used by dlrm/checkpoint.h to make resumed runs replay the
+  /// exact batch stream.
+  virtual void SaveState(BinaryWriter& w) const = 0;
+  virtual void LoadState(BinaryReader& r) = 0;
+};
+
+/// Replays a pre-recorded sequence of minibatches — the third producer the
+/// trainer understands, and the bridge from captured production traffic (or
+/// any other source, via Record) back into training. The cursor is the
+/// position in the recorded train sequence; Save/Load persist it, so a
+/// resumed replay continues mid-trace.
+class TraceReplaySource : public BatchSource {
+ public:
+  /// `train` is replayed by NextBatch in order; when `loop` is true the
+  /// cursor wraps, otherwise running past the end throws ConfigError.
+  /// `eval` backs EvalBatch (indexed by eval_seed); it may be empty if the
+  /// consumer never evaluates.
+  TraceReplaySource(std::vector<MiniBatch> train, std::vector<MiniBatch> eval,
+                    bool loop = true);
+
+  /// Records `train_batches` + `eval_batches` batches from `source` into a
+  /// replayable trace. Advances `source`'s training stream.
+  static TraceReplaySource Record(BatchSource& source, int64_t train_batches,
+                                  int64_t train_batch_size,
+                                  int64_t eval_batches,
+                                  int64_t eval_batch_size);
+
+  int num_tables() const override;
+  /// Returns the next recorded batch. `batch_size` must match the recorded
+  /// batch's size — a mismatch means the consumer config disagrees with the
+  /// trace and throws ConfigError rather than silently truncating.
+  MiniBatch NextBatch(int64_t batch_size) override;
+  MiniBatch EvalBatch(int64_t batch_size, uint64_t eval_seed) const override;
+  void SaveState(BinaryWriter& w) const override;
+  void LoadState(BinaryReader& r) override;
+
+  int64_t cursor() const { return cursor_; }
+  int64_t train_size() const { return static_cast<int64_t>(train_.size()); }
+
+ private:
+  std::vector<MiniBatch> train_;
+  std::vector<MiniBatch> eval_;
+  bool loop_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace ttrec

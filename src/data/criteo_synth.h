@@ -18,23 +18,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/batch_source.h"
 #include "data/csr_batch.h"
 #include "data/table_specs.h"
 #include "tensor/random.h"
 #include "tensor/tensor.h"
 
 namespace ttrec {
-
-class BinaryWriter;
-class BinaryReader;
-
-/// One minibatch: dense features, per-table index bags, labels in {0,1}.
-struct MiniBatch {
-  Tensor dense;                  // batch x num_dense
-  std::vector<CsrBatch> sparse;  // one CsrBatch per table, batch bags each
-  std::vector<float> labels;     // batch
-  int64_t batch_size() const { return static_cast<int64_t>(labels.size()); }
-};
 
 struct SyntheticCriteoConfig {
   DatasetSpec spec;
@@ -51,19 +41,19 @@ struct SyntheticCriteoConfig {
   uint64_t seed = 0xC0FFEE;
 };
 
-class SyntheticCriteo {
+class SyntheticCriteo : public BatchSource {
  public:
   explicit SyntheticCriteo(SyntheticCriteoConfig config);
 
   const SyntheticCriteoConfig& config() const { return config_; }
-  int num_tables() const { return config_.spec.num_tables(); }
+  int num_tables() const override { return config_.spec.num_tables(); }
 
   /// Generates the next training minibatch (stateful stream).
-  MiniBatch NextBatch(int64_t batch_size);
+  MiniBatch NextBatch(int64_t batch_size) override;
 
   /// Generates a held-out evaluation batch; deterministic per `eval_seed`,
   /// disjoint stream from training.
-  MiniBatch EvalBatch(int64_t batch_size, uint64_t eval_seed = 1) const;
+  MiniBatch EvalBatch(int64_t batch_size, uint64_t eval_seed = 1) const override;
 
   /// The teacher's latent value for (table, row) in [-1, 1]; exposed for
   /// tests. Hash-derived, O(1), no storage.
@@ -79,8 +69,8 @@ class SyntheticCriteo {
   /// run would have produced. The dataset config itself is not persisted —
   /// the restoring process must construct the generator with the same
   /// SyntheticCriteoConfig.
-  void SaveState(BinaryWriter& w) const;
-  void LoadState(BinaryReader& r);
+  void SaveState(BinaryWriter& w) const override;
+  void LoadState(BinaryReader& r) override;
 
  private:
   MiniBatch Generate(int64_t batch_size, Rng& rng) const;

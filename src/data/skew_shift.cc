@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/check.h"
+#include "tensor/serialize.h"
 
 namespace ttrec {
 
@@ -91,6 +92,27 @@ std::vector<CsrBatch> SkewShiftScenario::NextBatch() {
   }
   ++iteration_;
   return out;
+}
+
+void SkewShiftScenario::SaveState(BinaryWriter& w) const {
+  w.WriteI64(iteration_);
+  uint64_t s[4];
+  rng_.GetState(s);
+  for (uint64_t word : s) w.WriteI64(static_cast<int64_t>(word));
+}
+
+void SkewShiftScenario::LoadState(BinaryReader& r) {
+  const int64_t iteration = r.ReadI64();
+  TTREC_CHECK_CONFIG(iteration >= 0,
+                     "SkewShiftScenario::LoadState: negative iteration ",
+                     iteration);
+  uint64_t s[4];
+  for (uint64_t& word : s) word = static_cast<uint64_t>(r.ReadI64());
+  iteration_ = iteration;
+  rng_.SetState(s);
+  // Shuffles and lookup splits are pure functions of (config, phase);
+  // re-derive them for the restored cursor's phase.
+  EnterPhase(phase());
 }
 
 }  // namespace ttrec

@@ -23,6 +23,9 @@
 
 namespace ttrec {
 
+class BinaryWriter;
+class BinaryReader;
+
 struct SkewShiftTableConfig {
   int64_t rows = 0;
   /// Zipf exponent of this table's index stream.
@@ -58,6 +61,19 @@ class SkewShiftScenario {
   /// (LookupsFor(t) Zipf-distributed indices each), applying the phase
   /// rotation/reshuffle at boundaries.
   std::vector<CsrBatch> NextBatch();
+
+  /// Replaces the sampling RNG without touching the phase machinery or the
+  /// rank->row bijections (those stay functions of config.seed). Lets a
+  /// held-out stream draw different indices from the *same* shuffled tables
+  /// as training — the property an eval set needs.
+  void ReseedStream(uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Serializes / restores the stream cursor (iteration counter + RNG).
+  /// The phase rotation and shuffles are reconstructed from the config on
+  /// load, so a restored scenario replays the exact iteration stream an
+  /// uninterrupted one would have produced.
+  void SaveState(BinaryWriter& w) const;
+  void LoadState(BinaryReader& r);
 
  private:
   void EnterPhase(int64_t phase);

@@ -1,0 +1,68 @@
+// BatchSource over the skew-shift scenario: full training minibatches
+// (dense features, per-table bags, teacher-derived labels) whose categorical
+// traffic rotates and reshuffles at phase boundaries.
+//
+// SkewShiftScenario produces raw per-iteration index bags for cache studies;
+// this wrapper turns each scenario iteration into one *sample* — so a batch
+// of B samples advances the scenario B iterations and phase boundaries land
+// mid-stream exactly as they do in the cache benches. Labels come from the
+// same planted hash-teacher construction as SyntheticCriteo (learnable,
+// never stored), which makes the scenario usable end-to-end in TrainDlrm:
+// the workload where lookahead prefetch must prove itself, because the hot
+// set keeps moving.
+#pragma once
+
+#include <cstdint>
+
+#include "data/batch_source.h"
+#include "data/skew_shift.h"
+#include "tensor/random.h"
+
+namespace ttrec {
+
+struct SkewShiftSourceConfig {
+  SkewShiftConfig scenario;
+  /// Dense features per sample (standard Criteo width is 13).
+  int64_t num_dense = 13;
+  /// Teacher signal strength; 0 gives pure-noise labels.
+  double teacher_scale = 2.0;
+  /// Label noise: probability of flipping the teacher's sampled label.
+  double label_flip_prob = 0.02;
+};
+
+class SkewShiftBatchSource : public BatchSource {
+ public:
+  explicit SkewShiftBatchSource(SkewShiftSourceConfig config);
+
+  const SkewShiftSourceConfig& config() const { return config_; }
+  const SkewShiftScenario& scenario() const { return scenario_; }
+  int num_tables() const override { return scenario_.num_tables(); }
+
+  /// One sample per scenario iteration: table t's bag holds the scenario's
+  /// LookupsFor(t) indices under the current phase rotation.
+  MiniBatch NextBatch(int64_t batch_size) override;
+
+  /// Held-out batch drawn from the phase-0 distribution through the same
+  /// rank->row bijections as training phase 0; deterministic per eval_seed,
+  /// no effect on the training stream.
+  MiniBatch EvalBatch(int64_t batch_size, uint64_t eval_seed) const override;
+
+  /// The teacher's latent value for (table, row) in [-1, 1]; hash-derived
+  /// from the scenario seed, O(1), no storage.
+  double TeacherValue(int table, int64_t row) const;
+
+  void SaveState(BinaryWriter& w) const override;
+  void LoadState(BinaryReader& r) override;
+
+ private:
+  MiniBatch Assemble(int64_t batch_size, SkewShiftScenario& scenario,
+                     Rng& label_rng) const;
+
+  SkewShiftSourceConfig config_;
+  SkewShiftScenario scenario_;
+  std::vector<double> table_weight_;  // teacher weight per table
+  std::vector<double> dense_weight_;  // teacher weight per dense feature
+  Rng label_rng_;
+};
+
+}  // namespace ttrec

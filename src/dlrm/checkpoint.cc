@@ -1,11 +1,13 @@
 #include "dlrm/checkpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <utility>
 
 #include "tensor/atomic_file.h"
@@ -21,9 +23,14 @@ constexpr uint32_t kNumSections = 4;
 constexpr const char* kSnapshotExt = ".ttsn";
 }  // namespace
 
-void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
-                          const SyntheticCriteo& data,
-                          const SnapshotMeta& meta) {
+namespace {
+
+/// Shared framing for both save flavors; `write_data` fills the "data"
+/// section (directly from the source, or spliced from a captured payload —
+/// identical bytes either way).
+template <typename WriteData>
+void SaveSnapshotImpl(std::ostream& os, const DlrmModel& model,
+                      const SnapshotMeta& meta, WriteData&& write_data) {
   BinaryWriter w(os);
   w.WriteU32(kSnapshotMagic);
   w.WriteU32(kSnapshotVersion);
@@ -39,13 +46,29 @@ void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
   model.SaveOptState(w);
   w.EndSection();
   w.BeginSection("data");
-  data.SaveState(w);
+  write_data(w);
   w.EndSection();
   w.Finish();
 }
 
+}  // namespace
+
+void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
+                          const BatchSource& data, const SnapshotMeta& meta) {
+  SaveSnapshotImpl(os, model, meta,
+                   [&](BinaryWriter& w) { data.SaveState(w); });
+}
+
+void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
+                          std::string_view data_state,
+                          const SnapshotMeta& meta) {
+  SaveSnapshotImpl(os, model, meta, [&](BinaryWriter& w) {
+    w.WriteBytes(data_state.data(), data_state.size());
+  });
+}
+
 SnapshotMeta LoadTrainingSnapshot(std::istream& is, DlrmModel& model,
-                                  SyntheticCriteo& data) {
+                                  BatchSource& data) {
   BinaryReader r(is);
   TTREC_CHECK(r.ReadU32() == kSnapshotMagic,
               "LoadTrainingSnapshot: bad magic (not a TTSN snapshot)");
@@ -77,7 +100,7 @@ SnapshotMeta LoadTrainingSnapshot(std::istream& is, DlrmModel& model,
 
 void SaveTrainingSnapshotToFile(const std::string& path,
                                 const DlrmModel& model,
-                                const SyntheticCriteo& data,
+                                const BatchSource& data,
                                 const SnapshotMeta& meta) {
   AtomicWriteFile(path, [&](std::ostream& os) {
     SaveTrainingSnapshot(os, model, data, meta);
@@ -89,7 +112,7 @@ void SaveTrainingSnapshotToFile(const std::string& path,
 
 SnapshotMeta LoadTrainingSnapshotFromFile(const std::string& path,
                                           DlrmModel& model,
-                                          SyntheticCriteo& data) {
+                                          BatchSource& data) {
   std::ifstream is(path, std::ios::binary);
   TTREC_CHECK(is.is_open(), "LoadTrainingSnapshotFromFile: cannot open ",
               path);
@@ -243,12 +266,122 @@ std::vector<std::string> CheckpointManager::ListSnapshots() const {
 }
 
 std::string CheckpointManager::Save(const DlrmModel& model,
-                                    const SyntheticCriteo& data,
+                                    const BatchSource& data,
                                     const SnapshotMeta& meta) {
   const std::string path = PathFor(meta.iteration);
   SaveTrainingSnapshotToFile(path, model, data, meta);
   Prune();
   return path;
+}
+
+std::string CheckpointManager::Save(const DlrmModel& model,
+                                    std::string_view data_state,
+                                    const SnapshotMeta& meta) {
+  const std::string path = PathFor(meta.iteration);
+  AtomicWriteFile(path, [&](std::ostream& os) {
+    SaveTrainingSnapshot(os, model, data_state, meta);
+    os.flush();
+    TTREC_CHECK(os.good(), "CheckpointManager::Save: write failed for ",
+                path);
+  });
+  Prune();
+  return path;
+}
+
+std::string CheckpointManager::SaveAsync(const DlrmModel& model,
+                                         std::string data_state,
+                                         const SnapshotMeta& meta) {
+  const std::string path = PathFor(meta.iteration);
+  // Serialize on the caller's thread: this is the part that must observe
+  // the model before the next optimizer step mutates it. The bytes then
+  // travel to the writer thread, which owns the fsync.
+  std::ostringstream buf;
+  SaveTrainingSnapshot(buf, model, std::string_view(data_state), meta);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_error_ != nullptr) {
+      std::exception_ptr err = std::exchange(writer_error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+    pending_.push_back(PendingWrite{path, std::move(buf).str()});
+    if (!writer_.joinable()) {
+      writer_ = std::thread([this] { WriterLoop(); });
+    }
+  }
+  work_cv_.notify_one();
+  return path;
+}
+
+void CheckpointManager::CommitBytes(const std::string& path,
+                                    const std::string& bytes) {
+  AtomicWriteFile(path, [&](std::ostream& os) {
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    TTREC_CHECK(os.good(), "CheckpointManager: async write failed for ",
+                path);
+  });
+  Prune();
+}
+
+void CheckpointManager::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_writer_ || !pending_.empty(); });
+    if (pending_.empty()) break;  // stop requested and queue drained
+    PendingWrite job = std::move(pending_.front());
+    pending_.pop_front();
+    writer_busy_ = true;
+    lock.unlock();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::exception_ptr failure;
+    try {
+      CommitBytes(job.path, job.bytes);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    lock.lock();
+    writer_busy_ = false;
+    background_seconds_ += seconds;
+    if (failure != nullptr) {
+      if (writer_error_ == nullptr) writer_error_ = failure;
+    } else {
+      ++async_completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void CheckpointManager::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_.empty() && !writer_busy_; });
+  if (writer_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(writer_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+int64_t CheckpointManager::async_writes_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return async_completed_;
+}
+
+double CheckpointManager::background_write_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return background_seconds_;
+}
+
+CheckpointManager::~CheckpointManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_writer_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
 }
 
 void CheckpointManager::Prune() {
@@ -261,8 +394,11 @@ void CheckpointManager::Prune() {
   }
 }
 
-bool CheckpointManager::RestoreLatest(DlrmModel& model, SyntheticCriteo& data,
+bool CheckpointManager::RestoreLatest(DlrmModel& model, BatchSource& data,
                                       SnapshotMeta* meta_out) {
+  // Queued async snapshots are part of "newest"; commit them first (and
+  // surface any background failure instead of silently restoring past it).
+  WaitIdle();
   skipped_.clear();
   std::vector<std::string> snaps = ListSnapshots();
   for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {

@@ -11,7 +11,7 @@
 //   section "meta"  : i64 iteration, string optimizer name
 //   section "model" : DlrmModel::SaveState payload
 //   section "optim" : DlrmModel::SaveOptState payload
-//   section "data"  : SyntheticCriteo::SaveState payload
+//   section "data"  : BatchSource::SaveState payload
 //   u64 FNV-1a whole-file trailer
 //
 // Each section is CRC32-framed (tensor/serialize.h), so VerifySnapshotFile
@@ -20,12 +20,18 @@
 // leaves the previous snapshot untouched.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <iosfwd>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
-#include "data/criteo_synth.h"
+#include "data/batch_source.h"
 #include "dlrm/model.h"
 
 namespace ttrec {
@@ -44,19 +50,27 @@ struct SnapshotMeta {
 /// callers wanting skip-and-continue semantics should pre-verify with
 /// VerifySnapshotFile (as CheckpointManager::RestoreLatest does).
 void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
-                          const SyntheticCriteo& data,
+                          const BatchSource& data, const SnapshotMeta& meta);
+/// Same file format, but the "data" section is spliced from a cursor
+/// payload captured earlier with BatchSource::SaveState into a separate
+/// BinaryWriter (the pipelined trainer's path: under lookahead the source
+/// has already advanced past the snapshot point, so the stage captures the
+/// cursor batch-by-batch and the snapshot embeds the right one). Produces
+/// bytes identical to the direct overload given the same cursor.
+void SaveTrainingSnapshot(std::ostream& os, const DlrmModel& model,
+                          std::string_view data_state,
                           const SnapshotMeta& meta);
 SnapshotMeta LoadTrainingSnapshot(std::istream& is, DlrmModel& model,
-                                  SyntheticCriteo& data);
+                                  BatchSource& data);
 
 /// File-level flavors; saving is atomic (temp + fsync + rename).
 void SaveTrainingSnapshotToFile(const std::string& path,
                                 const DlrmModel& model,
-                                const SyntheticCriteo& data,
+                                const BatchSource& data,
                                 const SnapshotMeta& meta);
 SnapshotMeta LoadTrainingSnapshotFromFile(const std::string& path,
                                           DlrmModel& model,
-                                          SyntheticCriteo& data);
+                                          BatchSource& data);
 
 struct SnapshotSectionInfo {
   std::string name;
@@ -109,9 +123,22 @@ struct CheckpointManagerConfig {
 /// Owns a directory of rotated snapshots: atomic saves, keep-last-K
 /// pruning, and restore-from-newest-valid (corrupt files are skipped, not
 /// fatal — that is the point of keeping more than one).
+///
+/// Saves come in two flavors. Save() serializes and writes on the calling
+/// thread. SaveAsync() serializes on the calling thread (the part that must
+/// see a quiescent model) but hands the bytes to a background writer thread
+/// for the fsync-heavy file I/O — the pipelined trainer's off-critical-path
+/// checkpoint. The writer preserves the same atomic temp+fsync+rename
+/// guarantees; WaitIdle() (called automatically by RestoreLatest and the
+/// destructor) drains it, and a background write failure is rethrown,
+/// typed, from the next WaitIdle/SaveAsync call.
 class CheckpointManager {
  public:
   explicit CheckpointManager(CheckpointManagerConfig config);
+  ~CheckpointManager();
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
 
   const CheckpointManagerConfig& config() const { return config_; }
 
@@ -120,14 +147,31 @@ class CheckpointManager {
 
   /// Atomically writes the snapshot for meta.iteration, prunes old files,
   /// and returns the path written.
-  std::string Save(const DlrmModel& model, const SyntheticCriteo& data,
+  std::string Save(const DlrmModel& model, const BatchSource& data,
                    const SnapshotMeta& meta);
+  /// Same, with a pre-captured data-stream cursor payload (see the
+  /// SaveTrainingSnapshot splice overload).
+  std::string Save(const DlrmModel& model, std::string_view data_state,
+                   const SnapshotMeta& meta);
+
+  /// Serializes the snapshot now, writes it on the background thread, and
+  /// returns the path it will land at. The model may mutate freely once
+  /// this returns. Requires a pre-captured cursor payload: under lookahead
+  /// the source has already moved on, and serializing it later would
+  /// checkpoint the wrong cursor.
+  std::string SaveAsync(const DlrmModel& model, std::string data_state,
+                        const SnapshotMeta& meta);
+
+  /// Blocks until every queued async write has been committed (or failed).
+  /// Rethrows the first background failure, if any.
+  void WaitIdle();
 
   /// Restores the newest snapshot that passes full verification AND loads
   /// cleanly; anything corrupt, truncated, or mismatched is skipped (see
   /// skipped()). Returns false when no usable snapshot exists — the model
-  /// and data stream are untouched in that case.
-  bool RestoreLatest(DlrmModel& model, SyntheticCriteo& data,
+  /// and data stream are untouched in that case. Drains pending async
+  /// writes first, so "newest" includes everything already queued.
+  bool RestoreLatest(DlrmModel& model, BatchSource& data,
                      SnapshotMeta* meta_out = nullptr);
 
   /// Snapshot paths in this manager's directory, ascending by iteration.
@@ -137,11 +181,35 @@ class CheckpointManager {
   /// RestoreLatest had to skip.
   const std::vector<std::string>& skipped() const { return skipped_; }
 
+  /// Completed SaveAsync file writes, and the wall-clock the background
+  /// thread spent writing them (the cost TrainDlrm keeps off its critical
+  /// path).
+  int64_t async_writes_completed() const;
+  double background_write_seconds() const;
+
  private:
   void Prune();
+  void WriterLoop();
+  void CommitBytes(const std::string& path, const std::string& bytes);
 
   CheckpointManagerConfig config_;
   std::vector<std::string> skipped_;
+
+  struct PendingWrite {
+    std::string path;
+    std::string bytes;
+  };
+  // Background writer state; the thread starts on first SaveAsync.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<PendingWrite> pending_;
+  std::exception_ptr writer_error_;
+  std::thread writer_;
+  bool writer_busy_ = false;
+  bool stop_writer_ = false;
+  int64_t async_completed_ = 0;
+  double background_seconds_ = 0.0;
 };
 
 }  // namespace ttrec

@@ -1,7 +1,16 @@
-// Training-loop driver: runs SGD over the synthetic Criteo stream, tracks
+// Training-loop driver: runs SGD over any BatchSource (the synthetic
+// Criteo stream, the skew-shift scenario, recorded-trace replay), tracks
 // loss history and wall-clock time, and evaluates on held-out batches —
 // producing exactly the (accuracy, loss, time, memory) tuples the paper's
 // evaluation section plots.
+//
+// The loop is a staged pipeline (dlrm/train_stages.h, DESIGN.md §4.15): a
+// lookahead stage runs up to `lookahead_depth` batches ahead of the
+// optimizer, pre-assembling batches (on its own thread when
+// `lookahead_threaded`) and pre-populating the LFU caches with the rows
+// future batches will touch, and checkpoints can move their file I/O to a
+// background writer (`async_checkpoint`). At depth 0 it degenerates to the
+// classic synchronous loop, bit for bit.
 //
 // The loop is fault-tolerant: per-step guards (non-finite loss/gradient
 // detection, gradient clipping, loss-spike skip), periodic full-training-
@@ -15,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "data/batch_source.h"
 #include "data/criteo_synth.h"
 #include "dlrm/model.h"
 #include "dlrm/optimizer.h"
@@ -73,6 +83,26 @@ struct TrainConfig {
   int64_t cache_budget_bytes = 0;
   int64_t cache_retune_interval = 0;
 
+  /// Lookahead depth K of the staged pipeline: before step `it` runs, the
+  /// batches up to `it + K` have been generated and their prefetch plans
+  /// applied to the caches. 0 = the classic synchronous loop (no thread,
+  /// no plans). Depth is a *semantic* knob, like cache capacity: raising
+  /// it changes which rows are resident when a batch arrives (more hits,
+  /// fewer TT decodes), so results differ *across* depths — while for any
+  /// fixed depth, execution strategy (threaded on/off, any num_threads) is
+  /// bitwise irrelevant. DESIGN.md §4.15 has the staleness-freedom
+  /// argument.
+  int64_t lookahead_depth = 0;
+  /// Run batch generation on a producer thread (depth >= 1 only). Purely a
+  /// throughput knob: the same staged schedule executed inline yields
+  /// bitwise-identical results.
+  bool lookahead_threaded = true;
+  /// Apply each staged batch's row plan to every cache-backed table
+  /// (CachedTtEmbeddingBag::PrefetchRows) before the step that consumes
+  /// it. Only meaningful at depth >= 1; inert for models with no cached
+  /// tables.
+  bool prefetch_cache = true;
+
   /// Snapshot the full training state every N iterations (0 = never);
   /// requires checkpoint_dir.
   int64_t checkpoint_every = 0;
@@ -82,6 +112,17 @@ struct TrainConfig {
   /// checkpoint_dir (no-op when none exists). A resumed run replays the
   /// exact batch stream of an uninterrupted one.
   bool resume = false;
+  /// Move snapshot file I/O (the fsync-heavy half) to a background writer
+  /// thread. Serialization still happens at the step boundary, so the
+  /// snapshot bytes are identical to a synchronous save; only the wall
+  /// clock moves. Requires checkpoint_every > 0.
+  bool async_checkpoint = false;
+
+  /// Throws ConfigError on any invalid value or inconsistent combination
+  /// (both-or-neither knob pairs, fault policies without their
+  /// prerequisites). TrainDlrm calls this first; exposed so benches and
+  /// config loaders can fail fast before building a model.
+  void Validate() const;
 
   /// Observability: when set, the trainer publishes into this registry as
   /// it runs — per-iteration histograms (train.step_us, train.data_us,
@@ -118,10 +159,23 @@ struct TrainResult {
   std::vector<double> loss_history;  // sampled every log_every iterations
   EvalMetrics final_eval;
   double train_seconds = 0.0;        // excluding data generation and eval
+  /// Wall-clock the compute stage spent acquiring batches: generation when
+  /// synchronous, waiting on the producer when pipelined — the overlap win
+  /// shows up as this shrinking while train_seconds holds.
   double data_seconds = 0.0;
+  /// Wall-clock spent applying lookahead prefetch plans to the caches
+  /// (materializing TT rows ahead of their batch).
+  double prefetch_seconds = 0.0;
   /// Wall-clock spent writing (and, on resume, restoring) snapshots —
-  /// the checkpoint overhead to report against train_seconds.
+  /// the checkpoint overhead to report against train_seconds. With
+  /// async_checkpoint this is only the serialize half; the file I/O
+  /// lands in checkpoint_background_seconds instead.
   double checkpoint_seconds = 0.0;
+  /// Background-writer wall-clock for async snapshots (overlapped with
+  /// training, not part of the critical path).
+  double checkpoint_background_seconds = 0.0;
+  /// Rows admitted into embedding caches by lookahead prefetch.
+  int64_t prefetched_rows = 0;
   int64_t iterations = 0;
   /// First iteration this run actually executed (> 0 after a resume).
   int64_t start_iteration = 0;
@@ -134,12 +188,15 @@ struct TrainResult {
 };
 
 /// Trains `model` on batches from `data` and returns the result summary.
-TrainResult TrainDlrm(DlrmModel& model, SyntheticCriteo& data,
+/// Accepts any BatchSource — SyntheticCriteo, SkewShiftBatchSource,
+/// TraceReplaySource — so existing SyntheticCriteo call sites pass their
+/// generator unchanged.
+TrainResult TrainDlrm(DlrmModel& model, BatchSource& data,
                       const TrainConfig& config);
 
 /// Builds the standard held-out evaluation set used by TrainDlrm (exposed
 /// so sweeps can evaluate multiple models on identical data).
-std::vector<MiniBatch> MakeEvalSet(const SyntheticCriteo& data,
+std::vector<MiniBatch> MakeEvalSet(const BatchSource& data,
                                    const TrainConfig& config);
 
 }  // namespace ttrec

@@ -81,6 +81,10 @@ void BinaryWriter::WriteFloats(const float* data, size_t count) {
   if (count > 0) WriteRaw(data, count * sizeof(float));
 }
 
+void BinaryWriter::WriteBytes(const void* data, size_t bytes) {
+  if (bytes > 0) WriteRaw(data, bytes);
+}
+
 void BinaryWriter::WriteString(const std::string& s) {
   WriteI64(static_cast<int64_t>(s.size()));
   if (!s.empty()) WriteRaw(s.data(), s.size());

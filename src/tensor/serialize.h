@@ -44,6 +44,15 @@ class BinaryWriter {
   void WriteFloats(const float* data, size_t count);
   void WriteString(const std::string& s);
 
+  /// Appends pre-serialized bytes verbatim — no length prefix, no framing.
+  /// The payload-splice path: a producer captures some state with its own
+  /// BinaryWriter into a buffer, and a later writer splices those bytes
+  /// into a section as if the original Write* calls had happened here
+  /// (dlrm/checkpoint.h uses this to embed a batch-stream cursor that was
+  /// captured earlier than the snapshot is assembled). The resulting file
+  /// bytes, CRCs, and trailer are identical to the direct-write path.
+  void WriteBytes(const void* data, size_t bytes);
+
   /// Begins a named, CRC32-protected section. Writes between BeginSection
   /// and EndSection are buffered; EndSection emits
   /// [name][i64 payload size][payload][u32 crc32] to the stream. Sections

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/cached_tt_embedding.h"
 #include "cache/freq_tracker.h"
@@ -537,6 +539,166 @@ TEST(CachedTtEmbeddingBag, RewarmWithUnalignedWarmupAndTrackingModes) {
     EXPECT_EQ(o.cached, (std::set<int64_t>{50, 51, 52, 53}))
         << "track_after_warmup=" << track;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental Insert/Erase (the lookahead-prefetch admission path)
+// ---------------------------------------------------------------------------
+
+TEST(LfuRowCache, InsertEraseFuzzMatchesReferenceMap) {
+  constexpr int64_t kCap = 16, kDim = 4, kRows = 100;
+  LfuRowCache cache(kCap, kDim);
+  std::unordered_map<int64_t, std::vector<float>> ref;
+  Rng rng(0xF022);
+
+  const auto vec_for = [](int64_t row) {
+    std::vector<float> v(kDim);
+    for (int64_t d = 0; d < kDim; ++d) {
+      v[static_cast<size_t>(d)] = static_cast<float>(row * 10 + d);
+    }
+    return v;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const int64_t row = rng.RandInt(kRows);
+    if (ref.contains(row)) {
+      cache.Erase(row);
+      ref.erase(row);
+    } else if (static_cast<int64_t>(ref.size()) < kCap) {
+      const std::vector<float> v = vec_for(row);
+      cache.Insert(row, v.data());
+      ref.emplace(row, v);
+    }
+    ASSERT_EQ(cache.size(), static_cast<int64_t>(ref.size()));
+    if (step % 100 == 0) {
+      for (const auto& [r, v] : ref) {
+        const float* got = cache.Peek(r);
+        ASSERT_NE(got, nullptr) << "row " << r << " lost at step " << step;
+        for (int64_t d = 0; d < kDim; ++d) {
+          ASSERT_EQ(got[d], v[static_cast<size_t>(d)]);
+        }
+      }
+      for (int64_t probe = 0; probe < kRows; ++probe) {
+        ASSERT_EQ(cache.Contains(probe), ref.contains(probe))
+            << "row " << probe << " at step " << step;
+      }
+    }
+  }
+  EXPECT_GT(cache.evictions(), 0);  // Erase counts as eviction
+}
+
+TEST(LfuRowCache, InsertAndEraseValidateBeforeMutation) {
+  LfuRowCache cache(2, 4);
+  const std::vector<float> v(4, 1.0f);
+  cache.Insert(5, v.data());
+  EXPECT_THROW(cache.Insert(5, v.data()), ConfigError);   // already resident
+  EXPECT_THROW(cache.Insert(-1, v.data()), IndexError);   // negative id
+  cache.Insert(9, v.data());
+  EXPECT_THROW(cache.Insert(7, v.data()), ConfigError);   // full
+  EXPECT_THROW(cache.Erase(7), ConfigError);              // not resident
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_TRUE(cache.Contains(5));
+  EXPECT_TRUE(cache.Contains(9));
+}
+
+TEST(LfuRowCache, EraseKeepsSurvivorsValuesGradsAndAdagradState) {
+  // Adagrad math is slot-independent, so a cache that held {10,20,30} and
+  // erased 10 must update {20,30} exactly like a cache that only ever held
+  // {20,30} with the same gradient history — which is only true if Erase's
+  // slot compaction carries values, grads, AND adagrad state along.
+  constexpr int64_t kDim = 4;
+  const auto grad_fill = [](LfuRowCache& c, int64_t row, float g) {
+    float* grad = c.GradFor(row);
+    ASSERT_NE(grad, nullptr);
+    for (int64_t d = 0; d < kDim; ++d) grad[d] = g;
+  };
+  const std::vector<float> base(kDim, 1.0f);
+
+  LfuRowCache a(3, kDim);
+  for (const int64_t r : {10, 20, 30}) a.Insert(r, base.data());
+  grad_fill(a, 10, 5.0f);
+  grad_fill(a, 20, 2.0f);
+  grad_fill(a, 30, 3.0f);
+  a.ApplyAdagrad(0.1f);
+  a.Erase(10);
+  grad_fill(a, 20, 2.0f);
+  grad_fill(a, 30, 3.0f);
+  a.ApplyAdagrad(0.1f);
+
+  LfuRowCache b(3, kDim);
+  for (const int64_t r : {20, 30}) b.Insert(r, base.data());
+  grad_fill(b, 20, 2.0f);
+  grad_fill(b, 30, 3.0f);
+  b.ApplyAdagrad(0.1f);
+  grad_fill(b, 20, 2.0f);
+  grad_fill(b, 30, 3.0f);
+  b.ApplyAdagrad(0.1f);
+
+  for (const int64_t r : {20, 30}) {
+    const float* va = a.Peek(r);
+    const float* vb = b.Peek(r);
+    for (int64_t d = 0; d < kDim; ++d) EXPECT_EQ(va[d], vb[d]) << "row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CachedTtEmbeddingBag::PrefetchRows
+// ---------------------------------------------------------------------------
+
+TEST(CachedTtEmbeddingBag, PrefetchAdmitsPlannedRowsDeterministically) {
+  Rng rng(33);
+  // warmup 0: the cache is frozen from the start, so no refresh can undo
+  // what prefetch admitted.
+  CachedTtEmbeddingBag emb(SmallCachedConfig(/*capacity=*/4, /*warmup=*/0),
+                           TtInit::kGaussian, rng);
+  const std::vector<int64_t> plan = {1, 5, 9, 3, 5, 1};  // dups welcome
+  EXPECT_EQ(emb.PrefetchRows(plan), 4);
+  for (const int64_t r : {1, 3, 5, 9}) EXPECT_TRUE(emb.cache().Contains(r));
+  EXPECT_EQ(emb.PrefetchRows(plan), 0);  // idempotent on a satisfied plan
+  EXPECT_EQ(emb.prefetch_calls(), 2);
+  EXPECT_EQ(emb.prefetch_inserts(), 4);
+  EXPECT_EQ(emb.prefetch_evictions(), 0);
+
+  // Full cache: planned residents {1,3} are protected; the other residents
+  // {5,9} are the victims (tracker is empty, ties break on row id) — and a
+  // plan bigger than the freed room admits in sorted row order.
+  EXPECT_EQ(emb.PrefetchRows(std::vector<int64_t>{1, 3, 20, 21, 22}), 2);
+  const auto rows = emb.cache().CachedRows();
+  EXPECT_EQ(std::set<int64_t>(rows.begin(), rows.end()),
+            (std::set<int64_t>{1, 3, 20, 21}));
+  EXPECT_EQ(emb.prefetch_evictions(), 2);
+}
+
+TEST(CachedTtEmbeddingBag, PrefetchedRowsServeAsExactCacheHits) {
+  Rng r1(42), r2(42);
+  CachedTtConfig cfg = SmallCachedConfig(/*capacity=*/4, /*warmup=*/0);
+  CachedTtEmbeddingBag emb(cfg, TtInit::kGaussian, r1);
+  TtEmbeddingBag plain(cfg.tt, TtInit::kGaussian, r2);
+
+  emb.PrefetchRows(std::vector<int64_t>{20, 21});
+  emb.ResetStats();
+  CsrBatch batch = CsrBatch::FromIndices({20, 21});
+  std::vector<float> a(static_cast<size_t>(2 * 8)), b(a.size());
+  emb.Forward(batch, a.data());
+  plain.Forward(batch, b.data());
+  EXPECT_EQ(emb.cache().hits(), 2);
+  EXPECT_EQ(emb.cache().misses(), 0);
+  // The prefetched vectors were materialized from the TT cores, so the
+  // hit path reproduces the pure-TT output.
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-5f);
+}
+
+TEST(CachedTtEmbeddingBag, PrefetchValidatesBeforeMutatingAndSkipsTracker) {
+  Rng rng(5);
+  CachedTtEmbeddingBag emb(SmallCachedConfig(/*capacity=*/4, /*warmup=*/0),
+                           TtInit::kGaussian, rng);
+  EXPECT_THROW(emb.PrefetchRows(std::vector<int64_t>{2, 999}), IndexError);
+  EXPECT_EQ(emb.cache().size(), 0);
+  EXPECT_EQ(emb.prefetch_inserts(), 0);
+
+  emb.PrefetchRows(std::vector<int64_t>{7});
+  // Prefetch is a hint about the future, not an observed access.
+  EXPECT_EQ(emb.tracker().Count(7), 0);
 }
 
 }  // namespace
